@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Backbone Float List Mpls_vpn Mvpn_core Mvpn_mpls Mvpn_net Mvpn_qos Mvpn_routing Mvpn_sim Network Printf Qos_mapping Scenario Site Tables Traffic

@@ -1,0 +1,1 @@
+bench/e0_forwarding.ml: Analyze Array Bechamel Benchmark Hashtbl List Measure Mvpn_mpls Mvpn_net Mvpn_sim Staged String Sys Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/e10_interprovider.ml: Interprovider List Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Qos_mapping Site Tables Traffic

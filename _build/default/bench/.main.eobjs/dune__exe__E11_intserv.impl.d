@@ -1,0 +1,1 @@
+bench/e11_intserv.ml: Array Backbone List Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Qos_mapping Tables

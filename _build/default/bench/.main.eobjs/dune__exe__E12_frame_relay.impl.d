@@ -1,0 +1,1 @@
+bench/e12_frame_relay.ml: Array Backbone Frame Frswitch Hashtbl L2vpn Mvpn_atm Mvpn_core Mvpn_frelay Mvpn_net Mvpn_qos Mvpn_sim Network Pvc Qos_mapping Tables

@@ -1,0 +1,1 @@
+bench/e13_restoration.ml: Array Backbone List Mpls_vpn Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Site Tables Traffic

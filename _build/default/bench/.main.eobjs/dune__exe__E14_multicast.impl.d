@@ -1,0 +1,1 @@
+bench/e14_multicast.ml: Backbone List Mpls_vpn Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Printf Site Tables

@@ -1,0 +1,1 @@
+bench/e1_scalability.ml: Backbone List Mpls_vpn Mvpn_core Mvpn_net Mvpn_routing Mvpn_sim Network Overlay Printf Tables

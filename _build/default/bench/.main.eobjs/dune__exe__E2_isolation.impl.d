@@ -1,0 +1,1 @@
+bench/e2_isolation.ml: Array List Mvpn_core Mvpn_net Mvpn_sim Network Printf Qos_mapping Scenario Site Tables

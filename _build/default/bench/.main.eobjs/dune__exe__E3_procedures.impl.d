@@ -1,0 +1,1 @@
+bench/e3_procedures.ml: Array Backbone List Membership Mpls_vpn Mvpn_core Mvpn_net Mvpn_routing Mvpn_sim Network Printf Tables

@@ -1,0 +1,1 @@
+bench/e4_qos.ml: Array List Mvpn_core Mvpn_qos Mvpn_sim Printf Qos_mapping Scenario Tables

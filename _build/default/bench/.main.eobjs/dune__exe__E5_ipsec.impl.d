@@ -1,0 +1,1 @@
+bench/e5_ipsec.ml: Backbone List Mvpn_core Mvpn_ipsec Mvpn_net Mvpn_qos Mvpn_sim Network Overlay Printf Qos_mapping Site Tables Traffic

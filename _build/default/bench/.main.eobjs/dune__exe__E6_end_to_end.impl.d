@@ -1,0 +1,1 @@
+bench/e6_end_to_end.ml: Backbone List Mpls_vpn Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Printf Qos_mapping Site Tables Traffic

@@ -1,0 +1,1 @@
+bench/e7_traffic_engineering.ml: Array Backbone Float List Mvpn_core Mvpn_mpls Mvpn_net Mvpn_qos Mvpn_sim Tables

@@ -1,0 +1,1 @@
+bench/e8_admission.ml: Array Backbone List Mvpn_core Mvpn_mpls Mvpn_sim Printf Tables

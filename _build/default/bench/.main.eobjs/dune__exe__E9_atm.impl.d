@@ -1,0 +1,1 @@
+bench/e9_atm.ml: Aal5 Cell List Mvpn_atm Mvpn_sim Switch Tables

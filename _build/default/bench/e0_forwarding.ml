@@ -1,0 +1,111 @@
+(* E0 — forwarding cost (§3, claim C2).
+
+   "The labels enable routers and switches to forward traffic based on
+   information in the labels instead of having to inspect the various
+   fields deep within each and every packet."
+
+   Races the per-packet work of a conventional IP router (longest-
+   prefix match over a Patricia trie) against an LSR (constant-time
+   label index), at several FIB sizes, using Bechamel. *)
+
+open Bechamel
+module Radix = Mvpn_net.Radix
+module Prefix = Mvpn_net.Prefix
+module Ipv4 = Mvpn_net.Ipv4
+module Lfib = Mvpn_mpls.Lfib
+module Rng = Mvpn_sim.Rng
+
+let probe_count = 4096
+
+let build_fib n =
+  let rng = Rng.create 42 in
+  let t = Radix.create () in
+  let added = ref 0 in
+  while !added < n do
+    let addr = Ipv4.of_int32_exn (Rng.int rng 0xFFFF_FFF * 16) in
+    let len = Rng.int_in rng 12 24 in
+    let p = Prefix.make addr len in
+    if Radix.find t p = None then begin
+      Radix.add t p !added;
+      incr added
+    end
+  done;
+  t
+
+let build_lfib n =
+  let t = Lfib.create () in
+  for i = 0 to n - 1 do
+    Lfib.install t ~in_label:(16 + i) { Lfib.op = Lfib.Swap (16 + i); next_hop = 1 }
+  done;
+  t
+
+let probes =
+  let rng = Rng.create 77 in
+  Array.init probe_count (fun _ -> Ipv4.of_int32_exn (Rng.int rng 0xFFFF_FFF * 16))
+
+let label_probes n =
+  let rng = Rng.create 99 in
+  Array.init probe_count (fun _ -> 16 + Rng.int rng n)
+
+let lpm_test name n =
+  let fib = build_fib n in
+  let i = ref 0 in
+  Test.make ~name (Staged.stage (fun () ->
+      let a = probes.(!i land (probe_count - 1)) in
+      incr i;
+      Sys.opaque_identity (Radix.lookup fib a)))
+
+let lfib_test name n =
+  let lfib = build_lfib n in
+  let ps = label_probes n in
+  let i = ref 0 in
+  Test.make ~name (Staged.stage (fun () ->
+      let l = ps.(!i land (probe_count - 1)) in
+      incr i;
+      Sys.opaque_identity (Lfib.lookup lfib l)))
+
+let run () =
+  Tables.heading "E0: label swap lookup vs IP longest-prefix match (Bechamel)";
+  let tests =
+    Test.make_grouped ~name:"forwarding"
+      [ lpm_test "ip-lpm-1k-prefixes" 1_000;
+        lpm_test "ip-lpm-10k-prefixes" 10_000;
+        lpm_test "ip-lpm-100k-prefixes" 100_000;
+        lfib_test "mpls-lfib-1k-labels" 1_000;
+        lfib_test "mpls-lfib-100k-labels" 100_000 ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[monotonic_clock] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let ns name =
+    match Hashtbl.fold (fun k v acc ->
+        if String.length k >= String.length name
+        && String.sub k (String.length k - String.length name)
+             (String.length name) = name
+        then Some v else acc)
+        results None
+    with
+    | Some o ->
+      (match Analyze.OLS.estimates o with
+       | Some (e :: _) -> e
+       | Some [] | None -> nan)
+    | None -> nan
+  in
+  let widths = [26; 12] in
+  Tables.row widths ["lookup"; "ns/packet"];
+  Tables.rule widths;
+  let names =
+    [ "ip-lpm-1k-prefixes"; "ip-lpm-10k-prefixes"; "ip-lpm-100k-prefixes";
+      "mpls-lfib-1k-labels"; "mpls-lfib-100k-labels" ]
+  in
+  List.iter (fun n -> Tables.row widths [n; Tables.f1 (ns n)]) names;
+  let ratio = ns "ip-lpm-100k-prefixes" /. ns "mpls-lfib-100k-labels" in
+  Tables.note
+    "\nAt 100k routes, label indexing is %.1fx cheaper per packet than\n\
+     the longest-prefix match (paper C2: labels avoid inspecting fields\n\
+     deep within each packet; expected shape: integer-factor advantage\n\
+     that grows with table size)." ratio

@@ -1,0 +1,85 @@
+(* E2 — isolation with overlapping address spaces (Fig. 1, §4.2).
+
+   Eight VPNs share one provider network and every one of them numbers
+   its sites from the same 10.k/16 plan. Probe every intra-VPN site
+   pair and count where packets actually land. *)
+
+open Mvpn_core
+module Engine = Mvpn_sim.Engine
+module Packet = Mvpn_net.Packet
+module Flow = Mvpn_net.Flow
+module Prefix = Mvpn_net.Prefix
+
+let vpns = 8
+let sites_per_vpn = 4
+
+let run () =
+  Tables.heading
+    (Printf.sprintf
+       "E2: %d VPNs, identical 10.k/16 address plans, full intra-VPN probe"
+       vpns);
+  let sc =
+    Scenario.build ~pops:12 ~vpns ~sites_per_vpn
+      (Scenario.Mpls_deployment
+         { policy = Qos_mapping.Best_effort; use_te = false })
+  in
+  let net = Scenario.network sc in
+  let engine = Scenario.engine sc in
+  let sites = Array.to_list (Scenario.sites sc) in
+  (* Sinks that check provenance. *)
+  let delivered_ok = ref 0 and leaked = ref 0 in
+  List.iter
+    (fun (s : Site.t) ->
+       Network.set_sink net s.Site.ce_node (fun p ->
+           match p.Packet.vpn with
+           | Some v when v = s.Site.vpn -> incr delivered_ok
+           | Some _ | None -> incr leaked))
+    sites;
+  let probes = ref 0 in
+  List.iter
+    (fun (a : Site.t) ->
+       List.iter
+         (fun (b : Site.t) ->
+            if a.Site.vpn = b.Site.vpn && a.Site.id <> b.Site.id then begin
+              incr probes;
+              let p =
+                Packet.make ~vpn:a.Site.vpn ~now:(Engine.now engine)
+                  (Flow.make
+                     (Prefix.nth_host a.Site.prefix 1)
+                     (Prefix.nth_host b.Site.prefix 1))
+              in
+              Network.inject net a.Site.ce_node p
+            end)
+         sites)
+    sites;
+  (* Plus probes to addresses no VPN announced. *)
+  let unknown = ref 0 in
+  List.iter
+    (fun (a : Site.t) ->
+       incr unknown;
+       let p =
+         Packet.make ~vpn:a.Site.vpn ~now:(Engine.now engine)
+           (Flow.make
+              (Prefix.nth_host a.Site.prefix 1)
+              (Mvpn_net.Ipv4.of_string_exn "192.0.2.1"))
+       in
+       Network.inject net a.Site.ce_node p)
+    sites;
+  Engine.run engine;
+  let widths = [34; 10] in
+  Tables.row widths ["measure"; "count"];
+  Tables.rule widths;
+  Tables.row widths ["intra-VPN probes sent"; string_of_int !probes];
+  Tables.row widths ["delivered to the right VPN"; string_of_int !delivered_ok];
+  Tables.row widths ["cross-VPN leaks"; string_of_int !leaked];
+  Tables.row widths ["unroutable probes sent"; string_of_int !unknown];
+  Tables.row widths
+    [ "refused by VRF (vrf-no-route)";
+      string_of_int
+        (try List.assoc "vrf-no-route" (Network.drop_counts net)
+         with Not_found -> 0) ];
+  Tables.note
+    "\nExpected shape: every intra-VPN probe delivered to its own VPN,\n\
+     zero leaks despite %d VPNs sharing one routing system and one\n\
+     address plan (the paper's RD/RT isolation argument), and traffic\n\
+     to unannounced space refused at the ingress VRF." vpns

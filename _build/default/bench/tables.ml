@@ -1,0 +1,24 @@
+(* Fixed-width table rendering for the experiment harness. *)
+
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n" s) fmt
+
+let row widths cells =
+  let padded =
+    List.map2
+      (fun w c -> if String.length c >= w then c else c ^ String.make (w - String.length c) ' ')
+      widths cells
+  in
+  Printf.printf "%s\n" (String.concat "  " padded)
+
+let rule widths =
+  Printf.printf "%s\n"
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths))
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let pct v = Printf.sprintf "%.2f%%" (v *. 100.0)
+let ms v = Printf.sprintf "%.2f" (v *. 1e3)
+let mbps v = Printf.sprintf "%.2f" (v /. 1e6)

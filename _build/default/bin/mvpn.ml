@@ -1,0 +1,306 @@
+(* mvpn — command-line front end.
+
+     mvpn topo     [--pops N]                  describe a backbone
+     mvpn deploy   [--pops N] [--vpns V] [--sites K] [--overlay]
+                                               provision and print state
+     mvpn run      [--policy P] [--load L] [--duration D] ...
+                                               run the mixed workload and
+                                               print per-class SLA reports
+     mvpn fail     [--pops N] ...              fail a core link mid-run and
+                                               report reconvergence *)
+
+open Cmdliner
+open Mvpn_core
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Sla = Mvpn_qos.Sla
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let pops_arg =
+  Arg.(value & opt int 12 & info ["pops"] ~docv:"N" ~doc:"Number of POPs.")
+
+let vpns_arg =
+  Arg.(value & opt int 2 & info ["vpns"] ~docv:"V" ~doc:"Number of VPNs.")
+
+let sites_arg =
+  Arg.(value & opt int 4 & info ["sites"] ~docv:"K"
+         ~doc:"Sites per VPN.")
+
+let policy_conv =
+  Arg.enum
+    [ ("best-effort", Qos_mapping.Best_effort);
+      ("diffserv", Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched);
+      ("diffserv-strict", Qos_mapping.Diffserv Qos_mapping.strict_sched) ]
+
+let policy_arg =
+  Arg.(value
+       & opt policy_conv
+           (Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched)
+       & info ["policy"] ~docv:"POLICY"
+         ~doc:"Forwarding policy: best-effort, diffserv, diffserv-strict.")
+
+let load_arg =
+  Arg.(value & opt float 0.9 & info ["load"] ~docv:"L"
+         ~doc:"Offered load as a fraction of the access rate.")
+
+let duration_arg =
+  Arg.(value & opt float 30.0 & info ["duration"] ~docv:"SEC"
+         ~doc:"Workload duration in simulated seconds.")
+
+let overlay_arg =
+  Arg.(value & flag & info ["overlay"]
+         ~doc:"Deploy the IPSec overlay baseline instead of the MPLS VPN.")
+
+let te_arg =
+  Arg.(value & flag & info ["te"] ~doc:"Signal RSVP-TE tunnels between PEs.")
+
+let seed_arg =
+  Arg.(value & opt int 11 & info ["seed"] ~docv:"SEED"
+         ~doc:"Deterministic simulation seed.")
+
+(* --- topo --------------------------------------------------------------- *)
+
+let topo_cmd =
+  let run pops =
+    let bb = Backbone.build ~pops () in
+    let topo = Backbone.topology bb in
+    Printf.printf "backbone: %d POPs, %d unidirectional links\n" pops
+      (Topology.link_count topo);
+    List.iter
+      (fun (l : Topology.link) ->
+         if l.Topology.src < l.Topology.dst then
+           Printf.printf "  %-4s <-> %-4s  %5.1f Mb/s  %4.1f ms\n"
+             (Topology.node_name topo l.Topology.src)
+             (Topology.node_name topo l.Topology.dst)
+             (l.Topology.bandwidth /. 1e6)
+             (l.Topology.delay *. 1e3))
+      (Topology.links topo);
+    Array.iteri
+      (fun pop node ->
+         Printf.printf "  pop %2d = node %2d, loopback %s\n" pop node
+           (Mvpn_net.Prefix.to_string (Backbone.loopback bb ~pop)))
+      (Backbone.pops bb)
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Describe the reference backbone topology.")
+    Term.(const run $ pops_arg)
+
+(* --- deploy ------------------------------------------------------------- *)
+
+let deploy_cmd =
+  let run pops vpns sites_per_vpn overlay seed =
+    let sc =
+      Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
+        (if overlay then
+           Scenario.Overlay_deployment
+             { policy = Qos_mapping.Best_effort;
+               cipher = Mvpn_ipsec.Crypto.Des; copy_tos = true }
+         else
+           Scenario.Mpls_deployment
+             { policy = Qos_mapping.Best_effort; use_te = false })
+    in
+    (match Scenario.mpls sc with
+     | Some m ->
+       let x = Mpls_vpn.metrics m in
+       Printf.printf
+         "MPLS VPN deployed: %d sites in %d VPNs\n\
+          \  VRFs               %d\n\
+          \  VPNv4 routes       %d\n\
+          \  BGP sessions       %d\n\
+          \  LFIB entries       %d\n\
+          \  labels allocated   %d\n\
+          \  control messages   %d\n\
+          \  operator touches   %d\n"
+         x.Mpls_vpn.sites x.Mpls_vpn.vpns x.Mpls_vpn.vrf_count
+         x.Mpls_vpn.vpnv4_routes x.Mpls_vpn.bgp_sessions
+         x.Mpls_vpn.lfib_entries x.Mpls_vpn.labels_allocated
+         x.Mpls_vpn.control_messages x.Mpls_vpn.provisioning_touches
+     | None -> ());
+    match Scenario.overlay sc with
+    | Some o ->
+      let x = Overlay.metrics o in
+      Printf.printf
+        "Overlay VPN deployed: %d sites in %d VPNs\n\
+         \  virtual circuits   %d\n\
+         \  directional tunnels %d\n\
+         \  IKE messages       %d\n\
+         \  operator touches   %d\n"
+        x.Overlay.sites x.Overlay.vpns x.Overlay.vcs x.Overlay.tunnels
+        x.Overlay.control_messages x.Overlay.provisioning_touches
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "deploy"
+       ~doc:"Provision a VPN service and print its control-plane state.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ overlay_arg
+          $ seed_arg)
+
+(* --- run ---------------------------------------------------------------- *)
+
+let print_reports sc =
+  Printf.printf "%-15s %6s %6s %10s %10s %9s %8s  %s\n" "class" "sent"
+    "recv" "mean ms" "p99 ms" "jit ms" "loss" "SLA";
+  List.iter
+    (fun (cls, (r : Sla.report)) ->
+       let spec =
+         match
+           List.find_opt (fun (n, _, _) -> n = cls) Scenario.service_classes
+         with
+         | Some (_, _, s) -> s
+         | None -> Sla.best_effort_spec
+       in
+       Printf.printf "%-15s %6d %6d %10.2f %10.2f %9.2f %7.2f%%  %s\n" cls
+         r.Sla.sent r.Sla.received
+         (r.Sla.mean_delay *. 1e3)
+         (r.Sla.p99_delay *. 1e3)
+         (r.Sla.jitter *. 1e3)
+         (r.Sla.loss *. 100.0)
+         (if Sla.complies spec r then "ok"
+          else String.concat "; " (Sla.check spec r)))
+    (Scenario.class_reports sc)
+
+let run_cmd =
+  let run pops vpns sites_per_vpn policy load duration use_te seed =
+    let sc =
+      Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
+        (Scenario.Mpls_deployment { policy; use_te })
+    in
+    let sites = Scenario.sites sc in
+    (* Wrap every CE sink with usage accounting. *)
+    let acct = Accounting.create () in
+    let registry = Scenario.registry sc in
+    Array.iter
+      (fun (s : Site.t) ->
+         Network.set_sink (Scenario.network sc) s.Site.ce_node
+           (Accounting.sink acct (Traffic.sink registry)))
+      sites;
+    let pairs = ref [] in
+    Array.iteri
+      (fun i a ->
+         if i mod 2 = 0 && i + 1 < Array.length sites then
+           pairs := (a, sites.(i + 1)) :: !pairs)
+      sites;
+    Scenario.add_mixed_workload ~load sc ~pairs:!pairs ~duration;
+    Scenario.run sc ~duration:(duration +. 5.0);
+    print_reports sc;
+    Printf.printf "\nmax core utilization: %.1f%%   core loss: %.2f%%\n"
+      (Scenario.max_core_utilization sc *. 100.0)
+      (Scenario.core_loss_fraction sc *. 100.0);
+    Printf.printf "\nUsage-based billing (default tariff):\n";
+    List.iter
+      (fun vpn -> Accounting.pp_invoice Format.std_formatter acct ~vpn)
+      (List.init vpns (fun v -> v + 1));
+    Format.pp_print_flush Format.std_formatter ()
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the mixed voice/transactional/bulk workload and report \
+             per-class SLAs.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
+          $ load_arg $ duration_arg $ te_arg $ seed_arg)
+
+(* --- fail --------------------------------------------------------------- *)
+
+let fail_cmd =
+  let run pops seed =
+    let sc =
+      Scenario.build ~pops ~vpns:1 ~sites_per_vpn:2 ~seed
+        (Scenario.Mpls_deployment
+           { policy = Qos_mapping.Best_effort; use_te = false })
+    in
+    let a = Scenario.site sc ~vpn:1 ~idx:0 in
+    let b = Scenario.site sc ~vpn:1 ~idx:1 in
+    let net = Scenario.network sc in
+    let engine = Scenario.engine sc in
+    let delivered = ref 0 in
+    Network.set_sink net b.Site.ce_node (fun _ -> incr delivered);
+    let send () =
+      let p =
+        Mvpn_net.Packet.make ~vpn:1 ~now:(Engine.now engine)
+          (Mvpn_net.Flow.make (Site.host a 1) (Site.host b 1))
+      in
+      Network.inject net a.Site.ce_node p;
+      Engine.run engine
+    in
+    send ();
+    Printf.printf "before failure: delivered %d/1\n" !delivered;
+    let pops_arr = Backbone.pops (Scenario.backbone sc) in
+    Topology.set_duplex_state (Network.topology net) pops_arr.(0)
+      pops_arr.(1) false;
+    Printf.printf "failing core link pop0 <-> pop1...\n";
+    send ();
+    Printf.printf "before reconvergence: delivered %d/2 (traffic lost)\n"
+      !delivered;
+    (match Scenario.mpls sc with
+     | Some m ->
+       let rounds = Mpls_vpn.reconverge m in
+       Printf.printf "reconverged in %d flooding rounds\n" rounds
+     | None -> ());
+    send ();
+    Printf.printf "after reconvergence: delivered %d/3\n" !delivered
+  in
+  Cmd.v
+    (Cmd.info "fail"
+       ~doc:"Fail a core link and show loss, reconvergence and recovery.")
+    Term.(const run $ pops_arg $ seed_arg)
+
+(* --- plan --------------------------------------------------------------- *)
+
+let plan_cmd =
+  let run pops demand_count bandwidth seed =
+    let bb = Backbone.build ~pops () in
+    let topo = Backbone.topology bb in
+    let rng = Mvpn_sim.Rng.create seed in
+    let pops_arr = Backbone.pops bb in
+    let demands =
+      List.init demand_count (fun _ ->
+          let src = Mvpn_sim.Rng.int rng pops in
+          let dst = (src + 1 + Mvpn_sim.Rng.int rng (pops - 1)) mod pops in
+          { Planning.src = pops_arr.(src); dst = pops_arr.(dst);
+            bandwidth })
+    in
+    let report name p =
+      Printf.printf
+        "%-16s routed %d/%d   max util %.1f%%   hot links %d\n" name
+        (Planning.routed p) demand_count
+        (Planning.max_utilization p *. 100.0)
+        (List.length (Planning.hot_links p));
+      match Planning.upgrades_needed p with
+      | [] -> ()
+      | ups ->
+        Printf.printf "  upgrades needed:\n";
+        List.iter
+          (fun ((l : Topology.link), excess) ->
+             Printf.printf "    %s -> %s: +%.1f Mb/s\n"
+               (Topology.node_name topo l.Topology.src)
+               (Topology.node_name topo l.Topology.dst)
+               (excess /. 1e6))
+          ups
+    in
+    Printf.printf "%d demands of %.1f Mb/s over a %d-POP backbone:\n\n"
+      demand_count (bandwidth /. 1e6) pops;
+    report "shortest-path" (Planning.route_spf topo demands);
+    report "capacity-aware" (Planning.route_capacity_aware topo demands)
+  in
+  let demands_arg =
+    Arg.(value & opt int 20 & info ["demands"] ~docv:"N"
+           ~doc:"Number of random demands.")
+  in
+  let bw_arg =
+    Arg.(value & opt float 8e6 & info ["bandwidth"] ~docv:"BPS"
+           ~doc:"Bandwidth per demand in bits per second.")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Offline capacity planning: place a demand matrix by SPF and \
+             by capacity-aware routing, and show the upgrade bill.")
+    Term.(const run $ pops_arg $ demands_arg $ bw_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "mvpn" ~version:"1.0.0"
+      ~doc:"End-to-end QoS MPLS VPN simulator (ICPP 2000 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [topo_cmd; deploy_cmd; run_cmd; fail_cmd; plan_cmd]))

@@ -1,0 +1,1 @@
+examples/capacity_planning.ml: Array Backbone List Monitor Mvpn_core Mvpn_net Mvpn_routing Mvpn_sim Network Planning Printf Traffic

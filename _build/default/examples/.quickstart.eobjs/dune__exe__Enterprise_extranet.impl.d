@@ -1,0 +1,1 @@
+examples/enterprise_extranet.ml: Backbone Hashtbl List Membership Mpls_vpn Mvpn_core Mvpn_net Mvpn_sim Network Option Printf Site String

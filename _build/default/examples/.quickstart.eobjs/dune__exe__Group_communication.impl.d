@@ -1,0 +1,1 @@
+examples/group_communication.ml: Backbone Format List Mpls_vpn Mvpn_core Mvpn_net Mvpn_sim Network Printf Site

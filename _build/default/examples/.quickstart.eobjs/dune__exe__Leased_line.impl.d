@@ -1,0 +1,1 @@
+examples/leased_line.ml: Array Backbone Format L2vpn Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Printf Qos_mapping Traffic

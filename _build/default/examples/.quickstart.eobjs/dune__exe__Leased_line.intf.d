@@ -1,0 +1,1 @@
+examples/leased_line.mli:

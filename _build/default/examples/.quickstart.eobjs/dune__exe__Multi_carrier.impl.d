@@ -1,0 +1,1 @@
+examples/multi_carrier.ml: Format Interprovider List Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Printf Qos_mapping Site String Traffic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Backbone Format Mpls_vpn Mvpn_core Mvpn_net Mvpn_qos Mvpn_sim Network Printf Qos_mapping Site Traffic

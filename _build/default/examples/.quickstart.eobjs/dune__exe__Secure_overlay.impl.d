@@ -1,0 +1,1 @@
+examples/secure_overlay.ml: Backbone List Mvpn_core Mvpn_ipsec Mvpn_net Mvpn_qos Mvpn_sim Network Overlay Printf Qos_mapping Site Traffic

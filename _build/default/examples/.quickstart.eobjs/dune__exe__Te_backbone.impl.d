@@ -1,0 +1,1 @@
+examples/te_backbone.ml: Array Backbone Float List Mvpn_core Mvpn_mpls Mvpn_sim Printf

@@ -1,0 +1,1 @@
+examples/trace_path.ml: Backbone List Mpls_vpn Mvpn_core Mvpn_net Mvpn_sim Network Printf Site String

@@ -1,0 +1,1 @@
+examples/voice_sla.ml: List Mvpn_core Mvpn_qos Printf Qos_mapping Scenario String

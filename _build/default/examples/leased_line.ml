@@ -1,0 +1,72 @@
+(* Replacing a leased line with an emulated circuit (§1: the essence of
+   a VPN is using the shared backbone "to supplement or replace costly
+   long-distance leased or dial-up links").
+
+   A point-to-point pseudowire carries an opaque stream between two
+   offices across the label-switched backbone; the SLA report shows the
+   leased-line-like service it received while sharing the network with
+   everyone else.
+
+   Run with:  dune exec examples/leased_line.exe *)
+
+open Mvpn_core
+module Engine = Mvpn_sim.Engine
+module Packet = Mvpn_net.Packet
+module Flow = Mvpn_net.Flow
+module Sla = Mvpn_qos.Sla
+
+let () =
+  Printf.printf "== An emulated leased line over the MPLS backbone ==\n\n";
+  let bb = Backbone.build ~pops:8 () in
+  let engine = Engine.create () in
+  let net =
+    Network.create
+      ~policy:(Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched)
+      engine (Backbone.topology bb)
+  in
+  let l2 = L2vpn.deploy ~net ~backbone:bb in
+  let pops = Backbone.pops bb in
+
+  let collector = Mvpn_qos.Sla.collector () in
+  let pw =
+    match
+      L2vpn.create_pw l2
+        ~a:{ L2vpn.pe = pops.(0); on_deliver = (fun _ -> ()) }
+        ~b:
+          { L2vpn.pe = pops.(4);
+            on_deliver =
+              (fun p -> Sla.on_receive collector ~now:(Engine.now engine) p) }
+    with
+    | Ok id -> id
+    | Error e -> failwith e
+  in
+  Printf.printf
+    "Pseudowire up between POP 0 and POP 4 (%d circuit provisioned).\n"
+    (L2vpn.pw_count l2);
+
+  (* A 512 kb/s "leased line" stream, marked EF so the backbone's
+     DiffServ machinery treats it like the circuit it replaces. *)
+  let seq = ref 0 in
+  let emit size =
+    incr seq;
+    let now = Engine.now engine in
+    let p =
+      Packet.make ~seq:!seq ~dscp:Mvpn_net.Dscp.ef ~size ~now
+        (Flow.make (Mvpn_net.Ipv4.of_string_exn "192.168.0.1")
+           (Mvpn_net.Ipv4.of_string_exn "192.168.0.2"))
+    in
+    Sla.on_send collector ~now ~bytes:size;
+    L2vpn.send l2 ~pw ~from_a:true p
+  in
+  Traffic.cbr engine ~start:0.0 ~stop:30.0 ~rate_bps:512_000.0
+    ~packet_bytes:512 emit;
+  Engine.run engine;
+
+  let r = Sla.report collector in
+  Printf.printf "\n30 s of 512 kb/s over the circuit:\n  ";
+  Format.printf "%a@." Sla.pp_report r;
+  Printf.printf "Misordered frames: %d\n" (L2vpn.misordered l2 ~pw);
+  Printf.printf
+    "\nThe stream crossed the label-switched backbone with circuit-like\n\
+     constancy (zero loss, sub-microsecond jitter) — a leased line's\n\
+     behaviour at a shared backbone's cost, which is §1's pitch.\n"

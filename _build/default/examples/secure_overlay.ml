@@ -1,0 +1,81 @@
+(* Secure overlay VPN (§2.3): the IPSec full-mesh baseline, its crypto
+   cost, its replay protection, and the ToS-copy knob that decides
+   whether the provider can still see service classes.
+
+   Run with:  dune exec examples/secure_overlay.exe *)
+
+open Mvpn_core
+module Engine = Mvpn_sim.Engine
+module Prefix = Mvpn_net.Prefix
+module Flow = Mvpn_net.Flow
+module Crypto = Mvpn_ipsec.Crypto
+module Sla = Mvpn_qos.Sla
+
+let run ~cipher ~copy_tos =
+  let bb = Backbone.build ~pops:6 () in
+  let sites =
+    List.init 4 (fun i ->
+        Backbone.attach_site bb ~id:(i + 1)
+          ~name:(Printf.sprintf "site-%d" (i + 1)) ~vpn:1
+          ~prefix:(Prefix.make (Mvpn_net.Ipv4.of_octets 10 i 0 0) 16)
+          ~pop:(i * 3 mod 6))
+  in
+  let engine = Engine.create () in
+  let net =
+    Network.create
+      ~policy:(Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched)
+      engine (Backbone.topology bb)
+  in
+  let ov = Overlay.deploy ~cipher ~copy_tos ~net ~sites () in
+  let registry = Traffic.registry engine in
+  List.iter
+    (fun (s : Site.t) ->
+       Network.set_sink net s.Site.ce_node (Traffic.sink registry))
+    sites;
+  let a = List.nth sites 0 and b = List.nth sites 1 in
+  (* An EF voice stream and a bulk stream between the same two sites. *)
+  let mk label dscp port =
+    Traffic.sender registry ~net ~src_node:a.Site.ce_node
+      ~flow:(Flow.make ~proto:Flow.Udp ~dst_port:port (Site.host a 1)
+               (Site.host b 1))
+      ~dscp ~vpn:1
+      ~collector:(Traffic.collector registry label)
+      ()
+  in
+  Traffic.cbr engine ~start:0.0 ~stop:20.0 ~rate_bps:64_000.0
+    ~packet_bytes:200
+    (mk "voice" Mvpn_net.Dscp.ef 5060);
+  (* Enough bulk to saturate the 2 Mb/s access link (plus ESP
+     overhead): the EF queue only helps if the EF marking is visible. *)
+  Traffic.cbr engine ~start:0.0 ~stop:20.0 ~rate_bps:2_400_000.0
+    ~packet_bytes:1500
+    (mk "bulk" Mvpn_net.Dscp.best_effort 20);
+  Engine.run engine;
+  (Traffic.report registry "voice", Overlay.metrics ov)
+
+let () =
+  Printf.printf "== IPSec overlay: cipher cost and the ToS-copy knob ==\n\n";
+  Printf.printf "Voice sharing a 2 Mb/s access with 2.4 Mb/s of bulk:\n\n";
+  Printf.printf "%-8s %-9s %10s %10s %8s\n" "cipher" "tos-copy" "mean(ms)"
+    "p99(ms)" "loss%";
+  List.iter
+    (fun (cipher, copy_tos) ->
+       let voice, _ = run ~cipher ~copy_tos in
+       Printf.printf "%-8s %-9b %10.2f %10.2f %8.2f\n"
+         (Crypto.cipher_to_string cipher)
+         copy_tos
+         (voice.Sla.mean_delay *. 1e3)
+         (voice.Sla.p99_delay *. 1e3)
+         (voice.Sla.loss *. 100.0))
+    [ (Crypto.Null, true); (Crypto.Des, false); (Crypto.Des, true);
+      (Crypto.Des3, false); (Crypto.Des3, true) ];
+  let _, m = run ~cipher:Crypto.Des ~copy_tos:true in
+  Printf.printf
+    "\nMesh for %d sites: %d virtual circuits (%d directional tunnels),\n\
+     %d IKE handshake messages.\n" m.Overlay.sites m.Overlay.vcs
+    m.Overlay.tunnels m.Overlay.control_messages;
+  Printf.printf
+    "\nWithout tos-copy the ESP outer header hides the EF marking, so\n\
+     the backbone's DiffServ queues see only best effort and voice\n\
+     waits behind the bulk transfer; copying the ToS byte to the outer\n\
+     header restores the end-to-end service class.\n"

@@ -1,0 +1,61 @@
+(* Traffic engineering in the backbone (§5): plain shortest-path
+   forwarding piles a skewed traffic matrix onto the ring's direct
+   links; constraint-based routed RSVP-TE tunnels spread the same
+   demands over the express chords and the long way around.
+
+   Run with:  dune exec examples/te_backbone.exe *)
+
+open Mvpn_core
+module Topology = Mvpn_sim.Topology
+module Rsvp_te = Mvpn_mpls.Rsvp_te
+module Plane = Mvpn_mpls.Plane
+
+let () =
+  Printf.printf "== Traffic engineering vs shortest-path routing ==\n\n";
+  (* Demands chosen so every shortest path wants the same express
+     chord (POP 0 ↔ POP 6): 4 × 20 Mb/s against a 45 Mb/s link. *)
+  let demands _pops = [(0, 6, 20e6); (1, 6, 20e6); (11, 6, 20e6); (0, 7, 20e6)] in
+
+  let run admission =
+    let bb = Backbone.build ~pops:12 () in
+    let topo = Backbone.topology bb in
+    let plane = Plane.create ~nodes:(Topology.node_count topo) in
+    let te = Rsvp_te.create topo plane in
+    let accepted = ref 0 and refused = ref 0 in
+    List.iter
+      (fun (src_pop, dst_pop, bw) ->
+         let pops = Backbone.pops bb in
+         match
+           Rsvp_te.signal te ~admission ~src:pops.(src_pop)
+             ~dst:pops.(dst_pop) ~bandwidth:bw
+         with
+         | Ok _ -> incr accepted
+         | Error _ -> incr refused)
+      (demands 12);
+    let links = Topology.links topo in
+    let max_frac =
+      List.fold_left
+        (fun acc l -> Float.max acc (Rsvp_te.reserved_fraction te l))
+        0.0 links
+    in
+    let loaded =
+      List.length
+        (List.filter (fun (l : Topology.link) -> l.Topology.reserved > 0.0)
+           links)
+    in
+    let over = List.length (Rsvp_te.overcommitted_links te) in
+    (!accepted, !refused, max_frac, loaded, over)
+  in
+
+  let print name (accepted, refused, max_frac, loaded, over) =
+    Printf.printf
+      "%-28s accepted=%d refused=%d max-link-load=%3.0f%% links-used=%d overcommitted=%d\n"
+      name accepted refused (max_frac *. 100.0) loaded over
+  in
+  Printf.printf "4 demands of 20 Mb/s across a 45 Mb/s ring backbone:\n\n";
+  print "shortest-path (IGP only)" (run Rsvp_te.Igp_only);
+  print "constraint-based (CSPF)" (run Rsvp_te.Cspf);
+  Printf.printf
+    "\nIGP-only routing stacks every demand on the same shortest arcs\n\
+     (oversubscribing them); CSPF admission spreads the tunnels across\n\
+     more links and keeps every reservation within capacity.\n"

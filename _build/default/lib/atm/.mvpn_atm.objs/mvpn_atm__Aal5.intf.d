@@ -1,0 +1,1 @@
+lib/atm/aal5.mli: Cell

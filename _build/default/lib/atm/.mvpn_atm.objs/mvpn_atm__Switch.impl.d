@@ -1,0 +1,1 @@
+lib/atm/switch.ml: Cell Float Hashtbl Printf

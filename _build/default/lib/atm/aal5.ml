@@ -1,0 +1,77 @@
+let trailer_bytes = 8
+
+let cells_for ~payload =
+  if payload <= 0 then invalid_arg "Aal5.cells_for: payload must be positive";
+  (payload + trailer_bytes + Cell.payload_bytes - 1) / Cell.payload_bytes
+
+let wire_bytes ~payload = cells_for ~payload * Cell.cell_bytes
+
+let overhead_fraction ~payload =
+  1.0 -. (float_of_int payload /. float_of_int (wire_bytes ~payload))
+
+let segment ~vpi ~vci ~frame_id ~payload =
+  let n = cells_for ~payload in
+  List.init n (fun index ->
+      Cell.make ~vpi ~vci ~frame_id ~index ~last_of_frame:(index = n - 1) ())
+
+module Reassembler = struct
+  type t = {
+    mutable current_frame : int;  (* -1 = idle *)
+    mutable expected_index : int;
+    mutable damaged : bool;
+    mutable ok : int;
+    mutable corrupt : int;
+  }
+
+  let create () =
+    { current_frame = -1; expected_index = 0; damaged = false; ok = 0;
+      corrupt = 0 }
+
+  type event =
+    | Incomplete
+    | Frame of { frame_id : int; cells : int }
+    | Corrupt of { frame_id : int }
+
+  let finish t frame_id cells_seen =
+    let result =
+      if t.damaged then begin
+        t.corrupt <- t.corrupt + 1;
+        Corrupt { frame_id }
+      end
+      else begin
+        t.ok <- t.ok + 1;
+        Frame { frame_id; cells = cells_seen }
+      end
+    in
+    t.current_frame <- -1;
+    t.expected_index <- 0;
+    t.damaged <- false;
+    result
+
+  let push t (c : Cell.t) =
+    (* A new frame id while one is open means the previous frame's tail
+       was lost entirely: count it corrupt and restart. *)
+    if t.current_frame >= 0 && c.Cell.frame_id <> t.current_frame then begin
+      t.corrupt <- t.corrupt + 1;
+      t.current_frame <- -1;
+      t.expected_index <- 0;
+      t.damaged <- false
+    end;
+    if t.current_frame < 0 then begin
+      t.current_frame <- c.Cell.frame_id;
+      (* Joining mid-frame (first cells lost) damages the frame. *)
+      t.damaged <- c.Cell.index <> 0;
+      t.expected_index <- c.Cell.index + 1
+    end
+    else begin
+      if c.Cell.index <> t.expected_index then t.damaged <- true;
+      t.expected_index <- c.Cell.index + 1
+    end;
+    if c.Cell.last_of_frame then
+      finish t c.Cell.frame_id t.expected_index
+    else Incomplete
+
+  let frames_ok t = t.ok
+
+  let frames_corrupt t = t.corrupt
+end

@@ -1,0 +1,49 @@
+(** AAL5 segmentation and reassembly.
+
+    An IP packet rides ATM as an AAL5 frame: payload plus an 8-byte
+    trailer, padded to a multiple of 48, carried in ⌈(payload+8)/48⌉
+    cells of 53 bytes. Two consequences the E9 experiment measures:
+
+    - the {e cell tax}: 5 bytes of header per 48 of payload plus
+      padding — ~10–20% of the wire for typical packets, against the
+      4-byte MPLS shim;
+    - {e loss amplification}: one lost cell destroys the whole frame
+      (the reassembler cannot checksum a hole), so frame loss ≈
+      1 − (1−p)^cells for cell-loss rate p. *)
+
+val trailer_bytes : int
+(** 8 — the AAL5 trailer (length + CRC-32). *)
+
+val cells_for : payload:int -> int
+(** Number of cells an AAL5 frame of [payload] bytes occupies.
+    @raise Invalid_argument if payload is not positive. *)
+
+val wire_bytes : payload:int -> int
+(** Total bytes on the wire: [cells_for payload * 53]. *)
+
+val overhead_fraction : payload:int -> float
+(** [1 - payload / wire_bytes] — the cell tax. *)
+
+val segment :
+  vpi:int -> vci:int -> frame_id:int -> payload:int -> Cell.t list
+(** The cell sequence for one frame, in order, last cell flagged. *)
+
+(** Per-VC reassembly state machine. *)
+module Reassembler : sig
+  type t
+
+  val create : unit -> t
+
+  type event =
+    | Incomplete  (** cell absorbed, frame still in progress *)
+    | Frame of { frame_id : int; cells : int }  (** a frame completed *)
+    | Corrupt of { frame_id : int }
+        (** end-of-message arrived but cells were missing: the whole
+            frame is discarded (CRC failure) *)
+
+  val push : t -> Cell.t -> event
+  (** Feed the next arriving cell of this VC. *)
+
+  val frames_ok : t -> int
+  val frames_corrupt : t -> int
+end

@@ -1,0 +1,1 @@
+lib/core/accounting.ml: Array Format Hashtbl Int List Mvpn_net Option Qos_mapping

@@ -1,0 +1,1 @@
+lib/core/accounting.mli: Format Mvpn_net

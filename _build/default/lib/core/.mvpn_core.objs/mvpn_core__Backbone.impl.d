@@ -1,0 +1,1 @@
+lib/core/backbone.ml: Array List Mvpn_net Mvpn_sim Printf Site

@@ -1,0 +1,1 @@
+lib/core/interprovider.ml: Array Backbone Hashtbl List Mpls_vpn Mvpn_net Mvpn_routing Mvpn_sim Network Printf Qos_mapping Site

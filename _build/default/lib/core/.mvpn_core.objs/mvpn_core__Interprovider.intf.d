@@ -1,0 +1,1 @@
+lib/core/interprovider.mli: Backbone Mpls_vpn Mvpn_net Mvpn_sim Network Qos_mapping Site

@@ -1,0 +1,1 @@
+lib/core/l2vpn.ml: Array Backbone Hashtbl Mvpn_mpls Mvpn_net Mvpn_routing Mvpn_sim Network Printf

@@ -1,0 +1,1 @@
+lib/core/l2vpn.mli: Backbone Mvpn_net Network

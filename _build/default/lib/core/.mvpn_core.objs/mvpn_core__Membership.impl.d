@@ -1,0 +1,1 @@
+lib/core/membership.ml: Int List Printf Site

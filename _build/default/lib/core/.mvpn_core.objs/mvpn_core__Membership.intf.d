@@ -1,0 +1,1 @@
+lib/core/membership.mli: Site

@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Float Hashtbl List Mvpn_qos Mvpn_sim Network Stdlib

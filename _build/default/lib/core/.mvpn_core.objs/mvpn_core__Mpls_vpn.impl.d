@@ -1,0 +1,1 @@
+lib/core/mpls_vpn.ml: Array Backbone Hashtbl Int List Membership Mvpn_mpls Mvpn_net Mvpn_routing Mvpn_sim Network Site Vrf

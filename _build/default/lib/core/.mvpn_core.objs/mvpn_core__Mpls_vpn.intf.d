@@ -1,0 +1,1 @@
+lib/core/mpls_vpn.mli: Backbone Membership Mvpn_mpls Mvpn_net Mvpn_routing Network Site Vrf

@@ -1,0 +1,1 @@
+lib/core/network.ml: Array Hashtbl List Mvpn_mpls Mvpn_net Mvpn_qos Mvpn_sim Printf Qos_mapping String

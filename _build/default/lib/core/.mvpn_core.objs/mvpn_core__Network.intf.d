@@ -1,0 +1,1 @@
+lib/core/network.mli: Mvpn_mpls Mvpn_net Mvpn_qos Mvpn_sim Qos_mapping

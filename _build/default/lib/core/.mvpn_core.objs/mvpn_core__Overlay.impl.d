@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Float Hashtbl Int Int64 List Mvpn_ipsec Mvpn_net Mvpn_routing Mvpn_sim Network Site

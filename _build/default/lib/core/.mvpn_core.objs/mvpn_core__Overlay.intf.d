@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Mvpn_ipsec Mvpn_net Network Site

@@ -1,0 +1,1 @@
+lib/core/planning.ml: Array Float Fun Hashtbl List Mvpn_routing Mvpn_sim Option

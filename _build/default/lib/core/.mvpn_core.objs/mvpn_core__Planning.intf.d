@@ -1,0 +1,1 @@
+lib/core/planning.mli: Mvpn_sim

@@ -1,0 +1,1 @@
+lib/core/qos_mapping.ml: List Mvpn_net Mvpn_qos

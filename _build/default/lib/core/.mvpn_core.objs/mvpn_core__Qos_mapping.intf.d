@@ -1,0 +1,1 @@
+lib/core/qos_mapping.mli: Mvpn_net Mvpn_qos Mvpn_sim

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Array Backbone Float List Mpls_vpn Mvpn_ipsec Mvpn_net Mvpn_qos Mvpn_sim Network Overlay Printf Qos_mapping Site Traffic

@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Backbone Mpls_vpn Mvpn_ipsec Mvpn_net Mvpn_qos Mvpn_sim Network Overlay Qos_mapping Site Traffic

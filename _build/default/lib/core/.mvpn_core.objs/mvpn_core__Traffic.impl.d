@@ -1,0 +1,1 @@
+lib/core/traffic.ml: Float Hashtbl List Mvpn_net Mvpn_qos Mvpn_sim Network

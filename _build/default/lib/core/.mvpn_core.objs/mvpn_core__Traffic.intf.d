@@ -1,0 +1,1 @@
+lib/core/traffic.mli: Mvpn_net Mvpn_qos Mvpn_sim Network

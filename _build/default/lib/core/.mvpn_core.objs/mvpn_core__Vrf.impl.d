@@ -1,0 +1,1 @@
+lib/core/vrf.ml: List Mvpn_net Mvpn_routing Site

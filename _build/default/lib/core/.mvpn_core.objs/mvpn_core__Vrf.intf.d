@@ -1,0 +1,1 @@
+lib/core/vrf.mli: Mvpn_net Mvpn_routing Site

@@ -1,0 +1,73 @@
+module Packet = Mvpn_net.Packet
+
+type key = int * int  (* vpn, band *)
+
+type cell = { mutable packets : int; mutable bytes : int }
+
+type t = { table : (key, cell) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 16 }
+
+let observe t packet =
+  let vpn = Option.value ~default:0 packet.Packet.vpn in
+  let band = Qos_mapping.band_of_dscp packet.Packet.inner.Packet.dscp in
+  let cell =
+    match Hashtbl.find_opt t.table (vpn, band) with
+    | Some c -> c
+    | None ->
+      let c = { packets = 0; bytes = 0 } in
+      Hashtbl.replace t.table (vpn, band) c;
+      c
+  in
+  cell.packets <- cell.packets + 1;
+  cell.bytes <- cell.bytes + packet.Packet.size
+
+let sink t inner packet =
+  observe t packet;
+  inner packet
+
+type usage = {
+  vpn : int;
+  band : int;
+  packets : int;
+  bytes : int;
+}
+
+let usage t =
+  Hashtbl.fold
+    (fun (vpn, band) (c : cell) acc ->
+       { vpn; band; packets = c.packets; bytes = c.bytes } :: acc)
+    t.table []
+  |> List.sort (fun a b ->
+      match Int.compare a.vpn b.vpn with
+      | 0 -> Int.compare a.band b.band
+      | c -> c)
+
+type tariff = { per_gb : float array }
+
+let default_tariff = { per_gb = [| 8.0; 4.0; 2.0; 0.5 |] }
+
+let line_cost tariff u =
+  let rate =
+    if u.band < Array.length tariff.per_gb then tariff.per_gb.(u.band)
+    else tariff.per_gb.(Array.length tariff.per_gb - 1)
+  in
+  float_of_int u.bytes /. 1e9 *. rate
+
+let invoice ?(tariff = default_tariff) t ~vpn =
+  let lines =
+    List.filter_map
+      (fun u -> if u.vpn = vpn then Some (u, line_cost tariff u) else None)
+      (usage t)
+  in
+  (lines, List.fold_left (fun acc (_, c) -> acc +. c) 0.0 lines)
+
+let pp_invoice ?tariff ppf t ~vpn =
+  let lines, total = invoice ?tariff t ~vpn in
+  Format.fprintf ppf "VPN %d usage:@." vpn;
+  List.iter
+    (fun (u, cost) ->
+       Format.fprintf ppf "  %-6s %10d pkts %12d bytes  %8.4f@."
+         (Qos_mapping.band_name u.band) u.packets u.bytes cost)
+    lines;
+  Format.fprintf ppf "  total %8.4f@." total

@@ -1,0 +1,49 @@
+(** Layer-2 VPNs: point-to-point pseudowires over the MPLS backbone.
+
+    The paper's VPN taxonomy spans both peer-model L3 services (the
+    {!Mpls_vpn} core) and the circuit services providers already sold —
+    frame relay and ATM PVCs. A pseudowire is how those circuits ride
+    the same label-switched backbone: an opaque L2 payload gets a
+    two-level stack (transport label to the remote PE, pseudowire label
+    selecting the attachment circuit) and pops out at the far edge
+    unchanged. This module implements that service: emulated circuits
+    between attachment circuits on two PEs, with per-direction sequence
+    numbering and misorder detection (the Martini control word).
+
+    The payload is opaque by construction: the carried {!Mvpn_net.Packet}
+    is delivered to the far attachment circuit exactly as injected —
+    headers unread, FIBs unconsulted. A frame-relay PVC carried this way
+    keeps its DLCI and DE bit end to end (see the interworking test). *)
+
+type t
+
+val deploy : net:Network.t -> backbone:Backbone.t -> t
+(** Bootstrap the transport layer (IGP + LDP over the POP loopbacks)
+    and install the pseudowire demultiplexer on every PE. Safe to run
+    on a network that also carries an {!Mpls_vpn} (labels never
+    collide — both draw from the same per-node allocators). *)
+
+type endpoint = {
+  pe : int;  (** the PE node this attachment circuit terminates on *)
+  on_deliver : Mvpn_net.Packet.t -> unit;
+      (** the attachment circuit: what to do with frames popping out *)
+}
+
+val create_pw :
+  t -> a:endpoint -> b:endpoint -> (int, string) result
+(** Establish a bidirectional pseudowire; returns its id. Fails when
+    the PEs cannot reach each other. *)
+
+val send : t -> pw:int -> from_a:bool -> Mvpn_net.Packet.t -> unit
+(** Inject a payload at one end ([from_a] chooses the direction). The
+    packet's wire size grows by the label stack and control word and
+    shrinks back on delivery.
+    @raise Invalid_argument on an unknown pseudowire. *)
+
+val misordered : t -> pw:int -> int
+(** Frames that arrived out of sequence (per the control word), summed
+    over both directions. *)
+
+val delivered : t -> pw:int -> int
+
+val pw_count : t -> int

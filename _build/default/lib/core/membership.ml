@@ -1,0 +1,62 @@
+type mechanism = Directory | Flooded
+
+type t = {
+  mechanism : mechanism;
+  pe_count : int;
+  mutable sites : Site.t list;  (* reverse join order *)
+  mutable messages : int;
+}
+
+let create ?(mechanism = Directory) ~pe_count () =
+  { mechanism; pe_count; sites = []; messages = 0 }
+
+let members t ~vpn =
+  List.rev (List.filter (fun (s : Site.t) -> s.Site.vpn = vpn) t.sites)
+
+let join t site =
+  if List.exists (fun (s : Site.t) -> s.Site.id = site.Site.id) t.sites then
+    invalid_arg
+      (Printf.sprintf "Membership.join: site %d already a member"
+         site.Site.id);
+  let cost =
+    match t.mechanism with
+    | Directory ->
+      (* Register with the server, then notify each existing member of
+         the same VPN. *)
+      1 + List.length (members t ~vpn:site.Site.vpn)
+    | Flooded ->
+      (* Advertised to every PE in the provider network. *)
+      t.pe_count
+  in
+  t.messages <- t.messages + cost;
+  t.sites <- site :: t.sites
+
+let leave t ~site_id =
+  match List.find_opt (fun (s : Site.t) -> s.Site.id = site_id) t.sites with
+  | None -> false
+  | Some site ->
+    t.sites <- List.filter (fun (s : Site.t) -> s.Site.id <> site_id) t.sites;
+    let cost =
+      match t.mechanism with
+      | Directory -> 1 + List.length (members t ~vpn:site.Site.vpn)
+      | Flooded -> t.pe_count
+    in
+    t.messages <- t.messages + cost;
+    true
+
+let discover t ~asking =
+  t.messages <- t.messages + 1;
+  List.filter
+    (fun (s : Site.t) -> s.Site.id <> asking.Site.id)
+    (members t ~vpn:asking.Site.vpn)
+
+let vpn_ids t =
+  List.sort_uniq Int.compare
+    (List.map (fun (s : Site.t) -> s.Site.vpn) t.sites)
+
+let site_count t = List.length t.sites
+
+let messages t = t.messages
+
+let pe_attachment_count t ~pe =
+  List.length (List.filter (fun (s : Site.t) -> s.Site.pe_node = pe) t.sites)

@@ -1,0 +1,69 @@
+module Engine = Mvpn_sim.Engine
+module Stats = Mvpn_sim.Stats
+module Port = Mvpn_qos.Port
+module Queue_disc = Mvpn_qos.Queue_disc
+
+type series = {
+  utilization : Stats.Timeseries.t;
+  backlog : Stats.Timeseries.t;
+}
+
+type t = {
+  net : Network.t;
+  table : (int, series) Hashtbl.t;
+  mutable stopped : bool;
+}
+
+let sample t link_id =
+  let port = Network.port t.net ~link_id in
+  let now = Engine.now (Network.engine t.net) in
+  match Hashtbl.find_opt t.table link_id with
+  | None -> ()
+  | Some s ->
+    Stats.Timeseries.add s.utilization now (Port.utilization port ~now);
+    Stats.Timeseries.add s.backlog now
+      (float_of_int (Queue_disc.backlog_bytes (Port.qdisc port)))
+
+let start ?(interval = 1.0) net ~link_ids =
+  if interval <= 0.0 then invalid_arg "Monitor.start: interval must be positive";
+  let t = { net; table = Hashtbl.create 16; stopped = false } in
+  List.iter
+    (fun link_id ->
+       Hashtbl.replace t.table link_id
+         { utilization = Stats.Timeseries.create ();
+           backlog = Stats.Timeseries.create () })
+    link_ids;
+  let engine = Network.engine net in
+  let rec tick () =
+    if not t.stopped then begin
+      List.iter (sample t) link_ids;
+      Engine.schedule engine ~delay:interval tick
+    end
+  in
+  Engine.schedule engine ~delay:interval tick;
+  t
+
+let stop t = t.stopped <- true
+
+let find t link_id =
+  match Hashtbl.find_opt t.table link_id with
+  | Some s -> s
+  | None -> raise Not_found
+
+let utilization_series t ~link_id = (find t link_id).utilization
+
+let backlog_series t ~link_id = (find t link_id).backlog
+
+let peak_utilization t =
+  Hashtbl.fold
+    (fun link_id s acc ->
+       (link_id, Stats.Timeseries.max_value s.utilization) :: acc)
+    t.table []
+  |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+
+let peak_backlog_bytes t =
+  Hashtbl.fold
+    (fun _ s acc ->
+       Stdlib.max acc
+         (int_of_float (Stats.Timeseries.max_value s.backlog)))
+    t.table 0

@@ -1,0 +1,38 @@
+(** Link monitoring: periodic utilization and backlog sampling.
+
+    "Emerging technologies, such as MPLS, promise to deliver improved
+    IP network traffic engineering tools that will enable providers to
+    more easily measure, monitor, and meet different service level
+    requirements across their backbones" (§5). This is the measure/
+    monitor part: a sampler that walks selected ports on a fixed period
+    and records utilization and queue backlog as time series. *)
+
+type t
+
+val start :
+  ?interval:float ->
+  Network.t -> link_ids:int list -> t
+(** Begin sampling the given links every [interval] seconds (default
+    1.0) on the network's engine, until {!stop} or the run horizon.
+    Note the sampler re-arms itself: drive the engine with
+    [Engine.run ~until:...], or call {!stop} first, or a bare
+    [Engine.run] will never drain.
+    @raise Invalid_argument on a non-positive interval. *)
+
+val stop : t -> unit
+(** Stop sampling after the currently armed tick. *)
+
+val utilization_series : t -> link_id:int -> Mvpn_sim.Stats.Timeseries.t
+(** Utilization samples (fraction of line rate, averaged since the
+    start of the run) for one monitored link.
+    @raise Not_found if the link is not monitored. *)
+
+val backlog_series : t -> link_id:int -> Mvpn_sim.Stats.Timeseries.t
+(** Queue backlog (bytes) at each sample instant. *)
+
+val peak_utilization : t -> (int * float) list
+(** Per monitored link: the highest utilization sample, sorted worst
+    first. *)
+
+val peak_backlog_bytes : t -> int
+(** Largest backlog observed on any monitored link. *)

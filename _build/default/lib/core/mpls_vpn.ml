@@ -1,0 +1,427 @@
+module Topology = Mvpn_sim.Topology
+module Prefix = Mvpn_net.Prefix
+module Fib = Mvpn_net.Fib
+module Dscp = Mvpn_net.Dscp
+module Packet = Mvpn_net.Packet
+module Ospf = Mvpn_routing.Ospf
+module Mpbgp = Mvpn_routing.Mpbgp
+module Spf = Mvpn_routing.Spf
+module Ldp = Mvpn_mpls.Ldp
+module Plane = Mvpn_mpls.Plane
+module Lfib = Mvpn_mpls.Lfib
+module Label = Mvpn_mpls.Label
+module Fec = Mvpn_mpls.Fec
+module Rsvp_te = Mvpn_mpls.Rsvp_te
+
+let provider_asn = 65000
+
+type t = {
+  net : Network.t;
+  backbone : Backbone.t;
+  membership : Membership.t;
+  ospf : Ospf.t;
+  ldp : Ldp.t;
+  mpbgp : Mpbgp.t;
+  te : Rsvp_te.t option;
+  te_bandwidth : float;
+  vrf_table : (int * int, Vrf.t) Hashtbl.t;  (* (pe node, vpn) -> vrf *)
+  ce_vrf : (int, Vrf.t) Hashtbl.t;  (* ce node -> its vrf *)
+  site_state : (int, Site.t * int) Hashtbl.t;  (* site id -> site, label *)
+  pe_tunnels : (int * int, int) Hashtbl.t;  (* (src pe, dst pe) -> tunnel *)
+  pe_next_hop : (int * int, int) Hashtbl.t;
+  (* (pe, vpn label) pairs that re-export another carrier's prefixes:
+     excluded from group replication (multicast is intra-provider). *)
+  external_labels : (int * int, unit) Hashtbl.t;
+  map_dscp_to_exp : bool;
+  domain : int -> bool;
+  mutable touches : int;
+}
+
+let membership t = t.membership
+let mpbgp t = t.mpbgp
+let ospf t = t.ospf
+let ldp t = t.ldp
+let te t = t.te
+
+let vrf t ~pe ~vpn = Hashtbl.find_opt t.vrf_table (pe, vpn)
+
+let vrfs t = Hashtbl.fold (fun _ v acc -> v :: acc) t.vrf_table []
+
+let rd_of_vpn vpn = { Mpbgp.rd_asn = provider_asn; rd_assigned = vpn }
+
+let rt_of_vpn vpn = { Mpbgp.rt_asn = provider_asn; rt_value = vpn }
+
+(* --- control-plane helpers -------------------------------------------- *)
+
+let domain_link t (l : Topology.link) =
+  l.Topology.up && t.domain l.Topology.src && t.domain l.Topology.dst
+
+let refresh_fibs t =
+  let topo = Network.topology t.net in
+  for node = 0 to Topology.node_count topo - 1 do
+    if t.domain node then begin
+      ignore (Fib.clear_source (Network.fib t.net node) Fib.Igp);
+      Network.install_fib t.net node (Ospf.fib t.ospf node)
+    end
+  done
+
+let refresh_pe_next_hops t =
+  Hashtbl.reset t.pe_next_hop;
+  let topo = Network.topology t.net in
+  let pops = Backbone.pops t.backbone in
+  Array.iter
+    (fun src ->
+       let tree = Spf.dijkstra ~usable:(domain_link t) topo ~src in
+       Array.iter
+         (fun dst ->
+            if dst <> src && tree.Spf.first_hop.(dst) >= 0 then
+              Hashtbl.replace t.pe_next_hop (src, dst)
+                tree.Spf.first_hop.(dst))
+         pops)
+    pops
+
+let ensure_vrf t (site : Site.t) =
+  let key = (site.Site.pe_node, site.Site.vpn) in
+  match Hashtbl.find_opt t.vrf_table key with
+  | Some v -> v
+  | None ->
+    let v =
+      Vrf.create ~pe:site.Site.pe_node ~vpn:site.Site.vpn
+        ~rd:(rd_of_vpn site.Site.vpn)
+        ~import_rts:[rt_of_vpn site.Site.vpn]
+        ~export_rts:[rt_of_vpn site.Site.vpn]
+    in
+    Hashtbl.replace t.vrf_table key v;
+    v
+
+(* Static routing on the access leg: the CE default-routes to its PE
+   and owns its own prefix. *)
+let multicast_range =
+  Prefix.make (Mvpn_net.Ipv4.of_octets 224 0 0 0) 4
+
+let provision_ce_routing t (site : Site.t) =
+  let ce_fib = Network.fib t.net site.Site.ce_node in
+  Fib.add ce_fib Prefix.default
+    { Fib.next_hop = site.Site.pe_node; cost = 1; source = Fib.Static };
+  Fib.add ce_fib site.Site.prefix
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  (* Group traffic replicated to this site terminates at the CE... *)
+  Fib.add ce_fib multicast_range
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  (* ...but group traffic originated at this site must go up to the PE
+     (the FIB alone cannot tell the directions apart). *)
+  Network.add_interceptor t.net site.Site.ce_node (fun ~from packet ->
+      let dst = (Packet.visible_header packet).Packet.dst in
+      if from = None && Mvpn_net.Ipv4.is_multicast dst then begin
+        Network.transmit t.net ~from:site.Site.ce_node
+          ~to_:site.Site.pe_node packet;
+        Network.Consumed
+      end
+      else Network.Continue)
+
+(* Bind a site into the data and control planes: VRF local route, a VPN
+   label at the PE whose LFIB pops straight to the CE, and the VPNv4
+   export. *)
+let provision_site t (site : Site.t) =
+  let v = ensure_vrf t site in
+  Vrf.add_local v site;
+  let label =
+    Label.Allocator.alloc (Plane.allocator (Network.plane t.net) site.Site.pe_node)
+  in
+  Lfib.install
+    (Plane.lfib (Network.plane t.net) site.Site.pe_node)
+    ~in_label:label
+    { Lfib.op = Lfib.Pop_and_ip; next_hop = site.Site.ce_node };
+  Mpbgp.export_route t.mpbgp
+    { Mpbgp.rd = Vrf.rd v; prefix = site.Site.prefix;
+      next_hop_pe = site.Site.pe_node; vpn_label = label;
+      export_rts = Vrf.export_rts v; site = site.Site.id };
+  Hashtbl.replace t.site_state site.Site.id (site, label);
+  provision_ce_routing t site;
+  t.touches <- t.touches + 1
+
+let reimport_all t =
+  Hashtbl.iter
+    (fun (pe, _) v ->
+       ignore (Vrf.clear_remote v);
+       List.iter
+         (fun (r : Mpbgp.vpnv4_route) ->
+            if r.Mpbgp.next_hop_pe <> pe then
+              Vrf.install_remote v ~prefix:r.Mpbgp.prefix
+                ~pe:r.Mpbgp.next_hop_pe ~vpn_label:r.Mpbgp.vpn_label)
+         (Mpbgp.import t.mpbgp ~pe ~import_rts:(Vrf.import_rts v)))
+    t.vrf_table
+
+(* --- data plane --------------------------------------------------------- *)
+
+let outer_transport t ~ingress_pe ~egress_pe =
+  let plane = Network.plane t.net in
+  let te_ftn =
+    match Hashtbl.find_opt t.pe_tunnels (ingress_pe, egress_pe) with
+    | Some tunnel_id -> Plane.find_ftn plane ingress_pe (Fec.Tunnel_fec tunnel_id)
+    | None -> None
+  in
+  match te_ftn with
+  | Some e -> Some e
+  | None ->
+    (match Backbone.pop_of_node t.backbone egress_pe with
+     | Some pop ->
+       Plane.find_ftn plane ingress_pe
+         (Fec.Prefix_fec (Backbone.loopback t.backbone ~pop))
+     | None -> None)
+
+(* Forward a packet out of a PE along one VRF route: hairpin to a
+   local CE, plain IP over an Option-A border, or — the §5 edge
+   function — push the VPN label with the CPE-marked DSCP in the EXP
+   bits of the whole stack and hand it to the transport LSP. *)
+let pe_forward_to t pe packet nh =
+  let hdr = Packet.visible_header packet in
+  let relay to_ =
+    if hdr.Packet.ttl <= 1 then Network.drop_packet t.net "ip-ttl"
+    else begin
+      hdr.Packet.ttl <- hdr.Packet.ttl - 1;
+      Network.transmit t.net ~from:pe ~to_ packet
+    end
+  in
+  match nh with
+  | Vrf.Local_site s -> relay s.Site.ce_node
+  | Vrf.Via_neighbor nbr -> relay nbr
+  | Vrf.Remote_pe { pe = egress_pe; vpn_label } ->
+    let exp =
+      if t.map_dscp_to_exp then Dscp.to_exp (Packet.visible_dscp packet)
+      else 0
+    in
+    let ttl = hdr.Packet.ttl in
+    Packet.push_label packet ~label:vpn_label ~exp ~ttl;
+    (match outer_transport t ~ingress_pe:pe ~egress_pe with
+     | Some e ->
+       if e.Plane.push <> Label.explicit_null then
+         Packet.push_label packet ~label:e.Plane.push ~exp ~ttl;
+       Network.transmit t.net ~from:pe ~to_:e.Plane.next_hop packet
+     | None ->
+       (* Next hop is the PHP egress itself (adjacent PE): the inner
+          label alone travels. *)
+       (match Hashtbl.find_opt t.pe_next_hop (pe, egress_pe) with
+        | Some nh -> Network.transmit t.net ~from:pe ~to_:nh packet
+        | None -> Network.drop_packet t.net "pe-unreachable"))
+
+(* Group communication (the abstract's "users who want to specify group
+   communication"): ingress replication — one copy per VRF route, each
+   forwarded exactly like a unicast packet to that destination. The
+   sending site does not receive its own copy. *)
+let pe_multicast t pe v ~from packet =
+  Vrf.iter_routes v (fun prefix nh ->
+      let replicate =
+        match nh with
+        (* Never back to the sending site. *)
+        | Vrf.Local_site s -> Some s.Site.ce_node <> from
+        | Vrf.Remote_pe { pe = p; vpn_label } ->
+          not (Hashtbl.mem t.external_labels (p, vpn_label))
+        (* Group delivery is intra-provider: per-prefix replication
+           across an Option-A border would both duplicate (the far
+           carrier re-replicates every copy) and, without care, loop.
+           Inter-AS multicast VPN needs P2MP machinery out of scope
+           here. *)
+        | Vrf.Via_neighbor _ -> false
+      in
+      if replicate && not (Prefix.equal prefix multicast_range) then
+        pe_forward_to t pe (Packet.copy packet) nh)
+
+let pe_ingress t pe v ~from packet =
+  let hdr = Packet.visible_header packet in
+  if Mvpn_net.Ipv4.is_multicast hdr.Packet.dst then
+    pe_multicast t pe v ~from packet
+  else
+    match Vrf.lookup v hdr.Packet.dst with
+    | None -> Network.drop_packet t.net "vrf-no-route"
+    | Some nh -> pe_forward_to t pe packet nh
+
+let install_pe_interceptor t pe =
+  Network.set_interceptor t.net pe (fun ~from packet ->
+      match from with
+      | Some prev when Packet.top_label packet = None ->
+        (match Hashtbl.find_opt t.ce_vrf prev with
+         | Some v when Vrf.pe v = pe ->
+           pe_ingress t pe v ~from packet;
+           Network.Consumed
+         | Some _ | None -> Network.Continue)
+      | Some _ | None -> Network.Continue)
+
+(* --- deployment --------------------------------------------------------- *)
+
+let signal_te_mesh t =
+  match t.te with
+  | None -> ()
+  | Some te ->
+    let pe_nodes =
+      List.sort_uniq Int.compare
+        (Hashtbl.fold (fun (pe, _) _ acc -> pe :: acc) t.vrf_table [])
+    in
+    List.iter
+      (fun src ->
+         List.iter
+           (fun dst ->
+              if src <> dst
+              && not (Hashtbl.mem t.pe_tunnels (src, dst)) then
+                match
+                  Rsvp_te.signal te ~src ~dst ~bandwidth:t.te_bandwidth
+                with
+                | Ok tn -> Hashtbl.replace t.pe_tunnels (src, dst) tn.Rsvp_te.id
+                | Error _ -> ())
+           pe_nodes)
+      pe_nodes
+
+let deploy ?(mechanism = Membership.Directory) ?(session_mode = Mpbgp.Full_mesh)
+    ?(use_te = false) ?(te_bandwidth = 1e6) ?(map_dscp_to_exp = true)
+    ?(domain = fun _ -> true) ~net ~backbone ~sites () =
+  let topo = Network.topology net in
+  let membership =
+    Membership.create ~mechanism ~pe_count:(Backbone.pop_count backbone) ()
+  in
+  let ospf = Ospf.create ~members:domain topo in
+  Array.iteri
+    (fun pop node -> Ospf.attach_prefix ospf node (Backbone.loopback backbone ~pop))
+    (Backbone.pops backbone);
+  ignore (Ospf.converge ospf);
+  let fecs =
+    Array.to_list
+      (Array.mapi
+         (fun pop node -> (Backbone.loopback backbone ~pop, node))
+         (Backbone.pops backbone))
+  in
+  let usable (l : Topology.link) =
+    l.Topology.up && domain l.Topology.src && domain l.Topology.dst
+  in
+  let ldp = Ldp.distribute ~usable topo (Network.plane net) ~fecs in
+  let mpbgp = Mpbgp.create ~mode:session_mode () in
+  Array.iter (fun node -> Mpbgp.add_pe mpbgp node) (Backbone.pops backbone);
+  let te = if use_te then Some (Rsvp_te.create topo (Network.plane net)) else None in
+  let t =
+    { net; backbone; membership; ospf; ldp; mpbgp; te; te_bandwidth;
+      vrf_table = Hashtbl.create 16; ce_vrf = Hashtbl.create 16;
+      site_state = Hashtbl.create 16; pe_tunnels = Hashtbl.create 16;
+      pe_next_hop = Hashtbl.create 64;
+      external_labels = Hashtbl.create 16; map_dscp_to_exp; domain;
+      touches = 0 }
+  in
+  refresh_fibs t;
+  refresh_pe_next_hops t;
+  List.iter
+    (fun site ->
+       Membership.join membership site;
+       provision_site t site;
+       Hashtbl.replace t.ce_vrf site.Site.ce_node (ensure_vrf t site))
+    sites;
+  ignore (Mpbgp.run mpbgp);
+  reimport_all t;
+  signal_te_mesh t;
+  Array.iter (fun node -> install_pe_interceptor t node) (Backbone.pops backbone);
+  t
+
+let add_site t site =
+  Membership.join t.membership site;
+  provision_site t site;
+  Hashtbl.replace t.ce_vrf site.Site.ce_node (ensure_vrf t site);
+  ignore (Mpbgp.run t.mpbgp);
+  reimport_all t;
+  signal_te_mesh t
+
+(* --- inter-provider (Option A) borders --------------------------------- *)
+
+let attach_vrf_neighbor t ~pe ~vpn ~neighbor =
+  let key = (pe, vpn) in
+  let v =
+    match Hashtbl.find_opt t.vrf_table key with
+    | Some v -> v
+    | None ->
+      let v =
+        Vrf.create ~pe ~vpn ~rd:(rd_of_vpn vpn)
+          ~import_rts:[rt_of_vpn vpn] ~export_rts:[rt_of_vpn vpn]
+      in
+      Hashtbl.replace t.vrf_table key v;
+      v
+  in
+  Hashtbl.replace t.ce_vrf neighbor v;
+  install_pe_interceptor t pe
+
+let add_external_route t ~pe ~vpn ~prefix ~via ~site_id =
+  attach_vrf_neighbor t ~pe ~vpn ~neighbor:via;
+  let v =
+    match Hashtbl.find_opt t.vrf_table (pe, vpn) with
+    | Some v -> v
+    | None -> assert false  (* attach_vrf_neighbor just created it *)
+  in
+  Vrf.install_via v ~prefix ~neighbor:via;
+  let label =
+    Label.Allocator.alloc (Plane.allocator (Network.plane t.net) pe)
+  in
+  Lfib.install
+    (Plane.lfib (Network.plane t.net) pe)
+    ~in_label:label
+    { Lfib.op = Lfib.Pop_and_ip; next_hop = via };
+  Hashtbl.replace t.external_labels (pe, label) ();
+  Mpbgp.export_route t.mpbgp
+    { Mpbgp.rd = rd_of_vpn vpn; prefix; next_hop_pe = pe; vpn_label = label;
+      export_rts = [rt_of_vpn vpn]; site = site_id };
+  ignore (Mpbgp.run t.mpbgp);
+  reimport_all t;
+  t.touches <- t.touches + 1
+
+let remove_site t ~site_id =
+  match Hashtbl.find_opt t.site_state site_id with
+  | None -> false
+  | Some (site, label) ->
+    ignore (Membership.leave t.membership ~site_id);
+    (match vrf t ~pe:site.Site.pe_node ~vpn:site.Site.vpn with
+     | Some v -> ignore (Vrf.remove v site.Site.prefix)
+     | None -> ());
+    ignore
+      (Lfib.uninstall
+         (Plane.lfib (Network.plane t.net) site.Site.pe_node)
+         ~in_label:label);
+    ignore (Mpbgp.withdraw_site t.mpbgp ~pe:site.Site.pe_node ~site:site_id);
+    Hashtbl.remove t.site_state site_id;
+    Hashtbl.remove t.ce_vrf site.Site.ce_node;
+    ignore (Mpbgp.run t.mpbgp);
+    reimport_all t;
+    t.touches <- t.touches + 1;
+    true
+
+let reconverge t =
+  let rounds = Ospf.converge t.ospf in
+  refresh_fibs t;
+  Ldp.refresh t.ldp;
+  refresh_pe_next_hops t;
+  (match t.te with
+   | Some te ->
+     ignore (Rsvp_te.handle_link_failure te);
+     ignore (Rsvp_te.reroute_down te)
+   | None -> ());
+  rounds
+
+type state_metrics = {
+  sites : int;
+  vpns : int;
+  bgp_sessions : int;
+  vpnv4_routes : int;
+  lfib_entries : int;
+  labels_allocated : int;
+  vrf_count : int;
+  control_messages : int;
+  provisioning_touches : int;
+}
+
+let metrics t =
+  let plane = Network.plane t.net in
+  { sites = Membership.site_count t.membership;
+    vpns = List.length (Membership.vpn_ids t.membership);
+    bgp_sessions = Mpbgp.session_count t.mpbgp;
+    vpnv4_routes = Mpbgp.total_routes t.mpbgp;
+    lfib_entries = Plane.total_lfib_entries plane;
+    labels_allocated = Plane.total_labels_allocated plane;
+    vrf_count = Hashtbl.length t.vrf_table;
+    control_messages =
+      Membership.messages t.membership
+      + Mpbgp.messages_sent t.mpbgp
+      + Ldp.messages t.ldp;
+    provisioning_touches = t.touches }

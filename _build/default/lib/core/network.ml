@@ -1,0 +1,196 @@
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Rng = Mvpn_sim.Rng
+module Packet = Mvpn_net.Packet
+module Fib = Mvpn_net.Fib
+module Prefix = Mvpn_net.Prefix
+module Plane = Mvpn_mpls.Plane
+module Lfib = Mvpn_mpls.Lfib
+module Fec = Mvpn_mpls.Fec
+module Port = Mvpn_qos.Port
+
+type verdict = Consumed | Continue
+
+type trace_action =
+  | Trace_receive of int option
+  | Trace_transmit of int
+  | Trace_deliver
+  | Trace_drop of string
+
+type trace_event = {
+  trace_time : float;
+  trace_node : int;
+  trace_uid : int;
+  trace_labels : int list;
+  trace_action : trace_action;
+}
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  plane : Plane.t;
+  policy : Qos_mapping.policy;
+  fibs : Fib.t array;
+  ports : Port.t option array;  (* indexed by link id *)
+  interceptors :
+    (from:int option -> Packet.t -> verdict) list array;
+  sinks : (Packet.t -> unit) array;
+  drop_table : (string, int ref) Hashtbl.t;
+  mutable auto_ftn : bool;
+  mutable tracer : (trace_event -> unit) option;
+}
+
+let set_tracer t tracer = t.tracer <- tracer
+
+let labels_of packet =
+  List.map (fun (s : Packet.shim) -> s.Packet.label) packet.Packet.labels
+
+let emit t ~node ?packet action =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      { trace_time = Engine.now t.engine;
+        trace_node = node;
+        trace_uid =
+          (match packet with Some p -> p.Packet.uid | None -> -1);
+        trace_labels =
+          (match packet with Some p -> labels_of p | None -> []);
+        trace_action = action }
+
+let drop ?(node = -1) ?packet t reason =
+  emit t ~node ?packet (Trace_drop reason);
+  match Hashtbl.find_opt t.drop_table reason with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.drop_table reason (ref 1)
+
+let engine t = t.engine
+let topology t = t.topo
+let plane t = t.plane
+let policy t = t.policy
+
+let fib t node = t.fibs.(node)
+
+let set_auto_ftn t flag = t.auto_ftn <- flag
+
+let set_interceptor t node f = t.interceptors.(node) <- [f]
+
+let add_interceptor t node f =
+  t.interceptors.(node) <- f :: t.interceptors.(node)
+
+let clear_interceptor t node = t.interceptors.(node) <- []
+
+let set_sink t node f = t.sinks.(node) <- f
+
+let port t ~link_id =
+  if link_id < 0 || link_id >= Array.length t.ports then
+    invalid_arg (Printf.sprintf "Network.port: unknown link %d" link_id);
+  match t.ports.(link_id) with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Network.port: unknown link %d" link_id)
+
+let transmit t ~from ~to_ packet =
+  match Topology.find_link t.topo from to_ with
+  | None -> drop ~node:from ~packet t "no-link"
+  | Some l ->
+    (match t.ports.(l.Topology.id) with
+     | Some p ->
+       emit t ~node:from ~packet (Trace_transmit to_);
+       Port.send p packet
+     | None -> drop ~node:from ~packet t "no-link")
+
+(* Plain IP forwarding at [node]: FIB lookup on the visible
+   destination, local delivery, optional FTN label push, or relay. *)
+let rec forward_ip t node packet =
+  let hdr = Packet.visible_header packet in
+  match Fib.lookup t.fibs.(node) hdr.Packet.dst with
+  | None -> drop ~node ~packet t "no-route"
+  | Some (_, route) when route.Fib.next_hop = Fib.local_delivery ->
+    emit t ~node ~packet Trace_deliver;
+    t.sinks.(node) packet
+  | Some (prefix, route) ->
+    if hdr.Packet.ttl <= 1 then drop ~node ~packet t "ip-ttl"
+    else begin
+      hdr.Packet.ttl <- hdr.Packet.ttl - 1;
+      let pushed =
+        t.auto_ftn
+        && (match Plane.find_ftn t.plane node (Fec.Prefix_fec prefix) with
+            | Some e ->
+              Packet.push_label packet ~label:e.Plane.push
+                ~exp:(Mvpn_net.Dscp.to_exp (Packet.visible_dscp packet))
+                ~ttl:hdr.Packet.ttl;
+              transmit t ~from:node ~to_:e.Plane.next_hop packet;
+              true
+            | None -> false)
+      in
+      if not pushed then transmit t ~from:node ~to_:route.Fib.next_hop packet
+    end
+
+and receive t node ~from packet =
+  emit t ~node ~packet (Trace_receive from);
+  let intercepted =
+    List.exists (fun f -> f ~from packet = Consumed) t.interceptors.(node)
+  in
+  if not intercepted then begin
+    if Packet.top_label packet <> None then
+      match Lfib.step (Plane.lfib t.plane node) packet with
+      | Lfib.Forward nh -> transmit t ~from:node ~to_:nh packet
+      | Lfib.Ip_continue nh ->
+        if nh = Lfib.local then forward_ip t node packet
+        else transmit t ~from:node ~to_:nh packet
+      | Lfib.No_binding _ -> drop ~node ~packet t "no-label-binding"
+      | Lfib.Ttl_expired -> drop ~node ~packet t "label-ttl"
+    else forward_ip t node packet
+  end
+
+let inject t node packet = receive t node ~from:None packet
+
+let inject_after t ~delay node packet =
+  Engine.schedule t.engine ~delay (fun () -> inject t node packet)
+
+let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
+    ?(seed = 7) engine topo =
+  let nodes = Topology.node_count topo in
+  let master_rng = Rng.create seed in
+  let links = Topology.links topo in
+  let n_links = Topology.link_count topo in
+  (* Ports capture the network record in their delivery callbacks, so
+     the record is built first with empty port slots. *)
+  let net =
+    { engine; topo; plane = Plane.create ~nodes; policy;
+      fibs = Array.init nodes (fun _ -> Fib.create ());
+      ports = Array.make (max 1 n_links) None;
+      interceptors = Array.make nodes [];
+      sinks = Array.make nodes (fun _ -> ());
+      drop_table = Hashtbl.create 16; auto_ftn = false; tracer = None }
+  in
+  (* Default sinks count unclaimed deliveries. *)
+  for v = 0 to nodes - 1 do
+    net.sinks.(v) <- (fun packet -> drop ~node:v ~packet net "no-sink")
+  done;
+  List.iter
+    (fun (l : Topology.link) ->
+       let qdisc =
+         Qos_mapping.make_qdisc ~rng:(Rng.split master_rng) ?buffer_bytes
+           ?wred policy
+       in
+       let p =
+         Port.create engine ~link:l ~qdisc
+           ~classify:(Qos_mapping.classify policy)
+           ~on_deliver:(fun packet ->
+               receive net l.Topology.dst ~from:(Some l.Topology.src) packet)
+       in
+       net.ports.(l.Topology.id) <- Some p)
+    links;
+  net
+
+let drop_packet t reason = drop t reason
+
+let install_fib t node source =
+  Fib.iter (fun p r -> Fib.add t.fibs.(node) p r) source
+
+let drop_counts t =
+  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.drop_table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let drops t = Hashtbl.fold (fun _ v acc -> acc + !v) t.drop_table 0

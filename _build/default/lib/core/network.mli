@@ -1,0 +1,115 @@
+(** The simulated packet network: routers, ports and forwarding.
+
+    Ties everything together at the data plane. Every topology node
+    becomes a router with one egress {!Mvpn_qos.Port} per outgoing link
+    (queue discipline chosen by the {!Qos_mapping.policy}), an IP FIB,
+    and a share of the MPLS {!Mvpn_mpls.Plane}. Forwarding per packet:
+
+    + a node-specific {e interceptor}, if installed, sees the packet
+      first (PE ingress/egress processing, tunnel endpoints live here);
+    + a labelled packet goes through the LFIB (swap/pop/PHP);
+    + an unlabelled packet is longest-prefix matched in the node's FIB
+      on the visible destination and either delivered to the node's
+      sink, label-pushed via the FTN (when [auto_ftn] is on), or
+      forwarded.
+
+    All progress happens on the discrete-event engine; queueing,
+    serialization and propagation delays come from the ports. *)
+
+type t
+
+type verdict = Consumed | Continue
+
+val create :
+  ?policy:Qos_mapping.policy ->
+  ?buffer_bytes:int ->
+  ?wred:bool ->
+  ?seed:int ->
+  Mvpn_sim.Engine.t -> Mvpn_sim.Topology.t -> t
+(** Builds ports for every link present in the topology. [policy]
+    defaults to [Best_effort]; [wred] (default true) arms WRED on the
+    AF bands of DiffServ ports. Links added to the topology afterwards
+    are unknown to the network. *)
+
+val engine : t -> Mvpn_sim.Engine.t
+val topology : t -> Mvpn_sim.Topology.t
+val plane : t -> Mvpn_mpls.Plane.t
+val policy : t -> Qos_mapping.policy
+
+val fib : t -> int -> Mvpn_net.Fib.t
+(** The node's IP FIB (mutable; provisioning fills it). *)
+
+val set_auto_ftn : t -> bool -> unit
+(** When on, an IP-forwarded packet whose matched FIB prefix has an FTN
+    binding at this node gets the label pushed (plain MPLS ingress). *)
+
+val set_interceptor :
+  t -> int -> (from:int option -> Mvpn_net.Packet.t -> verdict) -> unit
+(** Replace the node's interceptor chain with this single function. *)
+
+val add_interceptor :
+  t -> int -> (from:int option -> Mvpn_net.Packet.t -> verdict) -> unit
+(** Prepend to the node's interceptor chain: interceptors run in
+    prepend order and the first [Consumed] wins — how several services
+    (an L3 VPN's PE function, an L2 pseudowire demux) share one edge
+    router. *)
+
+val clear_interceptor : t -> int -> unit
+
+val set_sink : t -> int -> (Mvpn_net.Packet.t -> unit) -> unit
+(** Local-delivery handler; default counts the packet as drop
+    ["no-sink"]. *)
+
+val inject : t -> int -> Mvpn_net.Packet.t -> unit
+(** Hand a packet to a node as if originated there (runs the full
+    receive path, interceptor included). *)
+
+val inject_after : t -> delay:float -> int -> Mvpn_net.Packet.t -> unit
+(** Schedule [inject] after a processing delay (crypto cost, CPU). *)
+
+val forward_ip : t -> int -> Mvpn_net.Packet.t -> unit
+(** Skip the interceptor and run plain IP forwarding at a node — for
+    interceptors that have finished their own processing. *)
+
+val transmit : t -> from:int -> to_:int -> Mvpn_net.Packet.t -> unit
+(** Queue a packet on the from→to link's port.
+    Counts a ["no-link"] drop if no such link exists. *)
+
+val port : t -> link_id:int -> Mvpn_qos.Port.t
+(** @raise Invalid_argument on an unknown link id. *)
+
+val drop_packet : t -> string -> unit
+(** Count a drop under a reason — for interceptors that discard. *)
+
+(** {2 Tracing}
+
+    A tracer observes every forwarding step — the hop-by-hop,
+    label-by-label journey of Figure 4. Tracing never affects
+    forwarding. *)
+
+type trace_action =
+  | Trace_receive of int option  (** packet arrived (from which node) *)
+  | Trace_transmit of int  (** queued toward this next hop *)
+  | Trace_deliver  (** handed to the local sink *)
+  | Trace_drop of string
+
+type trace_event = {
+  trace_time : float;
+  trace_node : int;  (** -1 when the node is unknown (rare drop paths) *)
+  trace_uid : int;  (** packet uid; -1 when no packet is in hand *)
+  trace_labels : int list;  (** label stack snapshot, top first *)
+  trace_action : trace_action;
+}
+
+val set_tracer : t -> (trace_event -> unit) option -> unit
+
+val install_fib : t -> int -> Mvpn_net.Fib.t -> unit
+(** Merge every route of the given table into the node's FIB
+    (provisioning helper: copy an OSPF-computed table in). *)
+
+val drop_counts : t -> (string * int) list
+(** Per-reason drop counters, sorted by reason. *)
+
+val drops : t -> int
+(** Total drops across all reasons (not counting port queue drops —
+    read those from the port counters). *)

@@ -1,0 +1,186 @@
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Rng = Mvpn_sim.Rng
+module Prefix = Mvpn_net.Prefix
+module Ipv4 = Mvpn_net.Ipv4
+module Flow = Mvpn_net.Flow
+module Dscp = Mvpn_net.Dscp
+module Sla = Mvpn_qos.Sla
+module Port = Mvpn_qos.Port
+module Crypto = Mvpn_ipsec.Crypto
+
+type deployment =
+  | Mpls_deployment of { policy : Qos_mapping.policy; use_te : bool }
+  | Overlay_deployment of {
+      policy : Qos_mapping.policy;
+      cipher : Crypto.cipher;
+      copy_tos : bool;
+    }
+
+type t = {
+  engine : Engine.t;
+  backbone : Backbone.t;
+  net : Network.t;
+  registry : Traffic.registry;
+  sites : Site.t array;
+  access_bandwidth : float;
+  mpls : Mpls_vpn.t option;
+  overlay : Overlay.t option;
+  core_link_ids : int list;
+  rng : Rng.t;
+}
+
+let engine t = t.engine
+let network t = t.net
+let backbone t = t.backbone
+let registry t = t.registry
+let mpls t = t.mpls
+let overlay t = t.overlay
+let sites t = t.sites
+
+let site t ~vpn ~idx =
+  match
+    Array.find_opt
+      (fun (s : Site.t) ->
+         s.Site.vpn = vpn
+         && s.Site.id mod 1000 = idx)
+      t.sites
+  with
+  | Some s -> s
+  | None -> raise Not_found
+
+let site_id ~vpn ~idx = (vpn * 1000) + idx
+
+let build ?(pops = 12) ?(core_bandwidth = 45e6) ?(access_bandwidth = 2e6)
+    ?(vpns = 2) ?(sites_per_vpn = 4) ?(seed = 11) ?wred ?te_bandwidth
+    deployment =
+  let bb = Backbone.build ~pops ~core_bandwidth () in
+  let site_list = ref [] in
+  for v = 1 to vpns do
+    for k = 0 to sites_per_vpn - 1 do
+      (* Identical prefix plan in every VPN: isolation by construction
+         or not at all. *)
+      let prefix = Prefix.make (Ipv4.of_octets 10 k 0 0) 16 in
+      let pop = (v + (k * 3)) mod pops in
+      let s =
+        Backbone.attach_site ~access_bandwidth bb ~id:(site_id ~vpn:v ~idx:k)
+          ~name:(Printf.sprintf "v%d-s%d" v k) ~vpn:v ~prefix ~pop
+      in
+      site_list := s :: !site_list
+    done
+  done;
+  let all_sites = List.rev !site_list in
+  let engine = Engine.create () in
+  let policy =
+    match deployment with
+    | Mpls_deployment { policy; _ } -> policy
+    | Overlay_deployment { policy; _ } -> policy
+  in
+  let net =
+    Network.create ~policy ?wred ~seed engine (Backbone.topology bb)
+  in
+  let core_link_ids =
+    List.filter_map
+      (fun (l : Topology.link) ->
+         let is_pop v = Backbone.pop_of_node bb v <> None in
+         if is_pop l.Topology.src && is_pop l.Topology.dst then
+           Some l.Topology.id
+         else None)
+      (Topology.links (Backbone.topology bb))
+  in
+  let mpls_t, overlay_t =
+    match deployment with
+    | Mpls_deployment { use_te; _ } ->
+      ( Some
+          (Mpls_vpn.deploy ~use_te ?te_bandwidth ~net ~backbone:bb
+             ~sites:all_sites ()),
+        None )
+    | Overlay_deployment { cipher; copy_tos; _ } ->
+      (None, Some (Overlay.deploy ~cipher ~copy_tos ~net ~sites:all_sites ()))
+  in
+  let registry = Traffic.registry engine in
+  List.iter
+    (fun (s : Site.t) ->
+       Network.set_sink net s.Site.ce_node (Traffic.sink registry))
+    all_sites;
+  (* Overlay CEs intercept before the sink; re-install the interceptors
+     (deploy already did) and keep the sink for decapsulated traffic. *)
+  { engine; backbone = bb; net; registry; sites = Array.of_list all_sites;
+    access_bandwidth; mpls = mpls_t; overlay = overlay_t; core_link_ids;
+    rng = Rng.create (seed * 131) }
+
+let service_classes =
+  [ ("voice", Dscp.ef, Sla.voice_spec);
+    ("transactional", Dscp.af 3 1, Sla.transactional_spec);
+    ("bulk", Dscp.best_effort, Sla.best_effort_spec) ]
+
+let voice_rate = 64_000.0
+let transactional_rate = 200_000.0
+
+let add_pair_workload t ~load ~start ~stop rng (a : Site.t) (b : Site.t) =
+  let make_sender ~label ~dscp ~port =
+    let flow =
+      Flow.make ~proto:Flow.Udp ~src_port:port ~dst_port:port
+        (Prefix.nth_host a.Site.prefix 1)
+        (Prefix.nth_host b.Site.prefix 1)
+    in
+    Traffic.sender t.registry ~net:t.net ~src_node:a.Site.ce_node ~flow
+      ~dscp ~vpn:a.Site.vpn
+      ~collector:(Traffic.collector t.registry label)
+      ()
+  in
+  let voice = make_sender ~label:"voice" ~dscp:Dscp.ef ~port:5060 in
+  Traffic.onoff t.engine (Rng.split rng) ~start ~stop ~on_mean:1.0
+    ~off_mean:1.35 ~rate_bps:voice_rate ~packet_bytes:200 voice;
+  let transactional =
+    make_sender ~label:"transactional" ~dscp:(Dscp.af 3 1) ~port:1433
+  in
+  Traffic.poisson t.engine (Rng.split rng) ~start ~stop
+    ~rate_pps:(transactional_rate /. (512.0 *. 8.0))
+    ~packet_bytes:512 transactional;
+  let bulk = make_sender ~label:"bulk" ~dscp:Dscp.best_effort ~port:20 in
+  let bulk_rate =
+    Float.max 0.0
+      ((load *. t.access_bandwidth) -. voice_rate -. transactional_rate)
+  in
+  if bulk_rate > 0.0 then begin
+    let mean_burst_bytes = 30_000.0 in
+    Traffic.pareto_bursts t.engine (Rng.split rng) ~start ~stop
+      ~burst_rate:(bulk_rate /. (mean_burst_bytes *. 8.0))
+      ~mean_burst_bytes bulk
+  end
+
+let add_mixed_workload ?(load = 0.9) ?(start = 0.0) ?rng_seed t ~pairs
+    ~duration =
+  let rng =
+    match rng_seed with Some s -> Rng.create s | None -> Rng.split t.rng
+  in
+  List.iter
+    (fun (a, b) ->
+       add_pair_workload t ~load ~start ~stop:(start +. duration) rng a b)
+    pairs
+
+let run t ~duration = Engine.run ~until:duration t.engine
+
+let class_report t label = Traffic.report t.registry label
+
+let class_reports t =
+  List.map (fun label -> (label, Traffic.report t.registry label))
+    (Traffic.labels t.registry)
+
+let max_core_utilization t =
+  let now = Engine.now t.engine in
+  List.fold_left
+    (fun acc link_id ->
+       Float.max acc (Port.utilization (Network.port t.net ~link_id) ~now))
+    0.0 t.core_link_ids
+
+let core_loss_fraction t =
+  let offered, dropped =
+    List.fold_left
+      (fun (o, d) link_id ->
+         let c = Port.counters (Network.port t.net ~link_id) in
+         (o + c.Port.offered, d + c.Port.dropped_queue))
+      (0, 0) t.core_link_ids
+  in
+  if offered = 0 then 0.0 else float_of_int dropped /. float_of_int offered

@@ -1,0 +1,76 @@
+(** Canned experiment scenarios: backbone + deployment + workload.
+
+    The experiments (E2, E4–E7) and the examples all need the same
+    skeleton — build a POP backbone, attach VPN sites with (deliberately
+    overlapping) private prefixes, deploy either the MPLS VPN service or
+    the overlay baseline, wire CE sinks to SLA collectors, start a mixed
+    voice/transactional/bulk workload, run, and read per-class reports.
+    This module is that skeleton. *)
+
+type deployment =
+  | Mpls_deployment of { policy : Qos_mapping.policy; use_te : bool }
+  | Overlay_deployment of {
+      policy : Qos_mapping.policy;
+      cipher : Mvpn_ipsec.Crypto.cipher;
+      copy_tos : bool;
+    }
+
+type t
+
+val build :
+  ?pops:int ->
+  ?core_bandwidth:float ->
+  ?access_bandwidth:float ->
+  ?vpns:int ->
+  ?sites_per_vpn:int ->
+  ?seed:int ->
+  ?wred:bool ->
+  ?te_bandwidth:float ->
+  deployment -> t
+(** Defaults: 12 POPs at 45 Mb/s, 2 Mb/s access, 2 VPNs × 4 sites.
+    VPN [v]'s site [k] uses prefix 10.k.0.0/16 — the same in every VPN,
+    so isolation is exercised constantly. Sites spread round-robin over
+    POPs with an offset per VPN. *)
+
+val engine : t -> Mvpn_sim.Engine.t
+val network : t -> Network.t
+val backbone : t -> Backbone.t
+val registry : t -> Traffic.registry
+val mpls : t -> Mpls_vpn.t option
+val overlay : t -> Overlay.t option
+
+val sites : t -> Site.t array
+(** All sites; VPNs interleaved in build order. *)
+
+val site : t -> vpn:int -> idx:int -> Site.t
+(** @raise Not_found if absent. *)
+
+(** The three service classes of the paper's motivation, with their
+    SLAs: voice (EF), transactional (AF31), bulk (best effort). *)
+val service_classes : (string * Mvpn_net.Dscp.t * Mvpn_qos.Sla.spec) list
+
+val add_mixed_workload :
+  ?load:float ->
+  ?start:float ->
+  ?rng_seed:int ->
+  t -> pairs:(Site.t * Site.t) list -> duration:float -> unit
+(** Per site pair: one on/off EF voice call (64 kb/s, 200-byte
+    packets), Poisson AF31 transactions (200 kb/s mean, 512-byte), and
+    Pareto-bursty best-effort bulk sized so the pair's total offered
+    load is [load] × the access rate (default 0.9). Collectors are the
+    class names from {!service_classes}. *)
+
+val run : t -> duration:float -> unit
+(** Drive the engine to [duration] seconds. *)
+
+val class_report : t -> string -> Mvpn_qos.Sla.report
+
+val class_reports : t -> (string * Mvpn_qos.Sla.report) list
+(** One report per class that generated traffic, in class order. *)
+
+val max_core_utilization : t -> float
+(** Highest port utilization over backbone core links (CE access links
+    excluded) at the current engine time. *)
+
+val core_loss_fraction : t -> float
+(** Queue drops ÷ offered over core-link ports. *)

@@ -1,0 +1,19 @@
+module Prefix = Mvpn_net.Prefix
+
+type t = {
+  id : int;
+  name : string;
+  vpn : int;
+  prefix : Prefix.t;
+  ce_node : int;
+  pe_node : int;
+}
+
+let make ~id ~name ~vpn ~prefix ~ce_node ~pe_node =
+  { id; name; vpn; prefix; ce_node; pe_node }
+
+let host t i = Prefix.nth_host t.prefix (i + 1)
+
+let pp ppf t =
+  Format.fprintf ppf "site %d (%s) vpn %d %a ce=%d pe=%d" t.id t.name t.vpn
+    Prefix.pp t.prefix t.ce_node t.pe_node

@@ -1,0 +1,63 @@
+module Prefix = Mvpn_net.Prefix
+module Radix = Mvpn_net.Radix
+module Mpbgp = Mvpn_routing.Mpbgp
+
+type next_hop =
+  | Local_site of Site.t
+  | Remote_pe of { pe : int; vpn_label : int }
+  | Via_neighbor of int
+
+type t = {
+  pe : int;
+  vpn : int;
+  rd : Mpbgp.rd;
+  import_rts : Mpbgp.rt list;
+  export_rts : Mpbgp.rt list;
+  routes : next_hop Radix.t;
+}
+
+let create ~pe ~vpn ~rd ~import_rts ~export_rts =
+  { pe; vpn; rd; import_rts; export_rts; routes = Radix.create () }
+
+let pe t = t.pe
+let vpn t = t.vpn
+let rd t = t.rd
+let import_rts t = t.import_rts
+let export_rts t = t.export_rts
+
+let add_local t site = Radix.add t.routes site.Site.prefix (Local_site site)
+
+let install_remote t ~prefix ~pe ~vpn_label =
+  Radix.add t.routes prefix (Remote_pe { pe; vpn_label })
+
+let install_via t ~prefix ~neighbor =
+  Radix.add t.routes prefix (Via_neighbor neighbor)
+
+let remove t prefix = Radix.remove t.routes prefix
+
+let lookup t addr = Radix.lookup_value t.routes addr
+
+let route_count t = Radix.cardinal t.routes
+
+let iter_routes t f = Radix.iter f t.routes
+
+let local_sites t =
+  Radix.fold
+    (fun _ nh acc ->
+       match nh with
+       | Local_site s -> s :: acc
+       | Remote_pe _ | Via_neighbor _ -> acc)
+    t.routes []
+  |> List.rev
+
+let clear_remote t =
+  let victims =
+    Radix.fold
+      (fun p nh acc ->
+         match nh with
+         | Remote_pe _ -> p :: acc
+         | Local_site _ | Via_neighbor _ -> acc)
+      t.routes []
+  in
+  List.iter (fun p -> ignore (Radix.remove t.routes p)) victims;
+  List.length victims

@@ -1,0 +1,1 @@
+lib/frelay/frame.ml: Format Printf

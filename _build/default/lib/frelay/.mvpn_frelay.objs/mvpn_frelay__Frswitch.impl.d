@@ -1,0 +1,1 @@
+lib/frelay/frswitch.ml: Frame Hashtbl Printf Queue

@@ -1,0 +1,1 @@
+lib/frelay/frswitch.mli: Frame

@@ -1,0 +1,1 @@
+lib/frelay/pvc.mli: Frame

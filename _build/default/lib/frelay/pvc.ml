@@ -1,0 +1,64 @@
+type contract = {
+  cir_bps : float;
+  bc_bits : float;
+  be_bits : float;
+}
+
+let default_contract ~cir_bps =
+  { cir_bps; bc_bits = cir_bps; be_bits = cir_bps }
+
+type t = {
+  contract : contract;
+  mutable committed_credit : float;  (* bits *)
+  mutable excess_credit : float;
+  mutable last : float;
+  mutable n_committed : int;
+  mutable n_excess : int;
+  mutable n_dropped : int;
+}
+
+let create contract =
+  if contract.cir_bps <= 0.0 then invalid_arg "Pvc.create: CIR must be positive";
+  if contract.bc_bits <= 0.0 then invalid_arg "Pvc.create: Bc must be positive";
+  if contract.be_bits < 0.0 then invalid_arg "Pvc.create: Be must not be negative";
+  { contract; committed_credit = contract.bc_bits;
+    excess_credit = contract.be_bits; last = 0.0; n_committed = 0;
+    n_excess = 0; n_dropped = 0 }
+
+type verdict = Committed | Excess | Dropped
+
+(* Continuous refill at CIR: committed credit first, spill to excess —
+   equivalent to the classic per-interval accounting in the limit. *)
+let refill t ~now =
+  if now > t.last then begin
+    let earned = (now -. t.last) *. t.contract.cir_bps in
+    let to_committed =
+      Float.min earned (t.contract.bc_bits -. t.committed_credit)
+    in
+    t.committed_credit <- t.committed_credit +. to_committed;
+    t.excess_credit <-
+      Float.min t.contract.be_bits
+        (t.excess_credit +. (earned -. to_committed));
+    t.last <- now
+  end
+
+let police t ~now (frame : Frame.t) =
+  refill t ~now;
+  let bits = float_of_int (Frame.wire_bytes frame) *. 8.0 in
+  if t.committed_credit >= bits then begin
+    t.committed_credit <- t.committed_credit -. bits;
+    t.n_committed <- t.n_committed + 1;
+    Committed
+  end
+  else if t.excess_credit >= bits then begin
+    t.excess_credit <- t.excess_credit -. bits;
+    frame.Frame.de <- true;
+    t.n_excess <- t.n_excess + 1;
+    Excess
+  end
+  else begin
+    t.n_dropped <- t.n_dropped + 1;
+    Dropped
+  end
+
+let stats t = (t.n_committed, t.n_excess, t.n_dropped)

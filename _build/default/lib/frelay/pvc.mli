@@ -1,0 +1,35 @@
+(** Frame Relay PVCs: the CIR/Bc/Be traffic contract.
+
+    A PVC commits a CIR (committed information rate) with burst
+    allowances Bc (committed) and Be (excess). Per interval T = Bc/CIR,
+    traffic within Bc passes untouched, traffic within Bc+Be is marked
+    discard-eligible, and beyond that it is dropped — the exact
+    ancestor of the srTCM green/yellow/red meter in {!Mvpn_qos.Meter},
+    which is the comparison experiment E12 draws. *)
+
+type contract = {
+  cir_bps : float;  (** committed information rate *)
+  bc_bits : float;  (** committed burst per interval *)
+  be_bits : float;  (** excess burst per interval *)
+}
+
+val default_contract : cir_bps:float -> contract
+(** Bc = CIR × 1 s, Be = Bc (a common provisioning rule). *)
+
+type t
+
+val create : contract -> t
+(** @raise Invalid_argument on non-positive CIR or Bc, or negative
+    Be. *)
+
+type verdict =
+  | Committed  (** within Bc: forwarded as-is *)
+  | Excess  (** within Be: forwarded with DE set *)
+  | Dropped  (** beyond Bc+Be *)
+
+val police : t -> now:float -> Frame.t -> verdict
+(** Classify one frame against the contract, setting its DE bit when
+    [Excess]. Time drives the leaky refill. *)
+
+val stats : t -> int * int * int
+(** (committed, excess, dropped) frame counts. *)

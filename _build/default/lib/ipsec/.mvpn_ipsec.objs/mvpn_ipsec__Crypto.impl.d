@@ -1,0 +1,1 @@
+lib/ipsec/crypto.ml: Bytes Char Int32 Int64

@@ -1,0 +1,1 @@
+lib/ipsec/crypto.mli: Bytes

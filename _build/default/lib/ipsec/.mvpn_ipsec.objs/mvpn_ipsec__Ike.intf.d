@@ -1,0 +1,1 @@
+lib/ipsec/ike.mli:

@@ -1,0 +1,1 @@
+lib/ipsec/tunnel.ml: Crypto Esp Hashtbl Mvpn_net Replay Sa

@@ -1,0 +1,1 @@
+lib/ipsec/tunnel.mli: Crypto Mvpn_net

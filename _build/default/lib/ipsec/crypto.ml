@@ -1,0 +1,127 @@
+type cipher = Null | Des | Des3
+
+let cipher_to_string = function
+  | Null -> "null"
+  | Des -> "des"
+  | Des3 -> "3des"
+
+(* Software DES on era-typical CPE hardware: ~20 MB/s, with ~10 us of
+   per-packet key schedule / context switching. 3DES runs the block
+   function three times. *)
+let des_bytes_per_second = 20e6
+
+let per_packet_overhead = function
+  | Null -> 0.0
+  | Des -> 10e-6
+  | Des3 -> 12e-6
+
+let per_byte_cost = function
+  | Null -> 0.0
+  | Des -> 1.0 /. des_bytes_per_second
+  | Des3 -> 3.0 /. des_bytes_per_second
+
+let processing_delay cipher ~bytes =
+  per_packet_overhead cipher +. (float_of_int bytes *. per_byte_cost cipher)
+
+let throughput_bps = function
+  | Null -> infinity
+  | Des -> des_bytes_per_second *. 8.0
+  | Des3 -> des_bytes_per_second *. 8.0 /. 3.0
+
+(* 16-round Feistel network on a 64-bit block. The round function mixes
+   the half with a per-round subkey using multiply-xor-shift — ample for
+   making ciphertext unrecognizable, which is all the model needs. *)
+let rounds = 16
+
+let subkey ~key round =
+  (* Full 64-bit avalanche (splitmix64 finalizer) so that any key-bit
+     difference reaches every subkey. *)
+  let k =
+    Int64.add key (Int64.mul (Int64.of_int (round + 1)) 0x9E3779B97F4A7C15L)
+  in
+  let k =
+    Int64.mul (Int64.logxor k (Int64.shift_right_logical k 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let k =
+    Int64.mul (Int64.logxor k (Int64.shift_right_logical k 27))
+      0x94D049BB133111EBL
+  in
+  Int64.to_int32 (Int64.logxor k (Int64.shift_right_logical k 31))
+
+let round_fn half k =
+  let v = Int32.add half k in
+  let v = Int32.mul v 0x85EBCA6Bl in
+  let v = Int32.logxor v (Int32.shift_right_logical v 13) in
+  let v = Int32.mul v 0xC2B2AE35l in
+  Int32.logxor v (Int32.shift_right_logical v 16)
+
+let split block =
+  ( Int64.to_int32 (Int64.shift_right_logical block 32),
+    Int64.to_int32 block )
+
+let join l r =
+  Int64.logor
+    (Int64.shift_left (Int64.logand (Int64.of_int32 l) 0xFFFFFFFFL) 32)
+    (Int64.logand (Int64.of_int32 r) 0xFFFFFFFFL)
+
+let encrypt_block ~key block =
+  let l = ref (fst (split block)) and r = ref (snd (split block)) in
+  for i = 0 to rounds - 1 do
+    let l' = !r in
+    let r' = Int32.logxor !l (round_fn !r (subkey ~key i)) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let decrypt_block ~key block =
+  let l = ref (fst (split block)) and r = ref (snd (split block)) in
+  for i = rounds - 1 downto 0 do
+    let r' = !l in
+    let l' = Int32.logxor !r (round_fn !l (subkey ~key i)) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let block_bytes = 8
+
+let get_block b off =
+  let v = ref 0L in
+  for i = 0 to block_bytes - 1 do
+    let byte =
+      if off + i < Bytes.length b then Char.code (Bytes.get b (off + i))
+      else 0
+    in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+  done;
+  !v
+
+let set_block b off v =
+  for i = 0 to block_bytes - 1 do
+    let byte =
+      Int64.to_int
+        (Int64.logand (Int64.shift_right_logical v ((7 - i) * 8)) 0xFFL)
+    in
+    Bytes.set b (off + i) (Char.chr byte)
+  done
+
+let encrypt_bytes ~key input =
+  let padded = (Bytes.length input + block_bytes - 1) / block_bytes in
+  let out = Bytes.make (padded * block_bytes) '\000' in
+  for blk = 0 to padded - 1 do
+    set_block out (blk * block_bytes)
+      (encrypt_block ~key (get_block input (blk * block_bytes)))
+  done;
+  out
+
+let decrypt_bytes ~key input =
+  if Bytes.length input mod block_bytes <> 0 then
+    invalid_arg "Crypto.decrypt_bytes: length not a block multiple";
+  let out = Bytes.make (Bytes.length input) '\000' in
+  for blk = 0 to (Bytes.length input / block_bytes) - 1 do
+    set_block out (blk * block_bytes)
+      (decrypt_block ~key (get_block input (blk * block_bytes)))
+  done;
+  out

@@ -1,0 +1,39 @@
+(** Cipher cost model and a toy Feistel cipher.
+
+    The paper's security concern (§2.3/§3.1) has two measurable halves:
+    DES/3DES processing is expensive ("users want to know that security
+    gear will not slow network connections"), and encryption hides the
+    headers QoS needs. The cost model captures the first with per-packet
+    and per-byte latencies calibrated to the well-known software ratio
+    (3DES ≈ 3× DES); the Feistel network makes the second real — an
+    encrypted byte string genuinely reveals nothing until decrypted.
+
+    Substitution note (DESIGN.md): the real DES S-boxes are irrelevant to
+    both claims, so the block transform is a generic 16-round Feistel
+    keyed by a 64-bit key. It is NOT cryptographically secure and exists
+    to make "the classifier cannot read this" true by construction. *)
+
+type cipher = Null | Des | Des3
+
+val cipher_to_string : cipher -> string
+
+val processing_delay : cipher -> bytes:int -> float
+(** Seconds of CPU per packet: per-packet overhead plus per-byte cost.
+    [Null] is free; [Des3] costs three times [Des] per byte. Calibrated
+    to ≈20 MB/s DES on the era's CPE hardware. *)
+
+val throughput_bps : cipher -> float
+(** Asymptotic crypto throughput implied by the per-byte cost. *)
+
+val encrypt_block : key:int64 -> int64 -> int64
+val decrypt_block : key:int64 -> int64 -> int64
+(** 16-round Feistel permutation on a 64-bit block; [decrypt_block] is
+    the exact inverse. *)
+
+val encrypt_bytes : key:int64 -> Bytes.t -> Bytes.t
+(** ECB over 8-byte blocks, zero-padded to a block multiple (output may
+    be longer than the input). *)
+
+val decrypt_bytes : key:int64 -> Bytes.t -> Bytes.t
+(** Inverse of {!encrypt_bytes} up to the zero padding.
+    @raise Invalid_argument if the length is not a block multiple. *)

@@ -1,0 +1,24 @@
+let outer_ip_bytes = 20
+
+let esp_header_bytes = 8
+
+let iv_bytes = function
+  | Crypto.Null -> 0
+  | Crypto.Des | Crypto.Des3 -> 8
+
+let trailer_bytes = 2
+
+let auth_bytes = 12
+
+let block_size = function
+  | Crypto.Null -> 1
+  | Crypto.Des | Crypto.Des3 -> 8
+
+let pad_bytes cipher ~payload =
+  let block = block_size cipher in
+  let body = payload + trailer_bytes in
+  (block - (body mod block)) mod block
+
+let overhead cipher ~payload =
+  outer_ip_bytes + esp_header_bytes + iv_bytes cipher
+  + pad_bytes cipher ~payload + trailer_bytes + auth_bytes

@@ -1,0 +1,36 @@
+type params = {
+  rtt : float;
+  dh_compute : float;
+  sa_lifetime : float;
+}
+
+let default_params ~rtt = { rtt; dh_compute = 0.020; sa_lifetime = 3600.0 }
+
+let phase1_delay p = (3.0 *. p.rtt) +. (2.0 *. p.dh_compute)
+
+let phase2_delay p = (1.5 *. p.rtt) +. p.dh_compute
+
+let initial_setup_delay p = phase1_delay p +. phase2_delay p
+
+type t = {
+  params : params;
+  established : float;  (* completion of the initial phase 2 *)
+  base_key : int64;
+}
+
+let create params ~now =
+  { params;
+    established = now +. initial_setup_delay params;
+    base_key = 0x0123456789ABCDEFL }
+
+let ready_at t = t.established
+
+let rekeys_before t ~now =
+  if now <= t.established then 0
+  else int_of_float ((now -. t.established) /. t.params.sa_lifetime)
+
+let key_at t ~now =
+  if now < t.established then
+    invalid_arg "Ike.key_at: tunnel not yet established";
+  let epoch = rekeys_before t ~now in
+  Int64.add t.base_key (Int64.mul (Int64.of_int epoch) 0x2545F4914F6CDD1DL)

@@ -1,0 +1,42 @@
+(** IKE handshake and rekeying model.
+
+    "IKE simplifies the process of assigning keys to devices that need
+    to communicate via encrypted connections" (§2.3). The model prices
+    what the architecture pays for it: main-mode phase 1 is six messages
+    (3 RTT) plus two Diffie-Hellman computations per side; quick-mode
+    phase 2 is three messages (1.5 RTT). SAs expire and rekey with a
+    fresh phase 2. *)
+
+type params = {
+  rtt : float;  (** round-trip time between the tunnel endpoints, seconds *)
+  dh_compute : float;  (** one modular exponentiation, seconds *)
+  sa_lifetime : float;  (** seconds before a phase-2 SA must rekey *)
+}
+
+val default_params : rtt:float -> params
+(** 20 ms per DH exponentiation (era-typical CPE), 1-hour SA lifetime. *)
+
+val phase1_delay : params -> float
+(** 3·RTT + 2·DH. *)
+
+val phase2_delay : params -> float
+(** 1.5·RTT + DH (PFS). *)
+
+val initial_setup_delay : params -> float
+(** Phase 1 followed by phase 2 — what the first packet of a fresh
+    tunnel waits for. *)
+
+type t
+
+val create : params -> now:float -> t
+(** Completes the initial exchange conceptually at
+    [now + initial_setup_delay]. *)
+
+val ready_at : t -> float
+
+val key_at : t -> now:float -> int64
+(** The session key in force at [now] — changes on every rekey.
+    @raise Invalid_argument before the tunnel is ready. *)
+
+val rekeys_before : t -> now:float -> int
+(** How many phase-2 rekeys have happened by [now]. *)

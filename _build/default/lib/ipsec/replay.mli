@@ -1,0 +1,23 @@
+(** Anti-replay sliding window (RFC 2401 §B).
+
+    "The network drops a packet if it identifies the packet as being
+    identical to one previously received" (§2.3). The receiver tracks a
+    window of recent ESP sequence numbers; duplicates and packets older
+    than the window are rejected. *)
+
+type t
+
+val create : ?window:int -> unit -> t
+(** [window] defaults to 62 (RFC suggests 64; the bitmap lives in one
+    OCaml int, which caps it at 62).
+    @raise Invalid_argument if outside 1..62. *)
+
+type verdict = Accepted | Duplicate | Too_old
+
+val check : t -> int -> verdict
+(** [check t seq] accepts and records a fresh sequence number, or
+    rejects it. Sequence numbers start at 1.
+    @raise Invalid_argument if [seq < 1]. *)
+
+val highest_seen : t -> int
+(** 0 before any acceptance. *)

@@ -1,0 +1,30 @@
+type t = {
+  spi : int;
+  cipher : Crypto.cipher;
+  key : int64;
+  mutable seq : int;
+  window : Replay.t;
+  mutable bytes : int;
+  mutable packets : int;
+}
+
+let create ~spi ~cipher ~key =
+  { spi; cipher; key; seq = 0; window = Replay.create (); bytes = 0;
+    packets = 0 }
+
+let spi t = t.spi
+let cipher t = t.cipher
+let key t = t.key
+
+let next_seq t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let check_replay t seq = Replay.check t.window seq
+
+let account t ~bytes =
+  t.bytes <- t.bytes + bytes;
+  t.packets <- t.packets + 1
+
+let bytes_processed t = t.bytes
+let packets_processed t = t.packets

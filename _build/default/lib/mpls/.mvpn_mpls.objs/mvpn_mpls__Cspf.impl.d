@@ -1,0 +1,1 @@
+lib/mpls/cspf.ml: List Mvpn_routing Mvpn_sim

@@ -1,0 +1,1 @@
+lib/mpls/cspf.mli: Mvpn_sim

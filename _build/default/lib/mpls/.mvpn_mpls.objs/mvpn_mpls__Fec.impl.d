@@ -1,0 +1,1 @@
+lib/mpls/fec.ml: Format Hashtbl Int Mvpn_net Printf

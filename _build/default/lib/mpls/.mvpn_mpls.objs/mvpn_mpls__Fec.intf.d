@@ -1,0 +1,1 @@
+lib/mpls/fec.mli: Format Mvpn_net

@@ -1,0 +1,1 @@
+lib/mpls/ldp.ml: Array Fec Float Label Lfib List Mvpn_net Mvpn_routing Mvpn_sim Plane Printf

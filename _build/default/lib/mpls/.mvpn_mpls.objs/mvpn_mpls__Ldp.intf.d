@@ -1,0 +1,1 @@
+lib/mpls/ldp.mli: Mvpn_net Mvpn_sim Plane

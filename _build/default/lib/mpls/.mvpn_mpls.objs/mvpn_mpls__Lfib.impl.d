@@ -1,0 +1,1 @@
+lib/mpls/lfib.ml: Array Label Mvpn_net Printf

@@ -1,0 +1,1 @@
+lib/mpls/lfib.mli: Mvpn_net

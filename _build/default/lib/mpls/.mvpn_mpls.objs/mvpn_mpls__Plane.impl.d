@@ -1,0 +1,1 @@
+lib/mpls/plane.ml: Array Fec Hashtbl Label Lfib Printf

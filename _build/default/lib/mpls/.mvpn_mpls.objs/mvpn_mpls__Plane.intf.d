@@ -1,0 +1,1 @@
+lib/mpls/plane.mli: Fec Label Lfib

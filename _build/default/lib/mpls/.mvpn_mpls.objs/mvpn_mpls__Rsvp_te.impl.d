@@ -1,0 +1,1 @@
+lib/mpls/rsvp_te.ml: Array Cspf Fec Hashtbl Int Label Lfib List Mvpn_routing Mvpn_sim Option Plane Printf

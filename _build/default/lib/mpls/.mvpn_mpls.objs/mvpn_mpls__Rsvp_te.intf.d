@@ -1,0 +1,1 @@
+lib/mpls/rsvp_te.mli: Fec Mvpn_sim Plane

@@ -1,0 +1,35 @@
+module Topology = Mvpn_sim.Topology
+module Spf = Mvpn_routing.Spf
+
+type constraints = {
+  bandwidth : float;
+  avoid_nodes : int list;
+  avoid_links : (int * int) list;
+  max_hops : int option;
+}
+
+let no_constraints =
+  { bandwidth = 0.0; avoid_nodes = []; avoid_links = []; max_hops = None }
+
+let with_bandwidth bandwidth = { no_constraints with bandwidth }
+
+let usable ~src ~dst c (l : Topology.link) =
+  l.Topology.up
+  && Topology.available l >= c.bandwidth
+  && (not (List.mem (l.Topology.src, l.Topology.dst) c.avoid_links))
+  && (let transit v = v <> src && v <> dst in
+      not
+        (List.exists
+           (fun v ->
+              (v = l.Topology.src || v = l.Topology.dst) && transit v)
+           c.avoid_nodes))
+
+let path topo ~src ~dst c =
+  match Spf.shortest_path ~usable:(usable ~src ~dst c) topo ~src ~dst with
+  | None -> None
+  | Some p ->
+    (match c.max_hops with
+     | Some h when List.length p - 1 > h -> None
+     | Some _ | None -> Some p)
+
+let igp_path topo ~src ~dst = Spf.shortest_path topo ~src ~dst

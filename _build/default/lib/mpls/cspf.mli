@@ -1,0 +1,30 @@
+(** Constraint-based shortest path first.
+
+    Plain SPF (§2.2) routes "without knowledge of the commitments
+    already made by the network". CSPF prunes links that cannot honour a
+    new commitment — insufficient unreserved bandwidth, administratively
+    avoided, or down — and runs SPF on what remains. This is the
+    constraint-based-routing piece the paper's §5 deployment leans on
+    for guaranteed QoS. *)
+
+type constraints = {
+  bandwidth : float;  (** bits per second the tunnel must reserve *)
+  avoid_nodes : int list;  (** exclude as transit (endpoints exempt) *)
+  avoid_links : (int * int) list;  (** directed pairs to exclude *)
+  max_hops : int option;  (** reject longer paths *)
+}
+
+val no_constraints : constraints
+(** Zero bandwidth, nothing avoided, no hop limit: degenerates to SPF. *)
+
+val with_bandwidth : float -> constraints
+
+val path :
+  Mvpn_sim.Topology.t -> src:int -> dst:int -> constraints ->
+  int list option
+(** Cheapest path satisfying the constraints, or [None]. *)
+
+val igp_path :
+  Mvpn_sim.Topology.t -> src:int -> dst:int -> int list option
+(** The resource-blind baseline: plain SPF on IGP costs over up links,
+    ignoring reservations entirely. *)

@@ -1,0 +1,33 @@
+module Prefix = Mvpn_net.Prefix
+
+type t =
+  | Prefix_fec of Prefix.t
+  | Tunnel_fec of int
+  | Vpn_fec of { vpn : int; prefix : Prefix.t }
+
+let rank = function Prefix_fec _ -> 0 | Tunnel_fec _ -> 1 | Vpn_fec _ -> 2
+
+let compare a b =
+  match a, b with
+  | Prefix_fec p, Prefix_fec q -> Prefix.compare p q
+  | Tunnel_fec i, Tunnel_fec j -> Int.compare i j
+  | Vpn_fec x, Vpn_fec y ->
+    let c = Int.compare x.vpn y.vpn in
+    if c <> 0 then c else Prefix.compare x.prefix y.prefix
+  | (Prefix_fec _ | Tunnel_fec _ | Vpn_fec _), _ ->
+    Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let hash = function
+  | Prefix_fec p -> Hashtbl.hash (0, Prefix.hash p)
+  | Tunnel_fec i -> Hashtbl.hash (1, i)
+  | Vpn_fec { vpn; prefix } -> Hashtbl.hash (2, vpn, Prefix.hash prefix)
+
+let to_string = function
+  | Prefix_fec p -> Printf.sprintf "fec:%s" (Prefix.to_string p)
+  | Tunnel_fec i -> Printf.sprintf "tunnel:%d" i
+  | Vpn_fec { vpn; prefix } ->
+    Printf.sprintf "vpn%d:%s" vpn (Prefix.to_string prefix)
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

@@ -1,0 +1,25 @@
+let max_label = (1 lsl 20) - 1
+
+let explicit_null = 0
+
+let implicit_null = 3
+
+let first_unreserved = 16
+
+let is_reserved l = l >= 0 && l < first_unreserved
+
+let valid l = l >= 0 && l <= max_label
+
+module Allocator = struct
+  type t = { mutable next : int }
+
+  let create () = { next = first_unreserved }
+
+  let alloc t =
+    if t.next > max_label then failwith "Label.Allocator: label space exhausted";
+    let l = t.next in
+    t.next <- l + 1;
+    l
+
+  let allocated t = t.next - first_unreserved
+end

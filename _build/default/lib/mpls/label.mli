@@ -1,0 +1,37 @@
+(** MPLS labels and per-LSR label allocation.
+
+    Labels are 20-bit values. Values 0–15 are reserved; the two that
+    matter to this model are explicit null (0) and implicit null (3,
+    which signals penultimate-hop popping: the upstream neighbor pops
+    the label instead of swapping, so the egress router never sees it). *)
+
+val max_label : int
+(** 2^20 - 1. *)
+
+val explicit_null : int
+(** Label 0: keep a label header to the egress but with no lookup. *)
+
+val implicit_null : int
+(** Label 3: "pop at the penultimate hop" — never appears on the wire. *)
+
+val first_unreserved : int
+(** 16 — the first allocatable label. *)
+
+val is_reserved : int -> bool
+
+val valid : int -> bool
+(** In [0, 2^20). *)
+
+(** Per-LSR label space. *)
+module Allocator : sig
+  type t
+
+  val create : unit -> t
+
+  val alloc : t -> int
+  (** A fresh, never-before-returned label ≥ {!first_unreserved}.
+      @raise Failure if the 20-bit space is exhausted. *)
+
+  val allocated : t -> int
+  (** Number of labels handed out — the per-LSR state metric of E1. *)
+end

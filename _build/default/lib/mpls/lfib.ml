@@ -1,0 +1,79 @@
+module Packet = Mvpn_net.Packet
+
+type op = Swap of int | Pop | Pop_and_ip
+
+type entry = { op : op; next_hop : int }
+
+let local = -1
+
+type t = {
+  mutable table : entry option array;
+  mutable count : int;
+}
+
+let create () = { table = [||]; count = 0 }
+
+let ensure t label =
+  let cap = Array.length t.table in
+  if label >= cap then begin
+    let ncap = max 64 (max (label + 1) (2 * cap)) in
+    let ntable = Array.make ncap None in
+    Array.blit t.table 0 ntable 0 cap;
+    t.table <- ntable
+  end
+
+let install t ~in_label entry =
+  if not (Label.valid in_label) then
+    invalid_arg (Printf.sprintf "Lfib.install: invalid label %d" in_label);
+  if Label.is_reserved in_label then
+    invalid_arg (Printf.sprintf "Lfib.install: reserved label %d" in_label);
+  ensure t in_label;
+  if t.table.(in_label) = None then t.count <- t.count + 1;
+  t.table.(in_label) <- Some entry
+
+let uninstall t ~in_label =
+  if in_label >= 0 && in_label < Array.length t.table
+  && t.table.(in_label) <> None
+  then begin
+    t.table.(in_label) <- None;
+    t.count <- t.count - 1;
+    true
+  end else false
+
+let lookup t label =
+  if label >= 0 && label < Array.length t.table then t.table.(label)
+  else None
+
+let size t = t.count
+
+let clear t =
+  t.table <- [||];
+  t.count <- 0
+
+type step_result =
+  | Forward of int
+  | Ip_continue of int
+  | No_binding of int
+  | Ttl_expired
+
+let step t packet =
+  match Packet.top_label packet with
+  | None -> invalid_arg "Lfib.step: unlabelled packet"
+  | Some shim ->
+    if shim.Packet.ttl <= 1 then Ttl_expired
+    else begin
+      match lookup t shim.Packet.label with
+      | None -> No_binding shim.Packet.label
+      | Some { op; next_hop } ->
+        match op with
+        | Swap out ->
+          Packet.swap_label packet ~label:out;
+          Forward next_hop
+        | Pop ->
+          ignore (Packet.pop_label packet);
+          if Packet.top_label packet <> None then Forward next_hop
+          else Ip_continue next_hop
+        | Pop_and_ip ->
+          ignore (Packet.pop_label packet);
+          Ip_continue next_hop
+    end

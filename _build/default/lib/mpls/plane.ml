@@ -1,0 +1,44 @@
+type ftn_entry = { push : int; next_hop : int }
+
+type node_state = {
+  allocator : Label.Allocator.t;
+  lfib : Lfib.t;
+  ftn : (Fec.t, ftn_entry) Hashtbl.t;
+}
+
+type t = node_state array
+
+let create ~nodes =
+  Array.init nodes (fun _ ->
+      { allocator = Label.Allocator.create (); lfib = Lfib.create ();
+        ftn = Hashtbl.create 16 })
+
+let node_count t = Array.length t
+
+let get (t : t) node =
+  if node < 0 || node >= Array.length t then
+    invalid_arg (Printf.sprintf "Plane: unknown node %d" node);
+  t.(node)
+
+let allocator t node = (get t node).allocator
+
+let lfib t node = (get t node).lfib
+
+let install_ftn t node fec entry = Hashtbl.replace (get t node).ftn fec entry
+
+let remove_ftn t node fec =
+  let s = get t node in
+  if Hashtbl.mem s.ftn fec then begin
+    Hashtbl.remove s.ftn fec;
+    true
+  end else false
+
+let find_ftn t node fec = Hashtbl.find_opt (get t node).ftn fec
+
+let ftn_size t node = Hashtbl.length (get t node).ftn
+
+let total_lfib_entries t =
+  Array.fold_left (fun acc s -> acc + Lfib.size s.lfib) 0 t
+
+let total_labels_allocated t =
+  Array.fold_left (fun acc s -> acc + Label.Allocator.allocated s.allocator) 0 t

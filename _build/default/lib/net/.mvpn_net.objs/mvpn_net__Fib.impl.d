@@ -1,0 +1,1 @@
+lib/net/fib.ml: Format List Option Prefix Radix

@@ -1,0 +1,1 @@
+lib/net/fib.mli: Format Ipv4 Prefix

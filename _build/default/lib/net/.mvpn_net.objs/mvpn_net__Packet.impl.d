@@ -1,0 +1,1 @@
+lib/net/packet.ml: Dscp Flow Format Ipv4 List Option Printf String

@@ -1,0 +1,1 @@
+lib/net/packet.mli: Dscp Flow Format Ipv4

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Format Hashtbl Int Ipv4 List Printf Result String

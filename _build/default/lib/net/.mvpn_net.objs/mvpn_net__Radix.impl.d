@@ -1,0 +1,1 @@
+lib/net/radix.ml: Ipv4 List Option Prefix

@@ -1,0 +1,1 @@
+lib/net/radix.mli: Ipv4 Prefix

@@ -1,0 +1,49 @@
+type proto = Tcp | Udp | Icmp | Esp | Gre
+
+type t = {
+  src : Ipv4.t;
+  dst : Ipv4.t;
+  proto : proto;
+  src_port : int;
+  dst_port : int;
+}
+
+let make ?(proto = Udp) ?(src_port = 0) ?(dst_port = 0) src dst =
+  { src; dst; proto; src_port; dst_port }
+
+let proto_rank = function Tcp -> 0 | Udp -> 1 | Icmp -> 2 | Esp -> 3 | Gre -> 4
+
+let compare a b =
+  let c = Ipv4.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Ipv4.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Int.compare (proto_rank a.proto) (proto_rank b.proto) in
+      if c <> 0 then c
+      else
+        let c = Int.compare a.src_port b.src_port in
+        if c <> 0 then c else Int.compare a.dst_port b.dst_port
+
+let equal a b = compare a b = 0
+
+let hash a =
+  Hashtbl.hash
+    (Ipv4.to_int a.src, Ipv4.to_int a.dst, proto_rank a.proto, a.src_port,
+     a.dst_port)
+
+let proto_to_string = function
+  | Tcp -> "tcp"
+  | Udp -> "udp"
+  | Icmp -> "icmp"
+  | Esp -> "esp"
+  | Gre -> "gre"
+
+let pp ppf f =
+  Format.fprintf ppf "%a:%d -> %a:%d/%s" Ipv4.pp f.src f.src_port Ipv4.pp
+    f.dst f.dst_port (proto_to_string f.proto)
+
+let reverse f =
+  { f with src = f.dst; dst = f.src; src_port = f.dst_port;
+    dst_port = f.src_port }

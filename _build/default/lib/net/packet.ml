@@ -1,0 +1,134 @@
+type shim = { label : int; mutable exp : int; mutable ttl : int }
+
+type header = {
+  mutable src : Ipv4.t;
+  mutable dst : Ipv4.t;
+  mutable proto : Flow.proto;
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable dscp : Dscp.t;
+  mutable ttl : int;
+}
+
+type t = {
+  uid : int;
+  flow : Flow.t;
+  vpn : int option;
+  seq : int;
+  created_at : float;
+  mutable size : int;
+  inner : header;
+  mutable encrypted : bool;
+  mutable outer : header option;
+  mutable labels : shim list;
+  mutable encap_bytes : int;
+}
+
+let default_ttl = 64
+
+let uid_counter = ref 0
+
+let reset_uid_counter () = uid_counter := 0
+
+let header_of_flow ?(dscp = Dscp.best_effort) (flow : Flow.t) =
+  { src = flow.src; dst = flow.dst; proto = flow.proto;
+    src_port = flow.src_port; dst_port = flow.dst_port; dscp;
+    ttl = default_ttl }
+
+let make ?vpn ?(seq = 0) ?(dscp = Dscp.best_effort) ?(size = 512) ~now flow =
+  incr uid_counter;
+  { uid = !uid_counter; flow; vpn; seq; created_at = now; size;
+    inner = header_of_flow ~dscp flow; encrypted = false; outer = None;
+    labels = []; encap_bytes = 0 }
+
+let copy_header (h : header) =
+  { src = h.src; dst = h.dst; proto = h.proto; src_port = h.src_port;
+    dst_port = h.dst_port; dscp = h.dscp; ttl = h.ttl }
+
+let copy p =
+  incr uid_counter;
+  { uid = !uid_counter; flow = p.flow; vpn = p.vpn; seq = p.seq;
+    created_at = p.created_at; size = p.size;
+    inner = copy_header p.inner; encrypted = p.encrypted;
+    outer = Option.map copy_header p.outer;
+    labels =
+      List.map (fun s -> { label = s.label; exp = s.exp; ttl = s.ttl })
+        p.labels;
+    encap_bytes = p.encap_bytes }
+
+let visible_header p =
+  match p.outer with Some h -> h | None -> p.inner
+
+let visible_dscp p = (visible_header p).dscp
+
+let classifiable_flow p =
+  match p.outer with
+  | None ->
+    Some
+      { Flow.src = p.inner.src; dst = p.inner.dst; proto = p.inner.proto;
+        src_port = p.inner.src_port; dst_port = p.inner.dst_port }
+  | Some h ->
+    if p.encrypted then None
+    else
+      Some
+        { Flow.src = h.src; dst = h.dst; proto = h.proto;
+          src_port = h.src_port; dst_port = h.dst_port }
+
+let top_label p =
+  match p.labels with [] -> None | shim :: _ -> Some shim
+
+let top_exp p =
+  match p.labels with [] -> None | shim :: _ -> Some shim.exp
+
+let shim_bytes = 4
+
+let push_label p ~label ~exp ~ttl =
+  p.labels <- { label; exp; ttl } :: p.labels;
+  p.size <- p.size + shim_bytes
+
+let pop_label p =
+  match p.labels with
+  | [] -> None
+  | shim :: rest ->
+    p.labels <- rest;
+    p.size <- p.size - shim_bytes;
+    Some shim
+
+let swap_label p ~label =
+  match p.labels with
+  | [] -> invalid_arg "Packet.swap_label: empty label stack"
+  | shim :: rest ->
+    p.labels <- { label; exp = shim.exp; ttl = shim.ttl - 1 } :: rest
+
+let encapsulate p ~src ~dst ~proto ~overhead ~copy_tos =
+  match p.outer with
+  | Some _ -> invalid_arg "Packet.encapsulate: already encapsulated"
+  | None ->
+    let dscp = if copy_tos then p.inner.dscp else Dscp.best_effort in
+    p.outer <-
+      Some
+        { src; dst; proto; src_port = 0; dst_port = 0; dscp;
+          ttl = default_ttl };
+    p.size <- p.size + overhead;
+    p.encap_bytes <- overhead
+
+let decapsulate p =
+  match p.outer with
+  | None -> invalid_arg "Packet.decapsulate: no outer header"
+  | Some _ ->
+    p.outer <- None;
+    p.encrypted <- false;
+    p.size <- p.size - p.encap_bytes;
+    p.encap_bytes <- 0
+
+let pp ppf p =
+  let labels =
+    match p.labels with
+    | [] -> ""
+    | shims ->
+      let shim_str s = Printf.sprintf "%d(exp=%d)" s.label s.exp in
+      Printf.sprintf " [%s]" (String.concat ";" (List.map shim_str shims))
+  in
+  Format.fprintf ppf "#%d %a -> %a %a %dB%s%s" p.uid Ipv4.pp p.inner.src
+    Ipv4.pp p.inner.dst Dscp.pp (visible_dscp p) p.size labels
+    (if p.encrypted then " enc" else "")

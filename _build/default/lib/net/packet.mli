@@ -1,0 +1,110 @@
+(** Simulated packets.
+
+    A packet carries an (inner) IP header, optionally an outer IP header
+    added by tunnel encapsulation (IPSec tunnel mode or GRE, §2.3), and
+    optionally an MPLS shim stack pushed by the ingress LSR (§3). Header
+    fields are mutable because routers rewrite them in place as the packet
+    traverses the simulated backbone — exactly the per-hop mutations the
+    architecture relies on (TTL decrement, DSCP remark, label swap).
+
+    The packet also carries immutable provenance (flow identity, VPN id,
+    sequence number, creation time) used by the measurement plane; data
+    forwarding must never consult it, and the isolation tests check that
+    delivery is explained by headers and labels alone. *)
+
+(** One MPLS shim entry. [exp] is the 3-bit class-of-service field the
+    provider edge writes from the DSCP (§5); [ttl] is the label TTL. *)
+type shim = { label : int; mutable exp : int; mutable ttl : int }
+
+type header = {
+  mutable src : Ipv4.t;
+  mutable dst : Ipv4.t;
+  mutable proto : Flow.proto;
+  mutable src_port : int;
+  mutable dst_port : int;
+  mutable dscp : Dscp.t;
+  mutable ttl : int;
+}
+
+type t = {
+  uid : int;  (** unique per packet, for tracing and replay detection *)
+  flow : Flow.t;  (** original flow identity (measurement plane only) *)
+  vpn : int option;  (** originating VPN id (measurement plane only) *)
+  seq : int;  (** per-flow sequence number (loss/reorder measurement) *)
+  created_at : float;  (** simulation time of creation (delay measurement) *)
+  mutable size : int;  (** total on-wire bytes, including encapsulation *)
+  inner : header;
+  mutable encrypted : bool;
+      (** when [true] the inner header is unreadable (ESP), so per-hop
+          classification can only use the outer header — the paper's
+          "erasing any hope one may have to control QoS" problem *)
+  mutable outer : header option;
+  mutable labels : shim list;  (** top of stack first *)
+  mutable encap_bytes : int;  (** wire overhead of the current tunnel *)
+}
+
+val default_ttl : int
+(** Initial IP TTL (64). *)
+
+val make :
+  ?vpn:int -> ?seq:int -> ?dscp:Dscp.t -> ?size:int -> now:float ->
+  Flow.t -> t
+(** [make ~now flow] builds a fresh unencapsulated packet for [flow].
+    [size] defaults to 512 bytes, [dscp] to best effort. Assigns a fresh
+    [uid] from a global counter. *)
+
+val header_of_flow : ?dscp:Dscp.t -> Flow.t -> header
+(** A fresh header populated from a flow's 5-tuple. *)
+
+val copy : t -> t
+(** A replication copy: fresh uid, deep-copied headers and label stack,
+    same provenance (flow, vpn, seq, creation time). The ingress-
+    replication primitive for group delivery. *)
+
+val visible_header : t -> header
+(** The header a router may inspect: the outer header when the packet is
+    encapsulated, the inner header otherwise. *)
+
+val visible_dscp : t -> Dscp.t
+(** DSCP of {!visible_header} — what a DiffServ classifier sees. When the
+    packet is labelled, forwarding hops should use {!top_exp} instead. *)
+
+val classifiable_flow : t -> Flow.t option
+(** The 5-tuple a multifield classifier can extract: [None] when the
+    packet is encrypted and only the (address-only) outer header shows. *)
+
+val top_label : t -> shim option
+(** Top of the label stack, if any. *)
+
+val top_exp : t -> int option
+(** EXP bits of the top label, if the packet is labelled. *)
+
+val push_label : t -> label:int -> exp:int -> ttl:int -> unit
+(** Push a shim entry (4 bytes of wire size). *)
+
+val pop_label : t -> shim option
+(** Pop the top shim entry (reclaims 4 bytes); [None] on empty stack. *)
+
+val swap_label : t -> label:int -> unit
+(** Rewrite the top label in place, decrementing its TTL.
+    @raise Invalid_argument on an unlabelled packet. *)
+
+val encapsulate :
+  t -> src:Ipv4.t -> dst:Ipv4.t -> proto:Flow.proto -> overhead:int ->
+  copy_tos:bool -> unit
+(** [encapsulate p ~src ~dst ~proto ~overhead ~copy_tos] wraps [p] in an
+    outer header between tunnel endpoints, growing the wire size by
+    [overhead]. When [copy_tos] the inner DSCP is copied to the outer
+    header; otherwise the outer header carries best effort and the
+    service class is invisible (claim C4).
+    @raise Invalid_argument if the packet is already encapsulated. *)
+
+val decapsulate : t -> unit
+(** Remove the outer header and its size overhead, restoring the inner
+    header as visible.
+    @raise Invalid_argument if the packet has no outer header. *)
+
+val pp : Format.formatter -> t -> unit
+
+val reset_uid_counter : unit -> unit
+(** Reset the global uid counter (test isolation only). *)

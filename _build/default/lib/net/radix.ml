@@ -1,0 +1,171 @@
+(* Path-compressed binary trie. Invariants:
+   - every node's prefix strictly extends its parent's prefix;
+   - the left (right) child's network has bit 0 (1) at the position just
+     past the parent's mask length;
+   - the root covers 0.0.0.0/0 and is never removed;
+   - internal "glue" nodes may carry no value but always have two
+     children (compaction splices out valueless one-child nodes). *)
+
+type 'a node = {
+  prefix : Prefix.t;
+  mutable value : 'a option;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+}
+
+type 'a t = { mutable root : 'a node; mutable count : int }
+
+let fresh_root () =
+  { prefix = Prefix.default; value = None; left = None; right = None }
+
+let create () = { root = fresh_root (); count = 0 }
+
+let is_empty t = t.count = 0
+
+let cardinal t = t.count
+
+let leaf prefix v = { prefix; value = Some v; left = None; right = None }
+
+let child node dir = if dir then node.right else node.left
+
+let set_child node dir c =
+  if dir then node.right <- c else node.left <- c
+
+(* Longest prefix subsuming both [p] and [q]. *)
+let common_prefix p q =
+  let np = Ipv4.to_int (Prefix.network p)
+  and nq = Ipv4.to_int (Prefix.network q) in
+  let max_len = min (Prefix.length p) (Prefix.length q) in
+  let rec first_diff i =
+    if i >= max_len then max_len
+    else if (np lxor nq) land (1 lsl (31 - i)) <> 0 then i
+    else first_diff (i + 1)
+  in
+  Prefix.make (Prefix.network p) (first_diff 0)
+
+let add t p v =
+  let rec go node =
+    if Prefix.equal node.prefix p then begin
+      if node.value = None then t.count <- t.count + 1;
+      node.value <- Some v
+    end else
+      (* node.prefix strictly subsumes p here. *)
+      let dir = Prefix.bit p (Prefix.length node.prefix) in
+      match child node dir with
+      | None ->
+        set_child node dir (Some (leaf p v));
+        t.count <- t.count + 1
+      | Some c ->
+        if Prefix.subsumes c.prefix p then go c
+        else if Prefix.subsumes p c.prefix then begin
+          let mid = leaf p v in
+          set_child mid (Prefix.bit c.prefix (Prefix.length p)) (Some c);
+          set_child node dir (Some mid);
+          t.count <- t.count + 1
+        end else begin
+          let g = common_prefix p c.prefix in
+          let glue =
+            { prefix = g; value = None; left = None; right = None }
+          in
+          set_child glue (Prefix.bit p (Prefix.length g)) (Some (leaf p v));
+          set_child glue (Prefix.bit c.prefix (Prefix.length g)) (Some c);
+          set_child node dir (Some glue);
+          t.count <- t.count + 1
+        end
+  in
+  go t.root
+
+let find t p =
+  let rec go node =
+    if Prefix.equal node.prefix p then node.value
+    else if Prefix.length node.prefix >= 32 then None
+    else
+      let dir = Prefix.bit p (Prefix.length node.prefix) in
+      match child node dir with
+      | Some c when Prefix.subsumes c.prefix p -> go c
+      | Some _ | None -> None
+  in
+  if Prefix.subsumes t.root.prefix p then go t.root else None
+
+(* Splice out a node that no longer justifies its existence. *)
+let compact node =
+  match node.value, node.left, node.right with
+  | None, None, None -> None
+  | None, Some only, None | None, None, Some only -> Some only
+  | (Some _ | None), _, _ -> Some node
+
+let remove t p =
+  let removed = ref false in
+  let rec go node =
+    if Prefix.equal node.prefix p then begin
+      if node.value <> None then begin
+        removed := true;
+        t.count <- t.count - 1
+      end;
+      node.value <- None;
+      compact node
+    end else if Prefix.length node.prefix >= 32 then Some node
+    else begin
+      let dir = Prefix.bit p (Prefix.length node.prefix) in
+      (match child node dir with
+       | Some c when Prefix.subsumes c.prefix p ->
+         set_child node dir (go c)
+       | Some _ | None -> ());
+      if !removed then compact node else Some node
+    end
+  in
+  if not (Prefix.subsumes t.root.prefix p) then false
+  else begin
+    (match go t.root with
+     | Some r when Prefix.equal r.prefix Prefix.default -> t.root <- r
+     | Some r ->
+       (* The /0 root was compacted away; re-root above the survivor. *)
+       let root = fresh_root () in
+       set_child root (Prefix.bit r.prefix 0) (Some r);
+       t.root <- root
+     | None -> t.root <- fresh_root ());
+    !removed
+  end
+
+let lookup t a =
+  let addr_bit i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0 in
+  let rec go node best =
+    let best =
+      match node.value with
+      | Some v -> Some (node.prefix, v)
+      | None -> best
+    in
+    if Prefix.length node.prefix >= 32 then best
+    else
+      match child node (addr_bit (Prefix.length node.prefix)) with
+      | Some c when Prefix.mem a c.prefix -> go c best
+      | Some _ | None -> best
+  in
+  go t.root None
+
+let lookup_value t a = Option.map snd (lookup t a)
+
+let fold f t init =
+  let rec go node acc =
+    let acc =
+      match node.value with
+      | Some v -> f node.prefix v acc
+      | None -> acc
+    in
+    let acc = match node.left with Some c -> go c acc | None -> acc in
+    match node.right with Some c -> go c acc | None -> acc
+  in
+  go t.root init
+
+let iter f t = fold (fun p v () -> f p v) t ()
+
+let to_list t = List.rev (fold (fun p v acc -> (p, v) :: acc) t [])
+
+let of_list bindings =
+  let t = create () in
+  List.iter (fun (p, v) -> add t p v) bindings;
+  t
+
+let clear t =
+  t.root <- fresh_root ();
+  t.count <- 0

@@ -1,0 +1,1 @@
+lib/qos/cbq.ml: Array Classifier Float Mvpn_net Printf Token_bucket

@@ -1,0 +1,1 @@
+lib/qos/cbq.mli: Classifier Mvpn_net

@@ -1,0 +1,1 @@
+lib/qos/classifier.ml: List Mvpn_net

@@ -1,0 +1,1 @@
+lib/qos/classifier.mli: Mvpn_net

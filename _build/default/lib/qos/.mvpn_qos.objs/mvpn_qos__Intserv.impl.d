@@ -1,0 +1,1 @@
+lib/qos/intserv.ml: Hashtbl List Mvpn_net Mvpn_routing Mvpn_sim Option

@@ -1,0 +1,1 @@
+lib/qos/intserv.mli: Mvpn_net Mvpn_sim

@@ -1,0 +1,1 @@
+lib/qos/meter.ml: Float Token_bucket

@@ -1,0 +1,1 @@
+lib/qos/meter.mli:

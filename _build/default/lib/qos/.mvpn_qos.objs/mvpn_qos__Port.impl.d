@@ -1,0 +1,1 @@
+lib/qos/port.ml: Mvpn_net Mvpn_sim Queue_disc

@@ -1,0 +1,1 @@
+lib/qos/port.mli: Mvpn_net Mvpn_sim Queue_disc

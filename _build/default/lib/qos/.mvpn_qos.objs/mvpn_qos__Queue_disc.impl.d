@@ -1,0 +1,1 @@
+lib/qos/queue_disc.ml: Array Float Mvpn_net Mvpn_sim Printf Queue

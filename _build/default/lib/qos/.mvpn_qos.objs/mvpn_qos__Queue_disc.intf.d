@@ -1,0 +1,1 @@
+lib/qos/queue_disc.mli: Mvpn_net Mvpn_sim

@@ -1,0 +1,1 @@
+lib/qos/shaper.ml: Float Mvpn_net Mvpn_sim Queue Token_bucket

@@ -1,0 +1,1 @@
+lib/qos/shaper.mli: Mvpn_net Mvpn_sim

@@ -1,0 +1,1 @@
+lib/qos/sla.ml: Float Format Hashtbl List Mvpn_net Mvpn_sim Printf

@@ -1,0 +1,1 @@
+lib/qos/sla.mli: Format Mvpn_net

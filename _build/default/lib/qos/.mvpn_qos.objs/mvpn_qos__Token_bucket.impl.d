@@ -1,0 +1,1 @@
+lib/qos/token_bucket.ml: Float

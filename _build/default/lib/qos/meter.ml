@@ -1,0 +1,66 @@
+type color = Green | Yellow | Red
+
+let color_to_string = function
+  | Green -> "green"
+  | Yellow -> "yellow"
+  | Red -> "red"
+
+let color_to_drop_precedence = function Green -> 1 | Yellow -> 2 | Red -> 3
+
+(* srTCM per RFC 2697: one token stream at CIR fills the committed
+   bucket first and only its overflow tops up the excess bucket. *)
+type srtcm_state = {
+  cir_bytes_per_s : float;
+  cbs : float;
+  ebs : float;
+  mutable tc : float;
+  mutable te : float;
+  mutable last : float;
+}
+
+type t =
+  | Srtcm of srtcm_state
+  | Trtcm of { committed : Token_bucket.t; peak : Token_bucket.t }
+
+let srtcm ~cir_bps ~cbs_bytes ~ebs_bytes =
+  if cir_bps <= 0.0 then invalid_arg "Meter.srtcm: CIR must be positive";
+  if cbs_bytes <= 0.0 then invalid_arg "Meter.srtcm: CBS must be positive";
+  if ebs_bytes < 0.0 then invalid_arg "Meter.srtcm: EBS must not be negative";
+  Srtcm
+    { cir_bytes_per_s = cir_bps /. 8.0; cbs = cbs_bytes; ebs = ebs_bytes;
+      tc = cbs_bytes; te = ebs_bytes; last = 0.0 }
+
+let trtcm ~cir_bps ~cbs_bytes ~pir_bps ~pbs_bytes =
+  if pir_bps < cir_bps then
+    invalid_arg "Meter.trtcm: peak rate below committed rate";
+  Trtcm
+    { committed = Token_bucket.create ~rate_bps:cir_bps ~burst_bytes:cbs_bytes;
+      peak = Token_bucket.create ~rate_bps:pir_bps ~burst_bytes:pbs_bytes }
+
+let srtcm_refill s ~now =
+  if now > s.last then begin
+    let earned = (now -. s.last) *. s.cir_bytes_per_s in
+    let to_committed = Float.min earned (s.cbs -. s.tc) in
+    s.tc <- s.tc +. to_committed;
+    s.te <- Float.min s.ebs (s.te +. (earned -. to_committed));
+    s.last <- now
+  end
+
+let meter t ~now ~bytes =
+  match t with
+  | Srtcm s ->
+    srtcm_refill s ~now;
+    let need = float_of_int bytes in
+    if s.tc >= need then begin
+      s.tc <- s.tc -. need;
+      Green
+    end
+    else if s.te >= need then begin
+      s.te <- s.te -. need;
+      Yellow
+    end
+    else Red
+  | Trtcm { committed; peak } ->
+    if not (Token_bucket.take peak ~now ~bytes) then Red
+    else if Token_bucket.take committed ~now ~bytes then Green
+    else Yellow

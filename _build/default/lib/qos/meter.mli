@@ -1,0 +1,30 @@
+(** Traffic meters: single-rate and two-rate three-color markers
+    (RFC 2697 srTCM, RFC 2698 trTCM).
+
+    The provider edge meters each customer class against its contracted
+    rate; the color drives remarking (drop precedence) or policing. This
+    is how a DiffServ SLA is enforced at the trust boundary before
+    traffic enters the label-switched backbone. *)
+
+type color = Green | Yellow | Red
+
+val color_to_string : color -> string
+
+val color_to_drop_precedence : color -> int
+(** Green → 1, Yellow → 2, Red → 3 — the AF drop-precedence encoding. *)
+
+type t
+
+val srtcm : cir_bps:float -> cbs_bytes:float -> ebs_bytes:float -> t
+(** Single-rate (RFC 2697): one token stream at CIR fills the committed
+    bucket first, overflow tops up the excess bucket. Green while
+    within CBS, Yellow within EBS, Red beyond.
+    @raise Invalid_argument on non-positive CIR/CBS or negative EBS. *)
+
+val trtcm : cir_bps:float -> cbs_bytes:float -> pir_bps:float ->
+  pbs_bytes:float -> t
+(** Two-rate: Red above peak rate, Yellow above committed rate, Green
+    otherwise. @raise Invalid_argument if [pir_bps < cir_bps]. *)
+
+val meter : t -> now:float -> bytes:int -> color
+(** Color one packet and update the meter state (color-blind mode). *)

@@ -1,0 +1,77 @@
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Packet = Mvpn_net.Packet
+
+type t = {
+  engine : Engine.t;
+  link : Topology.link;
+  qdisc : Queue_disc.t;
+  classify : Packet.t -> int;
+  on_deliver : Packet.t -> unit;
+  mutable busy : bool;
+  mutable offered : int;
+  mutable delivered : int;
+  mutable dropped_queue : int;
+  mutable dropped_link_down : int;
+  mutable bytes_delivered : int;
+  mutable busy_seconds : float;
+}
+
+type counters = {
+  offered : int;
+  delivered : int;
+  dropped_queue : int;
+  dropped_link_down : int;
+  bytes_delivered : int;
+  busy_seconds : float;
+}
+
+let create engine ~link ~qdisc ~classify ~on_deliver =
+  { engine; link; qdisc; classify; on_deliver; busy = false; offered = 0;
+    delivered = 0; dropped_queue = 0; dropped_link_down = 0;
+    bytes_delivered = 0; busy_seconds = 0.0 }
+
+let link t = t.link
+
+let qdisc t = t.qdisc
+
+(* Serve the head-of-line packet: serialize for size*8/bandwidth
+   seconds, then hand it to propagation and start on the next packet. *)
+let rec start_service (t : t) =
+  match Queue_disc.dequeue t.qdisc with
+  | None -> t.busy <- false
+  | Some packet ->
+    t.busy <- true;
+    let tx =
+      float_of_int packet.Packet.size *. 8.0 /. t.link.Topology.bandwidth
+    in
+    t.busy_seconds <- t.busy_seconds +. tx;
+    Engine.schedule t.engine ~delay:tx (fun () ->
+        if t.link.Topology.up then begin
+          t.delivered <- t.delivered + 1;
+          t.bytes_delivered <- t.bytes_delivered + packet.Packet.size;
+          Engine.schedule t.engine ~delay:t.link.Topology.delay (fun () ->
+              t.on_deliver packet)
+        end
+        else t.dropped_link_down <- t.dropped_link_down + 1;
+        start_service t)
+
+let send (t : t) packet =
+  t.offered <- t.offered + 1;
+  if not t.link.Topology.up then
+    t.dropped_link_down <- t.dropped_link_down + 1
+  else begin
+    match Queue_disc.enqueue t.qdisc ~cls:(t.classify packet) packet with
+    | Error (Queue_disc.Tail_drop | Queue_disc.Red_drop) ->
+      t.dropped_queue <- t.dropped_queue + 1
+    | Ok () -> if not t.busy then start_service t
+  end
+
+let counters (t : t) =
+  { offered = t.offered; delivered = t.delivered;
+    dropped_queue = t.dropped_queue;
+    dropped_link_down = t.dropped_link_down;
+    bytes_delivered = t.bytes_delivered; busy_seconds = t.busy_seconds }
+
+let utilization (t : t) ~now =
+  if now <= 0.0 then 0.0 else t.busy_seconds /. now

@@ -1,0 +1,44 @@
+(** Egress port: a queue discipline draining onto a link at line rate.
+
+    Where queueing delay, serialization delay and loss actually happen
+    in the simulation. A packet handed to {!send} is classified into a
+    band, queued (or dropped by the discipline), serialized at the
+    link's bandwidth, and delivered to the neighbor after the link's
+    propagation delay via the [on_deliver] callback. Transmission is
+    pipelined: the next packet starts serializing while the previous one
+    propagates. *)
+
+type t
+
+val create :
+  Mvpn_sim.Engine.t ->
+  link:Mvpn_sim.Topology.link ->
+  qdisc:Queue_disc.t ->
+  classify:(Mvpn_net.Packet.t -> int) ->
+  on_deliver:(Mvpn_net.Packet.t -> unit) ->
+  t
+(** [classify] maps a packet to a band index (e.g. by EXP bits when
+    labelled, by DSCP otherwise); [on_deliver] fires at the far end of
+    the link. *)
+
+val send : t -> Mvpn_net.Packet.t -> unit
+(** Enqueue a packet for transmission. Dropped silently (but counted)
+    if the discipline refuses it or the link is down. *)
+
+val link : t -> Mvpn_sim.Topology.link
+
+val qdisc : t -> Queue_disc.t
+
+type counters = {
+  offered : int;
+  delivered : int;
+  dropped_queue : int;
+  dropped_link_down : int;
+  bytes_delivered : int;
+  busy_seconds : float;
+}
+
+val counters : t -> counters
+
+val utilization : t -> now:float -> float
+(** Fraction of elapsed time the transmitter was busy. *)

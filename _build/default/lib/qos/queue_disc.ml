@@ -1,0 +1,280 @@
+module Packet = Mvpn_net.Packet
+module Dscp = Mvpn_net.Dscp
+module Rng = Mvpn_sim.Rng
+
+type sched =
+  | Strict
+  | Wrr of int array
+  | Drr of int array
+  | Wfq of float array
+
+type red_params = {
+  ewma_weight : float;
+  thresholds : (float * float * float) array;
+}
+
+let default_wred ~avg_capacity =
+  { ewma_weight = 0.1;
+    thresholds =
+      [| (0.5 *. avg_capacity, 0.9 *. avg_capacity, 0.05);
+         (0.3 *. avg_capacity, 0.7 *. avg_capacity, 0.2);
+         (0.2 *. avg_capacity, 0.5 *. avg_capacity, 0.5) |] }
+
+type band_cfg = { capacity_bytes : int; red : red_params option }
+
+let plain_band capacity_bytes = { capacity_bytes; red = None }
+
+type drop_reason = Tail_drop | Red_drop
+
+type band_stats = {
+  enqueued : int;
+  dequeued : int;
+  tail_dropped : int;
+  red_dropped : int;
+  bytes_sent : int;
+}
+
+type band = {
+  cfg : band_cfg;
+  q : (Packet.t * float) Queue.t;  (* packet, WFQ finish tag *)
+  mutable bytes : int;
+  mutable avg : float;  (* RED EWMA of backlog bytes *)
+  mutable red_count : int;  (* packets since the last RED drop *)
+  mutable deficit : int;  (* DRR *)
+  mutable last_finish : float;  (* WFQ *)
+  mutable s_enqueued : int;
+  mutable s_dequeued : int;
+  mutable s_tail_dropped : int;
+  mutable s_red_dropped : int;
+  mutable s_bytes_sent : int;
+}
+
+type t = {
+  sched : sched;
+  bands : band array;
+  rng : Rng.t;
+  mutable vtime : float;  (* WFQ virtual time *)
+  mutable rr_pos : int;  (* WRR / DRR cursor *)
+  mutable wrr_credit : int;  (* packets left for the current WRR band *)
+}
+
+let check_weights name n arr pos =
+  if Array.length arr <> n then
+    invalid_arg
+      (Printf.sprintf "Queue_disc.create: %s needs %d weights" name n);
+  Array.iter
+    (fun w ->
+       if w <= pos then
+         invalid_arg
+           (Printf.sprintf "Queue_disc.create: %s weights must be positive"
+              name))
+    arr
+
+let create ?rng ~sched cfgs =
+  let n = Array.length cfgs in
+  if n = 0 then invalid_arg "Queue_disc.create: need at least one band";
+  (match sched with
+   | Strict -> ()
+   | Wrr w -> check_weights "wrr" n w 0
+   | Drr q -> check_weights "drr" n q 0
+   | Wfq w ->
+     if Array.length w <> n then
+       invalid_arg (Printf.sprintf "Queue_disc.create: wfq needs %d weights" n);
+     Array.iter
+       (fun x ->
+          if x <= 0.0 then
+            invalid_arg "Queue_disc.create: wfq weights must be positive")
+       w);
+  Array.iter
+    (fun c ->
+       if c.capacity_bytes <= 0 then
+         invalid_arg "Queue_disc.create: band capacity must be positive")
+    cfgs;
+  { sched;
+    bands =
+      Array.map
+        (fun cfg ->
+           { cfg; q = Queue.create (); bytes = 0; avg = 0.0; red_count = 0;
+             deficit = 0; last_finish = 0.0; s_enqueued = 0; s_dequeued = 0;
+             s_tail_dropped = 0; s_red_dropped = 0; s_bytes_sent = 0 })
+        cfgs;
+    rng = (match rng with Some r -> r | None -> Rng.create 0x52ED);
+    vtime = 0.0; rr_pos = 0; wrr_credit = 0 }
+
+let fifo ~capacity_bytes =
+  create ~sched:Strict [| plain_band capacity_bytes |]
+
+let band_count t = Array.length t.bands
+
+(* RED drop test for one arriving packet. *)
+let red_drops t band (p : Packet.t) =
+  match band.cfg.red with
+  | None -> false
+  | Some red ->
+    band.avg <-
+      ((1.0 -. red.ewma_weight) *. band.avg)
+      +. (red.ewma_weight *. float_of_int band.bytes);
+    let prec = Dscp.drop_precedence (Packet.visible_dscp p) in
+    let idx = min (max (prec - 1) 0) (Array.length red.thresholds - 1) in
+    let min_th, max_th, max_p = red.thresholds.(idx) in
+    if band.avg < min_th then begin
+      band.red_count <- 0;
+      false
+    end
+    else if band.avg >= max_th then begin
+      band.red_count <- 0;
+      true
+    end
+    else begin
+      let pb = max_p *. ((band.avg -. min_th) /. (max_th -. min_th)) in
+      (* Count-based spacing (RFC 2309 style): probability grows with
+         packets accepted since the last drop. *)
+      let pa =
+        let denom = 1.0 -. (float_of_int band.red_count *. pb) in
+        if denom <= 0.0 then 1.0 else pb /. denom
+      in
+      if Rng.bool t.rng pa then begin
+        band.red_count <- 0;
+        true
+      end else begin
+        band.red_count <- band.red_count + 1;
+        false
+      end
+    end
+
+let wfq_weight t cls =
+  match t.sched with
+  | Wfq w -> w.(cls)
+  | Strict | Wrr _ | Drr _ -> 1.0
+
+let enqueue t ~cls packet =
+  let cls = min (max cls 0) (Array.length t.bands - 1) in
+  let band = t.bands.(cls) in
+  if red_drops t band packet then begin
+    band.s_red_dropped <- band.s_red_dropped + 1;
+    Error Red_drop
+  end
+  else if band.bytes + packet.Packet.size > band.cfg.capacity_bytes then begin
+    band.s_tail_dropped <- band.s_tail_dropped + 1;
+    Error Tail_drop
+  end
+  else begin
+    let tag =
+      match t.sched with
+      | Wfq _ ->
+        let start = Float.max t.vtime band.last_finish in
+        let finish =
+          start
+          +. (float_of_int packet.Packet.size /. wfq_weight t cls)
+        in
+        band.last_finish <- finish;
+        finish
+      | Strict | Wrr _ | Drr _ -> 0.0
+    in
+    Queue.add (packet, tag) band.q;
+    band.bytes <- band.bytes + packet.Packet.size;
+    band.s_enqueued <- band.s_enqueued + 1;
+    Ok ()
+  end
+
+let take_from band =
+  let packet, _tag = Queue.pop band.q in
+  band.bytes <- band.bytes - packet.Packet.size;
+  band.s_dequeued <- band.s_dequeued + 1;
+  band.s_bytes_sent <- band.s_bytes_sent + packet.Packet.size;
+  packet
+
+let is_empty t = Array.for_all (fun b -> Queue.is_empty b.q) t.bands
+
+let dequeue_strict t =
+  let n = Array.length t.bands in
+  let rec go i =
+    if i >= n then None
+    else if Queue.is_empty t.bands.(i).q then go (i + 1)
+    else Some (take_from t.bands.(i))
+  in
+  go 0
+
+let dequeue_wrr t weights =
+  if is_empty t then None
+  else begin
+    let n = Array.length t.bands in
+    (* Spend remaining credit on the current band, else rotate. *)
+    let rec go guard =
+      if guard > 2 * n then None
+      else begin
+        let band = t.bands.(t.rr_pos) in
+        if t.wrr_credit > 0 && not (Queue.is_empty band.q) then begin
+          t.wrr_credit <- t.wrr_credit - 1;
+          Some (take_from band)
+        end else begin
+          t.rr_pos <- (t.rr_pos + 1) mod n;
+          t.wrr_credit <- weights.(t.rr_pos);
+          go (guard + 1)
+        end
+      end
+    in
+    go 0
+  end
+
+let dequeue_drr t quanta =
+  if is_empty t then None
+  else begin
+    let n = Array.length t.bands in
+    let rec go () =
+      let band = t.bands.(t.rr_pos) in
+      if Queue.is_empty band.q then begin
+        band.deficit <- 0;
+        t.rr_pos <- (t.rr_pos + 1) mod n;
+        go ()
+      end else begin
+        let head, _ = Queue.peek band.q in
+        if band.deficit >= head.Packet.size then begin
+          band.deficit <- band.deficit - head.Packet.size;
+          Some (take_from band)
+        end else begin
+          band.deficit <- band.deficit + quanta.(t.rr_pos);
+          t.rr_pos <- (t.rr_pos + 1) mod n;
+          go ()
+        end
+      end
+    in
+    go ()
+  end
+
+let dequeue_wfq t =
+  let best = ref None in
+  Array.iter
+    (fun band ->
+       if not (Queue.is_empty band.q) then begin
+         let _, tag = Queue.peek band.q in
+         match !best with
+         | Some (_, best_tag) when best_tag <= tag -> ()
+         | Some _ | None -> best := Some (band, tag)
+       end)
+    t.bands;
+  match !best with
+  | None -> None
+  | Some (band, tag) ->
+    t.vtime <- Float.max t.vtime tag;
+    Some (take_from band)
+
+let dequeue t =
+  match t.sched with
+  | Strict -> dequeue_strict t
+  | Wrr w -> dequeue_wrr t w
+  | Drr q -> dequeue_drr t q
+  | Wfq _ -> dequeue_wfq t
+
+let backlog_bytes t = Array.fold_left (fun acc b -> acc + b.bytes) 0 t.bands
+
+let backlog_packets t =
+  Array.fold_left (fun acc b -> acc + Queue.length b.q) 0 t.bands
+
+let stats t =
+  Array.map
+    (fun b ->
+       { enqueued = b.s_enqueued; dequeued = b.s_dequeued;
+         tail_dropped = b.s_tail_dropped; red_dropped = b.s_red_dropped;
+         bytes_sent = b.s_bytes_sent })
+    t.bands

@@ -1,0 +1,142 @@
+module Stats = Mvpn_sim.Stats
+module Packet = Mvpn_net.Packet
+
+type spec = {
+  name : string;
+  max_mean_delay : float option;
+  max_p99_delay : float option;
+  max_jitter : float option;
+  max_loss : float option;
+  min_throughput_bps : float option;
+}
+
+let best_effort_spec =
+  { name = "best-effort"; max_mean_delay = None; max_p99_delay = None;
+    max_jitter = None; max_loss = None; min_throughput_bps = None }
+
+let voice_spec =
+  { name = "voice"; max_mean_delay = Some 0.150; max_p99_delay = Some 0.200;
+    max_jitter = Some 0.030; max_loss = Some 0.01;
+    min_throughput_bps = None }
+
+let transactional_spec =
+  { name = "transactional"; max_mean_delay = Some 0.300;
+    max_p99_delay = Some 0.500; max_jitter = None; max_loss = Some 0.05;
+    min_throughput_bps = None }
+
+type collector = {
+  delays : Stats.Samples.t;
+  jitter_acc : Stats.Summary.t;
+  last_seq : (Mvpn_net.Flow.t, int) Hashtbl.t;
+  mutable reordered : int;
+  mutable sent : int;
+  mutable received : int;
+  mutable bytes_received : int;
+  mutable first_send : float;
+  mutable last_receive : float;
+  mutable last_delay : float option;
+}
+
+let collector () =
+  { delays = Stats.Samples.create (); jitter_acc = Stats.Summary.create ();
+    last_seq = Hashtbl.create 8; reordered = 0;
+    sent = 0; received = 0; bytes_received = 0; first_send = infinity;
+    last_receive = neg_infinity; last_delay = None }
+
+let on_send c ~now ~bytes =
+  ignore bytes;
+  c.sent <- c.sent + 1;
+  if now < c.first_send then c.first_send <- now
+
+let on_receive c ~now packet =
+  let delay = now -. packet.Packet.created_at in
+  (* Per-flow sequence tracking: an arrival below the high-water mark
+     was overtaken in flight. *)
+  (match Hashtbl.find_opt c.last_seq packet.Packet.flow with
+   | Some high when packet.Packet.seq < high ->
+     c.reordered <- c.reordered + 1
+   | Some _ | None ->
+     Hashtbl.replace c.last_seq packet.Packet.flow packet.Packet.seq);
+  c.received <- c.received + 1;
+  c.bytes_received <- c.bytes_received + packet.Packet.size;
+  if now > c.last_receive then c.last_receive <- now;
+  Stats.Samples.add c.delays delay;
+  (match c.last_delay with
+   | Some prev -> Stats.Summary.add c.jitter_acc (Float.abs (delay -. prev))
+   | None -> ());
+  c.last_delay <- Some delay
+
+type report = {
+  sent : int;
+  received : int;
+  reordered : int;
+  bytes_received : int;
+  duration : float;
+  mean_delay : float;
+  p99_delay : float;
+  max_delay : float;
+  jitter : float;
+  loss : float;
+  throughput_bps : float;
+}
+
+let report (c : collector) =
+  let duration =
+    if c.received = 0 || c.sent = 0 then 0.0
+    else Float.max 0.0 (c.last_receive -. c.first_send)
+  in
+  { sent = c.sent;
+    received = c.received;
+    reordered = c.reordered;
+    bytes_received = c.bytes_received;
+    duration;
+    mean_delay = Stats.Samples.mean c.delays;
+    p99_delay = Stats.Samples.percentile c.delays 0.99;
+    max_delay =
+      (if Stats.Samples.count c.delays = 0 then 0.0
+       else Stats.Samples.percentile c.delays 1.0);
+    jitter = Stats.Summary.mean c.jitter_acc;
+    loss =
+      (if c.sent = 0 then 0.0
+       else 1.0 -. (float_of_int c.received /. float_of_int c.sent));
+    throughput_bps =
+      (if duration <= 0.0 then 0.0
+       else float_of_int c.bytes_received *. 8.0 /. duration) }
+
+let delay_samples c = Stats.Samples.to_array c.delays
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "sent=%d recv=%d loss=%.4f mean=%.4gms p99=%.4gms jitter=%.4gms tput=%.4gMbps"
+    r.sent r.received r.loss (r.mean_delay *. 1e3) (r.p99_delay *. 1e3)
+    (r.jitter *. 1e3)
+    (r.throughput_bps /. 1e6)
+
+let check spec r =
+  let violations = ref [] in
+  let violated fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  (match spec.max_mean_delay with
+   | Some limit when r.mean_delay > limit ->
+     violated "mean delay %.1fms exceeds %.1fms" (r.mean_delay *. 1e3)
+       (limit *. 1e3)
+   | Some _ | None -> ());
+  (match spec.max_p99_delay with
+   | Some limit when r.p99_delay > limit ->
+     violated "p99 delay %.1fms exceeds %.1fms" (r.p99_delay *. 1e3)
+       (limit *. 1e3)
+   | Some _ | None -> ());
+  (match spec.max_jitter with
+   | Some limit when r.jitter > limit ->
+     violated "jitter %.1fms exceeds %.1fms" (r.jitter *. 1e3) (limit *. 1e3)
+   | Some _ | None -> ());
+  (match spec.max_loss with
+   | Some limit when r.loss > limit ->
+     violated "loss %.2f%% exceeds %.2f%%" (r.loss *. 100.0) (limit *. 100.0)
+   | Some _ | None -> ());
+  (match spec.min_throughput_bps with
+   | Some limit when r.throughput_bps < limit ->
+     violated "throughput %.3gbps below %.3gbps" r.throughput_bps limit
+   | Some _ | None -> ());
+  List.rev !violations
+
+let complies spec r = check spec r = []

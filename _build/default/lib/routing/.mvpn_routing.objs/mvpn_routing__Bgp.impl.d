@@ -1,0 +1,1 @@
+lib/routing/bgp.ml: Array Hashtbl List Mvpn_net Printf

@@ -1,0 +1,1 @@
+lib/routing/bgp.mli: Mvpn_net

@@ -1,0 +1,1 @@
+lib/routing/mpbgp.ml: Hashtbl List Mvpn_net Printf

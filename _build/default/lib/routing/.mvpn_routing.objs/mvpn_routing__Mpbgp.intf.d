@@ -1,0 +1,1 @@
+lib/routing/mpbgp.mli: Mvpn_net

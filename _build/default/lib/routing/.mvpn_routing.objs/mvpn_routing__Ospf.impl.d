@@ -1,0 +1,1 @@
+lib/routing/ospf.ml: Array Float Hashtbl List Mvpn_net Mvpn_sim Printf

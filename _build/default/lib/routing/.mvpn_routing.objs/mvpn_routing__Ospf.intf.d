@@ -1,0 +1,1 @@
+lib/routing/ospf.mli: Mvpn_net Mvpn_sim

@@ -1,0 +1,1 @@
+lib/routing/spf.ml: Array Float Int List Mvpn_sim Printf

@@ -1,0 +1,1 @@
+lib/routing/spf.mli: Mvpn_sim

@@ -1,0 +1,165 @@
+module Prefix = Mvpn_net.Prefix
+
+type rd = { rd_asn : int; rd_assigned : int }
+
+type rt = { rt_asn : int; rt_value : int }
+
+let rd_to_string rd = Printf.sprintf "%d:%d" rd.rd_asn rd.rd_assigned
+
+let rt_to_string rt = Printf.sprintf "%d:%d" rt.rt_asn rt.rt_value
+
+let rt_equal a b = a.rt_asn = b.rt_asn && a.rt_value = b.rt_value
+
+type vpnv4_route = {
+  rd : rd;
+  prefix : Mvpn_net.Prefix.t;
+  next_hop_pe : int;
+  vpn_label : int;
+  export_rts : rt list;
+  site : int;
+}
+
+type session_mode = Full_mesh | Route_reflector of int
+
+type key = rd * int * int * int  (* rd, network, length, pe *)
+
+let key_of (r : vpnv4_route) : key =
+  ( r.rd,
+    Mvpn_net.Ipv4.to_int (Prefix.network r.prefix),
+    Prefix.length r.prefix,
+    r.next_hop_pe )
+
+type pe_state = {
+  pe : int;
+  exported : (key, vpnv4_route) Hashtbl.t;
+  received : (key, vpnv4_route) Hashtbl.t;
+}
+
+type t = {
+  mode : session_mode;
+  mutable pes : pe_state list;  (* insertion order preserved via append *)
+  mutable messages : int;
+}
+
+let create ?(mode = Full_mesh) () = { mode; pes = []; messages = 0 }
+
+let find_pe t pe = List.find_opt (fun s -> s.pe = pe) t.pes
+
+let add_pe t pe =
+  if find_pe t pe <> None then
+    invalid_arg (Printf.sprintf "Mpbgp.add_pe: duplicate PE %d" pe);
+  t.pes <-
+    t.pes @ [{ pe; exported = Hashtbl.create 32; received = Hashtbl.create 64 }]
+
+let pe_count t = List.length t.pes
+
+let session_count t =
+  let n = pe_count t in
+  match t.mode with
+  | Full_mesh -> n * (n - 1) / 2
+  | Route_reflector _ -> max 0 (n - 1)
+
+let get_pe t pe =
+  match find_pe t pe with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Mpbgp: unknown PE %d" pe)
+
+let export_route t route =
+  let s = get_pe t route.next_hop_pe in
+  Hashtbl.replace s.exported (key_of route) route
+
+let withdraw_site t ~pe ~site =
+  let s = get_pe t pe in
+  let victims =
+    Hashtbl.fold
+      (fun k r acc -> if r.site = site then k :: acc else acc)
+      s.exported []
+  in
+  List.iter (Hashtbl.remove s.exported) victims;
+  List.length victims
+
+let run t =
+  let sent = ref 0 in
+  let deliver dst route =
+    let k = key_of route in
+    match Hashtbl.find_opt dst.received k with
+    | Some have when have.vpn_label = route.vpn_label
+                  && have.export_rts = route.export_rts -> ()
+    | Some _ | None ->
+      Hashtbl.replace dst.received k route;
+      incr sent
+  in
+  let withdraw_stale dst all_keys =
+    (* Remove received routes no longer exported by anyone. *)
+    let stale =
+      Hashtbl.fold
+        (fun k _ acc -> if Hashtbl.mem all_keys k then acc else k :: acc)
+        dst.received []
+    in
+    List.iter
+      (fun k ->
+         Hashtbl.remove dst.received k;
+         incr sent)
+      stale
+  in
+  let all_keys : (key, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun src ->
+       Hashtbl.iter (fun k _ -> Hashtbl.replace all_keys k ()) src.exported)
+    t.pes;
+  (match t.mode with
+   | Full_mesh ->
+     List.iter
+       (fun src ->
+          Hashtbl.iter
+            (fun _ route ->
+               List.iter
+                 (fun dst -> if dst.pe <> src.pe then deliver dst route)
+                 t.pes)
+            src.exported)
+       t.pes
+   | Route_reflector rr ->
+     let rr_state = get_pe t rr in
+     (* Clients send to the RR; the RR reflects to every other client.
+        Message count: one to the RR plus one per reflected copy. *)
+     List.iter
+       (fun src ->
+          Hashtbl.iter
+            (fun _ route ->
+               if src.pe <> rr then begin
+                 deliver rr_state route;
+                 List.iter
+                   (fun dst ->
+                      if dst.pe <> src.pe && dst.pe <> rr then
+                        deliver dst route)
+                   t.pes
+               end else
+                 List.iter
+                   (fun dst -> if dst.pe <> rr then deliver dst route)
+                   t.pes)
+            src.exported)
+       t.pes);
+  List.iter (fun dst -> withdraw_stale dst all_keys) t.pes;
+  t.messages <- t.messages + !sent;
+  !sent
+
+let routes_at t pe =
+  let s = get_pe t pe in
+  let own = Hashtbl.fold (fun _ r acc -> r :: acc) s.exported [] in
+  let received = Hashtbl.fold (fun _ r acc -> r :: acc) s.received [] in
+  own @ received
+
+let rts_intersect a b =
+  List.exists (fun x -> List.exists (rt_equal x) b) a
+
+let import t ~pe ~import_rts =
+  let s = get_pe t pe in
+  Hashtbl.fold
+    (fun _ r acc ->
+       if rts_intersect r.export_rts import_rts then r :: acc else acc)
+    s.received []
+
+let total_routes t =
+  List.fold_left (fun acc s -> acc + Hashtbl.length s.exported) 0 t.pes
+
+let messages_sent t = t.messages

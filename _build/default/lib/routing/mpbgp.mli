@@ -1,0 +1,77 @@
+(** MP-BGP VPNv4: the route-distribution plane of RFC 2547 VPNs.
+
+    PE routers exchange VPN-IPv4 routes — a customer prefix made
+    globally unique by an 8-byte route distinguisher — with a VPN label
+    piggybacked on each route (the paper's "piggybacking labels in the
+    routing protocol updates", §4). Export/import is governed by route
+    targets: a PE exports a site's routes tagged with the VPN's RT and
+    imports into a VRF only routes carrying an RT the VRF lists. This is
+    what lets one routing system serve many VPNs whose private address
+    spaces overlap.
+
+    Sessions are either a full iBGP mesh among the PEs or a route
+    reflector — the state-growth knob of experiment E1/E3. *)
+
+type rd = { rd_asn : int; rd_assigned : int }
+(** Route distinguisher [asn:assigned]. *)
+
+type rt = { rt_asn : int; rt_value : int }
+(** Route target extended community. *)
+
+val rd_to_string : rd -> string
+val rt_to_string : rt -> string
+val rt_equal : rt -> rt -> bool
+
+type vpnv4_route = {
+  rd : rd;
+  prefix : Mvpn_net.Prefix.t;
+  next_hop_pe : int;  (** egress PE node id *)
+  vpn_label : int;  (** inner label the egress PE allocated *)
+  export_rts : rt list;
+  site : int;  (** originating site id, for diagnostics *)
+}
+
+type session_mode =
+  | Full_mesh
+  | Route_reflector of int  (** the reflecting PE *)
+
+type t
+
+val create : ?mode:session_mode -> unit -> t
+
+val add_pe : t -> int -> unit
+(** Register a PE by node id.
+    @raise Invalid_argument on duplicates. *)
+
+val pe_count : t -> int
+
+val session_count : t -> int
+(** Number of BGP sessions the mode implies for the current PEs. *)
+
+val export_route : t -> vpnv4_route -> unit
+(** The egress PE announces a customer route. Replaces any previous
+    announcement with the same (RD, prefix, PE). *)
+
+val withdraw_site : t -> pe:int -> site:int -> int
+(** Withdraw every route a PE exported for a site (a site leaving the
+    VPN); returns how many were withdrawn. *)
+
+val run : t -> int
+(** Propagate announcements/withdrawals to every PE; returns the number
+    of UPDATE messages sent (full mesh: one per route per remote PE;
+    route reflector: to the RR then reflected). *)
+
+val routes_at : t -> int -> vpnv4_route list
+(** All VPNv4 routes a PE has received (plus its own exports). *)
+
+val import : t -> pe:int -> import_rts:rt list -> vpnv4_route list
+(** The routes a VRF with the given import list would install at a PE:
+    received routes whose export RTs intersect [import_rts]. Routes the
+    PE itself exported are excluded (a VRF already holds its local
+    routes). *)
+
+val total_routes : t -> int
+(** Distinct (RD, prefix, PE) announcements in the system. *)
+
+val messages_sent : t -> int
+(** Cumulative UPDATEs across {!run} calls. *)

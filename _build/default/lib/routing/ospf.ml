@@ -1,0 +1,230 @@
+module Topology = Mvpn_sim.Topology
+module Prefix = Mvpn_net.Prefix
+module Fib = Mvpn_net.Fib
+
+type lsa = {
+  originator : int;
+  seq : int;
+  adjacencies : (int * int) list;  (* neighbor, cost; up links only *)
+  prefixes : Prefix.t list;
+}
+
+type router = {
+  id : int;
+  lsdb : (int, lsa) Hashtbl.t;
+  mutable fib : Fib.t;
+  mutable attached : Prefix.t list;
+  mutable own_seq : int;
+}
+
+type t = {
+  topo : Topology.t;
+  routers : router array;
+  members : int -> bool;
+  mutable messages : int;
+}
+
+let create ?(members = fun _ -> true) topo =
+  let n = Topology.node_count topo in
+  { topo;
+    routers =
+      Array.init n (fun id ->
+          { id; lsdb = Hashtbl.create 16; fib = Fib.create ();
+            attached = []; own_seq = 0 });
+    members;
+    messages = 0 }
+
+let router_count t = Array.length t.routers
+
+let check_router t v =
+  if v < 0 || v >= Array.length t.routers then
+    invalid_arg (Printf.sprintf "Ospf: unknown router %d" v)
+
+let attach_prefix t node prefix =
+  check_router t node;
+  let r = t.routers.(node) in
+  if not (List.exists (Prefix.equal prefix) r.attached) then
+    r.attached <- prefix :: r.attached
+
+let current_lsa t r =
+  let adjacencies =
+    List.sort compare
+      (List.filter_map
+         (fun (nbr, l) ->
+            if t.members nbr then Some (nbr, l.Topology.cost) else None)
+         (Topology.up_neighbors t.topo r.id))
+  in
+  { originator = r.id; seq = r.own_seq; adjacencies;
+    prefixes = List.sort Prefix.compare r.attached }
+
+let lsa_content_equal a b =
+  a.originator = b.originator
+  && a.adjacencies = b.adjacencies
+  && List.equal Prefix.equal a.prefixes b.prefixes
+
+(* Re-originate: bump the sequence number only when content changed, so
+   steady-state converge calls cost zero flooding rounds. *)
+let originate t r =
+  let fresh = current_lsa t r in
+  match Hashtbl.find_opt r.lsdb r.id with
+  | Some old when lsa_content_equal old fresh -> ()
+  | Some _ | None ->
+    r.own_seq <- r.own_seq + 1;
+    Hashtbl.replace r.lsdb r.id { fresh with seq = r.own_seq }
+
+(* One synchronous flooding round: every router offers its database to
+   each up neighbor; the neighbor accepts LSAs that are new or newer.
+   Changes are staged so the round is order-independent. *)
+let flood_round t =
+  let staged = ref [] in
+  Array.iter
+    (fun r ->
+       if not (t.members r.id) then ()
+       else
+       List.iter
+         (fun (nbr, _) ->
+            if not (t.members nbr) then ()
+            else
+            let peer = t.routers.(nbr) in
+            Hashtbl.iter
+              (fun origin lsa ->
+                 let newer =
+                   match Hashtbl.find_opt peer.lsdb origin with
+                   | None -> true
+                   | Some have -> lsa.seq > have.seq
+                 in
+                 if newer then staged := (peer, origin, lsa) :: !staged)
+              r.lsdb)
+         (Topology.up_neighbors t.topo r.id))
+    t.routers;
+  (* Several neighbors may offer the same LSA in one round; count each
+     transmission (that is the wire traffic) but apply once. *)
+  t.messages <- t.messages + List.length !staged;
+  let changed = ref false in
+  List.iter
+    (fun (peer, origin, lsa) ->
+       match Hashtbl.find_opt peer.lsdb origin with
+       | Some have when have.seq >= lsa.seq -> ()
+       | Some _ | None ->
+         Hashtbl.replace peer.lsdb origin lsa;
+         changed := true)
+    !staged;
+  !changed
+
+let spf_and_fib t r =
+  (* Dijkstra over the router's own database, not the live topology:
+     a router can only route on what flooding has told it. *)
+  let n = Array.length t.routers in
+  let dist = Array.make n infinity in
+  let first_hop = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Mvpn_sim.Heap.create () in
+  dist.(r.id) <- 0.0;
+  Mvpn_sim.Heap.push heap 0.0 r.id;
+  let rec drain () =
+    match Mvpn_sim.Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+      if not settled.(v) && d <= dist.(v) then begin
+        settled.(v) <- true;
+        (match Hashtbl.find_opt r.lsdb v with
+         | None -> ()
+         | Some lsa ->
+           List.iter
+             (fun (nbr, cost) ->
+                (* Accept the adjacency only if the neighbor's LSA
+                   agrees (two-way check), as real link-state SPF does. *)
+                let two_way =
+                  match Hashtbl.find_opt r.lsdb nbr with
+                  | None -> false
+                  | Some back ->
+                    List.exists (fun (b, _) -> b = v) back.adjacencies
+                in
+                if two_way && nbr < n && not settled.(nbr) then begin
+                  let nd = dist.(v) +. float_of_int cost in
+                  if nd < dist.(nbr)
+                  || (nd = dist.(nbr) && parent.(nbr) > v)
+                  then begin
+                    dist.(nbr) <- nd;
+                    parent.(nbr) <- v;
+                    first_hop.(nbr) <-
+                      (if v = r.id then nbr else first_hop.(v));
+                    Mvpn_sim.Heap.push heap nd nbr
+                  end
+                end)
+             lsa.adjacencies)
+      end;
+      drain ()
+  in
+  drain ();
+  let fib = Fib.create () in
+  Hashtbl.iter
+    (fun origin lsa ->
+       List.iter
+         (fun p ->
+            if origin = r.id then
+              Fib.add fib p
+                { Fib.next_hop = Fib.local_delivery; cost = 0;
+                  source = Fib.Connected }
+            else if Float.is_finite dist.(origin) then
+              Fib.add fib p
+                { Fib.next_hop = first_hop.(origin);
+                  cost = int_of_float dist.(origin); source = Fib.Igp })
+         lsa.prefixes)
+    r.lsdb;
+  r.fib <- fib;
+  (dist, first_hop)
+
+let converge t =
+  Array.iter (fun r -> if t.members r.id then originate t r) t.routers;
+  let rounds = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    if flood_round t then incr rounds else continue_ := false
+  done;
+  Array.iter (fun r -> if t.members r.id then ignore (spf_and_fib t r))
+    t.routers;
+  !rounds
+
+let converged t =
+  let member_routers =
+    Array.to_list t.routers
+    |> List.filter (fun r -> t.members r.id)
+  in
+  match member_routers with
+  | [] -> true
+  | reference :: rest ->
+    List.for_all
+      (fun r ->
+         Hashtbl.length r.lsdb = Hashtbl.length reference.lsdb
+         && Hashtbl.fold
+              (fun k lsa acc ->
+                 acc
+                 && match Hashtbl.find_opt reference.lsdb k with
+                 | Some ref_lsa -> ref_lsa.seq = lsa.seq
+                 | None -> false)
+              r.lsdb true)
+      rest
+
+let messages_sent t = t.messages
+
+let fib t node =
+  check_router t node;
+  t.routers.(node).fib
+
+let spf_arrays t src =
+  check_router t src;
+  spf_and_fib t t.routers.(src)
+
+let next_hop_to_router t ~src ~dst =
+  check_router t dst;
+  let _, first_hop = spf_arrays t src in
+  if dst = src then None
+  else if first_hop.(dst) >= 0 then Some first_hop.(dst)
+  else None
+
+let distance t ~src ~dst =
+  check_router t dst;
+  let dist, _ = spf_arrays t src in
+  dist.(dst)

@@ -1,0 +1,192 @@
+module Topology = Mvpn_sim.Topology
+module Heap = Mvpn_sim.Heap
+
+type tree = {
+  src : int;
+  dist : float array;
+  first_hop : int array;
+  parent : int array;
+}
+
+let default_usable (l : Topology.link) = l.Topology.up
+
+let default_metric (l : Topology.link) = float_of_int l.Topology.cost
+
+let dijkstra ?(usable = default_usable) ?(metric = default_metric) topo ~src =
+  let n = Topology.node_count topo in
+  if src < 0 || src >= n then
+    invalid_arg (Printf.sprintf "Spf.dijkstra: unknown source %d" src);
+  let dist = Array.make n infinity in
+  let first_hop = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Heap.create () in
+  dist.(src) <- 0.0;
+  Heap.push heap 0.0 src;
+  let rec drain () =
+    match Heap.pop heap with
+    | None -> ()
+    | Some (d, v) ->
+      if not settled.(v) && d <= dist.(v) then begin
+        settled.(v) <- true;
+        let relax (nbr, l) =
+          if usable l && not settled.(nbr) then begin
+            let nd = dist.(v) +. metric l in
+            (* Strict improvement, or same cost through a lower parent:
+               deterministic tie-breaking for reproducible routing. *)
+            if nd < dist.(nbr)
+            || (nd = dist.(nbr) && parent.(nbr) > v)
+            then begin
+              dist.(nbr) <- nd;
+              parent.(nbr) <- v;
+              first_hop.(nbr) <- (if v = src then nbr else first_hop.(v));
+              Heap.push heap nd nbr
+            end
+          end
+        in
+        (* Sort neighbors for deterministic relax order. *)
+        let nbrs =
+          List.sort (fun (a, _) (b, _) -> Int.compare a b)
+            (Topology.neighbors topo v)
+        in
+        List.iter relax nbrs
+      end;
+      drain ()
+  in
+  drain ();
+  { src; dist; first_hop; parent }
+
+let path_of_tree tree dst =
+  if dst = tree.src then Some [dst]
+  else if dst < 0 || dst >= Array.length tree.dist then None
+  else if Float.is_finite tree.dist.(dst) then begin
+    let rec build v acc =
+      if v = tree.src then v :: acc else build tree.parent.(v) (v :: acc)
+    in
+    Some (build dst [])
+  end else None
+
+let shortest_path ?usable ?metric topo ~src ~dst =
+  path_of_tree (dijkstra ?usable ?metric topo ~src) dst
+
+(* Widest path: Dijkstra variant maximizing bottleneck available
+   bandwidth. *)
+let widest_path topo ~src ~dst =
+  let n = Topology.node_count topo in
+  if src < 0 || src >= n || dst < 0 || dst >= n then None
+  else begin
+    let width = Array.make n neg_infinity in
+    let parent = Array.make n (-1) in
+    let settled = Array.make n false in
+    let heap = Heap.create () in
+    width.(src) <- infinity;
+    (* Negate so the min-heap pops the widest candidate first. *)
+    Heap.push heap neg_infinity src;
+    let rec drain () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (_, v) ->
+        if not settled.(v) then begin
+          settled.(v) <- true;
+          List.iter
+            (fun (nbr, l) ->
+               if l.Topology.up && not settled.(nbr) then begin
+                 let w = Float.min width.(v) (Topology.available l) in
+                 if w > width.(nbr) then begin
+                   width.(nbr) <- w;
+                   parent.(nbr) <- v;
+                   Heap.push heap (-.w) nbr
+                 end
+               end)
+            (Topology.neighbors topo v)
+        end;
+        drain ()
+    in
+    drain ();
+    if not settled.(dst) then None
+    else begin
+      let rec build v acc =
+        if v = src then v :: acc else build parent.(v) (v :: acc)
+      in
+      Some (build dst [], width.(dst))
+    end
+  end
+
+let path_cost ?(metric = default_metric) topo path =
+  let rec go acc = function
+    | a :: (b :: _ as rest) ->
+      (match Topology.find_link topo a b with
+       | Some l -> go (acc +. metric l) rest
+       | None -> None)
+    | [_] | [] -> Some acc
+  in
+  go 0.0 path
+
+let k_shortest ?(k = 3) ?(usable = default_usable) topo ~src ~dst =
+  match shortest_path ~usable topo ~src ~dst with
+  | None -> []
+  | Some first ->
+    let paths = ref [first] in
+    let candidates = ref [] in
+    let path_cost_exn p =
+      match path_cost topo p with Some c -> c | None -> infinity
+    in
+    let add_candidate p =
+      if not (List.mem p !candidates) && not (List.mem p !paths) then
+        candidates := p :: !candidates
+    in
+    let rec take_prefix n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take_prefix (n - 1) rest
+    in
+    (try
+       for _ = 2 to k do
+         let last = List.hd !paths in
+         (* Spur from every node of the previous path except the last. *)
+         List.iteri
+           (fun i spur_node ->
+              if i < List.length last - 1 then begin
+                let root = take_prefix (i + 1) last in
+                (* Links to exclude: the edge each known path with the
+                   same root takes out of the spur node. *)
+                let banned_edges =
+                  List.filter_map
+                    (fun p ->
+                       if List.length p > i + 1
+                       && take_prefix (i + 1) p = root then
+                         Some (List.nth p i, List.nth p (i + 1))
+                       else None)
+                    (!paths @ !candidates)
+                in
+                let banned_nodes =
+                  List.filteri (fun j _ -> j < i) root
+                in
+                let usable' l =
+                  usable l
+                  && (not
+                        (List.mem
+                           (l.Topology.src, l.Topology.dst)
+                           banned_edges))
+                  && (not (List.mem l.Topology.src banned_nodes))
+                  && not (List.mem l.Topology.dst banned_nodes)
+                in
+                match shortest_path ~usable:usable' topo ~src:spur_node ~dst
+                with
+                | Some spur when List.length spur > 1 ->
+                  let total = root @ List.tl spur in
+                  add_candidate total
+                | Some _ | None -> ()
+              end)
+           last;
+         match
+           List.sort
+             (fun a b -> Float.compare (path_cost_exn a) (path_cost_exn b))
+             !candidates
+         with
+         | [] -> raise Exit
+         | best :: rest ->
+           paths := best :: !paths;
+           candidates := rest
+       done
+     with Exit -> ());
+    List.rev !paths

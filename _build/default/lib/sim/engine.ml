@@ -1,0 +1,53 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable now : float;
+  mutable processed : int;
+  mutable stopped : bool;
+}
+
+let create () =
+  { queue = Heap.create (); now = 0.0; processed = 0; stopped = false }
+
+let now e = e.now
+
+let check_finite what v =
+  if not (Float.is_finite v) then
+    invalid_arg (Printf.sprintf "Engine.%s: time not finite" what)
+
+let schedule e ~delay f =
+  check_finite "schedule" delay;
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Heap.push e.queue (e.now +. delay) f
+
+let schedule_at e ~time f =
+  check_finite "schedule_at" time;
+  if time < e.now then invalid_arg "Engine.schedule_at: time in the past";
+  Heap.push e.queue time f
+
+let step e =
+  match Heap.pop e.queue with
+  | None -> false
+  | Some (time, f) ->
+    e.now <- time;
+    e.processed <- e.processed + 1;
+    f ();
+    true
+
+let run ?until e =
+  e.stopped <- false;
+  let horizon = match until with Some t -> t | None -> infinity in
+  let rec loop () =
+    if not e.stopped then
+      match Heap.peek e.queue with
+      | Some (time, _) when time <= horizon ->
+        if step e then loop ()
+      | Some _ | None ->
+        if Float.is_finite horizon && horizon > e.now then e.now <- horizon
+  in
+  loop ()
+
+let pending e = Heap.size e.queue
+
+let processed e = e.processed
+
+let stop e = e.stopped <- true

@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    Time is a [float] in seconds. Events are thunks scheduled at absolute
+    or relative times; the engine pops them in time order (FIFO among
+    simultaneous events) and runs them, each of which may schedule more.
+    All network behaviour — transmission, propagation, queue service,
+    protocol timers — is expressed as events over one engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulation time, in seconds. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule e ~delay f] runs [f] at [now e +. delay].
+    @raise Invalid_argument if [delay] is negative or not finite. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> unit
+(** [schedule_at e ~time f] runs [f] at absolute [time].
+    @raise Invalid_argument if [time] is in the past or not finite. *)
+
+val run : ?until:float -> t -> unit
+(** Drain the event queue. With [until], stop once the next event would
+    be strictly after [until] and advance the clock to [until]. Events
+    scheduled exactly at [until] do run. *)
+
+val step : t -> bool
+(** Run exactly one event; [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of scheduled events not yet run. *)
+
+val processed : t -> int
+(** Number of events run since creation. *)
+
+val stop : t -> unit
+(** Make the current {!run} return after the event in progress; pending
+    events stay queued. *)

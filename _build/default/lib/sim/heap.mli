@@ -1,0 +1,24 @@
+(** Binary min-heap keyed on float priorities, with FIFO tie-breaking.
+
+    The event queue of the discrete-event engine. Equal-time events pop
+    in insertion order, which keeps simulations deterministic — the
+    property every reproducibility test relies on. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h k v] inserts [v] with priority [k]. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; among equal
+    priorities, the earliest pushed. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit

@@ -1,0 +1,85 @@
+(** Measurement plane: running moments, exact percentiles, histograms
+    and time series.
+
+    The SLA compliance machinery (delay bounds, jitter, loss ratios) is
+    built on these; they never influence forwarding. *)
+
+(** Running mean/variance in one pass (Welford's algorithm), with min
+    and max. Constant space — used for per-class delay accounting that
+    may see millions of packets. *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val variance : t -> float
+  (** Population variance; 0 with fewer than two samples. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val merge : t -> t -> t
+  (** Combine two summaries as if all samples were added to one. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Exact percentiles over a stored sample set. Linear space; use for
+    bounded-cardinality measurements (per-flow delays). *)
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile s q] for [q] in [0, 1], by linear interpolation
+      between order statistics. 0 when empty.
+      @raise Invalid_argument if [q] is outside [0, 1]. *)
+
+  val median : t -> float
+  val mean : t -> float
+  val to_array : t -> float array
+  (** A sorted copy of the samples. *)
+end
+
+(** Fixed-edge histogram. *)
+module Hist : sig
+  type t
+
+  val create : float array -> t
+  (** [create edges] has buckets (-inf, e0], (e0, e1], ..., (en, inf).
+      Edges must be strictly increasing.
+      @raise Invalid_argument otherwise. *)
+
+  val add : t -> float -> unit
+  val counts : t -> int array
+  (** Length is [Array.length edges + 1]. *)
+
+  val total : t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Append-only (time, value) series, e.g. link utilization over time. *)
+module Timeseries : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> float -> unit
+  (** [add ts time v]; times must be non-decreasing.
+      @raise Invalid_argument otherwise. *)
+
+  val length : t -> int
+  val to_list : t -> (float * float) list
+  val last : t -> (float * float) option
+  val mean_value : t -> float
+  val max_value : t -> float
+end

@@ -1,0 +1,185 @@
+type link = {
+  id : int;
+  src : int;
+  dst : int;
+  bandwidth : float;
+  delay : float;
+  mutable cost : int;
+  mutable up : bool;
+  mutable reserved : float;
+}
+
+type t = {
+  mutable names : string array;
+  mutable nodes : int;
+  mutable link_arr : link array;
+  mutable link_n : int;
+  mutable adj : (int * int) list array;  (* node -> (neighbor, link id) *)
+}
+
+let create () =
+  { names = [||]; nodes = 0; link_arr = [||]; link_n = 0; adj = [||] }
+
+let grow_to arr n fill =
+  let cap = Array.length arr in
+  if n <= cap then arr
+  else begin
+    let narr = Array.make (max 16 (max n (2 * cap))) fill in
+    Array.blit arr 0 narr 0 cap;
+    narr
+  end
+
+let add_node ?name t =
+  let id = t.nodes in
+  let name = match name with Some n -> n | None -> Printf.sprintf "n%d" id in
+  t.names <- grow_to t.names (id + 1) "";
+  t.adj <- grow_to t.adj (id + 1) [];
+  t.names.(id) <- name;
+  t.adj.(id) <- [];
+  t.nodes <- id + 1;
+  id
+
+let node_count t = t.nodes
+
+let check_node t v =
+  if v < 0 || v >= t.nodes then
+    invalid_arg (Printf.sprintf "Topology: unknown node %d" v)
+
+let node_name t v =
+  check_node t v;
+  t.names.(v)
+
+let find_node t name =
+  let rec go i =
+    if i >= t.nodes then None
+    else if String.equal t.names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let link_count t = t.link_n
+
+let link t id =
+  if id < 0 || id >= t.link_n then
+    invalid_arg (Printf.sprintf "Topology.link: unknown link %d" id);
+  t.link_arr.(id)
+
+let find_link t a b =
+  if a < 0 || a >= t.nodes then None
+  else
+    List.find_map
+      (fun (nbr, lid) -> if nbr = b then Some t.link_arr.(lid) else None)
+      t.adj.(a)
+
+let add_oneway ?(cost = 1) t a b ~bandwidth ~delay =
+  check_node t a;
+  check_node t b;
+  if a = b then invalid_arg "Topology.connect: self-loop";
+  if find_link t a b <> None then
+    invalid_arg (Printf.sprintf "Topology.connect: duplicate link %d->%d" a b);
+  let l =
+    { id = t.link_n; src = a; dst = b; bandwidth; delay; cost; up = true;
+      reserved = 0.0 }
+  in
+  t.link_arr <- grow_to t.link_arr (t.link_n + 1) l;
+  t.link_arr.(t.link_n) <- l;
+  t.link_n <- t.link_n + 1;
+  t.adj.(a) <- (b, l.id) :: t.adj.(a);
+  l
+
+let connect ?cost t a b ~bandwidth ~delay =
+  let ab = add_oneway ?cost t a b ~bandwidth ~delay in
+  let ba = add_oneway ?cost t b a ~bandwidth ~delay in
+  (ab, ba)
+
+let links t = List.init t.link_n (fun i -> t.link_arr.(i))
+
+let neighbors t v =
+  check_node t v;
+  List.rev_map (fun (nbr, lid) -> (nbr, t.link_arr.(lid))) t.adj.(v)
+
+let up_neighbors t v =
+  List.filter (fun (_, l) -> l.up) (neighbors t v)
+
+let set_duplex_state t a b up =
+  match find_link t a b, find_link t b a with
+  | Some ab, Some ba ->
+    ab.up <- up;
+    ba.up <- up
+  | _ ->
+    invalid_arg
+      (Printf.sprintf "Topology.set_duplex_state: no connection %d<->%d" a b)
+
+let available l = Float.max 0.0 (l.bandwidth -. l.reserved)
+
+let reserve l bw =
+  if bw <= available l then begin
+    l.reserved <- l.reserved +. bw;
+    true
+  end else false
+
+let release l bw = l.reserved <- Float.max 0.0 (l.reserved -. bw)
+
+(* --- Builders --------------------------------------------------------- *)
+
+let fresh_nodes t n = Array.init n (fun _ -> add_node t)
+
+let line t n ~bandwidth ~delay =
+  let ids = fresh_nodes t n in
+  for i = 0 to n - 2 do
+    ignore (connect t ids.(i) ids.(i + 1) ~bandwidth ~delay)
+  done;
+  ids
+
+let ring t n ~bandwidth ~delay =
+  if n < 3 then invalid_arg "Topology.ring: need at least 3 nodes";
+  let ids = fresh_nodes t n in
+  for i = 0 to n - 1 do
+    ignore (connect t ids.(i) ids.((i + 1) mod n) ~bandwidth ~delay)
+  done;
+  ids
+
+let star t n ~bandwidth ~delay =
+  let hub = add_node t in
+  let leaves = fresh_nodes t n in
+  Array.iter (fun leaf -> ignore (connect t hub leaf ~bandwidth ~delay))
+    leaves;
+  (hub, leaves)
+
+let full_mesh t n ~bandwidth ~delay =
+  let ids = fresh_nodes t n in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      ignore (connect t ids.(i) ids.(j) ~bandwidth ~delay)
+    done
+  done;
+  ids
+
+let ring_with_chords t n ~chords ~bandwidth ~delay =
+  let ids = ring t n ~bandwidth ~delay in
+  List.iter
+    (fun (i, j) ->
+       if i < 0 || i >= n || j < 0 || j >= n then
+         invalid_arg "Topology.ring_with_chords: chord index out of range";
+       ignore (connect t ids.(i) ids.(j) ~bandwidth ~delay))
+    chords;
+  ids
+
+let random_connected t rng ~n ~extra_links ~bandwidth ~delay =
+  if n < 1 then invalid_arg "Topology.random_connected: need nodes";
+  let ids = fresh_nodes t n in
+  (* Random spanning tree: attach each new node to a random earlier one. *)
+  for i = 1 to n - 1 do
+    let j = Rng.int rng i in
+    ignore (connect t ids.(i) ids.(j) ~bandwidth ~delay)
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra_links && !attempts < extra_links * 20 do
+    incr attempts;
+    let i = Rng.int rng n and j = Rng.int rng n in
+    if i <> j && find_link t ids.(i) ids.(j) = None then begin
+      ignore (connect t ids.(i) ids.(j) ~bandwidth ~delay);
+      incr added
+    end
+  done;
+  ids

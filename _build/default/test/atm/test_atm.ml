@@ -1,0 +1,237 @@
+open Mvpn_atm
+
+(* --- Cell --------------------------------------------------------------- *)
+
+let test_cell_constants () =
+  Alcotest.(check int) "53 bytes" 53 Cell.cell_bytes;
+  Alcotest.(check int) "5 header" 5 Cell.header_bytes;
+  Alcotest.(check int) "48 payload" 48 Cell.payload_bytes
+
+let test_cell_validation () =
+  Alcotest.check_raises "vpi range"
+    (Invalid_argument "Cell.make: vpi 256 out of range") (fun () ->
+      ignore
+        (Cell.make ~vpi:256 ~vci:1 ~frame_id:0 ~index:0 ~last_of_frame:true
+           ()));
+  Alcotest.check_raises "vci range"
+    (Invalid_argument "Cell.make: vci 65536 out of range") (fun () ->
+      ignore
+        (Cell.make ~vpi:0 ~vci:65536 ~frame_id:0 ~index:0
+           ~last_of_frame:true ()))
+
+(* --- Aal5 --------------------------------------------------------------- *)
+
+let test_aal5_cell_counts () =
+  (* 40 + 8 = 48 -> 1 cell; 41 + 8 = 49 -> 2 cells. *)
+  Alcotest.(check int) "exact fit" 1 (Aal5.cells_for ~payload:40);
+  Alcotest.(check int) "one over" 2 (Aal5.cells_for ~payload:41);
+  (* 1500-byte packet: 1508/48 = 31.4 -> 32 cells. *)
+  Alcotest.(check int) "mtu frame" 32 (Aal5.cells_for ~payload:1500);
+  Alcotest.(check int) "wire bytes" (32 * 53) (Aal5.wire_bytes ~payload:1500)
+
+let test_aal5_cell_tax () =
+  (* 1500B: 1696 wire -> ~11.6% tax. 40B (voice): 53 wire -> 24.5%. *)
+  let tax1500 = Aal5.overhead_fraction ~payload:1500 in
+  let tax40 = Aal5.overhead_fraction ~payload:40 in
+  Alcotest.(check bool) "mtu tax ~11-12%" true
+    (tax1500 > 0.11 && tax1500 < 0.12);
+  Alcotest.(check bool) "small packets taxed harder" true (tax40 > tax1500)
+
+let test_aal5_segment_shape () =
+  let cells = Aal5.segment ~vpi:1 ~vci:100 ~frame_id:7 ~payload:1500 in
+  Alcotest.(check int) "count" 32 (List.length cells);
+  let last = List.nth cells 31 in
+  Alcotest.(check bool) "eom flagged" true last.Cell.last_of_frame;
+  Alcotest.(check bool) "only the last" true
+    (List.for_all
+       (fun (c : Cell.t) ->
+          c.Cell.last_of_frame = (c.Cell.index = 31))
+       cells);
+  Alcotest.(check bool) "indices sequential" true
+    (List.mapi (fun i (c : Cell.t) -> c.Cell.index = i) cells
+     |> List.for_all Fun.id)
+
+let test_reassembler_clean_frames () =
+  let r = Aal5.Reassembler.create () in
+  let feed frame_id =
+    List.iter
+      (fun c -> ignore (Aal5.Reassembler.push r c))
+      (Aal5.segment ~vpi:0 ~vci:1 ~frame_id ~payload:500)
+  in
+  feed 1;
+  feed 2;
+  Alcotest.(check int) "two frames" 2 (Aal5.Reassembler.frames_ok r);
+  Alcotest.(check int) "no corruption" 0 (Aal5.Reassembler.frames_corrupt r)
+
+let test_reassembler_one_lost_cell_kills_frame () =
+  let r = Aal5.Reassembler.create () in
+  let cells = Aal5.segment ~vpi:0 ~vci:1 ~frame_id:1 ~payload:1500 in
+  (* Drop cell #10. *)
+  List.iteri
+    (fun i c -> if i <> 10 then ignore (Aal5.Reassembler.push r c))
+    cells;
+  Alcotest.(check int) "frame corrupt" 1 (Aal5.Reassembler.frames_corrupt r);
+  Alcotest.(check int) "nothing delivered" 0 (Aal5.Reassembler.frames_ok r)
+
+let test_reassembler_lost_eom () =
+  let r = Aal5.Reassembler.create () in
+  let frame1 = Aal5.segment ~vpi:0 ~vci:1 ~frame_id:1 ~payload:500 in
+  (* Lose the last (EOM) cell of frame 1, then send frame 2 cleanly. *)
+  List.iteri
+    (fun i c ->
+       if i < List.length frame1 - 1 then
+         ignore (Aal5.Reassembler.push r c))
+    frame1;
+  List.iter
+    (fun c -> ignore (Aal5.Reassembler.push r c))
+    (Aal5.segment ~vpi:0 ~vci:1 ~frame_id:2 ~payload:500);
+  Alcotest.(check int) "frame1 corrupt" 1
+    (Aal5.Reassembler.frames_corrupt r);
+  Alcotest.(check int) "frame2 ok" 1 (Aal5.Reassembler.frames_ok r)
+
+let reassembler_loss_amplification =
+  QCheck.Test.make
+    ~name:"random cell loss never yields a frame with missing cells"
+    ~count:100
+    QCheck.(pair small_int (int_range 1 9000))
+    (fun (seed, payload) ->
+       let rng = Mvpn_sim.Rng.create (seed + 1) in
+       let r = Aal5.Reassembler.create () in
+       let sent = ref 0 and delivered_cells = ref 0 in
+       for frame_id = 1 to 20 do
+         incr sent;
+         List.iter
+           (fun c ->
+              if not (Mvpn_sim.Rng.bool rng 0.05) then
+                match Aal5.Reassembler.push r c with
+                | Aal5.Reassembler.Frame { cells; _ } ->
+                  delivered_cells := !delivered_cells + cells
+                | Aal5.Reassembler.Incomplete
+                | Aal5.Reassembler.Corrupt _ -> ())
+           (Aal5.segment ~vpi:0 ~vci:1 ~frame_id ~payload)
+       done;
+       (* Delivered frames are exactly whole: cells accounted = frames *
+          cells_for payload. *)
+       !delivered_cells
+       = Aal5.Reassembler.frames_ok r * Aal5.cells_for ~payload)
+
+let aal5_wire_bounds =
+  QCheck.Test.make ~name:"aal5 wire size bounds and monotonicity" ~count:300
+    QCheck.(int_range 1 9000)
+    (fun payload ->
+       let wire = Aal5.wire_bytes ~payload in
+       wire >= payload + Aal5.trailer_bytes
+       && wire <= payload + Aal5.trailer_bytes + Cell.payload_bytes - 1
+                  + (Aal5.cells_for ~payload * Cell.header_bytes)
+       && Aal5.cells_for ~payload:(payload + 48) = Aal5.cells_for ~payload + 1)
+
+(* --- Switch ------------------------------------------------------------- *)
+
+let test_switch_cross_connect () =
+  let sw = Switch.create ~line_rate_bps:155e6 in
+  (match
+     Switch.admit sw ~in_vpi:1 ~in_vci:100 ~out_vpi:2 ~out_vci:200
+       ~next_hop:9 (Switch.Cbr { pcr = 1000.0 })
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "admit: %s" e);
+  let c = Cell.make ~vpi:1 ~vci:100 ~frame_id:0 ~index:0 ~last_of_frame:true () in
+  (match Switch.switch sw c with
+   | Some (c', nh) ->
+     Alcotest.(check int) "vpi rewritten" 2 c'.Cell.vpi;
+     Alcotest.(check int) "vci rewritten" 200 c'.Cell.vci;
+     Alcotest.(check int) "next hop" 9 nh
+   | None -> Alcotest.fail "switching failed");
+  Alcotest.(check bool) "unknown vc dropped" true
+    (Switch.switch sw
+       (Cell.make ~vpi:9 ~vci:9 ~frame_id:0 ~index:0 ~last_of_frame:true ())
+     = None)
+
+let test_switch_admission_limits () =
+  (* Line rate 1.06 Mb/s = 2500 cells/s. *)
+  let sw = Switch.create ~line_rate_bps:(2500.0 *. 53.0 *. 8.0) in
+  (match
+     Switch.admit sw ~in_vpi:0 ~in_vci:1 ~out_vpi:0 ~out_vci:2 ~next_hop:1
+       (Switch.Cbr { pcr = 2000.0 })
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "first: %s" e);
+  (match
+     Switch.admit sw ~in_vpi:0 ~in_vci:3 ~out_vpi:0 ~out_vci:4 ~next_hop:1
+       (Switch.Cbr { pcr = 1000.0 })
+   with
+   | Ok () -> Alcotest.fail "should refuse: over line rate"
+   | Error _ -> ());
+  (* VBR reserves only SCR, so statistical gain admits more. *)
+  (match
+     Switch.admit sw ~in_vpi:0 ~in_vci:3 ~out_vpi:0 ~out_vci:4 ~next_hop:1
+       (Switch.Vbr { scr = 400.0; pcr = 1500.0; mbs = 100 })
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "vbr: %s" e);
+  (* UBR always fits. *)
+  (match
+     Switch.admit sw ~in_vpi:0 ~in_vci:5 ~out_vpi:0 ~out_vci:6 ~next_hop:1
+       Switch.Ubr
+   with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "ubr: %s" e);
+  Alcotest.(check int) "three vcs" 3 (Switch.vc_count sw);
+  Alcotest.(check bool) "reservation fraction sane" true
+    (Switch.reserved_fraction sw > 0.9
+     && Switch.reserved_fraction sw <= 1.0)
+
+let test_switch_release () =
+  let sw = Switch.create ~line_rate_bps:155e6 in
+  ignore
+    (Switch.admit sw ~in_vpi:0 ~in_vci:1 ~out_vpi:0 ~out_vci:2 ~next_hop:1
+       (Switch.Cbr { pcr = 1000.0 }));
+  Alcotest.(check bool) "released" true (Switch.release sw ~in_vpi:0 ~in_vci:1);
+  Alcotest.(check (float 1e-9)) "reservation returned" 0.0
+    (Switch.reserved_fraction sw);
+  Alcotest.(check bool) "double release" false
+    (Switch.release sw ~in_vpi:0 ~in_vci:1)
+
+let test_switch_duplicate_and_validation () =
+  let sw = Switch.create ~line_rate_bps:155e6 in
+  ignore
+    (Switch.admit sw ~in_vpi:0 ~in_vci:1 ~out_vpi:0 ~out_vci:2 ~next_hop:1
+       Switch.Ubr);
+  (match
+     Switch.admit sw ~in_vpi:0 ~in_vci:1 ~out_vpi:3 ~out_vci:4 ~next_hop:1
+       Switch.Ubr
+   with
+   | Ok () -> Alcotest.fail "duplicate admitted"
+   | Error _ -> ());
+  match
+    Switch.admit sw ~in_vpi:0 ~in_vci:9 ~out_vpi:0 ~out_vci:9 ~next_hop:1
+      (Switch.Vbr { scr = 100.0; pcr = 50.0; mbs = 10 })
+  with
+  | Ok () -> Alcotest.fail "invalid vbr admitted"
+  | Error _ -> ()
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "atm"
+    [ ("cell",
+       [ Alcotest.test_case "constants" `Quick test_cell_constants;
+         Alcotest.test_case "validation" `Quick test_cell_validation ]);
+      ("aal5",
+       [ Alcotest.test_case "cell counts" `Quick test_aal5_cell_counts;
+         Alcotest.test_case "cell tax" `Quick test_aal5_cell_tax;
+         Alcotest.test_case "segment shape" `Quick test_aal5_segment_shape;
+         Alcotest.test_case "clean frames" `Quick
+           test_reassembler_clean_frames;
+         Alcotest.test_case "one lost cell kills frame" `Quick
+           test_reassembler_one_lost_cell_kills_frame;
+         Alcotest.test_case "lost eom" `Quick test_reassembler_lost_eom;
+         qt reassembler_loss_amplification;
+         qt aal5_wire_bounds ]);
+      ("switch",
+       [ Alcotest.test_case "cross connect" `Quick
+           test_switch_cross_connect;
+         Alcotest.test_case "admission limits" `Quick
+           test_switch_admission_limits;
+         Alcotest.test_case "release" `Quick test_switch_release;
+         Alcotest.test_case "duplicates and validation" `Quick
+           test_switch_duplicate_and_validation ]) ]

@@ -1,0 +1,1583 @@
+open Mvpn_core
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Prefix = Mvpn_net.Prefix
+module Ipv4 = Mvpn_net.Ipv4
+module Flow = Mvpn_net.Flow
+module Packet = Mvpn_net.Packet
+module Dscp = Mvpn_net.Dscp
+module Fib = Mvpn_net.Fib
+module Sla = Mvpn_qos.Sla
+module Crypto = Mvpn_ipsec.Crypto
+
+let ip = Ipv4.of_string_exn
+let pfx = Prefix.of_string_exn
+
+let mk_site ~id ~vpn ~prefix ~ce ~pe =
+  Site.make ~id ~name:(Printf.sprintf "s%d" id) ~vpn
+    ~prefix:(pfx prefix) ~ce_node:ce ~pe_node:pe
+
+(* --- Membership --------------------------------------------------------- *)
+
+let test_membership_isolation () =
+  let m = Membership.create ~pe_count:4 () in
+  let s1 = mk_site ~id:1 ~vpn:1 ~prefix:"10.0.0.0/16" ~ce:10 ~pe:0 in
+  let s2 = mk_site ~id:2 ~vpn:1 ~prefix:"10.1.0.0/16" ~ce:11 ~pe:1 in
+  let s3 = mk_site ~id:3 ~vpn:2 ~prefix:"10.0.0.0/16" ~ce:12 ~pe:0 in
+  List.iter (Membership.join m) [s1; s2; s3];
+  let found = Membership.discover m ~asking:s1 in
+  Alcotest.(check int) "only own vpn" 1 (List.length found);
+  Alcotest.(check int) "the right site" 2 (List.hd found).Site.id;
+  Alcotest.(check (list int)) "vpn ids" [1; 2] (Membership.vpn_ids m)
+
+let test_membership_join_leave () =
+  let m = Membership.create ~pe_count:4 () in
+  let s1 = mk_site ~id:1 ~vpn:1 ~prefix:"10.0.0.0/16" ~ce:10 ~pe:0 in
+  Membership.join m s1;
+  Alcotest.check_raises "double join"
+    (Invalid_argument "Membership.join: site 1 already a member") (fun () ->
+      Membership.join m s1);
+  Alcotest.(check bool) "leave" true (Membership.leave m ~site_id:1);
+  Alcotest.(check bool) "gone" false (Membership.leave m ~site_id:1);
+  Alcotest.(check int) "empty" 0 (Membership.site_count m)
+
+let test_membership_mechanism_costs () =
+  let build mechanism =
+    let m = Membership.create ~mechanism ~pe_count:10 () in
+    for i = 1 to 5 do
+      Membership.join m
+        (mk_site ~id:i ~vpn:1 ~prefix:"10.0.0.0/16" ~ce:(10 + i) ~pe:0)
+    done;
+    Membership.messages m
+  in
+  let directory = build Membership.Directory in
+  let flooded = build Membership.Flooded in
+  (* Directory: 1+0, 1+1 ... 1+4 = 15. Flooded: 10 per join = 50. *)
+  Alcotest.(check int) "directory" 15 directory;
+  Alcotest.(check int) "flooded" 50 flooded
+
+(* --- Vrf ------------------------------------------------------------------ *)
+
+let test_vrf_overlapping_isolation () =
+  let rd1 = { Mvpn_routing.Mpbgp.rd_asn = 65000; rd_assigned = 1 } in
+  let rt1 = { Mvpn_routing.Mpbgp.rt_asn = 65000; rt_value = 1 } in
+  let v1 =
+    Vrf.create ~pe:0 ~vpn:1 ~rd:rd1 ~import_rts:[rt1] ~export_rts:[rt1]
+  in
+  let v2 =
+    Vrf.create ~pe:0 ~vpn:2
+      ~rd:{ Mvpn_routing.Mpbgp.rd_asn = 65000; rd_assigned = 2 }
+      ~import_rts:[] ~export_rts:[]
+  in
+  (* Same prefix in both VRFs, different answers. *)
+  let s1 = mk_site ~id:1 ~vpn:1 ~prefix:"10.0.0.0/16" ~ce:100 ~pe:0 in
+  Vrf.add_local v1 s1;
+  Vrf.install_remote v2 ~prefix:(pfx "10.0.0.0/16") ~pe:7 ~vpn_label:77;
+  (match Vrf.lookup v1 (ip "10.0.1.1") with
+   | Some (Vrf.Local_site s) -> Alcotest.(check int) "vrf1 local" 1 s.Site.id
+   | _ -> Alcotest.fail "vrf1 wrong");
+  (match Vrf.lookup v2 (ip "10.0.1.1") with
+   | Some (Vrf.Remote_pe { pe; vpn_label }) ->
+     Alcotest.(check int) "vrf2 pe" 7 pe;
+     Alcotest.(check int) "vrf2 label" 77 vpn_label
+   | _ -> Alcotest.fail "vrf2 wrong");
+  Alcotest.(check int) "clear remote" 1 (Vrf.clear_remote v2);
+  Alcotest.(check bool) "vrf2 now empty" true
+    (Vrf.lookup v2 (ip "10.0.1.1") = None)
+
+(* --- Qos_mapping --------------------------------------------------------- *)
+
+let test_qos_bands () =
+  Alcotest.(check int) "ef" 0 (Qos_mapping.band_of_dscp Dscp.ef);
+  Alcotest.(check int) "af31" 1 (Qos_mapping.band_of_dscp (Dscp.af 3 1));
+  Alcotest.(check int) "af11" 2 (Qos_mapping.band_of_dscp (Dscp.af 1 1));
+  Alcotest.(check int) "be" 3 (Qos_mapping.band_of_dscp Dscp.best_effort);
+  Alcotest.(check int) "cs6" 0 (Qos_mapping.band_of_dscp (Dscp.cs 6))
+
+let test_qos_band_of_packet_prefers_exp () =
+  let p =
+    Packet.make ~dscp:Dscp.best_effort ~now:0.0
+      (Flow.make (ip "10.0.0.1") (ip "10.1.0.1"))
+  in
+  Alcotest.(check int) "unlabelled uses dscp" 3 (Qos_mapping.band_of_packet p);
+  Packet.push_label p ~label:100 ~exp:5 ~ttl:64;
+  Alcotest.(check int) "labelled uses exp" 0 (Qos_mapping.band_of_packet p)
+
+let test_qos_mark_exp () =
+  let p =
+    Packet.make ~dscp:(Dscp.af 3 1) ~now:0.0
+      (Flow.make (ip "10.0.0.1") (ip "10.1.0.1"))
+  in
+  Packet.push_label p ~label:100 ~exp:0 ~ttl:64;
+  Packet.push_label p ~label:200 ~exp:0 ~ttl:64;
+  Qos_mapping.mark_exp_from_dscp p;
+  List.iter
+    (fun (s : Packet.shim) -> Alcotest.(check int) "exp set" 3 s.Packet.exp)
+    p.Packet.labels
+
+let test_qos_encrypted_tunnel_lands_in_be () =
+  let p =
+    Packet.make ~dscp:Dscp.ef ~now:0.0
+      (Flow.make (ip "10.0.0.1") (ip "10.1.0.1"))
+  in
+  Packet.encapsulate p ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+    ~proto:Flow.Esp ~overhead:57 ~copy_tos:false;
+  Alcotest.(check int) "no tos copy: best effort band" 3
+    (Qos_mapping.band_of_packet p)
+
+(* --- Network -------------------------------------------------------------- *)
+
+let line_net () =
+  let topo = Topology.create () in
+  let ids = Topology.line topo 3 ~bandwidth:1e6 ~delay:0.001 in
+  let engine = Engine.create () in
+  let net = Network.create engine topo in
+  (engine, topo, net, ids)
+
+let test_network_ip_forwarding () =
+  let engine, _topo, net, ids = line_net () in
+  Fib.add (Network.fib net ids.(0)) (pfx "10.9.0.0/16")
+    { Fib.next_hop = ids.(1); cost = 1; source = Fib.Static };
+  Fib.add (Network.fib net ids.(1)) (pfx "10.9.0.0/16")
+    { Fib.next_hop = ids.(2); cost = 1; source = Fib.Static };
+  Fib.add (Network.fib net ids.(2)) (pfx "10.9.0.0/16")
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  let got = ref None in
+  Network.set_sink net ids.(2) (fun p -> got := Some p);
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.1.0.1") (ip "10.9.0.1"))
+  in
+  Network.inject net ids.(0) p;
+  Engine.run engine;
+  (match !got with
+   | Some d ->
+     Alcotest.(check int) "same packet" p.Packet.uid d.Packet.uid;
+     Alcotest.(check int) "ttl decremented twice" (Packet.default_ttl - 2)
+       d.Packet.inner.Packet.ttl
+   | None -> Alcotest.fail "not delivered");
+  Alcotest.(check int) "no drops" 0 (Network.drops net)
+
+let test_network_no_route_drop () =
+  let engine, _topo, net, ids = line_net () in
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.1.0.1") (ip "10.9.0.1"))
+  in
+  Network.inject net ids.(0) p;
+  Engine.run engine;
+  Alcotest.(check (list (pair string int))) "counted" [("no-route", 1)]
+    (Network.drop_counts net)
+
+let test_network_ttl_drop () =
+  let engine, _topo, net, ids = line_net () in
+  Fib.add (Network.fib net ids.(0)) Prefix.default
+    { Fib.next_hop = ids.(1); cost = 1; source = Fib.Static };
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.1.0.1") (ip "10.9.0.1"))
+  in
+  p.Packet.inner.Packet.ttl <- 1;
+  Network.inject net ids.(0) p;
+  Engine.run engine;
+  Alcotest.(check (list (pair string int))) "ttl drop" [("ip-ttl", 1)]
+    (Network.drop_counts net)
+
+let test_network_interceptor_consumes () =
+  let engine, _topo, net, ids = line_net () in
+  let seen = ref 0 in
+  Network.set_interceptor net ids.(0) (fun ~from:_ _ ->
+      incr seen;
+      Network.Consumed);
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.1.0.1") (ip "10.9.0.1"))
+  in
+  Network.inject net ids.(0) p;
+  Engine.run engine;
+  Alcotest.(check int) "intercepted" 1 !seen;
+  Alcotest.(check int) "nothing dropped" 0 (Network.drops net)
+
+let test_network_label_forwarding () =
+  let engine, _topo, net, ids = line_net () in
+  let plane = Network.plane net in
+  Mvpn_mpls.Lfib.install
+    (Mvpn_mpls.Plane.lfib plane ids.(1))
+    ~in_label:100
+    { Mvpn_mpls.Lfib.op = Mvpn_mpls.Lfib.Pop; next_hop = ids.(2) };
+  Fib.add (Network.fib net ids.(2)) (pfx "10.9.0.0/16")
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  let got = ref false in
+  Network.set_sink net ids.(2) (fun _ -> got := true);
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.1.0.1") (ip "10.9.0.1"))
+  in
+  Packet.push_label p ~label:100 ~exp:0 ~ttl:64;
+  Network.transmit net ~from:ids.(0) ~to_:ids.(1) p;
+  Engine.run engine;
+  Alcotest.(check bool) "delivered over lsp" true !got
+
+(* --- Backbone ------------------------------------------------------------- *)
+
+let test_backbone_shape () =
+  let bb = Backbone.build () in
+  Alcotest.(check int) "pops" 12 (Backbone.pop_count bb);
+  (* 12 ring + 3 chords = 15 duplex = 30 links. *)
+  Alcotest.(check int) "links" 30 (Topology.link_count (Backbone.topology bb));
+  Alcotest.(check bool) "loopbacks distinct" true
+    (not
+       (Prefix.equal (Backbone.loopback bb ~pop:0) (Backbone.loopback bb ~pop:1)));
+  let s =
+    Backbone.attach_site bb ~id:1 ~name:"x" ~vpn:1 ~prefix:(pfx "10.0.0.0/16")
+      ~pop:3
+  in
+  Alcotest.(check (option int)) "pe is the pop" (Some 3)
+    (Backbone.pop_of_node bb s.Site.pe_node);
+  Alcotest.(check (option int)) "ce is not a pop" None
+    (Backbone.pop_of_node bb s.Site.ce_node)
+
+(* --- Mpls_vpn end to end --------------------------------------------------- *)
+
+(* Small backbone: 4 pops, 2 VPNs with identical prefixes, one site pair
+   each on pops 0 and 2. *)
+type e2e = {
+  engine : Engine.t;
+  net : Network.t;
+  bb : Backbone.t;
+  vpn : Mpls_vpn.t;
+  sites : Site.t list;
+}
+
+let build_e2e ?(use_te = false) ?(policy = Qos_mapping.Best_effort) () =
+  let bb = Backbone.build ~pops:4 ~chords:[] () in
+  let attach id vpn prefix pop =
+    Backbone.attach_site bb ~id ~name:(Printf.sprintf "s%d" id) ~vpn
+      ~prefix:(pfx prefix) ~pop
+  in
+  let s11 = attach 11 1 "10.0.0.0/16" 0 in
+  let s12 = attach 12 1 "10.1.0.0/16" 2 in
+  let s21 = attach 21 2 "10.0.0.0/16" 0 in
+  let s22 = attach 22 2 "10.1.0.0/16" 2 in
+  let engine = Engine.create () in
+  let net = Network.create ~policy engine (Backbone.topology bb) in
+  let sites = [s11; s12; s21; s22] in
+  let vpn = Mpls_vpn.deploy ~use_te ~net ~backbone:bb ~sites () in
+  { engine; net; bb; vpn; sites }
+
+let site_by_id e id =
+  List.find (fun (s : Site.t) -> s.Site.id = id) e.sites
+
+let send_between e ~(src : Site.t) ~(dst : Site.t) =
+  let p =
+    Packet.make ~vpn:src.Site.vpn ~now:(Engine.now e.engine)
+      (Flow.make
+         (Prefix.nth_host src.Site.prefix 1)
+         (Prefix.nth_host dst.Site.prefix 1))
+  in
+  Network.inject e.net src.Site.ce_node p;
+  p
+
+let test_mvpn_end_to_end_delivery () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  let delivered = ref [] in
+  Network.set_sink e.net s12.Site.ce_node (fun p ->
+      delivered := p :: !delivered);
+  let p = send_between e ~src:s11 ~dst:s12 in
+  Engine.run e.engine;
+  (match !delivered with
+   | [d] ->
+     Alcotest.(check int) "the packet" p.Packet.uid d.Packet.uid;
+     Alcotest.(check bool) "labels all popped" true
+       (Packet.top_label d = None)
+   | _ -> Alcotest.failf "expected 1 delivery, got %d (drops: %d)"
+            (List.length !delivered) (Network.drops e.net));
+  Alcotest.(check int) "no drops" 0 (Network.drops e.net)
+
+let test_mvpn_isolation_with_overlapping_prefixes () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  let s21 = site_by_id e 21 and s22 = site_by_id e 22 in
+  (* Both VPNs' destination sites share the address plan. *)
+  Alcotest.(check bool) "prefixes overlap" true
+    (Prefix.equal s12.Site.prefix s22.Site.prefix);
+  let vpn1_got = ref 0 and vpn2_got = ref 0 in
+  Network.set_sink e.net s12.Site.ce_node (fun p ->
+      Alcotest.(check (option int)) "vpn1 sink gets vpn1 traffic" (Some 1)
+        p.Packet.vpn;
+      incr vpn1_got);
+  Network.set_sink e.net s22.Site.ce_node (fun p ->
+      Alcotest.(check (option int)) "vpn2 sink gets vpn2 traffic" (Some 2)
+        p.Packet.vpn;
+      incr vpn2_got);
+  for _ = 1 to 5 do
+    ignore (send_between e ~src:s11 ~dst:s12);
+    ignore (send_between e ~src:s21 ~dst:s22)
+  done;
+  Engine.run e.engine;
+  Alcotest.(check int) "vpn1 deliveries" 5 !vpn1_got;
+  Alcotest.(check int) "vpn2 deliveries" 5 !vpn2_got;
+  Alcotest.(check int) "no leaks or losses" 0 (Network.drops e.net)
+
+let test_mvpn_no_cross_vpn_route () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 in
+  (* VPN 1's site sends to an address that only exists in VPN 2's
+     address plan... which is the same plan; but send to a prefix only
+     VPN 2 announced: give VPN 2 an extra site prefix. Simpler: send to
+     an address in no VRF route. *)
+  let p =
+    Packet.make ~vpn:1 ~now:0.0
+      (Flow.make (Prefix.nth_host s11.Site.prefix 1) (ip "172.20.0.1"))
+  in
+  Network.inject e.net s11.Site.ce_node p;
+  Engine.run e.engine;
+  Alcotest.(check (list (pair string int))) "vrf refuses"
+    [("vrf-no-route", 1)]
+    (Network.drop_counts e.net)
+
+let test_mvpn_hairpin_same_pe () =
+  (* Two VPN-1 sites on the same pop: traffic hairpins at the shared PE
+     without entering the core. *)
+  let bb = Backbone.build ~pops:4 ~chords:[] () in
+  let attach id prefix pop =
+    Backbone.attach_site bb ~id ~name:(Printf.sprintf "s%d" id) ~vpn:1
+      ~prefix:(pfx prefix) ~pop
+  in
+  let a = attach 1 "10.0.0.0/16" 0 in
+  let b = attach 2 "10.3.0.0/16" 0 in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let vpn = Mpls_vpn.deploy ~net ~backbone:bb ~sites:[a; b] () in
+  ignore vpn;
+  let delivered = ref 0 in
+  Network.set_sink net b.Site.ce_node (fun p ->
+      Alcotest.(check bool) "no labels on hairpin" true
+        (Packet.top_label p = None);
+      incr delivered);
+  let p =
+    Packet.make ~vpn:1 ~now:0.0
+      (Flow.make (Prefix.nth_host a.Site.prefix 1)
+         (Prefix.nth_host b.Site.prefix 1))
+  in
+  Network.inject net a.Site.ce_node p;
+  Engine.run engine;
+  Alcotest.(check int) "hairpinned" 1 !delivered;
+  Alcotest.(check int) "no drops" 0 (Network.drops net)
+
+let test_mvpn_uses_label_switching () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  Network.set_sink e.net s12.Site.ce_node (fun _ -> ());
+  (* Snoop on the PE's core-facing port: packets leaving pop0 toward
+     the core must be labelled. *)
+  ignore (send_between e ~src:s11 ~dst:s12);
+  (* Inspect while queued: inject, then check before running. *)
+  let topo = Network.topology e.net in
+  let labelled = ref false in
+  (* Intercept at the first core hop instead. *)
+  let pops = Backbone.pops e.bb in
+  Array.iter
+    (fun pop ->
+       if pop <> s11.Site.pe_node then
+         Network.set_interceptor e.net pop (fun ~from:_ p ->
+             if Packet.top_label p <> None then labelled := true;
+             Network.Continue))
+    pops;
+  ignore (send_between e ~src:s11 ~dst:s12);
+  Engine.run e.engine;
+  ignore topo;
+  Alcotest.(check bool) "transit saw labels" true !labelled
+
+let test_mvpn_metrics_linear_growth () =
+  (* MPLS VPN state grows linearly with sites; overlay VCs grow
+     quadratically. Compare 4 vs 8 sites in one VPN. *)
+  let build n =
+    let bb = Backbone.build ~pops:4 ~chords:[] () in
+    let sites =
+      List.init n (fun i ->
+          Backbone.attach_site bb ~id:i ~name:(Printf.sprintf "s%d" i)
+            ~vpn:1
+            ~prefix:(Prefix.make (Ipv4.of_octets 10 i 0 0) 16)
+            ~pop:(i mod 4))
+    in
+    let engine = Engine.create () in
+    let net = Network.create engine (Backbone.topology bb) in
+    let vpn = Mpls_vpn.deploy ~net ~backbone:bb ~sites () in
+    (Mpls_vpn.metrics vpn, Overlay.deploy ~net ~sites ())
+  in
+  let m4, _ = build 4 in
+  let m8, o8 = build 8 in
+  Alcotest.(check int) "vpnv4 routes = sites (n=4)" 4
+    m4.Mpls_vpn.vpnv4_routes;
+  Alcotest.(check int) "vpnv4 routes = sites (n=8)" 8
+    m8.Mpls_vpn.vpnv4_routes;
+  Alcotest.(check int) "overlay vcs quadratic" (8 * 7 / 2)
+    (Overlay.vc_count o8)
+
+let test_mvpn_remove_site () =
+  let e = build_e2e () in
+  let s12 = site_by_id e 12 in
+  Alcotest.(check bool) "removed" true
+    (Mpls_vpn.remove_site e.vpn ~site_id:12);
+  (* VPN 1's other site can no longer reach it. *)
+  let s11 = site_by_id e 11 in
+  ignore (send_between e ~src:s11 ~dst:s12);
+  Engine.run e.engine;
+  Alcotest.(check bool) "route is gone" true
+    (List.mem_assoc "vrf-no-route" (Network.drop_counts e.net))
+
+let test_mvpn_reconverge_after_failure () =
+  (* 4-pop ring: kill one ring link on the s11->s12 path; traffic must
+     re-route the other way around the ring. *)
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  let delivered = ref 0 in
+  Network.set_sink e.net s12.Site.ce_node (fun _ -> incr delivered);
+  ignore (send_between e ~src:s11 ~dst:s12);
+  Engine.run e.engine;
+  Alcotest.(check int) "before failure" 1 !delivered;
+  let pops = Backbone.pops e.bb in
+  Topology.set_duplex_state (Network.topology e.net) pops.(0) pops.(1) false;
+  let rounds = Mpls_vpn.reconverge e.vpn in
+  Alcotest.(check bool) "reflooded" true (rounds > 0);
+  ignore (send_between e ~src:s11 ~dst:s12);
+  Engine.run e.engine;
+  Alcotest.(check int) "after failure" 2 !delivered
+
+let test_mvpn_te_tunnels () =
+  let e = build_e2e ~use_te:true () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  let delivered = ref 0 in
+  Network.set_sink e.net s12.Site.ce_node (fun _ -> incr delivered);
+  ignore (send_between e ~src:s11 ~dst:s12);
+  Engine.run e.engine;
+  Alcotest.(check int) "delivered over te" 1 !delivered;
+  match Mpls_vpn.te e.vpn with
+  | Some te ->
+    Alcotest.(check bool) "tunnels exist" true
+      (List.length (Mvpn_mpls.Rsvp_te.tunnels te) > 0)
+  | None -> Alcotest.fail "te expected"
+
+let test_mvpn_dscp_to_exp_mapping () =
+  let e = build_e2e ~policy:(Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched) () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  Network.set_sink e.net s12.Site.ce_node (fun _ -> ());
+  let exp_seen = ref (-1) in
+  let pops = Backbone.pops e.bb in
+  Array.iter
+    (fun pop ->
+       if pop <> s11.Site.pe_node then
+         Network.set_interceptor e.net pop (fun ~from:_ p ->
+             (match Packet.top_exp p with
+              | Some exp -> exp_seen := exp
+              | None -> ());
+             Network.Continue))
+    pops;
+  let p =
+    Packet.make ~vpn:1 ~dscp:Dscp.ef ~now:0.0
+      (Flow.make
+         (Prefix.nth_host s11.Site.prefix 1)
+         (Prefix.nth_host s12.Site.prefix 1))
+  in
+  Network.inject e.net s11.Site.ce_node p;
+  Engine.run e.engine;
+  Alcotest.(check int) "EF mapped to exp 5" 5 !exp_seen
+
+let test_mvpn_multicast_reaches_group () =
+  (* Four VPN-1 sites (two sharing a PE) plus one VPN-2 site: a group
+     send from s11 must reach every other VPN-1 site exactly once and
+     VPN 2 never. *)
+  let bb = Backbone.build ~pops:4 ~chords:[] () in
+  let attach id vpn prefix pop =
+    Backbone.attach_site bb ~id ~name:(Printf.sprintf "s%d" id) ~vpn
+      ~prefix:(pfx prefix) ~pop
+  in
+  let s11 = attach 11 1 "10.0.0.0/16" 0 in
+  let s12 = attach 12 1 "10.1.0.0/16" 2 in
+  let s13 = attach 13 1 "10.2.0.0/16" 2 in
+  let s14 = attach 14 1 "10.3.0.0/16" 0 in
+  let s21 = attach 21 2 "10.0.0.0/16" 1 in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let _vpn =
+    Mpls_vpn.deploy ~net ~backbone:bb ~sites:[s11; s12; s13; s14; s21] ()
+  in
+  let copies = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Site.t) ->
+       Network.set_sink net s.Site.ce_node (fun _ ->
+           Hashtbl.replace copies s.Site.id
+             (1 + Option.value ~default:0 (Hashtbl.find_opt copies s.Site.id))))
+    [s11; s12; s13; s14; s21];
+  let group =
+    Packet.make ~vpn:1 ~dscp:Dscp.ef ~now:0.0
+      (Flow.make (Prefix.nth_host s11.Site.prefix 1) (ip "239.1.2.3"))
+  in
+  Network.inject net s11.Site.ce_node group;
+  Engine.run engine;
+  let got id = Option.value ~default:0 (Hashtbl.find_opt copies id) in
+  Alcotest.(check int) "s12 one copy" 1 (got 12);
+  Alcotest.(check int) "s13 one copy" 1 (got 13);
+  Alcotest.(check int) "s14 one copy (same-PE hairpin)" 1 (got 14);
+  Alcotest.(check int) "sender gets nothing back" 0 (got 11);
+  Alcotest.(check int) "other vpn untouched" 0 (got 21);
+  Alcotest.(check int) "no drops" 0 (Network.drops net)
+
+let test_mvpn_multicast_keeps_marking () =
+  (* Replicas carry the sender's DSCP: group voice stays EF. *)
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  let seen_dscp = ref None in
+  Network.set_sink e.net s12.Site.ce_node (fun p ->
+      seen_dscp := Some (Packet.visible_dscp p));
+  let group =
+    Packet.make ~vpn:1 ~dscp:Dscp.ef ~now:0.0
+      (Flow.make (Prefix.nth_host s11.Site.prefix 1) (ip "239.9.9.9"))
+  in
+  Network.inject e.net s11.Site.ce_node group;
+  Engine.run e.engine;
+  match !seen_dscp with
+  | Some d -> Alcotest.(check bool) "EF preserved" true (Dscp.equal d Dscp.ef)
+  | None -> Alcotest.fail "no replica delivered"
+
+(* --- Overlay end to end ----------------------------------------------------- *)
+
+type oe2e = {
+  oengine : Engine.t;
+  onet : Network.t;
+  osites : Site.t list;
+  odeploy : Overlay.t;
+}
+
+let build_overlay ?(cipher = Crypto.Des) ?(copy_tos = false) () =
+  let bb = Backbone.build ~pops:4 ~chords:[] () in
+  let attach id vpn prefix pop =
+    Backbone.attach_site bb ~id ~name:(Printf.sprintf "s%d" id) ~vpn
+      ~prefix:(pfx prefix) ~pop
+  in
+  let s1 = attach 1 1 "10.0.0.0/16" 0 in
+  let s2 = attach 2 1 "10.1.0.0/16" 2 in
+  let s3 = attach 3 2 "10.0.0.0/16" 1 in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let sites = [s1; s2; s3] in
+  let odeploy = Overlay.deploy ~cipher ~copy_tos ~net ~sites () in
+  { oengine = engine; onet = net; osites = sites; odeploy }
+
+let osite e id = List.find (fun (s : Site.t) -> s.Site.id = id) e.osites
+
+let test_overlay_end_to_end () =
+  let e = build_overlay () in
+  let s1 = osite e 1 and s2 = osite e 2 in
+  let delivered = ref [] in
+  Network.set_sink e.onet s2.Site.ce_node (fun p -> delivered := p :: !delivered);
+  let p =
+    Packet.make ~vpn:1 ~now:0.0
+      (Flow.make (Prefix.nth_host s1.Site.prefix 1)
+         (Prefix.nth_host s2.Site.prefix 1))
+  in
+  Network.inject e.onet s1.Site.ce_node p;
+  Engine.run e.oengine;
+  (match !delivered with
+   | [d] ->
+     Alcotest.(check int) "delivered" p.Packet.uid d.Packet.uid;
+     Alcotest.(check bool) "decapsulated" true (d.Packet.outer = None);
+     Alcotest.(check bool) "decrypted" false d.Packet.encrypted
+   | _ -> Alcotest.failf "expected 1 delivery (drops: %d)" (Network.drops e.onet))
+
+let test_overlay_tunnel_counts () =
+  let e = build_overlay () in
+  (* VPN 1 has 2 sites -> 1 VC (2 directional); VPN 2 has 1 site -> 0. *)
+  Alcotest.(check int) "vcs" 1 (Overlay.vc_count e.odeploy);
+  Alcotest.(check int) "tunnels" 2 (Overlay.tunnel_count e.odeploy)
+
+let test_overlay_replay_dropped () =
+  let e = build_overlay () in
+  let s1 = osite e 1 and s2 = osite e 2 in
+  let delivered = ref [] in
+  Network.set_sink e.onet s2.Site.ce_node (fun p -> delivered := p :: !delivered);
+  let p =
+    Packet.make ~vpn:1 ~now:0.0
+      (Flow.make (Prefix.nth_host s1.Site.prefix 1)
+         (Prefix.nth_host s2.Site.prefix 1))
+  in
+  Network.inject e.onet s1.Site.ce_node p;
+  Engine.run e.oengine;
+  Alcotest.(check int) "one delivery" 1 (List.length !delivered);
+  (* Attacker re-presents the delivered packet. *)
+  let replica = List.hd !delivered in
+  Alcotest.(check bool) "tunnel exists" true
+    (Overlay.inject_replayed_copy e.odeploy s1 s2 replica);
+  Engine.run e.oengine;
+  Alcotest.(check int) "still one delivery" 1 (List.length !delivered);
+  Alcotest.(check int) "replay counted" 1 (Overlay.replay_drops e.odeploy)
+
+let test_overlay_crypto_delays_delivery () =
+  let run cipher =
+    let e = build_overlay ~cipher () in
+    let s1 = osite e 1 and s2 = osite e 2 in
+    let at = ref 0.0 in
+    Network.set_sink e.onet s2.Site.ce_node (fun _ ->
+        at := Engine.now e.oengine);
+    let p =
+      Packet.make ~vpn:1 ~size:4096 ~now:0.0
+        (Flow.make (Prefix.nth_host s1.Site.prefix 1)
+           (Prefix.nth_host s2.Site.prefix 1))
+    in
+    Network.inject e.onet s1.Site.ce_node p;
+    Engine.run e.oengine;
+    !at
+  in
+  let null_at = run Crypto.Null in
+  let des_at = run Crypto.Des in
+  let des3_at = run Crypto.Des3 in
+  Alcotest.(check bool) "des slower than null" true (des_at > null_at);
+  Alcotest.(check bool) "3des slower than des" true (des3_at > des_at)
+
+let test_overlay_ike_gates_traffic () =
+  let bb = Backbone.build ~pops:4 ~chords:[] () in
+  let s1 =
+    Backbone.attach_site bb ~id:1 ~name:"s1" ~vpn:1
+      ~prefix:(pfx "10.0.0.0/16") ~pop:0
+  in
+  let s2 =
+    Backbone.attach_site bb ~id:2 ~name:"s2" ~vpn:1
+      ~prefix:(pfx "10.1.0.0/16") ~pop:2
+  in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let ike = Mvpn_ipsec.Ike.default_params ~rtt:0.1 in
+  let ov = Overlay.deploy ~ike ~net ~sites:[s1; s2] () in
+  let ready = Overlay.tunnel_ready_at ov in
+  Alcotest.(check bool) "keying takes time" true (ready > 0.3);
+  let delivered = ref 0 in
+  Network.set_sink net s2.Site.ce_node (fun _ -> incr delivered);
+  let send () =
+    Network.inject net s1.Site.ce_node
+      (Packet.make ~vpn:1 ~now:(Engine.now engine)
+         (Flow.make (Prefix.nth_host s1.Site.prefix 1)
+            (Prefix.nth_host s2.Site.prefix 1)))
+  in
+  (* Before keying completes: dropped as pending. *)
+  send ();
+  Engine.run engine;
+  Alcotest.(check int) "early packet dropped" 0 !delivered;
+  Alcotest.(check bool) "reason recorded" true
+    (List.mem_assoc "ike-pending" (Network.drop_counts net));
+  (* After keying: flows. *)
+  Engine.schedule_at engine ~time:(ready +. 0.01) send;
+  Engine.run engine;
+  Alcotest.(check int) "late packet delivered" 1 !delivered
+
+let test_overlay_cross_vpn_has_no_tunnel () =
+  let e = build_overlay () in
+  let s1 = osite e 1 and s3 = osite e 3 in
+  (* s3 is in VPN 2: no tunnel from s1; and s3's prefix overlaps s1's
+     own (10.0/16), so the packet stays local — never crosses VPNs. *)
+  let p =
+    Packet.make ~vpn:1 ~now:0.0
+      (Flow.make
+         (Prefix.nth_host s1.Site.prefix 1)
+         (Prefix.nth_host s3.Site.prefix 200))
+  in
+  let leaked = ref false in
+  Network.set_sink e.onet s3.Site.ce_node (fun _ -> leaked := true);
+  let own = ref 0 in
+  Network.set_sink e.onet s1.Site.ce_node (fun _ -> incr own);
+  Network.inject e.onet s1.Site.ce_node p;
+  Engine.run e.oengine;
+  Alcotest.(check bool) "no leak to vpn 2" false !leaked
+
+(* --- Tracing ----------------------------------------------------------------- *)
+
+let test_trace_sequence () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  Network.set_sink e.net s12.Site.ce_node (fun _ -> ());
+  let events = ref [] in
+  Network.set_tracer e.net (Some (fun ev -> events := ev :: !events));
+  let p = send_between e ~src:s11 ~dst:s12 in
+  Engine.run e.engine;
+  let events = List.rev !events in
+  Alcotest.(check bool) "events flowed" true (List.length events >= 4);
+  (* All events concern our packet. *)
+  Alcotest.(check bool) "uid consistent" true
+    (List.for_all (fun ev -> ev.Network.trace_uid = p.Packet.uid) events);
+  (* Times never decrease. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Network.trace_time <= b.Network.trace_time && monotone rest
+    | [_] | [] -> true
+  in
+  Alcotest.(check bool) "time monotone" true (monotone events);
+  (* The journey ends in exactly one delivery... *)
+  Alcotest.(check int) "one delivery" 1
+    (List.length
+       (List.filter
+          (fun ev -> ev.Network.trace_action = Network.Trace_deliver)
+          events));
+  (* ...and somewhere in the middle the packet was labelled. *)
+  Alcotest.(check bool) "labels observed" true
+    (List.exists (fun ev -> ev.Network.trace_labels <> []) events);
+  (* Turning the tracer off stops events. *)
+  Network.set_tracer e.net None;
+  let before = List.length events in
+  ignore (send_between e ~src:s11 ~dst:s12);
+  Engine.run e.engine;
+  Alcotest.(check int) "tracer off" before (List.length (List.rev events))
+
+let test_trace_drop_reported () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 in
+  let drops = ref [] in
+  Network.set_tracer e.net
+    (Some
+       (fun ev ->
+          match ev.Network.trace_action with
+          | Network.Trace_drop reason -> drops := reason :: !drops
+          | _ -> ()));
+  let p =
+    Packet.make ~vpn:1 ~now:0.0
+      (Flow.make (Prefix.nth_host s11.Site.prefix 1) (ip "172.29.0.1"))
+  in
+  Network.inject e.net s11.Site.ce_node p;
+  Engine.run e.engine;
+  Alcotest.(check (list string)) "drop traced" ["vrf-no-route"] !drops
+
+(* Property: random multi-VPN deployments never leak across VPNs, and
+   every intra-VPN pair delivers. *)
+let isolation_property =
+  QCheck.Test.make ~name:"random deployments: total isolation, full delivery"
+    ~count:15
+    QCheck.(pair (int_range 2 4) (int_range 2 4))
+    (fun (vpns, sites_per_vpn) ->
+       let sc =
+         Scenario.build ~pops:6 ~vpns ~sites_per_vpn
+           ~seed:(vpns * 100 + sites_per_vpn)
+           (Scenario.Mpls_deployment
+              { policy = Qos_mapping.Best_effort; use_te = false })
+       in
+       let net = Scenario.network sc in
+       let engine = Scenario.engine sc in
+       let ok = ref 0 and leak = ref 0 and expected = ref 0 in
+       let sites = Array.to_list (Scenario.sites sc) in
+       List.iter
+         (fun (s : Site.t) ->
+            Network.set_sink net s.Site.ce_node (fun p ->
+                if p.Packet.vpn = Some s.Site.vpn then incr ok
+                else incr leak))
+         sites;
+       List.iter
+         (fun (a : Site.t) ->
+            List.iter
+              (fun (b : Site.t) ->
+                 if a.Site.vpn = b.Site.vpn && a.Site.id <> b.Site.id then begin
+                   incr expected;
+                   Network.inject net a.Site.ce_node
+                     (Packet.make ~vpn:a.Site.vpn ~now:(Engine.now engine)
+                        (Flow.make
+                           (Prefix.nth_host a.Site.prefix 1)
+                           (Prefix.nth_host b.Site.prefix 1)))
+                 end)
+              sites)
+         sites;
+       Engine.run engine;
+       !leak = 0 && !ok = !expected)
+
+(* --- Interprovider ---------------------------------------------------------- *)
+
+let deploy_two_carriers () =
+  Interprovider.deploy_vpn ~pops_per_provider:4 ~vpn:7
+    ~sites_a:[(1, pfx "10.0.0.0/16"); (2, pfx "10.1.0.0/16")]
+    ~sites_b:[(1, pfx "10.2.0.0/16"); (3, pfx "10.3.0.0/16")]
+    ()
+
+let test_interprovider_cross_carrier_delivery () =
+  let ip2, engine, sites_a, sites_b = deploy_two_carriers () in
+  let net = Interprovider.network ip2 in
+  let a = List.hd sites_a and b = List.hd sites_b in
+  let delivered = ref [] in
+  Network.set_sink net b.Site.ce_node (fun p -> delivered := p :: !delivered);
+  let p =
+    Packet.make ~vpn:7 ~now:0.0
+      (Flow.make (Site.host a 1) (Site.host b 1))
+  in
+  Network.inject net a.Site.ce_node p;
+  Engine.run engine;
+  (match !delivered with
+   | [d] -> Alcotest.(check int) "across both carriers" p.Packet.uid d.Packet.uid
+   | _ ->
+     Alcotest.failf "expected 1 delivery, got %d (drops: %s)"
+       (List.length !delivered)
+       (String.concat ", "
+          (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n)
+             (Network.drop_counts net))));
+  Alcotest.(check bool) "ebgp exchanged routes" true
+    (Interprovider.ebgp_messages ip2 > 0)
+
+let test_interprovider_reverse_direction () =
+  let ip2, engine, sites_a, sites_b = deploy_two_carriers () in
+  let net = Interprovider.network ip2 in
+  let a = List.nth sites_a 1 and b = List.nth sites_b 1 in
+  let delivered = ref 0 in
+  Network.set_sink net a.Site.ce_node (fun _ -> incr delivered);
+  let p =
+    Packet.make ~vpn:7 ~now:0.0
+      (Flow.make (Site.host b 1) (Site.host a 1))
+  in
+  Network.inject net b.Site.ce_node p;
+  Engine.run engine;
+  Alcotest.(check int) "b -> a delivered" 1 !delivered
+
+let test_interprovider_igp_isolation () =
+  let ip2, _engine, _sa, _sb = deploy_two_carriers () in
+  (* Provider A's IGP must not have learned provider B's loopbacks. *)
+  let vpn_a = Interprovider.vpn_a ip2 in
+  let bb_b = Interprovider.backbone_b ip2 in
+  let a_border, _ = Interprovider.border ip2 in
+  let a_fib = Mvpn_routing.Ospf.fib (Mpls_vpn.ospf vpn_a) a_border in
+  let b_loopback = Backbone.loopback bb_b ~pop:1 in
+  Alcotest.(check (option int)) "no route to the other carrier's core"
+    None
+    (Fib.next_hop a_fib (Prefix.network b_loopback))
+
+let test_interprovider_unknown_prefix_refused () =
+  let ip2, engine, sites_a, _ = deploy_two_carriers () in
+  let net = Interprovider.network ip2 in
+  let a = List.hd sites_a in
+  let p =
+    Packet.make ~vpn:7 ~now:0.0
+      (Flow.make (Site.host a 1) (ip "172.20.0.1"))
+  in
+  Network.inject net a.Site.ce_node p;
+  Engine.run engine;
+  Alcotest.(check bool) "refused at the vrf" true
+    (List.mem_assoc "vrf-no-route" (Network.drop_counts net))
+
+let test_interprovider_multicast_stays_home () =
+  (* Group replication is intra-provider: A's other sites hear the
+     announcement; B's sites do not, and nothing loops. *)
+  let ip2, engine, sites_a, sites_b = deploy_two_carriers () in
+  let net = Interprovider.network ip2 in
+  let copies = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Site.t) ->
+       Network.set_sink net s.Site.ce_node (fun _ ->
+           Hashtbl.replace copies s.Site.id
+             (1 + Option.value ~default:0 (Hashtbl.find_opt copies s.Site.id))))
+    (sites_a @ sites_b);
+  let sender = List.hd sites_a in
+  Network.inject net sender.Site.ce_node
+    (Packet.make ~vpn:7 ~now:0.0
+       (Flow.make (Site.host sender 1) (ip "239.7.7.7")));
+  Engine.run engine;
+  let got (s : Site.t) =
+    Option.value ~default:0 (Hashtbl.find_opt copies s.Site.id)
+  in
+  Alcotest.(check int) "a2 hears it" 1 (got (List.nth sites_a 1));
+  List.iter
+    (fun s -> Alcotest.(check int) "b silent" 0 (got s))
+    sites_b;
+  Alcotest.(check int) "sender silent" 0 (got sender)
+
+let test_interprovider_intra_carrier_still_native () =
+  (* Sites within one carrier must not detour via the border. *)
+  let ip2, engine, sites_a, _ = deploy_two_carriers () in
+  let net = Interprovider.network ip2 in
+  let a0 = List.nth sites_a 0 and a1 = List.nth sites_a 1 in
+  let delivered = ref 0 in
+  Network.set_sink net a1.Site.ce_node (fun _ -> incr delivered);
+  (* The border link must carry nothing for intra-carrier traffic. *)
+  let border_a, border_b = Interprovider.border ip2 in
+  let border_link =
+    match
+      Mvpn_sim.Topology.find_link (Network.topology net) border_a border_b
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "border link missing"
+  in
+  let p =
+    Packet.make ~vpn:7 ~now:0.0
+      (Flow.make (Site.host a0 1) (Site.host a1 1))
+  in
+  Network.inject net a0.Site.ce_node p;
+  Engine.run engine;
+  Alcotest.(check int) "intra-carrier delivered" 1 !delivered;
+  let border_port = Network.port net ~link_id:border_link.Mvpn_sim.Topology.id in
+  Alcotest.(check int) "nothing crossed the border" 0
+    (Mvpn_qos.Port.counters border_port).Mvpn_qos.Port.offered
+
+(* --- Traffic ---------------------------------------------------------------- *)
+
+let test_traffic_cbr_count () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  (* 80 kb/s at 1000-byte packets = 10 packets/s for 2 s. *)
+  Traffic.cbr engine ~start:0.0 ~stop:2.0 ~rate_bps:80_000.0
+    ~packet_bytes:1000 (fun size ->
+        Alcotest.(check int) "size" 1000 size;
+        incr count);
+  Engine.run engine;
+  (* First at t=0, then every 0.1 s through t=2.0 inclusive. *)
+  Alcotest.(check int) "packet count" 21 !count
+
+let test_traffic_poisson_mean () =
+  let engine = Engine.create () in
+  let rng = Mvpn_sim.Rng.create 5 in
+  let count = ref 0 in
+  Traffic.poisson engine rng ~start:0.0 ~stop:100.0 ~rate_pps:50.0
+    ~packet_bytes:512 (fun _ -> incr count);
+  Engine.run engine;
+  let expected = 5000 in
+  Alcotest.(check bool) "within 10%" true
+    (abs (!count - expected) < expected / 10)
+
+let test_traffic_onoff_duty_cycle () =
+  let engine = Engine.create () in
+  let rng = Mvpn_sim.Rng.create 9 in
+  let count = ref 0 in
+  Traffic.onoff engine rng ~start:0.0 ~stop:200.0 ~on_mean:1.0 ~off_mean:1.0
+    ~rate_bps:80_000.0 ~packet_bytes:1000 (fun _ -> incr count);
+  Engine.run engine;
+  (* 50% duty cycle of 10 pps over 200 s ~ 1000 packets. *)
+  Alcotest.(check bool) "roughly half duty" true
+    (!count > 600 && !count < 1400)
+
+let test_traffic_pareto_bursts () =
+  let engine = Engine.create () in
+  let rng = Mvpn_sim.Rng.create 13 in
+  let bytes = ref 0 in
+  Traffic.pareto_bursts engine rng ~start:0.0 ~stop:50.0 ~burst_rate:2.0
+    ~mean_burst_bytes:30_000.0 (fun size -> bytes := !bytes + size);
+  Engine.run engine;
+  (* ~100 bursts of ~30 kB each; heavy tail makes this loose. *)
+  Alcotest.(check bool) "volume plausible" true
+    (!bytes > 1_000_000 && !bytes < 30_000_000)
+
+let test_traffic_sender_and_sink () =
+  let engine, _topo, net, ids =
+    let topo = Topology.create () in
+    let ids = Topology.line topo 2 ~bandwidth:1e6 ~delay:0.001 in
+    let engine = Engine.create () in
+    (engine, topo, Network.create engine topo, ids)
+  in
+  Fib.add (Network.fib net ids.(0)) Prefix.default
+    { Fib.next_hop = ids.(1); cost = 1; source = Fib.Static };
+  Fib.add (Network.fib net ids.(1)) Prefix.default
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  let registry = Traffic.registry engine in
+  Network.set_sink net ids.(1) (Traffic.sink registry);
+  let c = Traffic.collector registry "test" in
+  let flow = Flow.make (ip "10.0.0.1") (ip "10.1.0.1") in
+  let emit =
+    Traffic.sender registry ~net ~src_node:ids.(0) ~flow ~dscp:Dscp.ef
+      ~collector:c ()
+  in
+  Traffic.cbr engine ~start:0.0 ~stop:1.0 ~rate_bps:80_000.0
+    ~packet_bytes:1000 emit;
+  Engine.run engine;
+  let r = Traffic.report registry "test" in
+  Alcotest.(check int) "all sent" 11 r.Sla.sent;
+  Alcotest.(check int) "all received" 11 r.Sla.received;
+  Alcotest.(check bool) "delay includes serialization" true
+    (r.Sla.mean_delay > 0.001)
+
+(* --- Scenario ---------------------------------------------------------------- *)
+
+let test_scenario_mpls_qos_protects_voice () =
+  let build policy =
+    let sc =
+      Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:4
+        (Scenario.Mpls_deployment { policy; use_te = false })
+    in
+    let a = Scenario.site sc ~vpn:1 ~idx:0 in
+    let b = Scenario.site sc ~vpn:1 ~idx:1 in
+    Scenario.add_mixed_workload ~load:1.2 sc ~pairs:[(a, b)] ~duration:20.0;
+    Scenario.run sc ~duration:25.0;
+    Scenario.class_report sc "voice"
+  in
+  let be = build Qos_mapping.Best_effort in
+  let ds = build (Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched) in
+  Alcotest.(check bool) "voice sent under both" true
+    (be.Sla.sent > 50 && ds.Sla.sent > 50);
+  (* Under overload, DiffServ must beat best effort for EF delay. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "diffserv delay %.4f < best effort %.4f" ds.Sla.mean_delay
+       be.Sla.mean_delay)
+    true
+    (ds.Sla.mean_delay < be.Sla.mean_delay)
+
+let test_scenario_overlay_deployment_runs () =
+  let sc =
+    Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:2
+      (Scenario.Overlay_deployment
+         { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+           cipher = Crypto.Des; copy_tos = true })
+  in
+  let a = Scenario.site sc ~vpn:1 ~idx:0 in
+  let b = Scenario.site sc ~vpn:1 ~idx:1 in
+  Scenario.add_mixed_workload ~load:0.5 sc ~pairs:[(a, b)] ~duration:10.0;
+  Scenario.run sc ~duration:12.0;
+  List.iter
+    (fun (label, (r : Sla.report)) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s delivered through the overlay" label)
+         true
+         (r.Sla.sent > 0 && r.Sla.received > 0))
+    (Scenario.class_reports sc);
+  (match Scenario.overlay sc with
+   | Some o ->
+     Alcotest.(check int) "one circuit" 1 (Overlay.vc_count o)
+   | None -> Alcotest.fail "overlay expected")
+
+let test_scenario_isolation_under_load () =
+  let sc =
+    Scenario.build ~pops:6 ~vpns:2 ~sites_per_vpn:2
+      (Scenario.Mpls_deployment
+         { policy = Qos_mapping.Best_effort; use_te = false })
+  in
+  let a1 = Scenario.site sc ~vpn:1 ~idx:0 in
+  let b1 = Scenario.site sc ~vpn:1 ~idx:1 in
+  let a2 = Scenario.site sc ~vpn:2 ~idx:0 in
+  let b2 = Scenario.site sc ~vpn:2 ~idx:1 in
+  Scenario.add_mixed_workload ~load:0.5 sc
+    ~pairs:[(a1, b1); (a2, b2)] ~duration:10.0;
+  Scenario.run sc ~duration:15.0;
+  (* Every class delivered most traffic; nothing leaked (leaks would
+     show as vrf-no-route drops or misdelivery, and sinks check vpn). *)
+  List.iter
+    (fun (label, r) ->
+       Alcotest.(check bool)
+         (Printf.sprintf "%s mostly delivered (loss %.3f)" label r.Sla.loss)
+         true
+         (r.Sla.sent > 0 && r.Sla.loss < 0.2))
+    (Scenario.class_reports sc)
+
+(* --- L2vpn (pseudowires) -------------------------------------------------------- *)
+
+let l2_setup () =
+  let bb = Backbone.build ~pops:6 ~chords:[] () in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let l2 = L2vpn.deploy ~net ~backbone:bb in
+  (bb, engine, net, l2)
+
+let test_l2vpn_pw_end_to_end () =
+  let bb, engine, _net, l2 = l2_setup () in
+  let pops = Backbone.pops bb in
+  let got_b = ref [] and got_a = ref [] in
+  let pw =
+    match
+      L2vpn.create_pw l2
+        ~a:{ L2vpn.pe = pops.(0); on_deliver = (fun p -> got_a := p :: !got_a) }
+        ~b:{ L2vpn.pe = pops.(3); on_deliver = (fun p -> got_b := p :: !got_b) }
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.fail e
+  in
+  let payload () =
+    Packet.make ~size:500 ~now:(Engine.now engine)
+      (Flow.make (ip "192.168.0.1") (ip "192.168.0.2"))
+  in
+  let p1 = payload () in
+  let original_size = p1.Packet.size in
+  L2vpn.send l2 ~pw ~from_a:true p1;
+  L2vpn.send l2 ~pw ~from_a:true (payload ());
+  L2vpn.send l2 ~pw ~from_a:false (payload ());
+  Engine.run engine;
+  Alcotest.(check int) "a->b frames" 2 (List.length !got_b);
+  Alcotest.(check int) "b->a frames" 1 (List.length !got_a);
+  Alcotest.(check int) "delivered counter" 3 (L2vpn.delivered l2 ~pw);
+  Alcotest.(check int) "no misorder" 0 (L2vpn.misordered l2 ~pw);
+  (* Payload is opaque and restored: size and addresses untouched. *)
+  let d = List.nth (List.rev !got_b) 0 in
+  Alcotest.(check int) "size restored" original_size d.Packet.size;
+  Alcotest.(check bool) "no labels left" true (Packet.top_label d = None)
+
+let test_l2vpn_local_switching () =
+  let bb, engine, _net, l2 = l2_setup () in
+  let pops = Backbone.pops bb in
+  let got = ref 0 in
+  let pw =
+    match
+      L2vpn.create_pw l2
+        ~a:{ L2vpn.pe = pops.(1); on_deliver = (fun _ -> ()) }
+        ~b:{ L2vpn.pe = pops.(1); on_deliver = (fun _ -> incr got) }
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.fail e
+  in
+  L2vpn.send l2 ~pw ~from_a:true
+    (Packet.make ~size:100 ~now:0.0
+       (Flow.make (ip "192.168.0.1") (ip "192.168.0.2")));
+  Engine.run engine;
+  Alcotest.(check int) "locally switched" 1 !got
+
+let test_l2vpn_coexists_with_l3vpn () =
+  (* An L3 VPN and a pseudowire share the same backbone, PEs and label
+     space; both must work. *)
+  let bb = Backbone.build ~pops:4 ~chords:[] () in
+  let s1 =
+    Backbone.attach_site bb ~id:1 ~name:"s1" ~vpn:1
+      ~prefix:(pfx "10.0.0.0/16") ~pop:0
+  in
+  let s2 =
+    Backbone.attach_site bb ~id:2 ~name:"s2" ~vpn:1
+      ~prefix:(pfx "10.1.0.0/16") ~pop:2
+  in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let _l3 = Mpls_vpn.deploy ~net ~backbone:bb ~sites:[s1; s2] () in
+  let l2 = L2vpn.deploy ~net ~backbone:bb in
+  let pops = Backbone.pops bb in
+  let l3_got = ref 0 and l2_got = ref 0 in
+  Network.set_sink net s2.Site.ce_node (fun _ -> incr l3_got);
+  let pw =
+    match
+      L2vpn.create_pw l2
+        ~a:{ L2vpn.pe = pops.(1); on_deliver = (fun _ -> ()) }
+        ~b:{ L2vpn.pe = pops.(3); on_deliver = (fun _ -> incr l2_got) }
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.fail e
+  in
+  Network.inject net s1.Site.ce_node
+    (Packet.make ~vpn:1 ~now:0.0
+       (Flow.make (Prefix.nth_host s1.Site.prefix 1)
+          (Prefix.nth_host s2.Site.prefix 1)));
+  L2vpn.send l2 ~pw ~from_a:true
+    (Packet.make ~size:400 ~now:0.0
+       (Flow.make (ip "192.168.9.1") (ip "192.168.9.2")));
+  Engine.run engine;
+  Alcotest.(check int) "l3 delivery" 1 !l3_got;
+  Alcotest.(check int) "l2 delivery" 1 !l2_got;
+  Alcotest.(check int) "no drops" 0 (Network.drops net)
+
+let test_l2vpn_frame_relay_interworking () =
+  (* A frame relay PVC carried across the MPLS backbone: the frame's
+     DLCI and DE bit survive untouched. *)
+  let bb, engine, _net, l2 = l2_setup () in
+  let pops = Backbone.pops bb in
+  let module Frame = Mvpn_frelay.Frame in
+  let carried : (int, Frame.t) Hashtbl.t = Hashtbl.create 8 in
+  let received = ref [] in
+  let pw =
+    match
+      L2vpn.create_pw l2
+        ~a:{ L2vpn.pe = pops.(0); on_deliver = (fun _ -> ()) }
+        ~b:
+          { L2vpn.pe = pops.(2);
+            on_deliver =
+              (fun p ->
+                 match Hashtbl.find_opt carried p.Packet.uid with
+                 | Some frame -> received := frame :: !received
+                 | None -> Alcotest.fail "unknown payload") }
+    with
+    | Ok id -> id
+    | Error e -> Alcotest.fail e
+  in
+  let frame = Frame.make ~dlci:100 ~payload:800 in
+  frame.Frame.de <- true;
+  let p =
+    Packet.make ~size:(Frame.wire_bytes frame) ~now:0.0
+      (Flow.make (ip "192.168.0.1") (ip "192.168.0.2"))
+  in
+  Hashtbl.replace carried p.Packet.uid frame;
+  L2vpn.send l2 ~pw ~from_a:true p;
+  Engine.run engine;
+  (match !received with
+   | [f] ->
+     Alcotest.(check int) "dlci preserved" 100 f.Frame.dlci;
+     Alcotest.(check bool) "de bit preserved" true f.Frame.de
+   | _ -> Alcotest.fail "frame did not cross the backbone")
+
+(* --- Accounting --------------------------------------------------------------- *)
+
+let test_accounting_usage_and_invoice () =
+  let acct = Accounting.create () in
+  let record vpn dscp size =
+    Accounting.observe acct
+      (Packet.make ~vpn ~dscp ~size ~now:0.0
+         (Flow.make (ip "10.0.0.1") (ip "10.1.0.1")))
+  in
+  (* VPN 1: 2 EF packets and 1 bulk; VPN 2: 1 AF-hi. *)
+  record 1 Dscp.ef 200;
+  record 1 Dscp.ef 200;
+  record 1 Dscp.best_effort 1500;
+  record 2 (Dscp.af 3 1) 512;
+  let u = Accounting.usage acct in
+  Alcotest.(check int) "three usage cells" 3 (List.length u);
+  let ef1 = List.hd u in
+  Alcotest.(check int) "vpn" 1 ef1.Accounting.vpn;
+  Alcotest.(check int) "band" 0 ef1.Accounting.band;
+  Alcotest.(check int) "packets" 2 ef1.Accounting.packets;
+  Alcotest.(check int) "bytes" 400 ef1.Accounting.bytes;
+  let lines1, total1 = Accounting.invoice acct ~vpn:1 in
+  Alcotest.(check int) "vpn1 lines" 2 (List.length lines1);
+  (* 400 B of EF at 8/GB + 1500 B of BE at 0.5/GB. *)
+  let expected = (400.0 /. 1e9 *. 8.0) +. (1500.0 /. 1e9 *. 0.5) in
+  Alcotest.(check (float 1e-12)) "vpn1 total" expected total1;
+  let _, total2 = Accounting.invoice acct ~vpn:2 in
+  Alcotest.(check (float 1e-12)) "vpn2 total" (512.0 /. 1e9 *. 4.0) total2;
+  let _, total3 = Accounting.invoice acct ~vpn:3 in
+  Alcotest.(check (float 1e-12)) "unknown vpn bills zero" 0.0 total3
+
+let test_accounting_wrapped_sink () =
+  let acct = Accounting.create () in
+  let inner_hits = ref 0 in
+  let sink = Accounting.sink acct (fun _ -> incr inner_hits) in
+  sink
+    (Packet.make ~vpn:5 ~size:100 ~now:0.0
+       (Flow.make (ip "10.0.0.1") (ip "10.1.0.1")));
+  Alcotest.(check int) "inner sink still runs" 1 !inner_hits;
+  Alcotest.(check int) "accounted" 1 (List.length (Accounting.usage acct))
+
+(* --- Planning ------------------------------------------------------------------ *)
+
+let planning_topo () =
+  (* Diamond: 0-1-3 short, 0-2-3 long, all 10 Mb/s. *)
+  let t = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node t) in
+  ignore (Topology.connect t n.(0) n.(1) ~bandwidth:10e6 ~delay:0.001);
+  ignore (Topology.connect t n.(1) n.(3) ~bandwidth:10e6 ~delay:0.001);
+  ignore (Topology.connect ~cost:2 t n.(0) n.(2) ~bandwidth:10e6 ~delay:0.001);
+  ignore (Topology.connect ~cost:2 t n.(2) n.(3) ~bandwidth:10e6 ~delay:0.001);
+  (t, n)
+
+let test_planning_spf_overload () =
+  let t, n = planning_topo () in
+  let demands =
+    List.init 3 (fun _ -> { Planning.src = n.(0); dst = n.(3); bandwidth = 6e6 })
+  in
+  let p = Planning.route_spf t demands in
+  Alcotest.(check int) "all routed" 3 (Planning.routed p);
+  (* All 18 Mb/s pile on the 10 Mb/s short path. *)
+  Alcotest.(check (float 1e-9)) "max util 180%" 1.8 (Planning.max_utilization p);
+  Alcotest.(check int) "two hot links" 2
+    (List.length (Planning.hot_links p));
+  match Planning.upgrades_needed p with
+  | (_, excess) :: _ ->
+    Alcotest.(check (float 1e-9)) "upgrade size" 8e6 excess
+  | [] -> Alcotest.fail "expected upgrades"
+
+let test_planning_capacity_aware_spreads () =
+  let t, n = planning_topo () in
+  let demands =
+    List.init 3 (fun _ -> { Planning.src = n.(0); dst = n.(3); bandwidth = 6e6 })
+  in
+  let p = Planning.route_capacity_aware t demands in
+  (* First takes the short path; second must detour; third fits nowhere. *)
+  Alcotest.(check int) "routed" 2 (Planning.routed p);
+  Alcotest.(check int) "unrouted" 1 (Planning.unrouted p);
+  Alcotest.(check bool) "nothing overloaded" true
+    (Planning.max_utilization p <= 1.0);
+  Alcotest.(check int) "no upgrades" 0
+    (List.length (Planning.upgrades_needed p))
+
+let test_planning_ecmp_splits_ties () =
+  (* Diamond with equal costs both ways: ECMP halves the demand. *)
+  let t = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node t) in
+  ignore (Topology.connect t n.(0) n.(1) ~bandwidth:10e6 ~delay:0.001);
+  ignore (Topology.connect t n.(1) n.(3) ~bandwidth:10e6 ~delay:0.001);
+  ignore (Topology.connect t n.(0) n.(2) ~bandwidth:10e6 ~delay:0.001);
+  ignore (Topology.connect t n.(2) n.(3) ~bandwidth:10e6 ~delay:0.001);
+  let p =
+    Planning.route_ecmp t
+      [{ Planning.src = n.(0); dst = n.(3); bandwidth = 8e6 }]
+  in
+  Alcotest.(check int) "routed" 1 (Planning.routed p);
+  (match Topology.find_link t n.(0) n.(1) with
+   | Some l ->
+     Alcotest.(check (float 1e-6)) "half on the top path" 4e6
+       (Planning.link_load p l)
+   | None -> Alcotest.fail "link missing");
+  (match Topology.find_link t n.(0) n.(2) with
+   | Some l ->
+     Alcotest.(check (float 1e-6)) "half on the bottom path" 4e6
+       (Planning.link_load p l)
+   | None -> Alcotest.fail "link missing");
+  (* Against the single-path SPF placement, max utilization halves. *)
+  let spf =
+    Planning.route_spf t
+      [{ Planning.src = n.(0); dst = n.(3); bandwidth = 8e6 }]
+  in
+  Alcotest.(check bool) "ecmp flattens the peak" true
+    (Planning.max_utilization p < Planning.max_utilization spf)
+
+let test_planning_ecmp_conserves_flow () =
+  (* On an asymmetric diamond (one side longer), ECMP degenerates to
+     the single shortest path and carries the full demand. *)
+  let t, n = planning_topo () in
+  let p =
+    Planning.route_ecmp t
+      [{ Planning.src = n.(0); dst = n.(3); bandwidth = 6e6 }]
+  in
+  match Topology.find_link t n.(0) n.(1), Topology.find_link t n.(0) n.(2) with
+  | Some short, Some long ->
+    Alcotest.(check (float 1e-6)) "all on the short path" 6e6
+      (Planning.link_load p short);
+    Alcotest.(check (float 1e-6)) "nothing on the long path" 0.0
+      (Planning.link_load p long)
+  | _ -> Alcotest.fail "links missing"
+
+let test_monitor_sampling () =
+  let topo = Topology.create () in
+  let ids = Topology.line topo 2 ~bandwidth:1e6 ~delay:0.001 in
+  let engine = Engine.create () in
+  let net = Network.create engine topo in
+  Fib.add (Network.fib net ids.(0)) Prefix.default
+    { Fib.next_hop = ids.(1); cost = 1; source = Fib.Static };
+  Fib.add (Network.fib net ids.(1)) Prefix.default
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  Network.set_sink net ids.(1) (fun _ -> ());
+  let link =
+    match Topology.find_link topo ids.(0) ids.(1) with
+    | Some l -> l
+    | None -> Alcotest.fail "link missing"
+  in
+  let mon =
+    Monitor.start ~interval:1.0 net ~link_ids:[link.Topology.id]
+  in
+  (* 0.5 Mb/s over a 1 Mb/s link for 10 s: utilization ~50%. *)
+  let registry = Traffic.registry engine in
+  let emit =
+    Traffic.sender registry ~net ~src_node:ids.(0)
+      ~flow:(Flow.make (ip "10.0.0.1") (ip "10.1.0.1"))
+      ~dscp:Dscp.best_effort
+      ~collector:(Traffic.collector registry "x")
+      ()
+  in
+  Traffic.cbr engine ~start:0.0 ~stop:10.0 ~rate_bps:500_000.0
+    ~packet_bytes:1000 emit;
+  Engine.run ~until:10.0 engine;
+  Monitor.stop mon;
+  let series = Monitor.utilization_series mon ~link_id:link.Topology.id in
+  Alcotest.(check int) "ten samples" 10
+    (Mvpn_sim.Stats.Timeseries.length series);
+  let peak =
+    match Monitor.peak_utilization mon with
+    | (_, u) :: _ -> u
+    | [] -> 0.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak near 50%% (got %.3f)" peak)
+    true
+    (peak > 0.4 && peak < 0.6)
+
+let test_planning_unreachable_demand () =
+  let t = Topology.create () in
+  let a = Topology.add_node t and b = Topology.add_node t in
+  let p =
+    Planning.route_spf t [{ Planning.src = a; dst = b; bandwidth = 1e6 }]
+  in
+  Alcotest.(check int) "unrouted" 1 (Planning.unrouted p)
+
+(* Failure churn: fail any single ring link of a 2-connected backbone,
+   reconverge, and every intra-VPN pair must still deliver. *)
+let failure_churn_property =
+  QCheck.Test.make ~name:"any single core failure survives reconvergence"
+    ~count:12 QCheck.(int_range 0 5)
+    (fun failed_ring_link ->
+       let bb = Backbone.build ~pops:6 ~chords:[(0, 3)] () in
+       let sites =
+         List.init 4 (fun i ->
+             Backbone.attach_site bb ~id:i ~name:(Printf.sprintf "s%d" i)
+               ~vpn:1
+               ~prefix:(Prefix.make (Ipv4.of_octets 10 i 0 0) 16)
+               ~pop:(i + 1))
+       in
+       let engine = Engine.create () in
+       let net = Network.create engine (Backbone.topology bb) in
+       let vpn = Mpls_vpn.deploy ~net ~backbone:bb ~sites () in
+       let delivered = ref 0 in
+       List.iter
+         (fun (s : Site.t) ->
+            Network.set_sink net s.Site.ce_node (fun _ -> incr delivered))
+         sites;
+       (* Fail one ring link, reconverge, probe all ordered pairs. *)
+       let pops = Backbone.pops bb in
+       Topology.set_duplex_state (Backbone.topology bb)
+         pops.(failed_ring_link)
+         pops.((failed_ring_link + 1) mod 6)
+         false;
+       ignore (Mpls_vpn.reconverge vpn);
+       let expected = ref 0 in
+       List.iter
+         (fun (a : Site.t) ->
+            List.iter
+              (fun (b : Site.t) ->
+                 if a.Site.id <> b.Site.id then begin
+                   incr expected;
+                   Network.inject net a.Site.ce_node
+                     (Packet.make ~vpn:1 ~now:(Engine.now engine)
+                        (Flow.make
+                           (Prefix.nth_host a.Site.prefix 1)
+                           (Prefix.nth_host b.Site.prefix 1)))
+                 end)
+              sites)
+         sites;
+       Engine.run engine;
+       !delivered = !expected)
+
+(* --- Determinism ------------------------------------------------------------ *)
+
+let test_simulation_determinism () =
+  (* Two identically seeded runs must agree bit for bit — the property
+     every experiment's reproducibility rests on. *)
+  let run () =
+    let sc =
+      Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:4 ~seed:99
+        (Scenario.Mpls_deployment
+           { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+             use_te = false })
+    in
+    let pairs =
+      [ (Scenario.site sc ~vpn:1 ~idx:0, Scenario.site sc ~vpn:1 ~idx:1) ]
+    in
+    Scenario.add_mixed_workload ~load:1.0 ~rng_seed:5 sc ~pairs
+      ~duration:10.0;
+    Scenario.run sc ~duration:12.0;
+    List.map
+      (fun (label, (r : Sla.report)) ->
+         (label, r.Sla.sent, r.Sla.received, r.Sla.mean_delay,
+          r.Sla.p99_delay))
+      (Scenario.class_reports sc)
+  in
+  Packet.reset_uid_counter ();
+  let first = run () in
+  Packet.reset_uid_counter ();
+  let second = run () in
+  Alcotest.(check int) "same class count" (List.length first)
+    (List.length second);
+  List.iter2
+    (fun (l1, s1, r1, m1, p1) (l2, s2, r2, m2, p2) ->
+       Alcotest.(check string) "label" l1 l2;
+       Alcotest.(check int) "sent" s1 s2;
+       Alcotest.(check int) "received" r1 r2;
+       Alcotest.(check (float 0.0)) "mean delay bitwise" m1 m2;
+       Alcotest.(check (float 0.0)) "p99 bitwise" p1 p2)
+    first second
+
+let () =
+  Alcotest.run "core"
+    [ ("membership",
+       [ Alcotest.test_case "isolation" `Quick test_membership_isolation;
+         Alcotest.test_case "join/leave" `Quick test_membership_join_leave;
+         Alcotest.test_case "mechanism costs" `Quick
+           test_membership_mechanism_costs ]);
+      ("vrf",
+       [ Alcotest.test_case "overlapping isolation" `Quick
+           test_vrf_overlapping_isolation ]);
+      ("qos-mapping",
+       [ Alcotest.test_case "bands" `Quick test_qos_bands;
+         Alcotest.test_case "exp preferred" `Quick
+           test_qos_band_of_packet_prefers_exp;
+         Alcotest.test_case "mark exp" `Quick test_qos_mark_exp;
+         Alcotest.test_case "encrypted lands in BE" `Quick
+           test_qos_encrypted_tunnel_lands_in_be ]);
+      ("network",
+       [ Alcotest.test_case "ip forwarding" `Quick
+           test_network_ip_forwarding;
+         Alcotest.test_case "no route" `Quick test_network_no_route_drop;
+         Alcotest.test_case "ttl" `Quick test_network_ttl_drop;
+         Alcotest.test_case "interceptor" `Quick
+           test_network_interceptor_consumes;
+         Alcotest.test_case "label forwarding" `Quick
+           test_network_label_forwarding ]);
+      ("backbone",
+       [ Alcotest.test_case "shape" `Quick test_backbone_shape ]);
+      ("mpls-vpn",
+       [ Alcotest.test_case "end to end" `Quick
+           test_mvpn_end_to_end_delivery;
+         Alcotest.test_case "isolation overlapping prefixes" `Quick
+           test_mvpn_isolation_with_overlapping_prefixes;
+         Alcotest.test_case "no cross-vpn route" `Quick
+           test_mvpn_no_cross_vpn_route;
+         Alcotest.test_case "hairpin same pe" `Quick
+           test_mvpn_hairpin_same_pe;
+         Alcotest.test_case "uses label switching" `Quick
+           test_mvpn_uses_label_switching;
+         Alcotest.test_case "linear growth" `Quick
+           test_mvpn_metrics_linear_growth;
+         Alcotest.test_case "remove site" `Quick test_mvpn_remove_site;
+         Alcotest.test_case "reconverge after failure" `Quick
+           test_mvpn_reconverge_after_failure;
+         Alcotest.test_case "te tunnels" `Quick test_mvpn_te_tunnels;
+         Alcotest.test_case "dscp to exp" `Quick
+           test_mvpn_dscp_to_exp_mapping;
+         Alcotest.test_case "multicast reaches group" `Quick
+           test_mvpn_multicast_reaches_group;
+         Alcotest.test_case "multicast keeps marking" `Quick
+           test_mvpn_multicast_keeps_marking ]);
+      ("overlay",
+       [ Alcotest.test_case "end to end" `Quick test_overlay_end_to_end;
+         Alcotest.test_case "tunnel counts" `Quick
+           test_overlay_tunnel_counts;
+         Alcotest.test_case "replay dropped" `Quick
+           test_overlay_replay_dropped;
+         Alcotest.test_case "crypto delays" `Quick
+           test_overlay_crypto_delays_delivery;
+         Alcotest.test_case "ike gates traffic" `Quick
+           test_overlay_ike_gates_traffic;
+         Alcotest.test_case "no cross-vpn tunnel" `Quick
+           test_overlay_cross_vpn_has_no_tunnel ]);
+      ("tracing",
+       [ Alcotest.test_case "sequence" `Quick test_trace_sequence;
+         Alcotest.test_case "drop reported" `Quick test_trace_drop_reported;
+         QCheck_alcotest.to_alcotest isolation_property ]);
+      ("interprovider",
+       [ Alcotest.test_case "cross-carrier delivery" `Quick
+           test_interprovider_cross_carrier_delivery;
+         Alcotest.test_case "reverse direction" `Quick
+           test_interprovider_reverse_direction;
+         Alcotest.test_case "igp isolation" `Quick
+           test_interprovider_igp_isolation;
+         Alcotest.test_case "unknown prefix refused" `Quick
+           test_interprovider_unknown_prefix_refused;
+         Alcotest.test_case "intra-carrier stays native" `Quick
+           test_interprovider_intra_carrier_still_native;
+         Alcotest.test_case "multicast stays home" `Quick
+           test_interprovider_multicast_stays_home ]);
+      ("traffic",
+       [ Alcotest.test_case "cbr count" `Quick test_traffic_cbr_count;
+         Alcotest.test_case "poisson mean" `Quick test_traffic_poisson_mean;
+         Alcotest.test_case "onoff duty" `Quick
+           test_traffic_onoff_duty_cycle;
+         Alcotest.test_case "pareto bursts" `Quick
+           test_traffic_pareto_bursts;
+         Alcotest.test_case "sender and sink" `Quick
+           test_traffic_sender_and_sink ]);
+      ("l2vpn",
+       [ Alcotest.test_case "pseudowire end to end" `Quick
+           test_l2vpn_pw_end_to_end;
+         Alcotest.test_case "local switching" `Quick
+           test_l2vpn_local_switching;
+         Alcotest.test_case "coexists with l3 vpn" `Quick
+           test_l2vpn_coexists_with_l3vpn;
+         Alcotest.test_case "frame relay interworking" `Quick
+           test_l2vpn_frame_relay_interworking ]);
+      ("accounting",
+       [ Alcotest.test_case "usage and invoice" `Quick
+           test_accounting_usage_and_invoice;
+         Alcotest.test_case "wrapped sink" `Quick
+           test_accounting_wrapped_sink ]);
+      ("planning",
+       [ Alcotest.test_case "spf overload" `Quick test_planning_spf_overload;
+         Alcotest.test_case "capacity aware spreads" `Quick
+           test_planning_capacity_aware_spreads;
+         Alcotest.test_case "ecmp splits ties" `Quick
+           test_planning_ecmp_splits_ties;
+         Alcotest.test_case "ecmp conserves flow" `Quick
+           test_planning_ecmp_conserves_flow;
+         Alcotest.test_case "unreachable demand" `Quick
+           test_planning_unreachable_demand ]);
+      ("monitor",
+       [ Alcotest.test_case "sampling" `Quick test_monitor_sampling ]);
+      ("scenario",
+       [ Alcotest.test_case "qos protects voice" `Slow
+           test_scenario_mpls_qos_protects_voice;
+         Alcotest.test_case "isolation under load" `Slow
+           test_scenario_isolation_under_load;
+         Alcotest.test_case "overlay deployment" `Quick
+           test_scenario_overlay_deployment_runs;
+         Alcotest.test_case "bitwise determinism" `Quick
+           test_simulation_determinism;
+         QCheck_alcotest.to_alcotest failure_churn_property ]) ]

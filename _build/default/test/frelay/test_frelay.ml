@@ -1,0 +1,172 @@
+open Mvpn_frelay
+
+(* --- Frame -------------------------------------------------------------- *)
+
+let test_frame_validation () =
+  Alcotest.check_raises "reserved dlci"
+    (Invalid_argument "Frame.make: dlci 0 outside 16-1007") (fun () ->
+      ignore (Frame.make ~dlci:0 ~payload:100));
+  Alcotest.check_raises "dlci too big"
+    (Invalid_argument "Frame.make: dlci 1008 outside 16-1007") (fun () ->
+      ignore (Frame.make ~dlci:1008 ~payload:100));
+  let f = Frame.make ~dlci:100 ~payload:1500 in
+  Alcotest.(check int) "wire bytes" 1506 (Frame.wire_bytes f);
+  Alcotest.(check bool) "clean bits" false
+    (f.Frame.de || f.Frame.fecn || f.Frame.becn)
+
+(* --- Pvc ---------------------------------------------------------------- *)
+
+let test_pvc_committed_then_excess_then_drop () =
+  (* CIR 8 kb/s, Bc 8000 bits (1000 B), Be 8000 bits. *)
+  let pvc =
+    Pvc.create { Pvc.cir_bps = 8_000.0; bc_bits = 8_000.0; be_bits = 8_000.0 }
+  in
+  let frame () = Frame.make ~dlci:100 ~payload:(1000 - Frame.overhead_bytes) in
+  let f1 = frame () in
+  Alcotest.(check bool) "committed" true
+    (Pvc.police pvc ~now:0.0 f1 = Pvc.Committed);
+  Alcotest.(check bool) "not de" false f1.Frame.de;
+  let f2 = frame () in
+  Alcotest.(check bool) "excess" true
+    (Pvc.police pvc ~now:0.0 f2 = Pvc.Excess);
+  Alcotest.(check bool) "de marked" true f2.Frame.de;
+  let f3 = frame () in
+  Alcotest.(check bool) "dropped" true
+    (Pvc.police pvc ~now:0.0 f3 = Pvc.Dropped);
+  Alcotest.(check (triple int int int)) "stats" (1, 1, 1) (Pvc.stats pvc)
+
+let test_pvc_refill () =
+  let pvc =
+    Pvc.create { Pvc.cir_bps = 8_000.0; bc_bits = 8_000.0; be_bits = 0.0 }
+  in
+  let frame () = Frame.make ~dlci:100 ~payload:(1000 - Frame.overhead_bytes) in
+  Alcotest.(check bool) "burst spent" true
+    (Pvc.police pvc ~now:0.0 (frame ()) = Pvc.Committed);
+  Alcotest.(check bool) "empty now" true
+    (Pvc.police pvc ~now:0.0 (frame ()) = Pvc.Dropped);
+  (* 1 second at 8 kb/s earns exactly one more 1000-byte frame. *)
+  Alcotest.(check bool) "refilled" true
+    (Pvc.police pvc ~now:1.0 (frame ()) = Pvc.Committed)
+
+(* The paper-relevant equivalence: FR's CIR/Bc/Be contract and the
+   DiffServ srTCM meter make the same three-way decision. *)
+let pvc_matches_srtcm =
+  QCheck.Test.make ~name:"fr policing agrees with srTCM coloring" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 60) (int_range 100 1494))
+    (fun sizes ->
+       let cir = 64_000.0 and burst_bits = 32_000.0 in
+       let pvc =
+         Pvc.create
+           { Pvc.cir_bps = cir; bc_bits = burst_bits; be_bits = burst_bits }
+       in
+       let meter =
+         Mvpn_qos.Meter.srtcm ~cir_bps:cir ~cbs_bytes:(burst_bits /. 8.0)
+           ~ebs_bytes:(burst_bits /. 8.0)
+       in
+       let step = 0.005 in
+       List.for_all
+         (fun (i, payload) ->
+            let now = float_of_int i *. step in
+            let f = Frame.make ~dlci:20 ~payload in
+            let fr = Pvc.police pvc ~now f in
+            let color =
+              Mvpn_qos.Meter.meter meter ~now ~bytes:(Frame.wire_bytes f)
+            in
+            match fr, color with
+            | Pvc.Committed, Mvpn_qos.Meter.Green
+            | Pvc.Excess, Mvpn_qos.Meter.Yellow
+            | Pvc.Dropped, Mvpn_qos.Meter.Red -> true
+            | _ -> false)
+         (List.mapi (fun i s -> (i, s)) sizes))
+
+let pvc_stats_conservation =
+  QCheck.Test.make ~name:"pvc verdict counts are conserved" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 1 100) (int_range 64 1500))
+    (fun sizes ->
+       let pvc = Pvc.create (Pvc.default_contract ~cir_bps:128_000.0) in
+       List.iteri
+         (fun i payload ->
+            ignore
+              (Pvc.police pvc
+                 ~now:(float_of_int i *. 0.01)
+                 (Frame.make ~dlci:50 ~payload)))
+         sizes;
+       let c, e, d = Pvc.stats pvc in
+       c + e + d = List.length sizes)
+
+(* --- Frswitch ----------------------------------------------------------- *)
+
+let test_frswitch_rewrite () =
+  let sw = Frswitch.create () in
+  (match Frswitch.cross_connect sw ~in_dlci:100 ~out_dlci:200 ~next_hop:3 with
+   | Ok () -> ()
+   | Error e -> Alcotest.fail e);
+  (match Frswitch.submit sw (Frame.make ~dlci:100 ~payload:500) with
+   | Frswitch.Forwarded { frame; next_hop } ->
+     Alcotest.(check int) "dlci rewritten" 200 frame.Frame.dlci;
+     Alcotest.(check int) "next hop" 3 next_hop
+   | _ -> Alcotest.fail "expected forward");
+  match Frswitch.submit sw (Frame.make ~dlci:999 ~payload:500) with
+  | Frswitch.Unknown_dlci -> ()
+  | _ -> Alcotest.fail "unknown dlci must be rejected"
+
+let test_frswitch_congestion_contract () =
+  let sw = Frswitch.create ~congestion_threshold:4 ~queue_capacity:8 () in
+  ignore (Frswitch.cross_connect sw ~in_dlci:100 ~out_dlci:100 ~next_hop:1);
+  (* Fill to the congestion threshold with clean frames. *)
+  for _ = 1 to 4 do
+    match Frswitch.submit sw (Frame.make ~dlci:100 ~payload:100) with
+    | Frswitch.Forwarded { frame; _ } ->
+      Alcotest.(check bool) "no fecn below threshold" false frame.Frame.fecn
+    | _ -> Alcotest.fail "should queue"
+  done;
+  (* Past the threshold: clean frames get FECN, DE frames are shed. *)
+  (match Frswitch.submit sw (Frame.make ~dlci:100 ~payload:100) with
+   | Frswitch.Forwarded { frame; _ } ->
+     Alcotest.(check bool) "fecn set" true frame.Frame.fecn
+   | _ -> Alcotest.fail "clean frame should still queue");
+  let de_frame = Frame.make ~dlci:100 ~payload:100 in
+  de_frame.Frame.de <- true;
+  (match Frswitch.submit sw de_frame with
+   | Frswitch.Discarded_de -> ()
+   | _ -> Alcotest.fail "DE frame should be shed under congestion");
+  Alcotest.(check int) "discard counted" 1 (Frswitch.de_discards sw);
+  (* Fill to capacity: even clean frames eventually refused. *)
+  let rec fill n =
+    if n > 20 then Alcotest.fail "queue never filled"
+    else
+      match Frswitch.submit sw (Frame.make ~dlci:100 ~payload:100) with
+      | Frswitch.Queue_full -> ()
+      | Frswitch.Forwarded _ -> fill (n + 1)
+      | _ -> Alcotest.fail "unexpected"
+  in
+  fill 0
+
+let test_frswitch_drain_order () =
+  let sw = Frswitch.create () in
+  ignore (Frswitch.cross_connect sw ~in_dlci:100 ~out_dlci:101 ~next_hop:1);
+  ignore (Frswitch.submit sw (Frame.make ~dlci:100 ~payload:111));
+  ignore (Frswitch.submit sw (Frame.make ~dlci:100 ~payload:222));
+  (match Frswitch.drain sw with
+   | Some (f, _) -> Alcotest.(check int) "fifo" 111 f.Frame.payload
+   | None -> Alcotest.fail "empty");
+  (match Frswitch.drain sw with
+   | Some (f, _) -> Alcotest.(check int) "fifo 2" 222 f.Frame.payload
+   | None -> Alcotest.fail "empty");
+  Alcotest.(check bool) "drained" true (Frswitch.drain sw = None)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "frelay"
+    [ ("frame", [ Alcotest.test_case "validation" `Quick test_frame_validation ]);
+      ("pvc",
+       [ Alcotest.test_case "committed/excess/drop" `Quick
+           test_pvc_committed_then_excess_then_drop;
+         Alcotest.test_case "refill" `Quick test_pvc_refill;
+         qt pvc_matches_srtcm;
+         qt pvc_stats_conservation ]);
+      ("switch",
+       [ Alcotest.test_case "rewrite" `Quick test_frswitch_rewrite;
+         Alcotest.test_case "congestion contract" `Quick
+           test_frswitch_congestion_contract;
+         Alcotest.test_case "drain order" `Quick test_frswitch_drain_order ]) ]

@@ -1,0 +1,717 @@
+open Mvpn_mpls
+module Topology = Mvpn_sim.Topology
+module Prefix = Mvpn_net.Prefix
+module Ipv4 = Mvpn_net.Ipv4
+module Packet = Mvpn_net.Packet
+module Flow = Mvpn_net.Flow
+
+let pfx = Prefix.of_string_exn
+let ip = Ipv4.of_string_exn
+
+(* --- Label ------------------------------------------------------------ *)
+
+let test_label_constants () =
+  Alcotest.(check bool) "implicit null reserved" true
+    (Label.is_reserved Label.implicit_null);
+  Alcotest.(check bool) "16 not reserved" false (Label.is_reserved 16);
+  Alcotest.(check bool) "max valid" true (Label.valid Label.max_label);
+  Alcotest.(check bool) "2^20 invalid" false (Label.valid (Label.max_label + 1));
+  Alcotest.(check bool) "negative invalid" false (Label.valid (-1))
+
+let test_label_allocator () =
+  let a = Label.Allocator.create () in
+  let l1 = Label.Allocator.alloc a in
+  let l2 = Label.Allocator.alloc a in
+  Alcotest.(check int) "starts at 16" Label.first_unreserved l1;
+  Alcotest.(check bool) "distinct" true (l1 <> l2);
+  Alcotest.(check int) "count" 2 (Label.Allocator.allocated a)
+
+(* --- Fec -------------------------------------------------------------- *)
+
+let test_fec_compare () =
+  let a = Fec.Prefix_fec (pfx "10.0.0.0/8") in
+  let b = Fec.Tunnel_fec 3 in
+  let c = Fec.Vpn_fec { vpn = 1; prefix = pfx "10.0.0.0/8" } in
+  let c' = Fec.Vpn_fec { vpn = 2; prefix = pfx "10.0.0.0/8" } in
+  Alcotest.(check bool) "self equal" true (Fec.equal a a);
+  Alcotest.(check bool) "kinds differ" false (Fec.equal a b);
+  Alcotest.(check bool) "vpn id distinguishes" false (Fec.equal c c');
+  Alcotest.(check bool) "ordering total" true
+    (Fec.compare a b = -Fec.compare b a)
+
+(* --- Lfib ------------------------------------------------------------- *)
+
+let test_lfib_install_lookup () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Swap 200; next_hop = 5 };
+  (match Lfib.lookup l 100 with
+   | Some e -> Alcotest.(check int) "next hop" 5 e.Lfib.next_hop
+   | None -> Alcotest.fail "missing entry");
+  Alcotest.(check bool) "unknown label" true (Lfib.lookup l 101 = None);
+  Alcotest.(check int) "size" 1 (Lfib.size l);
+  Alcotest.(check bool) "uninstall" true (Lfib.uninstall l ~in_label:100);
+  Alcotest.(check int) "empty" 0 (Lfib.size l)
+
+let test_lfib_rejects_reserved () =
+  let l = Lfib.create () in
+  Alcotest.check_raises "reserved"
+    (Invalid_argument "Lfib.install: reserved label 3") (fun () ->
+      Lfib.install l ~in_label:3 { Lfib.op = Lfib.Pop; next_hop = 1 })
+
+let labelled_packet ?(ttl = 64) label =
+  let p = Packet.make ~now:0.0 (Flow.make (ip "10.0.0.1") (ip "10.1.0.1")) in
+  Packet.push_label p ~label ~exp:0 ~ttl;
+  p
+
+let test_lfib_step_swap () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Swap 200; next_hop = 7 };
+  let p = labelled_packet 100 in
+  (match Lfib.step l p with
+   | Lfib.Forward nh -> Alcotest.(check int) "forwarded" 7 nh
+   | _ -> Alcotest.fail "expected forward");
+  match Packet.top_label p with
+  | Some s ->
+    Alcotest.(check int) "label swapped" 200 s.Packet.label;
+    Alcotest.(check int) "ttl decremented" 63 s.Packet.ttl
+  | None -> Alcotest.fail "label vanished"
+
+let test_lfib_step_pop_to_ip () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  let p = labelled_packet 100 in
+  (match Lfib.step l p with
+   | Lfib.Ip_continue nh -> Alcotest.(check int) "ip at next hop" 7 nh
+   | _ -> Alcotest.fail "expected ip continue");
+  Alcotest.(check bool) "stack empty" true (Packet.top_label p = None)
+
+let test_lfib_step_pop_inner_remains () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:200 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  let p = labelled_packet 300 in
+  Packet.push_label p ~label:200 ~exp:0 ~ttl:64;
+  (match Lfib.step l p with
+   | Lfib.Forward nh -> Alcotest.(check int) "forward with inner" 7 nh
+   | _ -> Alcotest.fail "expected forward");
+  match Packet.top_label p with
+  | Some s -> Alcotest.(check int) "inner label exposed" 300 s.Packet.label
+  | None -> Alcotest.fail "inner label missing"
+
+let test_lfib_step_ttl () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Swap 200; next_hop = 7 };
+  let p = labelled_packet ~ttl:1 100 in
+  match Lfib.step l p with
+  | Lfib.Ttl_expired -> ()
+  | _ -> Alcotest.fail "expected ttl expiry"
+
+let test_lfib_step_no_binding () =
+  let l = Lfib.create () in
+  let p = labelled_packet 999 in
+  match Lfib.step l p with
+  | Lfib.No_binding 999 -> ()
+  | _ -> Alcotest.fail "expected no binding"
+
+(* --- Ldp -------------------------------------------------------------- *)
+
+(* Line: 0 - 1 - 2 - 3; FEC egress at 3. *)
+let line4 () =
+  let t = Topology.create () in
+  let ids = Topology.line t 4 ~bandwidth:1e9 ~delay:0.001 in
+  (t, ids)
+
+let test_ldp_end_to_end_php () =
+  let topo, n = line4 () in
+  let plane = Plane.create ~nodes:4 in
+  let dest = pfx "10.3.0.0/16" in
+  let ldp = Ldp.distribute topo plane ~fecs:[(dest, n.(3))] in
+  (* Ingress at 0 pushes toward 1. *)
+  let l0 =
+    match Ldp.ingress_label ldp ~router:n.(0) dest with
+    | Some l -> l
+    | None -> Alcotest.fail "no ingress label at 0"
+  in
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.0.0.1") (ip "10.3.0.1"))
+  in
+  Packet.push_label p ~label:l0 ~exp:0 ~ttl:64;
+  (* Walk the LSP: node 1 swaps, node 2 (penultimate) pops. *)
+  (match Lfib.step (Plane.lfib plane n.(1)) p with
+   | Lfib.Forward nh -> Alcotest.(check int) "1 -> 2" n.(2) nh
+   | _ -> Alcotest.fail "node 1 should forward");
+  (match Lfib.step (Plane.lfib plane n.(2)) p with
+   | Lfib.Ip_continue nh ->
+     Alcotest.(check int) "php: ip continues at 3" n.(3) nh
+   | _ -> Alcotest.fail "node 2 should pop (php)");
+  Alcotest.(check bool) "unlabelled at egress" true
+    (Packet.top_label p = None)
+
+let test_ldp_no_php_egress_pops () =
+  let topo, n = line4 () in
+  let plane = Plane.create ~nodes:4 in
+  let dest = pfx "10.3.0.0/16" in
+  let ldp = Ldp.distribute ~php:false topo plane ~fecs:[(dest, n.(3))] in
+  Alcotest.(check bool) "egress has a real binding" true
+    (match Ldp.local_binding ldp ~router:n.(3) dest with
+     | Some l -> l >= Label.first_unreserved
+     | None -> false);
+  let p =
+    Packet.make ~now:0.0 (Flow.make (ip "10.0.0.1") (ip "10.3.0.1"))
+  in
+  let l2 =
+    match Ldp.local_binding ldp ~router:n.(2) dest with
+    | Some l -> l
+    | None -> Alcotest.fail "no binding at 2"
+  in
+  Packet.push_label p ~label:l2 ~exp:0 ~ttl:64;
+  (match Lfib.step (Plane.lfib plane n.(2)) p with
+   | Lfib.Forward nh -> Alcotest.(check int) "2 swaps to 3" n.(3) nh
+   | _ -> Alcotest.fail "node 2 should swap without php");
+  match Lfib.step (Plane.lfib plane n.(3)) p with
+  | Lfib.Ip_continue nh ->
+    Alcotest.(check int) "egress pops locally" Lfib.local nh
+  | _ -> Alcotest.fail "egress should pop"
+
+let test_ldp_php_egress_binding_is_implicit_null () =
+  let topo, n = line4 () in
+  let plane = Plane.create ~nodes:4 in
+  let dest = pfx "10.3.0.0/16" in
+  let ldp = Ldp.distribute topo plane ~fecs:[(dest, n.(3))] in
+  Alcotest.(check (option int)) "implicit null" (Some Label.implicit_null)
+    (Ldp.local_binding ldp ~router:n.(3) dest)
+
+let test_ldp_refresh_after_failure () =
+  (* Diamond so a detour exists. *)
+  let topo = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node topo) in
+  ignore (Topology.connect topo n.(0) n.(1) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect topo n.(1) n.(3) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect topo n.(0) n.(2) ~bandwidth:1e9 ~delay:0.001);
+  ignore
+    (Topology.connect ~cost:2 topo n.(2) n.(3) ~bandwidth:1e9 ~delay:0.001);
+  let plane = Plane.create ~nodes:4 in
+  let dest = pfx "10.3.0.0/16" in
+  let ldp = Ldp.distribute topo plane ~fecs:[(dest, n.(3))] in
+  let fec = Fec.Prefix_fec dest in
+  (match Plane.find_ftn plane n.(0) fec with
+   | Some e -> Alcotest.(check int) "before: via 1" n.(1) e.Plane.next_hop
+   | None -> Alcotest.fail "no ftn before failure");
+  Topology.set_duplex_state topo n.(0) n.(1) false;
+  Ldp.refresh ldp;
+  match Plane.find_ftn plane n.(0) fec with
+  | Some e -> Alcotest.(check int) "after: via 2" n.(2) e.Plane.next_hop
+  | None -> Alcotest.fail "no ftn after refresh"
+
+let test_ldp_refresh_removes_unreachable () =
+  (* Partition the egress: refresh must withdraw the FTN entries of
+     routers that lost reachability. *)
+  let topo, n = line4 () in
+  let plane = Plane.create ~nodes:4 in
+  let dest = pfx "10.3.0.0/16" in
+  let ldp = Ldp.distribute topo plane ~fecs:[(dest, n.(3))] in
+  let fec = Fec.Prefix_fec dest in
+  Alcotest.(check bool) "ftn before" true
+    (Plane.find_ftn plane n.(0) fec <> None);
+  Topology.set_duplex_state topo n.(1) n.(2) false;
+  Ldp.refresh ldp;
+  Alcotest.(check bool) "node 0 withdrawn" true
+    (Plane.find_ftn plane n.(0) fec = None);
+  Alcotest.(check bool) "node 1 withdrawn" true
+    (Plane.find_ftn plane n.(1) fec = None);
+  (* Repair and refresh: reachability returns with the same binding. *)
+  let before =
+    match Ldp.local_binding ldp ~router:n.(0) dest with
+    | Some l -> l
+    | None -> Alcotest.fail "binding lost"
+  in
+  Topology.set_duplex_state topo n.(1) n.(2) true;
+  Ldp.refresh ldp;
+  (match Plane.find_ftn plane n.(0) fec with
+   | Some _ -> ()
+   | None -> Alcotest.fail "ftn not restored");
+  Alcotest.(check (option int)) "binding stable" (Some before)
+    (Ldp.local_binding ldp ~router:n.(0) dest)
+
+let test_ldp_messages_and_state () =
+  let topo, n = line4 () in
+  let plane = Plane.create ~nodes:4 in
+  let ldp =
+    Ldp.distribute topo plane
+      ~fecs:[(pfx "10.3.0.0/16", n.(3)); (pfx "10.0.0.0/16", n.(0))]
+  in
+  Alcotest.(check int) "fecs" 2 (Ldp.fec_count ldp);
+  Alcotest.(check bool) "messages counted" true (Ldp.messages ldp > 0);
+  Alcotest.(check bool) "lfib state exists" true
+    (Plane.total_lfib_entries plane > 0)
+
+let ldp_lsp_always_reaches_egress =
+  QCheck.Test.make ~name:"ldp lsp from any ingress reaches the egress"
+    ~count:40
+    QCheck.(pair (int_range 3 10) small_int)
+    (fun (n, seed) ->
+       let topo = Topology.create () in
+       let rng = Mvpn_sim.Rng.create (seed * 31 + 1) in
+       let ids =
+         Topology.random_connected topo rng ~n ~extra_links:3
+           ~bandwidth:1e9 ~delay:0.001
+       in
+       let plane = Plane.create ~nodes:(Topology.node_count topo) in
+       let dest = pfx "10.99.0.0/16" in
+       let egress = ids.(n - 1) in
+       let ldp = Ldp.distribute topo plane ~fecs:[(dest, egress)] in
+       ignore ldp;
+       let fec = Fec.Prefix_fec dest in
+       Array.for_all
+         (fun ingress ->
+            if ingress = egress then true
+            else begin
+              let p =
+                Packet.make ~now:0.0
+                  (Flow.make (ip "10.0.0.1") (ip "10.99.0.1"))
+              in
+              match Plane.find_ftn plane ingress fec with
+              | None ->
+                (* Next hop is the PHP egress: traffic goes unlabelled,
+                   which counts as reaching it. *)
+                (match
+                   Mvpn_routing.Spf.shortest_path topo ~src:ingress
+                     ~dst:egress
+                 with
+                 | Some [_; e] -> e = egress
+                 | Some _ | None -> false)
+              | Some e ->
+                Packet.push_label p ~label:e.Plane.push ~exp:0 ~ttl:64;
+                let rec walk at hops =
+                  if hops > 50 then false
+                  else if Packet.top_label p = None then at = egress
+                  else
+                    match Lfib.step (Plane.lfib plane at) p with
+                    | Lfib.Forward nh -> walk nh (hops + 1)
+                    | Lfib.Ip_continue nh ->
+                      (nh = egress)
+                      || (nh = Lfib.local && at = egress)
+                    | Lfib.No_binding _ | Lfib.Ttl_expired -> false
+                in
+                walk e.Plane.next_hop 0
+            end)
+         ids)
+
+(* LDP splice property: on random topologies, every router's outgoing
+   label for a FEC equals its next hop's local binding — the invariant
+   label distribution exists to establish. *)
+let ldp_splice_consistency =
+  QCheck.Test.make ~name:"ldp: pushed label = next hop's local binding"
+    ~count:40
+    QCheck.(pair (int_range 3 10) small_int)
+    (fun (n, seed) ->
+       let topo = Topology.create () in
+       let rng = Mvpn_sim.Rng.create (seed * 13 + 5) in
+       let ids =
+         Topology.random_connected topo rng ~n ~extra_links:2
+           ~bandwidth:1e9 ~delay:0.001
+       in
+       let plane = Plane.create ~nodes:(Topology.node_count topo) in
+       let dest = pfx "10.50.0.0/16" in
+       let egress = ids.(0) in
+       let ldp = Ldp.distribute topo plane ~fecs:[(dest, egress)] in
+       Array.for_all
+         (fun r ->
+            if r = egress then true
+            else
+              match Plane.find_ftn plane r (Fec.Prefix_fec dest) with
+              | None -> true  (* adjacent-to-egress PHP case *)
+              | Some e ->
+                (match Ldp.local_binding ldp ~router:e.Plane.next_hop dest with
+                 | Some binding -> binding = e.Plane.push
+                 | None -> false))
+         ids)
+
+(* --- Cspf ------------------------------------------------------------- *)
+
+let test_cspf_avoids_reserved () =
+  let topo = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node topo) in
+  (* Short path 0-1-3 at low capacity, long path 0-2-3 at high. *)
+  let ab, _ = Topology.connect topo n.(0) n.(1) ~bandwidth:50.0 ~delay:0.001 in
+  ignore (Topology.connect topo n.(1) n.(3) ~bandwidth:50.0 ~delay:0.001);
+  ignore
+    (Topology.connect ~cost:5 topo n.(0) n.(2) ~bandwidth:1000.0
+       ~delay:0.001);
+  ignore
+    (Topology.connect ~cost:5 topo n.(2) n.(3) ~bandwidth:1000.0
+       ~delay:0.001);
+  ignore ab;
+  Alcotest.(check (option (list int))) "small demand takes short path"
+    (Some [0; 1; 3])
+    (Cspf.path topo ~src:n.(0) ~dst:n.(3) (Cspf.with_bandwidth 40.0));
+  Alcotest.(check (option (list int))) "big demand detours"
+    (Some [0; 2; 3])
+    (Cspf.path topo ~src:n.(0) ~dst:n.(3) (Cspf.with_bandwidth 100.0));
+  Alcotest.(check (option (list int))) "impossible demand" None
+    (Cspf.path topo ~src:n.(0) ~dst:n.(3) (Cspf.with_bandwidth 5000.0));
+  (* igp path ignores resources *)
+  Alcotest.(check (option (list int))) "igp blind" (Some [0; 1; 3])
+    (Cspf.igp_path topo ~src:n.(0) ~dst:n.(3))
+
+let test_cspf_avoid_node () =
+  let topo = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node topo) in
+  ignore (Topology.connect topo n.(0) n.(1) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect topo n.(1) n.(3) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect ~cost:3 topo n.(0) n.(2) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect ~cost:3 topo n.(2) n.(3) ~bandwidth:1e9 ~delay:0.001);
+  let c = { Cspf.no_constraints with Cspf.avoid_nodes = [n.(1)] } in
+  Alcotest.(check (option (list int))) "avoids node 1" (Some [0; 2; 3])
+    (Cspf.path topo ~src:n.(0) ~dst:n.(3) c)
+
+let test_cspf_max_hops () =
+  let topo = Topology.create () in
+  let ids = Topology.line topo 5 ~bandwidth:1e9 ~delay:0.001 in
+  let c = { Cspf.no_constraints with Cspf.max_hops = Some 2 } in
+  Alcotest.(check (option (list int))) "too many hops" None
+    (Cspf.path topo ~src:ids.(0) ~dst:ids.(4) c);
+  let c2 = { Cspf.no_constraints with Cspf.max_hops = Some 4 } in
+  Alcotest.(check bool) "within limit" true
+    (Cspf.path topo ~src:ids.(0) ~dst:ids.(4) c2 <> None)
+
+(* --- Rsvp_te ---------------------------------------------------------- *)
+
+let te_topo () =
+  (* Diamond with equal costs both ways: 0-1-3 and 0-2-3, capacity 100. *)
+  let topo = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node topo) in
+  ignore (Topology.connect topo n.(0) n.(1) ~bandwidth:100.0 ~delay:0.001);
+  ignore (Topology.connect topo n.(1) n.(3) ~bandwidth:100.0 ~delay:0.001);
+  ignore
+    (Topology.connect ~cost:2 topo n.(0) n.(2) ~bandwidth:100.0 ~delay:0.001);
+  ignore
+    (Topology.connect ~cost:2 topo n.(2) n.(3) ~bandwidth:100.0 ~delay:0.001);
+  (topo, n)
+
+let test_te_signal_reserves_and_installs () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  (match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:60.0 with
+   | Ok tn ->
+     Alcotest.(check (list int)) "short path" [0; 1; 3] tn.Rsvp_te.path;
+     (match Topology.find_link topo n.(0) n.(1) with
+      | Some l ->
+        Alcotest.(check (float 1e-9)) "reserved" 60.0 l.Topology.reserved
+      | None -> Alcotest.fail "link missing");
+     Alcotest.(check bool) "ingress ftn installed" true
+       (Plane.find_ftn plane n.(0) (Rsvp_te.ingress_fec tn) <> None)
+   | Error e -> Alcotest.failf "signal failed: %s" e);
+  (* Second tunnel does not fit on the short path -> detours. *)
+  match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:60.0 with
+  | Ok tn ->
+    Alcotest.(check (list int)) "spread to long path" [0; 2; 3]
+      tn.Rsvp_te.path
+  | Error e -> Alcotest.failf "second signal failed: %s" e
+
+let test_te_admission_refusal () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  (match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:80.0 with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "first: %s" e);
+  (match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:80.0 with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "second: %s" e);
+  (* Both paths now hold 80/100; a third 80 must be refused. *)
+  match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:80.0 with
+  | Ok _ -> Alcotest.fail "should have been refused"
+  | Error _ -> ()
+
+let test_te_igp_only_overcommits () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  for _ = 1 to 3 do
+    match
+      Rsvp_te.signal te ~admission:Rsvp_te.Igp_only ~src:n.(0) ~dst:n.(3)
+        ~bandwidth:60.0
+    with
+    | Ok tn ->
+      Alcotest.(check (list int)) "always the igp path" [0; 1; 3]
+        tn.Rsvp_te.path
+    | Error e -> Alcotest.failf "igp admission refused: %s" e
+  done;
+  let over = Rsvp_te.overcommitted_links te in
+  Alcotest.(check bool) "links overcommitted" true (List.length over > 0);
+  let _, excess = List.hd over in
+  Alcotest.(check (float 1e-9)) "excess" 80.0 excess
+
+let test_te_teardown_releases () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:60.0 with
+  | Error e -> Alcotest.failf "signal: %s" e
+  | Ok tn ->
+    Alcotest.(check bool) "teardown" true (Rsvp_te.teardown te tn.Rsvp_te.id);
+    (match Topology.find_link topo n.(0) n.(1) with
+     | Some l ->
+       Alcotest.(check (float 1e-9)) "released" 0.0 l.Topology.reserved
+     | None -> Alcotest.fail "link missing");
+    Alcotest.(check bool) "idempotent" false
+      (Rsvp_te.teardown te tn.Rsvp_te.id)
+
+let test_te_preemption () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  (* Fill both paths with low-priority tunnels. *)
+  (match
+     Rsvp_te.signal te ~setup_priority:7 ~hold_priority:7 ~src:n.(0)
+       ~dst:n.(3) ~bandwidth:80.0
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "lp1: %s" e);
+  (match
+     Rsvp_te.signal te ~setup_priority:7 ~hold_priority:7 ~src:n.(0)
+       ~dst:n.(3) ~bandwidth:80.0
+   with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "lp2: %s" e);
+  (* High-priority tunnel preempts. *)
+  match
+    Rsvp_te.signal te ~setup_priority:0 ~hold_priority:0 ~allow_preempt:true
+      ~src:n.(0) ~dst:n.(3) ~bandwidth:80.0
+  with
+  | Ok tn ->
+    Alcotest.(check bool) "up" true tn.Rsvp_te.up;
+    let down =
+      List.filter (fun t -> not t.Rsvp_te.up) (Rsvp_te.tunnels te)
+    in
+    Alcotest.(check int) "one victim" 1 (List.length down)
+  | Error e -> Alcotest.failf "preemption failed: %s" e
+
+let test_te_failure_and_reroute () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  (match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:60.0 with
+   | Ok tn ->
+     Alcotest.(check (list int)) "initial path" [0; 1; 3] tn.Rsvp_te.path
+   | Error e -> Alcotest.failf "signal: %s" e);
+  Topology.set_duplex_state topo n.(1) n.(3) false;
+  Alcotest.(check int) "one tunnel down" 1 (Rsvp_te.handle_link_failure te);
+  let restored, still_down = Rsvp_te.reroute_down te in
+  Alcotest.(check int) "restored" 1 restored;
+  Alcotest.(check int) "none stuck" 0 still_down;
+  match Rsvp_te.tunnels te with
+  | [tn] ->
+    Alcotest.(check (list int)) "detour path" [0; 2; 3] tn.Rsvp_te.path
+  | _ -> Alcotest.fail "expected one tunnel"
+
+let test_te_explicit_path () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  match
+    Rsvp_te.signal te ~explicit_path:[n.(0); n.(2); n.(3)] ~src:n.(0)
+      ~dst:n.(3) ~bandwidth:10.0
+  with
+  | Ok tn ->
+    Alcotest.(check (list int)) "operator route honoured" [0; 2; 3]
+      tn.Rsvp_te.path
+  | Error e -> Alcotest.failf "explicit: %s" e
+
+let test_te_subpool_caps_premium () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  (* Links are 100; premium capped at 40%. *)
+  let te = Rsvp_te.create ~subpool_fraction:0.4 topo plane in
+  (match
+     Rsvp_te.signal te ~class_type:Rsvp_te.Subpool ~src:n.(0) ~dst:n.(3)
+       ~bandwidth:30.0
+   with
+   | Ok tn -> Alcotest.(check (list int)) "short path" [0; 1; 3] tn.Rsvp_te.path
+   | Error e -> Alcotest.failf "first premium: %s" e);
+  (* A second premium 30 exceeds the 40-unit sub-pool on the short
+     path: it must detour even though global capacity remains. *)
+  (match
+     Rsvp_te.signal te ~class_type:Rsvp_te.Subpool ~src:n.(0) ~dst:n.(3)
+       ~bandwidth:30.0
+   with
+   | Ok tn ->
+     Alcotest.(check (list int)) "premium detours" [0; 2; 3] tn.Rsvp_te.path
+   | Error e -> Alcotest.failf "second premium: %s" e);
+  (* Global-pool traffic still fits on the short path. *)
+  (match
+     Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:60.0
+   with
+   | Ok tn ->
+     Alcotest.(check (list int)) "global pool unaffected" [0; 1; 3]
+       tn.Rsvp_te.path
+   | Error e -> Alcotest.failf "global: %s" e);
+  match Topology.find_link topo n.(0) n.(1) with
+  | Some l ->
+    Alcotest.(check (float 1e-9)) "subpool accounted" 30.0
+      (Rsvp_te.subpool_reserved te l)
+  | None -> Alcotest.fail "link missing"
+
+let test_te_subpool_released_on_teardown () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create ~subpool_fraction:0.4 topo plane in
+  match
+    Rsvp_te.signal te ~class_type:Rsvp_te.Subpool ~src:n.(0) ~dst:n.(3)
+      ~bandwidth:40.0
+  with
+  | Error e -> Alcotest.failf "signal: %s" e
+  | Ok tn ->
+    ignore (Rsvp_te.teardown te tn.Rsvp_te.id);
+    (match Topology.find_link topo n.(0) n.(1) with
+     | Some l ->
+       Alcotest.(check (float 1e-9)) "subpool empty" 0.0
+         (Rsvp_te.subpool_reserved te l)
+     | None -> Alcotest.fail "link missing")
+
+(* Reservation conservation: after random signal/teardown churn, every
+   link's reserved bandwidth equals the sum over up tunnels crossing
+   it. *)
+let te_reservation_conservation =
+  QCheck.Test.make ~name:"rsvp-te: link reservations = sum of up tunnels"
+    ~count:30
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 5 25) bool))
+    (fun (seed, ops) ->
+       let topo = Topology.create () in
+       let rng = Mvpn_sim.Rng.create (seed + 77) in
+       let ids =
+         Topology.random_connected topo rng ~n:8 ~extra_links:4
+           ~bandwidth:100.0 ~delay:0.001
+       in
+       let plane = Plane.create ~nodes:(Topology.node_count topo) in
+       let te = Rsvp_te.create topo plane in
+       let live = ref [] in
+       List.iter
+         (fun signal_new ->
+            if signal_new || !live = [] then begin
+              let src = ids.(Mvpn_sim.Rng.int rng 8) in
+              let dst = ids.(Mvpn_sim.Rng.int rng 8) in
+              if src <> dst then
+                match
+                  Rsvp_te.signal te ~src ~dst
+                    ~bandwidth:(float_of_int (Mvpn_sim.Rng.int_in rng 5 30))
+                with
+                | Ok tn -> live := tn.Rsvp_te.id :: !live
+                | Error _ -> ()
+            end
+            else begin
+              match !live with
+              | id :: rest ->
+                ignore (Rsvp_te.teardown te id);
+                live := rest
+              | [] -> ()
+            end)
+         ops;
+       (* Check conservation per link. *)
+       let expected = Hashtbl.create 32 in
+       List.iter
+         (fun tn ->
+            if tn.Rsvp_te.up then begin
+              let rec pairs = function
+                | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+                | [_] | [] -> []
+              in
+              List.iter
+                (fun (a, b) ->
+                   match Topology.find_link topo a b with
+                   | Some l ->
+                     let cur =
+                       Option.value ~default:0.0
+                         (Hashtbl.find_opt expected l.Topology.id)
+                     in
+                     Hashtbl.replace expected l.Topology.id
+                       (cur +. tn.Rsvp_te.bandwidth)
+                   | None -> ())
+                (pairs tn.Rsvp_te.path)
+            end)
+         (Rsvp_te.tunnels te);
+       List.for_all
+         (fun (l : Topology.link) ->
+            let want =
+              Option.value ~default:0.0
+                (Hashtbl.find_opt expected l.Topology.id)
+            in
+            Float.abs (l.Topology.reserved -. want) < 1e-9)
+         (Topology.links topo))
+
+let test_te_labels_walk () =
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:10.0 with
+  | Error e -> Alcotest.failf "signal: %s" e
+  | Ok tn ->
+    let p =
+      Packet.make ~now:0.0 (Flow.make (ip "10.0.0.1") (ip "10.3.0.1"))
+    in
+    (match Plane.find_ftn plane n.(0) (Rsvp_te.ingress_fec tn) with
+     | None -> Alcotest.fail "no ingress entry"
+     | Some e ->
+       Packet.push_label p ~label:e.Plane.push ~exp:5 ~ttl:64;
+       (* Node 1 is penultimate: pops, delivers IP to 3. *)
+       (match Lfib.step (Plane.lfib plane e.Plane.next_hop) p with
+        | Lfib.Ip_continue nh -> Alcotest.(check int) "egress" n.(3) nh
+        | _ -> Alcotest.fail "expected php pop at node 1"))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "mpls"
+    [ ("label",
+       [ Alcotest.test_case "constants" `Quick test_label_constants;
+         Alcotest.test_case "allocator" `Quick test_label_allocator ]);
+      ("fec", [ Alcotest.test_case "compare" `Quick test_fec_compare ]);
+      ("lfib",
+       [ Alcotest.test_case "install/lookup" `Quick
+           test_lfib_install_lookup;
+         Alcotest.test_case "rejects reserved" `Quick
+           test_lfib_rejects_reserved;
+         Alcotest.test_case "step swap" `Quick test_lfib_step_swap;
+         Alcotest.test_case "step pop to ip" `Quick test_lfib_step_pop_to_ip;
+         Alcotest.test_case "step pop inner remains" `Quick
+           test_lfib_step_pop_inner_remains;
+         Alcotest.test_case "ttl expiry" `Quick test_lfib_step_ttl;
+         Alcotest.test_case "no binding" `Quick test_lfib_step_no_binding ]);
+      ("ldp",
+       [ Alcotest.test_case "end to end php" `Quick test_ldp_end_to_end_php;
+         Alcotest.test_case "no php egress pops" `Quick
+           test_ldp_no_php_egress_pops;
+         Alcotest.test_case "php binding" `Quick
+           test_ldp_php_egress_binding_is_implicit_null;
+         Alcotest.test_case "refresh after failure" `Quick
+           test_ldp_refresh_after_failure;
+         Alcotest.test_case "refresh withdraws unreachable" `Quick
+           test_ldp_refresh_removes_unreachable;
+         Alcotest.test_case "messages and state" `Quick
+           test_ldp_messages_and_state;
+         qt ldp_lsp_always_reaches_egress;
+         qt ldp_splice_consistency ]);
+      ("cspf",
+       [ Alcotest.test_case "avoids reserved" `Quick
+           test_cspf_avoids_reserved;
+         Alcotest.test_case "avoid node" `Quick test_cspf_avoid_node;
+         Alcotest.test_case "max hops" `Quick test_cspf_max_hops ]);
+      ("rsvp-te",
+       [ Alcotest.test_case "signal reserves and installs" `Quick
+           test_te_signal_reserves_and_installs;
+         Alcotest.test_case "admission refusal" `Quick
+           test_te_admission_refusal;
+         Alcotest.test_case "igp-only overcommits" `Quick
+           test_te_igp_only_overcommits;
+         Alcotest.test_case "teardown releases" `Quick
+           test_te_teardown_releases;
+         Alcotest.test_case "preemption" `Quick test_te_preemption;
+         Alcotest.test_case "failure and reroute" `Quick
+           test_te_failure_and_reroute;
+         Alcotest.test_case "explicit path" `Quick test_te_explicit_path;
+         Alcotest.test_case "ds-te subpool caps premium" `Quick
+           test_te_subpool_caps_premium;
+         Alcotest.test_case "ds-te subpool released" `Quick
+           test_te_subpool_released_on_teardown;
+         qt te_reservation_conservation;
+         Alcotest.test_case "labels walk" `Quick test_te_labels_walk ]) ]

@@ -1,0 +1,553 @@
+open Mvpn_net
+
+(* --- Ipv4 ------------------------------------------------------------- *)
+
+let ip = Ipv4.of_string_exn
+
+let test_ipv4_octets () =
+  let a = Ipv4.of_octets 10 1 2 3 in
+  Alcotest.(check string) "render" "10.1.2.3" (Ipv4.to_string a);
+  Alcotest.(check (pair (pair int int) (pair int int))) "octets"
+    ((10, 1), (2, 3))
+    (let a, b, c, d = Ipv4.to_octets a in ((a, b), (c, d)))
+
+let test_ipv4_parse_valid () =
+  Alcotest.(check int) "value" ((192 lsl 24) lor (168 lsl 16) lor 257)
+    (Ipv4.to_int (ip "192.168.1.1"))
+
+let test_ipv4_parse_invalid () =
+  let bad s =
+    match Ipv4.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [""; "1.2.3"; "1.2.3.4.5"; "256.1.1.1"; "-1.2.3.4"; "a.b.c.d";
+     "1..2.3"; "1000.2.3.4"]
+
+let test_ipv4_bounds () =
+  Alcotest.check_raises "negative" (Invalid_argument
+    "Ipv4.of_int32_exn: -1 out of range") (fun () ->
+    ignore (Ipv4.of_int32_exn (-1)));
+  Alcotest.(check string) "broadcast" "255.255.255.255"
+    (Ipv4.to_string Ipv4.broadcast)
+
+let test_ipv4_arith () =
+  Alcotest.(check string) "succ" "10.0.0.1"
+    (Ipv4.to_string (Ipv4.succ (ip "10.0.0.0")));
+  Alcotest.(check string) "wrap" "0.0.0.0"
+    (Ipv4.to_string (Ipv4.succ Ipv4.broadcast));
+  Alcotest.(check string) "add" "10.0.1.0"
+    (Ipv4.to_string (Ipv4.add (ip "10.0.0.0") 256))
+
+let ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 string roundtrip" ~count:500
+    (QCheck.int_bound 0xFFFF_FFF)
+    (fun seed ->
+       let a = Ipv4.of_int32_exn (seed * 16) in
+       Ipv4.equal a (Ipv4.of_string_exn (Ipv4.to_string a)))
+
+(* --- Prefix ----------------------------------------------------------- *)
+
+let pfx = Prefix.of_string_exn
+
+let test_prefix_canonical () =
+  let p = Prefix.make (ip "10.1.2.3") 16 in
+  Alcotest.(check string) "canonical" "10.1.0.0/16" (Prefix.to_string p);
+  Alcotest.(check bool) "equal" true (Prefix.equal p (pfx "10.1.255.255/16"))
+
+let test_prefix_parse () =
+  Alcotest.(check string) "bare address is /32" "10.0.0.1/32"
+    (Prefix.to_string (pfx "10.0.0.1"));
+  (match Prefix.of_string "10.0.0.0/33" with
+   | Ok _ -> Alcotest.fail "accepted /33"
+   | Error _ -> ());
+  match Prefix.of_string "10.0.0/8" with
+  | Ok _ -> Alcotest.fail "accepted bad address"
+  | Error _ -> ()
+
+let test_prefix_mem () =
+  let p = pfx "172.16.0.0/12" in
+  Alcotest.(check bool) "inside" true (Prefix.mem (ip "172.20.1.1") p);
+  Alcotest.(check bool) "outside" false (Prefix.mem (ip "172.32.0.0") p);
+  Alcotest.(check bool) "first" true (Prefix.mem (Prefix.first p) p);
+  Alcotest.(check bool) "last" true (Prefix.mem (Prefix.last p) p)
+
+let test_prefix_subsumes () =
+  Alcotest.(check bool) "wider subsumes narrower" true
+    (Prefix.subsumes (pfx "10.0.0.0/8") (pfx "10.1.0.0/16"));
+  Alcotest.(check bool) "narrower does not" false
+    (Prefix.subsumes (pfx "10.1.0.0/16") (pfx "10.0.0.0/8"));
+  Alcotest.(check bool) "self" true
+    (Prefix.subsumes (pfx "10.0.0.0/8") (pfx "10.0.0.0/8"));
+  Alcotest.(check bool) "disjoint" false
+    (Prefix.subsumes (pfx "10.0.0.0/8") (pfx "11.0.0.0/8"));
+  Alcotest.(check bool) "default subsumes all" true
+    (Prefix.subsumes Prefix.default (pfx "203.0.113.0/24"))
+
+let test_prefix_split () =
+  (match Prefix.split (pfx "10.0.0.0/8") with
+   | Some (lo, hi) ->
+     Alcotest.(check string) "lo" "10.0.0.0/9" (Prefix.to_string lo);
+     Alcotest.(check string) "hi" "10.128.0.0/9" (Prefix.to_string hi)
+   | None -> Alcotest.fail "split failed");
+  Alcotest.(check bool) "/32 unsplittable" true
+    (Prefix.split (pfx "1.2.3.4/32") = None)
+
+let test_prefix_subnets () =
+  let subs = Prefix.subnets (pfx "192.168.0.0/16") 18 in
+  Alcotest.(check int) "count" 4 (List.length subs);
+  Alcotest.(check (list string)) "order"
+    ["192.168.0.0/18"; "192.168.64.0/18"; "192.168.128.0/18";
+     "192.168.192.0/18"]
+    (List.map Prefix.to_string subs)
+
+let test_prefix_hosts () =
+  let p = pfx "10.0.0.0/30" in
+  Alcotest.(check int) "size" 4 (Prefix.size p);
+  Alcotest.(check string) "nth" "10.0.0.2"
+    (Ipv4.to_string (Prefix.nth_host p 2));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Prefix.nth_host: index 4 outside 10.0.0.0/30")
+    (fun () -> ignore (Prefix.nth_host p 4))
+
+let prefix_split_partition =
+  QCheck.Test.make ~name:"split partitions the prefix" ~count:300
+    QCheck.(pair (int_bound 0xFFFF_FFF) (int_bound 31))
+    (fun (seed, len) ->
+       let p = Prefix.make (Ipv4.of_int32_exn (seed * 16)) len in
+       match Prefix.split p with
+       | None -> false
+       | Some (lo, hi) ->
+         Prefix.subsumes p lo && Prefix.subsumes p hi
+         && (not (Prefix.overlaps lo hi))
+         && Prefix.size lo + Prefix.size hi = Prefix.size p)
+
+let prefix_mem_bounds =
+  QCheck.Test.make ~name:"mem agrees with first/last bounds" ~count:300
+    QCheck.(triple (int_bound 0xFFFF_FFF) (int_bound 32) (int_bound 0xFFFF))
+    (fun (seed, len, probe) ->
+       let p = Prefix.make (Ipv4.of_int32_exn (seed * 16)) len in
+       let a = Ipv4.add (Prefix.first p) (probe mod Prefix.size p) in
+       Prefix.mem a p)
+
+(* --- Dscp ------------------------------------------------------------- *)
+
+let test_dscp_codepoints () =
+  Alcotest.(check int) "EF" 46 (Dscp.to_int Dscp.ef);
+  Alcotest.(check int) "AF11" 10 (Dscp.to_int (Dscp.af 1 1));
+  Alcotest.(check int) "AF31" 26 (Dscp.to_int (Dscp.af 3 1));
+  Alcotest.(check int) "AF43" 38 (Dscp.to_int (Dscp.af 4 3));
+  Alcotest.(check int) "CS6" 48 (Dscp.to_int (Dscp.cs 6));
+  Alcotest.(check int) "BE" 0 (Dscp.to_int Dscp.best_effort)
+
+let test_dscp_phb_roundtrip () =
+  let phbs =
+    [Dscp.Default; Dscp.Ef; Dscp.Af (1, 1); Dscp.Af (2, 3); Dscp.Af (4, 2);
+     Dscp.Cs 3; Dscp.Cs 7]
+  in
+  List.iter
+    (fun phb ->
+       Alcotest.(check bool) "roundtrip" true
+         (Dscp.to_phb (Dscp.of_phb phb) = phb))
+    phbs
+
+let test_dscp_exp_mapping () =
+  Alcotest.(check int) "EF->5" 5 (Dscp.to_exp Dscp.ef);
+  Alcotest.(check int) "AF3->3" 3 (Dscp.to_exp (Dscp.af 3 2));
+  Alcotest.(check int) "BE->0" 0 (Dscp.to_exp Dscp.best_effort);
+  Alcotest.(check int) "CS6->6" 6 (Dscp.to_exp (Dscp.cs 6));
+  (* of_exp inverts the class even if drop precedence is coarsened *)
+  Alcotest.(check int) "exp roundtrip keeps class" 3
+    (Dscp.to_exp (Dscp.of_exp (Dscp.to_exp (Dscp.af 3 3))))
+
+let test_dscp_drop_precedence () =
+  Alcotest.(check int) "AF13" 3 (Dscp.drop_precedence (Dscp.af 1 3));
+  Alcotest.(check int) "EF" 1 (Dscp.drop_precedence Dscp.ef);
+  Alcotest.(check int) "BE" 1 (Dscp.drop_precedence Dscp.best_effort)
+
+let test_dscp_invalid () =
+  Alcotest.check_raises "64" (Invalid_argument
+    "Dscp.of_int_exn: 64 out of range") (fun () ->
+    ignore (Dscp.of_int_exn 64));
+  Alcotest.check_raises "AF53"
+    (Invalid_argument "Dscp.of_phb: AF53 out of range") (fun () ->
+      ignore (Dscp.af 5 3))
+
+(* --- Flow ------------------------------------------------------------- *)
+
+let test_flow_reverse () =
+  let f =
+    Flow.make ~proto:Flow.Tcp ~src_port:1234 ~dst_port:80 (ip "10.0.0.1")
+      (ip "10.0.0.2")
+  in
+  let r = Flow.reverse f in
+  Alcotest.(check bool) "src" true (Ipv4.equal r.Flow.src f.Flow.dst);
+  Alcotest.(check int) "port" 80 r.Flow.src_port;
+  Alcotest.(check bool) "involutive" true (Flow.equal f (Flow.reverse r))
+
+let test_flow_compare () =
+  let a = Flow.make (ip "10.0.0.1") (ip "10.0.0.2") in
+  let b = Flow.make (ip "10.0.0.1") (ip "10.0.0.3") in
+  Alcotest.(check bool) "lt" true (Flow.compare a b < 0);
+  Alcotest.(check bool) "eq" true (Flow.equal a a);
+  Alcotest.(check bool) "hash eq" true (Flow.hash a = Flow.hash a)
+
+(* --- Packet ----------------------------------------------------------- *)
+
+let fresh_packet ?dscp () =
+  let flow = Flow.make (ip "10.1.0.1") (ip "10.2.0.1") in
+  Packet.make ?dscp ~now:0.0 flow
+
+let test_packet_labels () =
+  let p = fresh_packet () in
+  let size0 = p.Packet.size in
+  Packet.push_label p ~label:100 ~exp:5 ~ttl:64;
+  Packet.push_label p ~label:200 ~exp:5 ~ttl:64;
+  Alcotest.(check int) "size grows" (size0 + 8) p.Packet.size;
+  (match Packet.top_label p with
+   | Some s -> Alcotest.(check int) "top" 200 s.Packet.label
+   | None -> Alcotest.fail "no label");
+  Packet.swap_label p ~label:300;
+  (match Packet.top_label p with
+   | Some s ->
+     Alcotest.(check int) "swapped" 300 s.Packet.label;
+     Alcotest.(check int) "ttl decremented" 63 s.Packet.ttl
+   | None -> Alcotest.fail "no label");
+  (match Packet.pop_label p with
+   | Some s -> Alcotest.(check int) "popped" 300 s.Packet.label
+   | None -> Alcotest.fail "pop failed");
+  ignore (Packet.pop_label p);
+  Alcotest.(check int) "size restored" size0 p.Packet.size;
+  Alcotest.(check bool) "empty pop" true (Packet.pop_label p = None)
+
+let test_packet_swap_empty () =
+  let p = fresh_packet () in
+  Alcotest.check_raises "swap on empty"
+    (Invalid_argument "Packet.swap_label: empty label stack") (fun () ->
+      Packet.swap_label p ~label:1)
+
+let test_packet_encap_tos_copy () =
+  let p = fresh_packet ~dscp:Dscp.ef () in
+  let size0 = p.Packet.size in
+  Packet.encapsulate p ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+    ~proto:Flow.Esp ~overhead:57 ~copy_tos:true;
+  Alcotest.(check int) "overhead" (size0 + 57) p.Packet.size;
+  Alcotest.(check bool) "visible dscp preserved" true
+    (Dscp.equal (Packet.visible_dscp p) Dscp.ef);
+  Packet.decapsulate p;
+  Alcotest.(check int) "size restored" size0 p.Packet.size
+
+let test_packet_encap_no_tos_copy () =
+  let p = fresh_packet ~dscp:Dscp.ef () in
+  Packet.encapsulate p ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+    ~proto:Flow.Esp ~overhead:57 ~copy_tos:false;
+  p.Packet.encrypted <- true;
+  Alcotest.(check bool) "service class erased" true
+    (Dscp.equal (Packet.visible_dscp p) Dscp.best_effort);
+  Alcotest.(check bool) "flow unreadable" true
+    (Packet.classifiable_flow p = None);
+  Packet.decapsulate p;
+  Alcotest.(check bool) "restored after decap" true
+    (Dscp.equal (Packet.visible_dscp p) Dscp.ef);
+  Alcotest.(check bool) "flow readable again" true
+    (Packet.classifiable_flow p <> None)
+
+let test_packet_double_encap () =
+  let p = fresh_packet () in
+  Packet.encapsulate p ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+    ~proto:Flow.Gre ~overhead:24 ~copy_tos:true;
+  Alcotest.check_raises "double encap"
+    (Invalid_argument "Packet.encapsulate: already encapsulated") (fun () ->
+      Packet.encapsulate p ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+        ~proto:Flow.Gre ~overhead:24 ~copy_tos:true)
+
+let test_packet_uids_unique () =
+  let a = fresh_packet () and b = fresh_packet () in
+  Alcotest.(check bool) "distinct" true (a.Packet.uid <> b.Packet.uid)
+
+(* --- Radix ------------------------------------------------------------ *)
+
+let route_testable = Alcotest.(option (pair string int))
+
+let lookup_str t a =
+  Option.map (fun (p, v) -> (Prefix.to_string p, v)) (Radix.lookup t a)
+
+let test_radix_basic () =
+  let t = Radix.create () in
+  Alcotest.(check bool) "empty" true (Radix.is_empty t);
+  Radix.add t (pfx "10.0.0.0/8") 1;
+  Radix.add t (pfx "10.1.0.0/16") 2;
+  Radix.add t (pfx "10.1.2.0/24") 3;
+  Radix.add t (pfx "192.168.0.0/16") 4;
+  Alcotest.(check int) "cardinal" 4 (Radix.cardinal t);
+  Alcotest.check route_testable "lpm /24" (Some ("10.1.2.0/24", 3))
+    (lookup_str t (ip "10.1.2.99"));
+  Alcotest.check route_testable "lpm /16" (Some ("10.1.0.0/16", 2))
+    (lookup_str t (ip "10.1.3.1"));
+  Alcotest.check route_testable "lpm /8" (Some ("10.0.0.0/8", 1))
+    (lookup_str t (ip "10.9.9.9"));
+  Alcotest.check route_testable "other branch" (Some ("192.168.0.0/16", 4))
+    (lookup_str t (ip "192.168.44.1"));
+  Alcotest.check route_testable "miss" None (lookup_str t (ip "8.8.8.8"))
+
+let test_radix_default_route () =
+  let t = Radix.create () in
+  Radix.add t Prefix.default 0;
+  Radix.add t (pfx "10.0.0.0/8") 1;
+  Alcotest.check route_testable "default catches" (Some ("0.0.0.0/0", 0))
+    (lookup_str t (ip "8.8.8.8"));
+  Alcotest.check route_testable "specific wins" (Some ("10.0.0.0/8", 1))
+    (lookup_str t (ip "10.0.0.1"))
+
+let test_radix_replace () =
+  let t = Radix.create () in
+  Radix.add t (pfx "10.0.0.0/8") 1;
+  Radix.add t (pfx "10.0.0.0/8") 9;
+  Alcotest.(check int) "no duplicate" 1 (Radix.cardinal t);
+  Alcotest.(check (option int)) "replaced" (Some 9)
+    (Radix.find t (pfx "10.0.0.0/8"))
+
+let test_radix_remove () =
+  let t = Radix.create () in
+  Radix.add t (pfx "10.0.0.0/8") 1;
+  Radix.add t (pfx "10.1.0.0/16") 2;
+  Radix.add t (pfx "10.1.2.0/24") 3;
+  Alcotest.(check bool) "removed" true (Radix.remove t (pfx "10.1.0.0/16"));
+  Alcotest.(check bool) "absent now" false (Radix.remove t (pfx "10.1.0.0/16"));
+  Alcotest.(check int) "cardinal" 2 (Radix.cardinal t);
+  Alcotest.check route_testable "falls back to /8"
+    (Some ("10.0.0.0/8", 1))
+    (lookup_str t (ip "10.1.3.1"));
+  Alcotest.check route_testable "/24 intact" (Some ("10.1.2.0/24", 3))
+    (lookup_str t (ip "10.1.2.1"));
+  Alcotest.(check bool) "remove root-subsumed miss" false
+    (Radix.remove t (pfx "11.0.0.0/8"))
+
+let test_radix_remove_all () =
+  let t = Radix.create () in
+  let prefixes =
+    [pfx "10.0.0.0/8"; pfx "10.128.0.0/9"; pfx "10.64.0.0/10";
+     pfx "0.0.0.0/0"; pfx "1.2.3.4/32"]
+  in
+  List.iteri (fun i p -> Radix.add t p i) prefixes;
+  List.iter (fun p -> ignore (Radix.remove t p)) prefixes;
+  Alcotest.(check bool) "empty again" true (Radix.is_empty t);
+  Alcotest.check route_testable "no matches" None (lookup_str t (ip "10.0.0.1"))
+
+let test_radix_order () =
+  let t = Radix.create () in
+  Radix.add t (pfx "10.1.0.0/16") 2;
+  Radix.add t (pfx "10.0.0.0/8") 1;
+  Radix.add t (pfx "9.0.0.0/8") 0;
+  Radix.add t (pfx "10.1.0.0/24") 3;
+  Alcotest.(check (list string)) "sorted"
+    ["9.0.0.0/8"; "10.0.0.0/8"; "10.1.0.0/16"; "10.1.0.0/24"]
+    (List.map (fun (p, _) -> Prefix.to_string p) (Radix.to_list t))
+
+(* Model-based property: radix LPM agrees with a linear scan over the
+   same bindings. *)
+let radix_vs_linear =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        pair
+          (list_size (int_bound 60)
+             (pair (int_bound 0xFFFF) (int_range 4 32)))
+          (small_list (int_bound 0xFFFF)))
+  in
+  QCheck.Test.make ~name:"radix lpm = linear scan" ~count:200 gen
+    (fun (bindings, probes) ->
+       let t = Radix.create () in
+       let model = Hashtbl.create 16 in
+       List.iteri
+         (fun i (seed, len) ->
+            let p = Prefix.make (Ipv4.of_int32_exn (seed * 65536)) len in
+            Radix.add t p i;
+            Hashtbl.replace model p i)
+         bindings;
+       List.for_all
+         (fun seed ->
+            let a = Ipv4.of_int32_exn (seed * 65536 + seed) in
+            let expected =
+              Hashtbl.fold
+                (fun p v best ->
+                   if Prefix.mem a p then
+                     match best with
+                     | Some (bp, _) when Prefix.length bp >= Prefix.length p ->
+                       best
+                     | Some _ | None -> Some (p, v)
+                   else best)
+                model None
+            in
+            match Radix.lookup t a, expected with
+            | None, None -> true
+            | Some (p, _), Some (q, _) ->
+              (* Values can differ when two prefixes tie; length cannot. *)
+              Prefix.length p = Prefix.length q
+            | Some _, None | None, Some _ -> false)
+         probes)
+
+let radix_add_remove_roundtrip =
+  let gen =
+    QCheck.make
+      QCheck.Gen.(
+        list_size (int_bound 80) (pair (int_bound 0xFFFF) (int_range 1 32)))
+  in
+  QCheck.Test.make ~name:"add then remove leaves trie empty" ~count:200 gen
+    (fun bindings ->
+       let t = Radix.create () in
+       let prefixes =
+         List.map
+           (fun (seed, len) ->
+              Prefix.make (Ipv4.of_int32_exn (seed * 65536)) len)
+           bindings
+       in
+       List.iteri (fun i p -> Radix.add t p i) prefixes;
+       let distinct = List.sort_uniq Prefix.compare prefixes in
+       Radix.cardinal t = List.length distinct
+       && (List.iter (fun p -> ignore (Radix.remove t p)) distinct;
+           Radix.is_empty t))
+
+let test_radix_default_only () =
+  let t = Radix.create () in
+  Radix.add t Prefix.default "everything";
+  Alcotest.(check (option string)) "any address matches" (Some "everything")
+    (Radix.lookup_value t (ip "203.0.113.9"));
+  Alcotest.(check bool) "remove default" true (Radix.remove t Prefix.default);
+  Alcotest.(check bool) "now empty" true (Radix.is_empty t)
+
+let test_radix_of_list_roundtrip () =
+  let bindings =
+    [ (pfx "10.0.0.0/8", 1); (pfx "10.1.0.0/16", 2); (pfx "0.0.0.0/0", 0) ]
+  in
+  let t = Radix.of_list bindings in
+  Alcotest.(check int) "cardinal" 3 (Radix.cardinal t);
+  Alcotest.(check (list string)) "ordered"
+    ["0.0.0.0/0"; "10.0.0.0/8"; "10.1.0.0/16"]
+    (List.map (fun (p, _) -> Prefix.to_string p) (Radix.to_list t));
+  Radix.clear t;
+  Alcotest.(check int) "cleared" 0 (Radix.cardinal t)
+
+let test_dscp_of_exp_bounds () =
+  Alcotest.check_raises "exp 8" (Invalid_argument "Dscp.of_exp: 8 out of range")
+    (fun () -> ignore (Dscp.of_exp 8));
+  Alcotest.check_raises "exp -1"
+    (Invalid_argument "Dscp.of_exp: -1 out of range") (fun () ->
+      ignore (Dscp.of_exp (-1)))
+
+let test_dscp_pp_names () =
+  let show d = Format.asprintf "%a" Dscp.pp d in
+  Alcotest.(check string) "EF" "EF" (show Dscp.ef);
+  Alcotest.(check string) "AF22" "AF22" (show (Dscp.af 2 2));
+  Alcotest.(check string) "CS5" "CS5" (show (Dscp.cs 5));
+  Alcotest.(check string) "BE" "BE" (show Dscp.best_effort)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_packet_pp_renders () =
+  let p =
+    Packet.make ~dscp:Dscp.ef ~now:0.0
+      (Flow.make (ip "10.0.0.1") (ip "10.1.0.1"))
+  in
+  Packet.push_label p ~label:42 ~exp:5 ~ttl:64;
+  let s = Format.asprintf "%a" Packet.pp p in
+  Alcotest.(check bool) "mentions the label" true
+    (contains ~needle:"42(exp=5)" s);
+  Alcotest.(check bool) "mentions EF" true (contains ~needle:"EF" s)
+
+let test_flow_proto_names () =
+  Alcotest.(check (list string)) "all protos"
+    ["tcp"; "udp"; "icmp"; "esp"; "gre"]
+    (List.map Flow.proto_to_string
+       [Flow.Tcp; Flow.Udp; Flow.Icmp; Flow.Esp; Flow.Gre])
+
+(* --- Fib -------------------------------------------------------------- *)
+
+let test_fib_basic () =
+  let fib = Fib.create () in
+  Fib.add fib (pfx "10.1.0.0/16")
+    { Fib.next_hop = 3; cost = 10; source = Fib.Igp };
+  Fib.add fib (pfx "10.0.0.0/8")
+    { Fib.next_hop = 2; cost = 20; source = Fib.Bgp };
+  Alcotest.(check (option int)) "lpm" (Some 3)
+    (Fib.next_hop fib (ip "10.1.2.3"));
+  Alcotest.(check (option int)) "fallback" (Some 2)
+    (Fib.next_hop fib (ip "10.9.9.9"));
+  Alcotest.(check (option int)) "miss" None
+    (Fib.next_hop fib (ip "192.0.2.1"))
+
+let test_fib_clear_source () =
+  let fib = Fib.create () in
+  Fib.add fib (pfx "10.0.0.0/8")
+    { Fib.next_hop = 1; cost = 1; source = Fib.Igp };
+  Fib.add fib (pfx "10.1.0.0/16")
+    { Fib.next_hop = 2; cost = 1; source = Fib.Igp };
+  Fib.add fib (pfx "172.16.0.0/12")
+    { Fib.next_hop = 3; cost = 1; source = Fib.Static };
+  Alcotest.(check int) "cleared" 2 (Fib.clear_source fib Fib.Igp);
+  Alcotest.(check int) "static survives" 1 (Fib.size fib);
+  Alcotest.(check (option int)) "static route" (Some 3)
+    (Fib.next_hop fib (ip "172.16.1.1"))
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "net"
+    [ ("ipv4",
+       [ Alcotest.test_case "octets" `Quick test_ipv4_octets;
+         Alcotest.test_case "parse valid" `Quick test_ipv4_parse_valid;
+         Alcotest.test_case "parse invalid" `Quick test_ipv4_parse_invalid;
+         Alcotest.test_case "bounds" `Quick test_ipv4_bounds;
+         Alcotest.test_case "arithmetic" `Quick test_ipv4_arith;
+         qt ipv4_roundtrip ]);
+      ("prefix",
+       [ Alcotest.test_case "canonical" `Quick test_prefix_canonical;
+         Alcotest.test_case "parse" `Quick test_prefix_parse;
+         Alcotest.test_case "mem" `Quick test_prefix_mem;
+         Alcotest.test_case "subsumes" `Quick test_prefix_subsumes;
+         Alcotest.test_case "split" `Quick test_prefix_split;
+         Alcotest.test_case "subnets" `Quick test_prefix_subnets;
+         Alcotest.test_case "hosts" `Quick test_prefix_hosts;
+         qt prefix_split_partition;
+         qt prefix_mem_bounds ]);
+      ("dscp",
+       [ Alcotest.test_case "codepoints" `Quick test_dscp_codepoints;
+         Alcotest.test_case "phb roundtrip" `Quick test_dscp_phb_roundtrip;
+         Alcotest.test_case "exp mapping" `Quick test_dscp_exp_mapping;
+         Alcotest.test_case "drop precedence" `Quick
+           test_dscp_drop_precedence;
+         Alcotest.test_case "of_exp bounds" `Quick test_dscp_of_exp_bounds;
+         Alcotest.test_case "pp names" `Quick test_dscp_pp_names;
+         Alcotest.test_case "invalid" `Quick test_dscp_invalid ]);
+      ("flow",
+       [ Alcotest.test_case "reverse" `Quick test_flow_reverse;
+         Alcotest.test_case "compare" `Quick test_flow_compare;
+         Alcotest.test_case "proto names" `Quick test_flow_proto_names ]);
+      ("packet",
+       [ Alcotest.test_case "label stack" `Quick test_packet_labels;
+         Alcotest.test_case "swap on empty" `Quick test_packet_swap_empty;
+         Alcotest.test_case "encap tos copy" `Quick
+           test_packet_encap_tos_copy;
+         Alcotest.test_case "encap no tos copy" `Quick
+           test_packet_encap_no_tos_copy;
+         Alcotest.test_case "double encap" `Quick test_packet_double_encap;
+         Alcotest.test_case "pp renders" `Quick test_packet_pp_renders;
+         Alcotest.test_case "uids unique" `Quick test_packet_uids_unique ]);
+      ("radix",
+       [ Alcotest.test_case "basic lpm" `Quick test_radix_basic;
+         Alcotest.test_case "default route" `Quick test_radix_default_route;
+         Alcotest.test_case "replace" `Quick test_radix_replace;
+         Alcotest.test_case "remove" `Quick test_radix_remove;
+         Alcotest.test_case "remove all" `Quick test_radix_remove_all;
+         Alcotest.test_case "iteration order" `Quick test_radix_order;
+         Alcotest.test_case "default only" `Quick test_radix_default_only;
+         Alcotest.test_case "of_list roundtrip" `Quick
+           test_radix_of_list_roundtrip;
+         qt radix_vs_linear;
+         qt radix_add_remove_roundtrip ]);
+      ("fib",
+       [ Alcotest.test_case "basic" `Quick test_fib_basic;
+         Alcotest.test_case "clear source" `Quick test_fib_clear_source ]) ]

@@ -1,0 +1,530 @@
+open Mvpn_sim
+
+(* --- Rng -------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true
+    (Rng.bits64 a <> Rng.bits64 b)
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let c1 = Rng.bits64 child in
+  (* Re-deriving from the same parent state gives a different child. *)
+  let child2 = Rng.split parent in
+  Alcotest.(check bool) "children differ" true (Rng.bits64 child2 <> c1)
+
+let test_rng_int_bounds () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int r 0))
+
+let test_rng_int_in () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in r (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_rng_uniform_mean () =
+  let r = Rng.create 11 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Stats.Summary.add s (Rng.uniform r)
+  done;
+  let m = Stats.Summary.mean s in
+  Alcotest.(check bool) "mean near 0.5" true (abs_float (m -. 0.5) < 0.01)
+
+let test_rng_exponential_mean () =
+  let r = Rng.create 13 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Stats.Summary.add s (Rng.exponential r ~rate:4.0)
+  done;
+  let m = Stats.Summary.mean s in
+  Alcotest.(check bool) "mean near 1/4" true (abs_float (m -. 0.25) < 0.01)
+
+let test_rng_pareto_min () =
+  let r = Rng.create 17 in
+  for _ = 1 to 1000 do
+    let v = Rng.pareto r ~shape:1.5 ~scale:100.0 in
+    if v < 100.0 then Alcotest.failf "below scale: %f" v
+  done
+
+let test_rng_normal_moments () =
+  let r = Rng.create 19 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to 20_000 do
+    Stats.Summary.add s (Rng.normal r ~mean:10.0 ~stddev:2.0)
+  done;
+  Alcotest.(check bool) "mean" true
+    (abs_float (Stats.Summary.mean s -. 10.0) < 0.1);
+  Alcotest.(check bool) "stddev" true
+    (abs_float (Stats.Summary.stddev s -. 2.0) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 23 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort Int.compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+(* --- Heap ------------------------------------------------------------- *)
+
+let test_heap_order () =
+  let h = Heap.create () in
+  List.iter (fun (k, v) -> Heap.push h k v)
+    [(3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z")];
+  let drain () =
+    let rec go acc =
+      match Heap.pop h with
+      | None -> List.rev acc
+      | Some (_, v) -> go (v :: acc)
+    in
+    go []
+  in
+  Alcotest.(check (list string)) "sorted" ["z"; "a"; "b"; "c"] (drain ())
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.push h 1.0 v) ["first"; "second"; "third"];
+  let pops =
+    List.filter_map (fun _ -> Option.map snd (Heap.pop h)) [(); (); ()]
+  in
+  Alcotest.(check (list string)) "insertion order"
+    ["first"; "second"; "third"] pops
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  Alcotest.(check bool) "empty pop" true (Heap.pop h = None);
+  Alcotest.(check bool) "empty peek" true (Heap.peek h = None);
+  Alcotest.(check int) "size" 0 (Heap.size h)
+
+let heap_sorts =
+  QCheck.Test.make ~name:"heap pops in sorted order" ~count:300
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun keys ->
+       let h = Heap.create () in
+       List.iteri (fun i k -> Heap.push h k i) keys;
+       let rec drain acc =
+         match Heap.pop h with
+         | None -> List.rev acc
+         | Some (k, _) -> drain (k :: acc)
+       in
+       let popped = drain [] in
+       popped = List.sort Float.compare keys)
+
+(* --- Engine ----------------------------------------------------------- *)
+
+let test_engine_time_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:2.0 (fun () -> log := "b" :: !log);
+  Engine.schedule e ~delay:1.0 (fun () -> log := "a" :: !log);
+  Engine.schedule e ~delay:3.0 (fun () -> log := "c" :: !log);
+  Engine.run e;
+  Alcotest.(check (list string)) "order" ["a"; "b"; "c"] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock" 3.0 (Engine.now e)
+
+let test_engine_cascading () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Engine.schedule e ~delay:1.0 tick
+  in
+  Engine.schedule e ~delay:1.0 tick;
+  Engine.run e;
+  Alcotest.(check int) "five ticks" 5 !count;
+  Alcotest.(check (float 1e-9)) "final time" 5.0 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let ran = ref [] in
+  List.iter
+    (fun t -> Engine.schedule e ~delay:t (fun () -> ran := t :: !ran))
+    [1.0; 2.0; 3.0; 4.0];
+  Engine.run ~until:2.5 e;
+  Alcotest.(check (list (float 1e-9))) "only early events" [1.0; 2.0]
+    (List.rev !ran);
+  Alcotest.(check (float 1e-9)) "clock at horizon" 2.5 (Engine.now e);
+  Alcotest.(check int) "pending" 2 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_until_inclusive () =
+  let e = Engine.create () in
+  let ran = ref false in
+  Engine.schedule e ~delay:2.0 (fun () -> ran := true);
+  Engine.run ~until:2.0 e;
+  Alcotest.(check bool) "event at horizon runs" true !ran
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    Engine.schedule e ~delay:1.0 (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "stopped after 3" 3 !count;
+  Alcotest.(check int) "rest pending" 7 (Engine.pending e)
+
+let test_engine_invalid () =
+  let e = Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: negative delay") (fun () ->
+      Engine.schedule e ~delay:(-1.0) ignore);
+  Engine.schedule e ~delay:5.0 ignore;
+  Engine.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      Engine.schedule_at e ~time:1.0 ignore)
+
+let test_engine_simultaneous_fifo () =
+  let e = Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo among ties" [1; 2; 3; 4; 5]
+    (List.rev !log)
+
+(* --- Stats ------------------------------------------------------------ *)
+
+let test_summary_moments () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0];
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "variance" 4.0 (Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.Summary.stddev s);
+  Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  Alcotest.(check (float 1e-9)) "mean" 0.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (Stats.Summary.variance s)
+
+let test_summary_merge () =
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  let all = Stats.Summary.create () in
+  List.iter
+    (fun x -> Stats.Summary.add a x; Stats.Summary.add all x)
+    [1.0; 2.0; 3.0];
+  List.iter
+    (fun x -> Stats.Summary.add b x; Stats.Summary.add all x)
+    [10.0; 20.0];
+  let m = Stats.Summary.merge a b in
+  Alcotest.(check (float 1e-9)) "mean" (Stats.Summary.mean all)
+    (Stats.Summary.mean m);
+  Alcotest.(check (float 1e-6)) "variance" (Stats.Summary.variance all)
+    (Stats.Summary.variance m);
+  Alcotest.(check int) "count" 5 (Stats.Summary.count m)
+
+let summary_matches_naive =
+  QCheck.Test.make ~name:"welford matches naive moments" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 2 50)
+              (float_bound_exclusive 1000.0))
+    (fun xs ->
+       let s = Stats.Summary.create () in
+       List.iter (Stats.Summary.add s) xs;
+       let n = float_of_int (List.length xs) in
+       let mean = List.fold_left ( +. ) 0.0 xs /. n in
+       let var =
+         List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+         /. n
+       in
+       abs_float (Stats.Summary.mean s -. mean) < 1e-6
+       && abs_float (Stats.Summary.variance s -. var) < 1e-4)
+
+let test_samples_percentiles () =
+  let s = Stats.Samples.create () in
+  for i = 1 to 100 do
+    Stats.Samples.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "median" 50.5 (Stats.Samples.median s);
+  Alcotest.(check (float 1e-6)) "p99" 99.01 (Stats.Samples.percentile s 0.99);
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats.Samples.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.Samples.percentile s 1.0);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Stats.Samples.mean s)
+
+let test_samples_interleaved_sorting () =
+  let s = Stats.Samples.create () in
+  Stats.Samples.add s 5.0;
+  Stats.Samples.add s 1.0;
+  ignore (Stats.Samples.median s);
+  Stats.Samples.add s 3.0;
+  Alcotest.(check (float 1e-9)) "median after resort" 3.0
+    (Stats.Samples.median s);
+  Alcotest.(check (array (float 1e-9))) "sorted" [|1.0; 3.0; 5.0|]
+    (Stats.Samples.to_array s)
+
+let test_hist_buckets () =
+  let h = Stats.Hist.create [|1.0; 2.0; 4.0|] in
+  List.iter (Stats.Hist.add h) [0.5; 1.0; 1.5; 3.0; 10.0];
+  Alcotest.(check (array int)) "counts" [|2; 1; 1; 1|] (Stats.Hist.counts h);
+  Alcotest.(check int) "total" 5 (Stats.Hist.total h)
+
+let test_hist_bad_edges () =
+  Alcotest.check_raises "non-increasing"
+    (Invalid_argument "Hist.create: edges must be strictly increasing")
+    (fun () -> ignore (Stats.Hist.create [|1.0; 1.0|]))
+
+let test_timeseries () =
+  let ts = Stats.Timeseries.create () in
+  Stats.Timeseries.add ts 0.0 1.0;
+  Stats.Timeseries.add ts 1.0 3.0;
+  Stats.Timeseries.add ts 2.0 2.0;
+  Alcotest.(check int) "length" 3 (Stats.Timeseries.length ts);
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (Stats.Timeseries.mean_value ts);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.Timeseries.max_value ts);
+  Alcotest.check_raises "backwards"
+    (Invalid_argument "Timeseries.add: time going backwards") (fun () ->
+      Stats.Timeseries.add ts 1.5 0.0)
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 "x";
+  Heap.push h 2.0 "y";
+  Heap.clear h;
+  Alcotest.(check int) "emptied" 0 (Heap.size h);
+  Heap.push h 3.0 "z";
+  Alcotest.(check bool) "usable after clear" true
+    (match Heap.pop h with Some (_, "z") -> true | _ -> false)
+
+let test_engine_processed_counter () =
+  let e = Engine.create () in
+  for _ = 1 to 5 do
+    Engine.schedule e ~delay:1.0 ignore
+  done;
+  Engine.run e;
+  Alcotest.(check int) "five processed" 5 (Engine.processed e);
+  Alcotest.(check bool) "step on empty" false (Engine.step e)
+
+let test_engine_schedule_at_now () =
+  let e = Engine.create () in
+  let ran = ref false in
+  Engine.schedule e ~delay:1.0 (fun () ->
+      (* Scheduling at exactly the current time is allowed. *)
+      Engine.schedule_at e ~time:(Engine.now e) (fun () -> ran := true));
+  Engine.run e;
+  Alcotest.(check bool) "ran" true !ran
+
+let test_summary_single_sample () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 5.0;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "variance zero" 0.0
+    (Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "min=max" (Stats.Summary.min s)
+    (Stats.Summary.max s)
+
+let test_timeseries_equal_times_allowed () =
+  let ts = Stats.Timeseries.create () in
+  Stats.Timeseries.add ts 1.0 1.0;
+  Stats.Timeseries.add ts 1.0 2.0;
+  Alcotest.(check int) "both kept" 2 (Stats.Timeseries.length ts);
+  Alcotest.(check (option (pair (float 1e-9) (float 1e-9)))) "last"
+    (Some (1.0, 2.0))
+    (Stats.Timeseries.last ts)
+
+(* --- Topology --------------------------------------------------------- *)
+
+let test_topology_accessor_errors () =
+  let t = Topology.create () in
+  let a = Topology.add_node ~name:"alpha" t in
+  Alcotest.(check string) "name" "alpha" (Topology.node_name t a);
+  Alcotest.check_raises "bad node" (Invalid_argument "Topology: unknown node 9")
+    (fun () -> ignore (Topology.node_name t 9));
+  Alcotest.check_raises "bad link"
+    (Invalid_argument "Topology.link: unknown link 3") (fun () ->
+      ignore (Topology.link t 3));
+  Alcotest.(check (option int)) "find_node miss" None
+    (Topology.find_node t "beta")
+
+let test_topology_connect () =
+  let t = Topology.create () in
+  let a = Topology.add_node ~name:"a" t in
+  let b = Topology.add_node ~name:"b" t in
+  let ab, ba = Topology.connect t a b ~bandwidth:1e9 ~delay:0.001 in
+  Alcotest.(check int) "nodes" 2 (Topology.node_count t);
+  Alcotest.(check int) "links" 2 (Topology.link_count t);
+  Alcotest.(check int) "ab src" a ab.Topology.src;
+  Alcotest.(check int) "ba src" b ba.Topology.src;
+  Alcotest.(check (option int)) "find by name" (Some b)
+    (Topology.find_node t "b");
+  Alcotest.(check bool) "find link" true
+    (Topology.find_link t a b <> None);
+  Alcotest.(check int) "neighbors of a" 1
+    (List.length (Topology.neighbors t a))
+
+let test_topology_duplicate_rejected () =
+  let t = Topology.create () in
+  let a = Topology.add_node t and b = Topology.add_node t in
+  ignore (Topology.connect t a b ~bandwidth:1e9 ~delay:0.001);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Topology.connect: duplicate link 0->1") (fun () ->
+      ignore (Topology.connect t a b ~bandwidth:1e9 ~delay:0.001));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Topology.connect: self-loop") (fun () ->
+      ignore (Topology.connect t a a ~bandwidth:1e9 ~delay:0.001))
+
+let test_topology_failure () =
+  let t = Topology.create () in
+  let a = Topology.add_node t and b = Topology.add_node t in
+  ignore (Topology.connect t a b ~bandwidth:1e9 ~delay:0.001);
+  Alcotest.(check int) "up neighbors" 1
+    (List.length (Topology.up_neighbors t a));
+  Topology.set_duplex_state t a b false;
+  Alcotest.(check int) "after failure" 0
+    (List.length (Topology.up_neighbors t a));
+  Alcotest.(check int) "reverse down too" 0
+    (List.length (Topology.up_neighbors t b));
+  Topology.set_duplex_state t a b true;
+  Alcotest.(check int) "restored" 1
+    (List.length (Topology.up_neighbors t a))
+
+let test_topology_reserve () =
+  let t = Topology.create () in
+  let a = Topology.add_node t and b = Topology.add_node t in
+  let ab, _ = Topology.connect t a b ~bandwidth:100.0 ~delay:0.001 in
+  Alcotest.(check bool) "reserve ok" true (Topology.reserve ab 60.0);
+  Alcotest.(check (float 1e-9)) "available" 40.0 (Topology.available ab);
+  Alcotest.(check bool) "over-reserve refused" false
+    (Topology.reserve ab 50.0);
+  Alcotest.(check (float 1e-9)) "unchanged" 40.0 (Topology.available ab);
+  Topology.release ab 60.0;
+  Alcotest.(check (float 1e-9)) "released" 100.0 (Topology.available ab)
+
+let test_topology_builders () =
+  let t = Topology.create () in
+  let ring = Topology.ring t 5 ~bandwidth:1e9 ~delay:0.001 in
+  Alcotest.(check int) "ring nodes" 5 (Array.length ring);
+  Alcotest.(check int) "ring links" 10 (Topology.link_count t);
+  let t2 = Topology.create () in
+  let mesh = Topology.full_mesh t2 4 ~bandwidth:1e9 ~delay:0.001 in
+  Alcotest.(check int) "mesh links" 12 (Topology.link_count t2);
+  ignore mesh;
+  let t3 = Topology.create () in
+  let hub, leaves = Topology.star t3 6 ~bandwidth:1e9 ~delay:0.001 in
+  Alcotest.(check int) "star nodes" 7 (Topology.node_count t3);
+  Alcotest.(check int) "hub degree" 6
+    (List.length (Topology.neighbors t3 hub));
+  ignore leaves
+
+let test_topology_ring_with_chords () =
+  let t = Topology.create () in
+  let ids =
+    Topology.ring_with_chords t 6 ~chords:[(0, 3); (1, 4)] ~bandwidth:1e9
+      ~delay:0.001
+  in
+  Alcotest.(check int) "links" ((6 + 2) * 2) (Topology.link_count t);
+  Alcotest.(check bool) "chord exists" true
+    (Topology.find_link t ids.(0) ids.(3) <> None)
+
+let random_connected_is_connected =
+  QCheck.Test.make ~name:"random topology is connected" ~count:50
+    QCheck.(pair (int_range 2 30) (int_bound 20))
+    (fun (n, extra) ->
+       let t = Topology.create () in
+       let rng = Rng.create (n * 1000 + extra) in
+       let ids =
+         Topology.random_connected t rng ~n ~extra_links:extra
+           ~bandwidth:1e9 ~delay:0.001
+       in
+       (* BFS from the first node must reach all. *)
+       let visited = Array.make (Topology.node_count t) false in
+       let queue = Queue.create () in
+       Queue.add ids.(0) queue;
+       visited.(ids.(0)) <- true;
+       while not (Queue.is_empty queue) do
+         let v = Queue.pop queue in
+         List.iter
+           (fun (nbr, _) ->
+              if not visited.(nbr) then begin
+                visited.(nbr) <- true;
+                Queue.add nbr queue
+              end)
+           (Topology.neighbors t v)
+       done;
+       Array.for_all (fun id -> visited.(id)) ids)
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [ ("rng",
+       [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+         Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+         Alcotest.test_case "split" `Quick test_rng_split_independent;
+         Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+         Alcotest.test_case "int_in" `Quick test_rng_int_in;
+         Alcotest.test_case "uniform mean" `Quick test_rng_uniform_mean;
+         Alcotest.test_case "exponential mean" `Quick
+           test_rng_exponential_mean;
+         Alcotest.test_case "pareto min" `Quick test_rng_pareto_min;
+         Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
+         Alcotest.test_case "shuffle permutes" `Quick
+           test_rng_shuffle_permutes ]);
+      ("heap",
+       [ Alcotest.test_case "order" `Quick test_heap_order;
+         Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+         Alcotest.test_case "empty" `Quick test_heap_empty;
+         Alcotest.test_case "clear" `Quick test_heap_clear;
+         qt heap_sorts ]);
+      ("engine",
+       [ Alcotest.test_case "time order" `Quick test_engine_time_order;
+         Alcotest.test_case "cascading" `Quick test_engine_cascading;
+         Alcotest.test_case "until" `Quick test_engine_until;
+         Alcotest.test_case "until inclusive" `Quick
+           test_engine_until_inclusive;
+         Alcotest.test_case "stop" `Quick test_engine_stop;
+         Alcotest.test_case "invalid times" `Quick test_engine_invalid;
+         Alcotest.test_case "simultaneous fifo" `Quick
+           test_engine_simultaneous_fifo;
+         Alcotest.test_case "processed counter" `Quick
+           test_engine_processed_counter;
+         Alcotest.test_case "schedule_at now" `Quick
+           test_engine_schedule_at_now ]);
+      ("stats",
+       [ Alcotest.test_case "summary moments" `Quick test_summary_moments;
+         Alcotest.test_case "summary empty" `Quick test_summary_empty;
+         Alcotest.test_case "summary merge" `Quick test_summary_merge;
+         qt summary_matches_naive;
+         Alcotest.test_case "percentiles" `Quick test_samples_percentiles;
+         Alcotest.test_case "interleaved sorting" `Quick
+           test_samples_interleaved_sorting;
+         Alcotest.test_case "hist buckets" `Quick test_hist_buckets;
+         Alcotest.test_case "hist bad edges" `Quick test_hist_bad_edges;
+         Alcotest.test_case "timeseries" `Quick test_timeseries;
+         Alcotest.test_case "summary single sample" `Quick
+           test_summary_single_sample;
+         Alcotest.test_case "timeseries equal times" `Quick
+           test_timeseries_equal_times_allowed ]);
+      ("topology",
+       [ Alcotest.test_case "connect" `Quick test_topology_connect;
+         Alcotest.test_case "duplicates rejected" `Quick
+           test_topology_duplicate_rejected;
+         Alcotest.test_case "failure injection" `Quick test_topology_failure;
+         Alcotest.test_case "reservation" `Quick test_topology_reserve;
+         Alcotest.test_case "builders" `Quick test_topology_builders;
+         Alcotest.test_case "ring with chords" `Quick
+           test_topology_ring_with_chords;
+         Alcotest.test_case "accessor errors" `Quick
+           test_topology_accessor_errors;
+         qt random_connected_is_connected ]) ]
