@@ -75,7 +75,12 @@ let run () =
         lfib_test "mpls-lfib-100k-labels" 100_000 ]
   in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg Toolkit.Instance.[monotonic_clock] tests in
+  (* Measure the production fast path: telemetry off, whatever the
+     harness set globally. *)
+  let raw =
+    Mvpn_telemetry.Control.with_disabled (fun () ->
+        Benchmark.all cfg Toolkit.Instance.[monotonic_clock] tests)
+  in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0
       ~predictors:[| Measure.run |]

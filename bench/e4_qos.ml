@@ -116,4 +116,17 @@ let run () =
      transactional within SLA at every load, pushing the damage onto\n\
      the bulk class that caused it. TE does not change this picture\n\
      while the core is uncongested (its effect is E7).";
-  delay_histogram ()
+  delay_histogram ();
+  Telemetry_report.section
+    ~title:
+      "E4c: queue verdicts per band and per-class sojourn \
+       (diffserv, load 1.2)"
+    (fun () ->
+       ignore
+         (run_cell
+            ~policy:(Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched)
+            ~use_te:false ~load:1.2));
+  Tables.note
+    "\nThe drop columns name the mechanism: WRED acts on the AF bands\n\
+     before the queue fills, tail drop catches best effort. Sojourn\n\
+     quantiles are measured at delivery, per DSCP."

@@ -116,4 +116,9 @@ let run () =
     "\nExpected shape (paper C6): only the full chain (marks + mapping)\n\
      protects voice end-to-end. Remove the edge mapping and labelled\n\
      voice drowns in the congested core despite correct CPE marking;\n\
-     remove CPE marking and the mapping has nothing to carry."
+     remove CPE marking and the mapping has nothing to carry.";
+  Telemetry_report.section
+    ~title:
+      "E6b: full-chain telemetry (marks + mapping, congested core)"
+    (fun () ->
+       ignore (run_variant ~cpe_marks:true ~map_dscp_to_exp:true))

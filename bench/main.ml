@@ -55,15 +55,32 @@ let run_one id =
     Printf.eprintf "unknown experiment %S; try --list\n" id;
     exit 1
 
+(* Counters accumulated across the experiments just run (sections that
+   reset the registry, like E4c/E6b, restart the accumulation). *)
+let emit_telemetry () =
+  let path = "BENCH_telemetry.json" in
+  let oc = open_out path in
+  output_string oc (Mvpn_telemetry.Registry.to_json ());
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\ntelemetry: %d metrics written to %s\n"
+    (Mvpn_telemetry.Registry.cardinal ())
+    path
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   match args with
   | ["--list"] -> list_experiments ()
-  | ["--only"; id] -> run_one id
+  | ["--only"; id] ->
+    Mvpn_telemetry.Control.enable ();
+    run_one id;
+    emit_telemetry ()
   | [] ->
     Printf.printf
       "MPLS VPN end-to-end QoS: experiment harness (see DESIGN.md)\n";
-    List.iter (fun (_, _, run) -> run ()) experiments
+    Mvpn_telemetry.Control.enable ();
+    List.iter (fun (_, _, run) -> run ()) experiments;
+    emit_telemetry ()
   | _ ->
     Printf.eprintf
       "usage: main.exe [--list | --only <id>]\n";

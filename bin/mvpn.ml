@@ -6,6 +6,9 @@
      mvpn run      [--policy P] [--load L] [--duration D] ...
                                                run the mixed workload and
                                                print per-class SLA reports
+     mvpn stats    [--json] ...                run the workload with
+                                               telemetry on and dump the
+                                               metric registry
      mvpn fail     [--pops N] ...              fail a core link mid-run and
                                                report reconvergence *)
 
@@ -14,6 +17,7 @@ open Mvpn_core
 module Engine = Mvpn_sim.Engine
 module Topology = Mvpn_sim.Topology
 module Sla = Mvpn_qos.Sla
+module Telemetry = Mvpn_telemetry
 
 (* --- shared arguments -------------------------------------------------- *)
 
@@ -199,6 +203,52 @@ let run_cmd =
     Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
           $ load_arg $ duration_arg $ te_arg $ seed_arg)
 
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run pops vpns sites_per_vpn policy load duration use_te seed json
+      trace_events =
+    Telemetry.Registry.reset ();
+    Telemetry.Control.enable ();
+    let sc =
+      Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
+        (Scenario.Mpls_deployment { policy; use_te })
+    in
+    let sites = Scenario.sites sc in
+    let pairs = ref [] in
+    Array.iteri
+      (fun i a ->
+         if i mod 2 = 0 && i + 1 < Array.length sites then
+           pairs := (a, sites.(i + 1)) :: !pairs)
+      sites;
+    Scenario.add_mixed_workload ~load sc ~pairs:!pairs ~duration;
+    Scenario.run sc ~duration:(duration +. 5.0);
+    Telemetry.Control.disable ();
+    if json then print_string (Telemetry.Registry.to_json ~trace_events ())
+    else begin
+      print_reports sc;
+      Printf.printf "\n";
+      Telemetry.Registry.pp ~trace_events Format.std_formatter ();
+      Format.pp_print_flush Format.std_formatter ()
+    end
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit the telemetry registry as one JSON object instead \
+                 of text.")
+  in
+  let trace_arg =
+    Arg.(value & opt int 16 & info ["trace-events"] ~docv:"N"
+           ~doc:"Hop-trace tail length to include in the dump.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run the mixed workload with telemetry enabled and dump every \
+             counter, gauge, histogram and the hop-trace tail.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
+          $ load_arg $ duration_arg $ te_arg $ seed_arg $ json_arg
+          $ trace_arg)
+
 (* --- fail --------------------------------------------------------------- *)
 
 let fail_cmd =
@@ -303,4 +353,5 @@ let () =
   in
   exit
     (Cmd.eval
-       (Cmd.group info [topo_cmd; deploy_cmd; run_cmd; fail_cmd; plan_cmd]))
+       (Cmd.group info
+          [topo_cmd; deploy_cmd; run_cmd; stats_cmd; fail_cmd; plan_cmd]))

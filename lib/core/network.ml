@@ -8,6 +8,24 @@ module Plane = Mvpn_mpls.Plane
 module Lfib = Mvpn_mpls.Lfib
 module Fec = Mvpn_mpls.Fec
 module Port = Mvpn_qos.Port
+module Telemetry = Mvpn_telemetry
+
+let m_drops = Telemetry.Registry.counter "net.drops"
+let m_delivered = Telemetry.Registry.counter "net.delivered"
+
+(* Per-class sojourn histograms, created on first delivery of each
+   codepoint ("net.sojourn.EF", "net.sojourn.AF31", "net.sojourn.BE"). *)
+let sojourn_hists : (int, Telemetry.Histogram.t) Hashtbl.t = Hashtbl.create 8
+
+let sojourn_hist dscp =
+  let key = Mvpn_net.Dscp.to_int dscp in
+  match Hashtbl.find_opt sojourn_hists key with
+  | Some h -> h
+  | None ->
+    let name = Format.asprintf "net.sojourn.%a" Mvpn_net.Dscp.pp dscp in
+    let h = Telemetry.Registry.histogram ~lo:1e-6 name in
+    Hashtbl.add sojourn_hists key h;
+    h
 
 type verdict = Consumed | Continue
 
@@ -36,9 +54,18 @@ type t = {
     (from:int option -> Packet.t -> verdict) list array;
   sinks : (Packet.t -> unit) array;
   drop_table : (string, int ref) Hashtbl.t;
+  link_tx_bytes : Telemetry.Counter.t array;  (* indexed by link id *)
   mutable auto_ftn : bool;
   mutable tracer : (trace_event -> unit) option;
 }
+
+let record_hop t ~node ?packet label =
+  if !Telemetry.Control.enabled then
+    match packet with
+    | Some (p : Packet.t) ->
+      Telemetry.Hop_trace.record (Telemetry.Registry.trace ())
+        ~uid:p.Packet.uid ~time:(Engine.now t.engine) ~node label
+    | None -> ()
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -60,6 +87,11 @@ let emit t ~node ?packet action =
 
 let drop ?(node = -1) ?packet t reason =
   emit t ~node ?packet (Trace_drop reason);
+  Telemetry.Counter.incr m_drops;
+  if !Telemetry.Control.enabled then begin
+    Telemetry.Counter.incr (Telemetry.Registry.counter ("net.drop." ^ reason));
+    record_hop t ~node ?packet ("drop:" ^ reason)
+  end;
   match Hashtbl.find_opt t.drop_table reason with
   | Some r -> incr r
   | None -> Hashtbl.add t.drop_table reason (ref 1)
@@ -96,6 +128,9 @@ let transmit t ~from ~to_ packet =
     (match t.ports.(l.Topology.id) with
      | Some p ->
        emit t ~node:from ~packet (Trace_transmit to_);
+       Telemetry.Counter.add t.link_tx_bytes.(l.Topology.id)
+         packet.Packet.size;
+       record_hop t ~node:from ~packet "tx";
        Port.send p packet
      | None -> drop ~node:from ~packet t "no-link")
 
@@ -107,6 +142,13 @@ let rec forward_ip t node packet =
   | None -> drop ~node ~packet t "no-route"
   | Some (_, route) when route.Fib.next_hop = Fib.local_delivery ->
     emit t ~node ~packet Trace_deliver;
+    Telemetry.Counter.incr m_delivered;
+    if !Telemetry.Control.enabled then begin
+      record_hop t ~node ~packet "deliver";
+      Telemetry.Histogram.observe
+        (sojourn_hist (Packet.visible_dscp packet))
+        (Engine.now t.engine -. packet.Packet.created_at)
+    end;
     t.sinks.(node) packet
   | Some (prefix, route) ->
     if hdr.Packet.ttl <= 1 then drop ~node ~packet t "ip-ttl"
@@ -128,6 +170,7 @@ let rec forward_ip t node packet =
 
 and receive t node ~from packet =
   emit t ~node ~packet (Trace_receive from);
+  record_hop t ~node ~packet "rx";
   let intercepted =
     List.exists (fun f -> f ~from packet = Consumed) t.interceptors.(node)
   in
@@ -162,7 +205,12 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
       ports = Array.make (max 1 n_links) None;
       interceptors = Array.make nodes [];
       sinks = Array.make nodes (fun _ -> ());
-      drop_table = Hashtbl.create 16; auto_ftn = false; tracer = None }
+      drop_table = Hashtbl.create 16;
+      link_tx_bytes =
+        Array.init (max 1 n_links) (fun i ->
+            Telemetry.Registry.counter
+              (Printf.sprintf "net.link%d.tx_bytes" i));
+      auto_ftn = false; tracer = None }
   in
   (* Default sinks count unclaimed deliveries. *)
   for v = 0 to nodes - 1 do

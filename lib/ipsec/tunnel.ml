@@ -2,6 +2,11 @@ module Packet = Mvpn_net.Packet
 module Ipv4 = Mvpn_net.Ipv4
 module Flow = Mvpn_net.Flow
 
+let m_encap = Mvpn_telemetry.Registry.counter "ipsec.encap"
+let m_encap_bytes = Mvpn_telemetry.Registry.counter "ipsec.encap_bytes"
+let m_decap = Mvpn_telemetry.Registry.counter "ipsec.decap"
+let m_replay_drop = Mvpn_telemetry.Registry.counter "ipsec.replay_drop"
+
 type t = {
   copy_tos : bool;
   cipher : Crypto.cipher;
@@ -37,6 +42,8 @@ let encapsulate t packet =
   Hashtbl.replace t.in_flight_seq packet.Packet.uid seq;
   Sa.account t.out_sa ~bytes:payload;
   t.sent <- t.sent + 1;
+  Mvpn_telemetry.Counter.incr m_encap;
+  Mvpn_telemetry.Counter.add m_encap_bytes payload;
   Crypto.processing_delay t.cipher ~bytes:payload
 
 let packets_sent t = t.sent
@@ -62,10 +69,12 @@ let decapsulate t packet =
       match Sa.check_replay t.in_sa seq with
       | Replay.Duplicate | Replay.Too_old ->
         t.replay_dropped <- t.replay_dropped + 1;
+        Mvpn_telemetry.Counter.incr m_replay_drop;
         Replayed
       | Replay.Accepted ->
         let payload = packet.Packet.size - packet.Packet.encap_bytes in
         Packet.decapsulate packet;
         Sa.account t.in_sa ~bytes:payload;
+        Mvpn_telemetry.Counter.incr m_decap;
         Decapsulated (Crypto.processing_delay t.cipher ~bytes:payload)
     end

@@ -1,4 +1,11 @@
 module Packet = Mvpn_net.Packet
+module Telemetry = Mvpn_telemetry
+
+let m_swap = Telemetry.Registry.counter "lfib.swap"
+let m_pop = Telemetry.Registry.counter "lfib.pop"
+let m_pop_and_ip = Telemetry.Registry.counter "lfib.pop_and_ip"
+let m_no_binding = Telemetry.Registry.counter "lfib.no_binding"
+let m_ttl_expired = Telemetry.Registry.counter "lfib.ttl_expired"
 
 type op = Swap of int | Pop | Pop_and_ip
 
@@ -56,24 +63,45 @@ type step_result =
   | No_binding of int
   | Ttl_expired
 
+(* RFC 3443 uniform model: the outermost shim carries the packet's real
+   TTL, so a pop is still a hop — decrement the popped shim's TTL and
+   copy it onto whatever the pop exposed (the next shim or the IP
+   header), never increasing an inner TTL. *)
+let pop_and_propagate_ttl packet (shim : Packet.shim) =
+  ignore (Packet.pop_label packet);
+  let ttl = shim.Packet.ttl - 1 in
+  match Packet.top_label packet with
+  | Some inner -> inner.Packet.ttl <- min inner.Packet.ttl ttl
+  | None ->
+    let hdr = Packet.visible_header packet in
+    hdr.Packet.ttl <- min hdr.Packet.ttl ttl
+
 let step t packet =
   match Packet.top_label packet with
   | None -> invalid_arg "Lfib.step: unlabelled packet"
   | Some shim ->
-    if shim.Packet.ttl <= 1 then Ttl_expired
+    if shim.Packet.ttl <= 1 then begin
+      Mvpn_telemetry.Counter.incr m_ttl_expired;
+      Ttl_expired
+    end
     else begin
       match lookup t shim.Packet.label with
-      | None -> No_binding shim.Packet.label
+      | None ->
+        Mvpn_telemetry.Counter.incr m_no_binding;
+        No_binding shim.Packet.label
       | Some { op; next_hop } ->
         match op with
         | Swap out ->
+          Mvpn_telemetry.Counter.incr m_swap;
           Packet.swap_label packet ~label:out;
           Forward next_hop
         | Pop ->
-          ignore (Packet.pop_label packet);
+          Mvpn_telemetry.Counter.incr m_pop;
+          pop_and_propagate_ttl packet shim;
           if Packet.top_label packet <> None then Forward next_hop
           else Ip_continue next_hop
         | Pop_and_ip ->
-          ignore (Packet.pop_label packet);
+          Mvpn_telemetry.Counter.incr m_pop_and_ip;
+          pop_and_propagate_ttl packet shim;
           Ip_continue next_hop
     end

@@ -52,5 +52,8 @@ type step_result =
 
 val step : t -> Mvpn_net.Packet.t -> step_result
 (** Apply the ILM entry for the packet's top label, mutating the packet
-    (swap/pop, TTL decrement).
+    (swap/pop, TTL decrement). TTL follows the RFC 3443 uniform model:
+    every op counts as one hop, and a pop copies the decremented shim
+    TTL onto the newly exposed shim or IP header (never increasing an
+    inner TTL), so looping packets expire on pop paths too.
     @raise Invalid_argument if the packet carries no label. *)

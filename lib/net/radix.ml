@@ -127,21 +127,47 @@ let remove t p =
     !removed
   end
 
+let m_lookup_depth =
+  Mvpn_telemetry.Registry.histogram ~lo:1.0 "fib.lookup_depth"
+
+(* The depth-counting walk is a separate function selected by one flag
+   check at entry, so the disabled path (the per-packet LPM that E0
+   races) is exactly the uninstrumented loop. *)
 let lookup t a =
   let addr_bit i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0 in
-  let rec go node best =
-    let best =
-      match node.value with
-      | Some v -> Some (node.prefix, v)
-      | None -> best
+  if not !Mvpn_telemetry.Control.enabled then
+    let rec go node best =
+      let best =
+        match node.value with
+        | Some v -> Some (node.prefix, v)
+        | None -> best
+      in
+      if Prefix.length node.prefix >= 32 then best
+      else
+        match child node (addr_bit (Prefix.length node.prefix)) with
+        | Some c when Prefix.mem a c.prefix -> go c best
+        | Some _ | None -> best
     in
-    if Prefix.length node.prefix >= 32 then best
-    else
-      match child node (addr_bit (Prefix.length node.prefix)) with
-      | Some c when Prefix.mem a c.prefix -> go c best
-      | Some _ | None -> best
-  in
-  go t.root None
+    go t.root None
+  else
+    let rec go node best depth =
+      let best =
+        match node.value with
+        | Some v -> Some (node.prefix, v)
+        | None -> best
+      in
+      if Prefix.length node.prefix >= 32 then begin
+        Mvpn_telemetry.Histogram.observe_int m_lookup_depth depth;
+        best
+      end
+      else
+        match child node (addr_bit (Prefix.length node.prefix)) with
+        | Some c when Prefix.mem a c.prefix -> go c best (depth + 1)
+        | Some _ | None ->
+          Mvpn_telemetry.Histogram.observe_int m_lookup_depth depth;
+          best
+    in
+    go t.root None 1
 
 let lookup_value t a = Option.map snd (lookup t a)
 

@@ -1,5 +1,14 @@
 type color = Green | Yellow | Red
 
+let m_green = Mvpn_telemetry.Registry.counter "meter.green"
+let m_yellow = Mvpn_telemetry.Registry.counter "meter.yellow"
+let m_red = Mvpn_telemetry.Registry.counter "meter.red"
+
+let count_color = function
+  | Green -> Mvpn_telemetry.Counter.incr m_green
+  | Yellow -> Mvpn_telemetry.Counter.incr m_yellow
+  | Red -> Mvpn_telemetry.Counter.incr m_red
+
 let color_to_string = function
   | Green -> "green"
   | Yellow -> "yellow"
@@ -47,20 +56,24 @@ let srtcm_refill s ~now =
   end
 
 let meter t ~now ~bytes =
-  match t with
-  | Srtcm s ->
-    srtcm_refill s ~now;
-    let need = float_of_int bytes in
-    if s.tc >= need then begin
-      s.tc <- s.tc -. need;
-      Green
-    end
-    else if s.te >= need then begin
-      s.te <- s.te -. need;
-      Yellow
-    end
-    else Red
-  | Trtcm { committed; peak } ->
-    if not (Token_bucket.take peak ~now ~bytes) then Red
-    else if Token_bucket.take committed ~now ~bytes then Green
-    else Yellow
+  let color =
+    match t with
+    | Srtcm s ->
+      srtcm_refill s ~now;
+      let need = float_of_int bytes in
+      if s.tc >= need then begin
+        s.tc <- s.tc -. need;
+        Green
+      end
+      else if s.te >= need then begin
+        s.te <- s.te -. need;
+        Yellow
+      end
+      else Red
+    | Trtcm { committed; peak } ->
+      if not (Token_bucket.take peak ~now ~bytes) then Red
+      else if Token_bucket.take committed ~now ~bytes then Green
+      else Yellow
+  in
+  count_color color;
+  color

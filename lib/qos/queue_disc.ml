@@ -1,6 +1,22 @@
 module Packet = Mvpn_net.Packet
 module Dscp = Mvpn_net.Dscp
 module Rng = Mvpn_sim.Rng
+module Telemetry = Mvpn_telemetry
+
+(* Global per-band counters, aggregated across every qdisc instance
+   (bands beyond the last tracked index share its counters). *)
+let max_tracked_bands = 8
+
+let band_counter stem =
+  Array.init max_tracked_bands (fun i ->
+      Telemetry.Registry.counter (Printf.sprintf "qdisc.band%d.%s" i stem))
+
+let m_enqueued = band_counter "enqueued"
+let m_dequeued = band_counter "dequeued"
+let m_tail_drop = band_counter "tail_drop"
+let m_red_drop = band_counter "red_drop"
+
+let tracked i = min i (max_tracked_bands - 1)
 
 type sched =
   | Strict
@@ -36,6 +52,7 @@ type band_stats = {
 
 type band = {
   cfg : band_cfg;
+  idx : int;  (* position in the qdisc, for per-band telemetry *)
   q : (Packet.t * float) Queue.t;  (* packet, WFQ finish tag *)
   mutable bytes : int;
   mutable avg : float;  (* RED EWMA of backlog bytes *)
@@ -92,11 +109,12 @@ let create ?rng ~sched cfgs =
     cfgs;
   { sched;
     bands =
-      Array.map
-        (fun cfg ->
-           { cfg; q = Queue.create (); bytes = 0; avg = 0.0; red_count = 0;
-             deficit = 0; last_finish = 0.0; s_enqueued = 0; s_dequeued = 0;
-             s_tail_dropped = 0; s_red_dropped = 0; s_bytes_sent = 0 })
+      Array.mapi
+        (fun idx cfg ->
+           { cfg; idx; q = Queue.create (); bytes = 0; avg = 0.0;
+             red_count = 0; deficit = 0; last_finish = 0.0; s_enqueued = 0;
+             s_dequeued = 0; s_tail_dropped = 0; s_red_dropped = 0;
+             s_bytes_sent = 0 })
         cfgs;
     rng = (match rng with Some r -> r | None -> Rng.create 0x52ED);
     vtime = 0.0; rr_pos = 0; wrr_credit = 0 }
@@ -152,10 +170,12 @@ let enqueue t ~cls packet =
   let band = t.bands.(cls) in
   if red_drops t band packet then begin
     band.s_red_dropped <- band.s_red_dropped + 1;
+    Telemetry.Counter.incr m_red_drop.(tracked cls);
     Error Red_drop
   end
   else if band.bytes + packet.Packet.size > band.cfg.capacity_bytes then begin
     band.s_tail_dropped <- band.s_tail_dropped + 1;
+    Telemetry.Counter.incr m_tail_drop.(tracked cls);
     Error Tail_drop
   end
   else begin
@@ -174,6 +194,7 @@ let enqueue t ~cls packet =
     Queue.add (packet, tag) band.q;
     band.bytes <- band.bytes + packet.Packet.size;
     band.s_enqueued <- band.s_enqueued + 1;
+    Telemetry.Counter.incr m_enqueued.(tracked cls);
     Ok ()
   end
 
@@ -182,6 +203,7 @@ let take_from band =
   band.bytes <- band.bytes - packet.Packet.size;
   band.s_dequeued <- band.s_dequeued + 1;
   band.s_bytes_sent <- band.s_bytes_sent + packet.Packet.size;
+  Telemetry.Counter.incr m_dequeued.(tracked band.idx);
   packet
 
 let is_empty t = Array.for_all (fun b -> Queue.is_empty b.q) t.bands

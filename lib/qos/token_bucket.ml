@@ -1,3 +1,6 @@
+let m_conform = Mvpn_telemetry.Registry.counter "token_bucket.conform"
+let m_exceed = Mvpn_telemetry.Registry.counter "token_bucket.exceed"
+
 type t = {
   rate_bytes_per_s : float;
   burst : float;
@@ -26,8 +29,12 @@ let take t ~now ~bytes =
   let need = float_of_int bytes in
   if t.tokens >= need then begin
     t.tokens <- t.tokens -. need;
+    Mvpn_telemetry.Counter.incr m_conform;
     true
-  end else false
+  end else begin
+    Mvpn_telemetry.Counter.incr m_exceed;
+    false
+  end
 
 let available t ~now =
   refill t ~now;

@@ -1,3 +1,6 @@
+let m_events = Mvpn_telemetry.Registry.counter "sim.events"
+let m_scheduled = Mvpn_telemetry.Registry.counter "sim.scheduled"
+
 type t = {
   queue : (unit -> unit) Heap.t;
   mutable now : float;
@@ -17,11 +20,13 @@ let check_finite what v =
 let schedule e ~delay f =
   check_finite "schedule" delay;
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  Mvpn_telemetry.Counter.incr m_scheduled;
   Heap.push e.queue (e.now +. delay) f
 
 let schedule_at e ~time f =
   check_finite "schedule_at" time;
   if time < e.now then invalid_arg "Engine.schedule_at: time in the past";
+  Mvpn_telemetry.Counter.incr m_scheduled;
   Heap.push e.queue time f
 
 let step e =
@@ -30,6 +35,7 @@ let step e =
   | Some (time, f) ->
     e.now <- time;
     e.processed <- e.processed + 1;
+    Mvpn_telemetry.Counter.incr m_events;
     f ();
     true
 

@@ -1,7 +1,11 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* Slots are a sum type so vacated and never-used positions hold [Empty]
+   rather than a stale entry: a popped event's closure and payload must
+   become unreachable immediately, or a long-running simulation retains
+   every event it ever processed for the life of the heap. *)
+type 'a slot = Empty | Slot of { key : float; seq : int; value : 'a }
 
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a slot array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -12,13 +16,16 @@ let size h = h.size
 
 let is_empty h = h.size = 0
 
-let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+let less a b =
+  match a, b with
+  | Slot a, Slot b -> a.key < b.key || (a.key = b.key && a.seq < b.seq)
+  | Empty, _ | _, Empty -> assert false
 
-let grow h entry =
+let grow h =
   let cap = Array.length h.data in
   if h.size = cap then begin
     let ncap = max 16 (2 * cap) in
-    let ndata = Array.make ncap entry in
+    let ndata = Array.make ncap Empty in
     Array.blit h.data 0 ndata 0 h.size;
     h.data <- ndata
   end
@@ -47,27 +54,33 @@ let rec sift_down h i =
   end
 
 let push h key value =
-  let entry = { key; seq = h.next_seq; value } in
+  grow h;
+  h.data.(h.size) <- Slot { key; seq = h.next_seq; value };
   h.next_seq <- h.next_seq + 1;
-  grow h entry;
-  h.data.(h.size) <- entry;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
-    h.size <- h.size - 1;
-    if h.size > 0 then begin
-      h.data.(0) <- h.data.(h.size);
-      sift_down h 0
-    end;
-    Some (top.key, top.value)
+    match h.data.(0) with
+    | Empty -> assert false
+    | Slot top ->
+      h.size <- h.size - 1;
+      if h.size > 0 then begin
+        h.data.(0) <- h.data.(h.size);
+        sift_down h 0
+      end;
+      h.data.(h.size) <- Empty;
+      Some (top.key, top.value)
   end
 
 let peek h =
-  if h.size = 0 then None else Some (h.data.(0).key, h.data.(0).value)
+  if h.size = 0 then None
+  else
+    match h.data.(0) with
+    | Empty -> assert false
+    | Slot top -> Some (top.key, top.value)
 
 let clear h =
   h.data <- [||];

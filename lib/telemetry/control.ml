@@ -1,0 +1,22 @@
+(* The single global switch every metric checks before recording. A
+   plain bool ref keeps the disabled path to one load and one branch so
+   instrumented hot loops (LFIB step, radix walk, qdisc) cost nothing
+   measurable when telemetry is off. *)
+
+let enabled = ref false
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let is_enabled () = !enabled
+
+let with_enabled f =
+  let saved = !enabled in
+  enabled := true;
+  Fun.protect ~finally:(fun () -> enabled := saved) f
+
+let with_disabled f =
+  let saved = !enabled in
+  enabled := false;
+  Fun.protect ~finally:(fun () -> enabled := saved) f

@@ -1,0 +1,23 @@
+(** Global telemetry switch.
+
+    All metric mutation ({!Counter.incr}, {!Histogram.observe},
+    {!Hop_trace.record}, …) is a no-op while disabled — the check is a
+    single ref load, so instrumentation can live on per-packet hot paths
+    without a measurable cost when off. Telemetry starts disabled. *)
+
+val enabled : bool ref
+(** The raw flag, exposed so metric implementations pay exactly one ref
+    load on the disabled path. Prefer {!enable}/{!disable} to mutate. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val is_enabled : unit -> bool
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run with telemetry on, restoring the previous state afterwards. *)
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run with telemetry off (e.g. around a microbenchmark), restoring the
+    previous state afterwards. *)

@@ -1,0 +1,15 @@
+type t = { name : string; mutable count : int }
+
+let make name = { name; count = 0 }
+
+let name t = t.name
+
+let incr t = if !Control.enabled then t.count <- t.count + 1
+
+let add t n = if !Control.enabled then t.count <- t.count + n
+
+let value t = t.count
+
+let reset t = t.count <- 0
+
+let pp ppf t = Format.fprintf ppf "%s = %d" t.name t.count

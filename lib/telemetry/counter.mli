@@ -1,0 +1,20 @@
+(** Monotonic event counter. Mutation is a no-op while {!Control} is
+    disabled. *)
+
+type t
+
+val make : string -> t
+(** Bare counter; {!Registry.counter} is the usual entry point. *)
+
+val name : t -> string
+
+val incr : t -> unit
+
+val add : t -> int -> unit
+(** [add t n] bumps by [n] (e.g. bytes forwarded). *)
+
+val value : t -> int
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,13 @@
+type t = { name : string; mutable value : float }
+
+let make name = { name; value = 0.0 }
+
+let name t = t.name
+
+let set t v = if !Control.enabled then t.value <- v
+
+let value t = t.value
+
+let reset t = t.value <- 0.0
+
+let pp ppf t = Format.fprintf ppf "%s = %.6g" t.name t.value

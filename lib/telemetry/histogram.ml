@@ -1,0 +1,98 @@
+(* Log-bucketed histogram: bucket [i] covers [lo·2^i, lo·2^(i+1)).
+   Recording is O(1) (one frexp, one array bump); quantiles are read by
+   a cumulative walk with linear interpolation inside the crossing
+   bucket, clamped to the exact observed min/max. Relative error is
+   bounded by the factor-of-two bucket width, which is plenty for
+   latency p50/p90/p99 summaries. *)
+
+type t = {
+  name : string;
+  lo : float;  (* lower bound of bucket 0; values below land in it *)
+  counts : int array;
+  mutable total : int;
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+}
+
+let default_buckets = 96
+
+let make ?(lo = 1e-9) ?(buckets = default_buckets) name =
+  if lo <= 0.0 then invalid_arg "Histogram.make: lo must be positive";
+  if buckets < 1 then invalid_arg "Histogram.make: need at least one bucket";
+  { name; lo; counts = Array.make buckets 0; total = 0; sum = 0.0;
+    vmin = infinity; vmax = neg_infinity }
+
+let name t = t.name
+
+let bucket_index t v =
+  if v < t.lo then 0
+  else begin
+    (* v/lo = m·2^e with m in [0.5, 1), so v sits in bucket e-1. *)
+    let _, e = Float.frexp (v /. t.lo) in
+    min (Array.length t.counts - 1) (max 0 (e - 1))
+  end
+
+let observe_unchecked t v =
+  let i = bucket_index t v in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.total <- t.total + 1;
+  t.sum <- t.sum +. v;
+  if v < t.vmin then t.vmin <- v;
+  if v > t.vmax then t.vmax <- v
+
+let observe t v = if !Control.enabled then observe_unchecked t v
+
+let observe_int t n = if !Control.enabled then observe_unchecked t (float_of_int n)
+
+let count t = t.total
+
+let sum t = t.sum
+
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let min_value t = if t.total = 0 then 0.0 else t.vmin
+
+let max_value t = if t.total = 0 then 0.0 else t.vmax
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then
+    invalid_arg "Histogram.quantile: fraction outside [0, 1]";
+  if t.total = 0 then 0.0
+  else begin
+    let target = Float.max 1.0 (Float.round (q *. float_of_int t.total)) in
+    let n = Array.length t.counts in
+    let rec walk i cum =
+      if i >= n then t.vmax
+      else begin
+        let cum' = cum + t.counts.(i) in
+        if float_of_int cum' >= target && t.counts.(i) > 0 then begin
+          let lower = if i = 0 then 0.0 else t.lo *. Float.pow 2.0 (float_of_int i) in
+          let upper = t.lo *. Float.pow 2.0 (float_of_int (i + 1)) in
+          let frac =
+            (target -. float_of_int cum) /. float_of_int t.counts.(i)
+          in
+          let est = lower +. (frac *. (upper -. lower)) in
+          Float.min t.vmax (Float.max t.vmin est)
+        end
+        else walk (i + 1) cum'
+      end
+    in
+    walk 0 0
+  end
+
+let p50 t = quantile t 0.50
+let p90 t = quantile t 0.90
+let p99 t = quantile t 0.99
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.sum <- 0.0;
+  t.vmin <- infinity;
+  t.vmax <- neg_infinity
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g" t.name t.total
+    (mean t) (p50 t) (p90 t) (p99 t) (max_value t)

@@ -1,0 +1,46 @@
+(** Log-bucketed histogram for latencies and sizes.
+
+    Buckets are powers of two above a configurable floor, so recording
+    is O(1) with no per-sample allocation, and quantiles (p50/p90/p99)
+    are estimated by interpolating inside the crossing bucket — bounded
+    relative error, clamped to the exact observed min/max. Recording is
+    a no-op while {!Control} is disabled. *)
+
+type t
+
+val make : ?lo:float -> ?buckets:int -> string -> t
+(** [make name] with bucket 0 starting at [lo] (default [1e-9], fitting
+    sub-nanosecond to multi-hour latencies in the default 96 buckets).
+    {!Registry.histogram} is the usual entry point.
+    @raise Invalid_argument if [lo <= 0] or [buckets < 1]. *)
+
+val name : t -> string
+
+val observe : t -> float -> unit
+
+val observe_int : t -> int -> unit
+(** Integer convenience (trie depths, byte sizes); the int→float
+    conversion is skipped entirely while telemetry is disabled. *)
+
+val count : t -> int
+
+val sum : t -> float
+
+val mean : t -> float
+
+val min_value : t -> float
+
+val max_value : t -> float
+(** Exact observed extrema (0 when empty). *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0, 1]; 0 when empty.
+    @raise Invalid_argument outside [0, 1]. *)
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,56 @@
+(* Fixed-capacity ring of per-packet hop events keyed on the packet uid.
+   Recording overwrites the oldest entry; reading scans the ring (it is
+   a debugging/forensics surface, not a hot path). *)
+
+type event = { uid : int; time : float; node : int; label : string }
+
+let dummy = { uid = -1; time = 0.0; node = -1; label = "" }
+
+type t = {
+  data : event array;
+  mutable pos : int;  (* next slot to overwrite *)
+  mutable recorded : int;  (* total ever recorded *)
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Hop_trace.create: capacity must be positive";
+  { data = Array.make capacity dummy; pos = 0; recorded = 0 }
+
+let capacity t = Array.length t.data
+
+let recorded t = t.recorded
+
+let record t ~uid ~time ~node label =
+  if !Control.enabled then begin
+    t.data.(t.pos) <- { uid; time; node; label };
+    t.pos <- (t.pos + 1) mod Array.length t.data;
+    t.recorded <- t.recorded + 1
+  end
+
+(* Oldest-first fold over live entries. *)
+let fold f t init =
+  let cap = Array.length t.data in
+  let live = min t.recorded cap in
+  let start = (t.pos - live + cap) mod cap in
+  let acc = ref init in
+  for i = 0 to live - 1 do
+    acc := f !acc t.data.((start + i) mod cap)
+  done;
+  !acc
+
+let trace t ~uid =
+  List.rev (fold (fun acc e -> if e.uid = uid then e :: acc else acc) t [])
+
+let recent t n =
+  let all = List.rev (fold (fun acc e -> e :: acc) t []) in
+  let live = List.length all in
+  if live <= n then all
+  else List.filteri (fun i _ -> i >= live - n) all
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) dummy;
+  t.pos <- 0;
+  t.recorded <- 0
+
+let pp_event ppf e =
+  Format.fprintf ppf "%.6f uid=%d node=%d %s" e.time e.uid e.node e.label

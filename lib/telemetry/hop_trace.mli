@@ -1,0 +1,40 @@
+(** Per-packet hop-trace ring buffer.
+
+    Every instrumented forwarding action (receive, transmit, deliver,
+    drop) records an event keyed on the packet uid; the ring keeps the
+    most recent [capacity] events, so the recent forwarding history of
+    any packet can be reconstructed after the fact without unbounded
+    memory. Recording is a no-op while {!Control} is disabled. *)
+
+type event = {
+  uid : int;  (** {!Mvpn_net.Packet.t} uid (-1 for none) *)
+  time : float;  (** simulation time *)
+  node : int;
+  label : string;  (** action, e.g. ["rx"], ["tx"], ["drop:no-route"] *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 4096 events.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total events ever recorded (>= live entries once wrapped). *)
+
+val record : t -> uid:int -> time:float -> node:int -> string -> unit
+
+val trace : t -> uid:int -> event list
+(** Chronological events still in the ring for one packet. *)
+
+val recent : t -> int -> event list
+(** The last [n] events, oldest first. *)
+
+val fold : ('a -> event -> 'a) -> t -> 'a -> 'a
+(** Oldest-first fold over live entries. *)
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,191 @@
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+(* One process-wide registry: instrumented modules create their metrics
+   at load time and hold direct references, so the table only ever
+   grows. [reset] zeroes values without dropping registrations. *)
+let table : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let trace_buffer = Hop_trace.create ()
+
+let trace () = trace_buffer
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name wrap make select =
+  match Hashtbl.find_opt table name with
+  | Some m ->
+    (match select m with
+     | Some v -> v
+     | None ->
+       invalid_arg
+         (Printf.sprintf "Registry: %s already registered as a %s" name
+            (kind_name m)))
+  | None ->
+    let v = make name in
+    Hashtbl.replace table name (wrap v);
+    v
+
+let counter name =
+  register name (fun c -> Counter c) Counter.make (function
+    | Counter c -> Some c
+    | Gauge _ | Histogram _ -> None)
+
+let gauge name =
+  register name (fun g -> Gauge g) Gauge.make (function
+    | Gauge g -> Some g
+    | Counter _ | Histogram _ -> None)
+
+let histogram ?lo ?buckets name =
+  register name
+    (fun h -> Histogram h)
+    (fun name -> Histogram.make ?lo ?buckets name)
+    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+let find name = Hashtbl.find_opt table name
+
+let find_counter name =
+  match find name with Some (Counter c) -> Some c | Some _ | None -> None
+
+let find_gauge name =
+  match find name with Some (Gauge g) -> Some g | Some _ | None -> None
+
+let find_histogram name =
+  match find name with Some (Histogram h) -> Some h | Some _ | None -> None
+
+let counter_value name =
+  match find_counter name with Some c -> Counter.value c | None -> 0
+
+let names () =
+  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+
+let cardinal () = Hashtbl.length table
+
+let reset () =
+  Hashtbl.iter
+    (fun _ -> function
+       | Counter c -> Counter.reset c
+       | Gauge g -> Gauge.reset g
+       | Histogram h -> Histogram.reset h)
+    table;
+  Hop_trace.clear trace_buffer
+
+(* --- export ------------------------------------------------------------ *)
+
+let sorted_metrics pick =
+  List.filter_map (fun n -> Option.map (fun m -> (n, m)) (pick n)) (names ())
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+let buf_object b entries render =
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b (Printf.sprintf "\"%s\":" (json_escape name));
+       render b v)
+    entries;
+  Buffer.add_char b '}'
+
+let to_json ?(trace_events = 64) () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"counters\":";
+  buf_object b
+    (sorted_metrics find_counter)
+    (fun b c -> Buffer.add_string b (string_of_int (Counter.value c)));
+  Buffer.add_string b ",\"gauges\":";
+  buf_object b
+    (sorted_metrics find_gauge)
+    (fun b g -> Buffer.add_string b (json_float (Gauge.value g)));
+  Buffer.add_string b ",\"histograms\":";
+  buf_object b
+    (sorted_metrics find_histogram)
+    (fun b h ->
+       Buffer.add_string b
+         (Printf.sprintf
+            "{\"count\":%d,\"mean\":%s,\"p50\":%s,\"p90\":%s,\"p99\":%s,\
+             \"max\":%s}"
+            (Histogram.count h)
+            (json_float (Histogram.mean h))
+            (json_float (Histogram.p50 h))
+            (json_float (Histogram.p90 h))
+            (json_float (Histogram.p99 h))
+            (json_float (Histogram.max_value h))));
+  Buffer.add_string b ",\"trace\":[";
+  List.iteri
+    (fun i (e : Hop_trace.event) ->
+       if i > 0 then Buffer.add_char b ',';
+       Buffer.add_string b
+         (Printf.sprintf
+            "{\"uid\":%d,\"time\":%s,\"node\":%d,\"event\":\"%s\"}"
+            e.Hop_trace.uid
+            (json_float e.Hop_trace.time)
+            e.Hop_trace.node
+            (json_escape e.Hop_trace.label)))
+    (Hop_trace.recent trace_buffer trace_events);
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let pp ?(trace_events = 0) ppf () =
+  let counters = sorted_metrics find_counter in
+  let gauges = sorted_metrics find_gauge in
+  let histograms = sorted_metrics find_histogram in
+  let width =
+    List.fold_left
+      (fun acc (n, _) -> Stdlib.max acc (String.length n))
+      0
+      (List.map (fun (n, c) -> (n, Counter c)) counters
+       @ List.map (fun (n, g) -> (n, Gauge g)) gauges
+       @ List.map (fun (n, h) -> (n, Histogram h)) histograms)
+  in
+  if counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (n, c) ->
+         Format.fprintf ppf "  %-*s %d@." width n (Counter.value c))
+      counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (n, g) ->
+         Format.fprintf ppf "  %-*s %.6g@." width n (Gauge.value g))
+      gauges
+  end;
+  if histograms <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    List.iter
+      (fun (n, h) ->
+         Format.fprintf ppf
+           "  %-*s n=%-8d mean=%-10.4g p50=%-10.4g p90=%-10.4g \
+            p99=%-10.4g max=%.4g@."
+           width n (Histogram.count h) (Histogram.mean h) (Histogram.p50 h)
+           (Histogram.p90 h) (Histogram.p99 h) (Histogram.max_value h))
+      histograms
+  end;
+  if trace_events > 0 then begin
+    Format.fprintf ppf "trace (last %d events):@." trace_events;
+    List.iter
+      (fun e -> Format.fprintf ppf "  %a@." Hop_trace.pp_event e)
+      (Hop_trace.recent trace_buffer trace_events)
+  end

@@ -1,0 +1,52 @@
+(** Process-wide metric registry.
+
+    Instrumented modules create metrics by name at load time
+    ([Registry.counter "lfib.swap"]) and keep the returned handle;
+    look-ups after creation are never on the hot path. Exports render
+    every registered metric sorted by name, as JSON or pretty text,
+    together with the tail of the global {!Hop_trace} ring. *)
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+val counter : string -> Counter.t
+(** Get or create. @raise Invalid_argument if the name is registered
+    with a different metric kind. *)
+
+val gauge : string -> Gauge.t
+
+val histogram : ?lo:float -> ?buckets:int -> string -> Histogram.t
+(** [lo]/[buckets] apply only on first creation. *)
+
+val trace : unit -> Hop_trace.t
+(** The global hop-trace ring buffer. *)
+
+val find : string -> metric option
+
+val find_counter : string -> Counter.t option
+
+val find_gauge : string -> Gauge.t option
+
+val find_histogram : string -> Histogram.t option
+
+val counter_value : string -> int
+(** 0 when absent — convenient for report code. *)
+
+val names : unit -> string list
+(** Sorted metric names. *)
+
+val cardinal : unit -> int
+
+val reset : unit -> unit
+(** Zero every metric and clear the hop trace, keeping registrations
+    (instrumented modules hold direct handles). *)
+
+val to_json : ?trace_events:int -> unit -> string
+(** One JSON object: [{"counters":{...},"gauges":{...},
+    "histograms":{...},"trace":[...]}]. [trace_events] bounds the trace
+    tail (default 64). *)
+
+val pp : ?trace_events:int -> Format.formatter -> unit -> unit
+(** Pretty-printed dump; [trace_events] > 0 appends the trace tail. *)

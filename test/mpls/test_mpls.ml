@@ -97,6 +97,73 @@ let test_lfib_step_pop_inner_remains () =
   | Some s -> Alcotest.(check int) "inner label exposed" 300 s.Packet.label
   | None -> Alcotest.fail "inner label missing"
 
+(* RFC 3443 uniform model: popping charges the hop against the shim TTL
+   and propagates the decremented value inward, so time-to-live spent
+   inside the LSP is not forgotten at the pop point. *)
+let test_lfib_pop_ttl_reaches_ip_header () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  let p = labelled_packet ~ttl:9 100 in
+  (match Lfib.step l p with
+   | Lfib.Ip_continue 7 -> ()
+   | _ -> Alcotest.fail "expected ip continue");
+  Alcotest.(check int) "ip ttl = shim ttl - 1" 8
+    (Packet.visible_header p).Packet.ttl
+
+let test_lfib_pop_ttl_reaches_inner_shim () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:200 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  let p = labelled_packet ~ttl:64 300 in
+  Packet.push_label p ~label:200 ~exp:0 ~ttl:5;
+  (match Lfib.step l p with
+   | Lfib.Forward 7 -> ()
+   | _ -> Alcotest.fail "expected forward with inner label");
+  match Packet.top_label p with
+  | Some s -> Alcotest.(check int) "inner ttl = outer ttl - 1" 4 s.Packet.ttl
+  | None -> Alcotest.fail "inner label missing"
+
+let test_lfib_pop_never_raises_inner_ttl () =
+  (* An inner TTL already lower than the popped shim's must stay put. *)
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:200 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  let p = labelled_packet ~ttl:3 300 in
+  Packet.push_label p ~label:200 ~exp:0 ~ttl:64;
+  (match Lfib.step l p with
+   | Lfib.Forward _ -> ()
+   | _ -> Alcotest.fail "expected forward");
+  match Packet.top_label p with
+  | Some s -> Alcotest.(check int) "inner ttl unchanged" 3 s.Packet.ttl
+  | None -> Alcotest.fail "inner label missing"
+
+let test_lfib_pop_and_ip_ttl () =
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Pop_and_ip; next_hop = 7 };
+  let p = labelled_packet ~ttl:9 100 in
+  (match Lfib.step l p with
+   | Lfib.Ip_continue 7 -> ()
+   | _ -> Alcotest.fail "expected ip continue");
+  Alcotest.(check int) "ip ttl = shim ttl - 1" 8
+    (Packet.visible_header p).Packet.ttl
+
+let test_lfib_pop_ttl_boundary () =
+  (* Shim TTL 2: the pop itself succeeds exposing TTL 1, and the next
+     label hop must then expire the packet. *)
+  let l = Lfib.create () in
+  Lfib.install l ~in_label:200 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  let p = labelled_packet ~ttl:64 300 in
+  Packet.push_label p ~label:200 ~exp:0 ~ttl:2;
+  (match Lfib.step l p with
+   | Lfib.Forward 7 -> ()
+   | _ -> Alcotest.fail "pop at ttl 2 should still forward");
+  (match Packet.top_label p with
+   | Some s -> Alcotest.(check int) "exposed ttl" 1 s.Packet.ttl
+   | None -> Alcotest.fail "inner label missing");
+  let next = Lfib.create () in
+  Lfib.install next ~in_label:300 { Lfib.op = Lfib.Swap 301; next_hop = 8 };
+  match Lfib.step next p with
+  | Lfib.Ttl_expired -> ()
+  | _ -> Alcotest.fail "next hop should expire the packet"
+
 let test_lfib_step_ttl () =
   let l = Lfib.create () in
   Lfib.install l ~in_label:100 { Lfib.op = Lfib.Swap 200; next_hop = 7 };
@@ -675,6 +742,15 @@ let () =
          Alcotest.test_case "step pop to ip" `Quick test_lfib_step_pop_to_ip;
          Alcotest.test_case "step pop inner remains" `Quick
            test_lfib_step_pop_inner_remains;
+         Alcotest.test_case "pop ttl reaches ip header" `Quick
+           test_lfib_pop_ttl_reaches_ip_header;
+         Alcotest.test_case "pop ttl reaches inner shim" `Quick
+           test_lfib_pop_ttl_reaches_inner_shim;
+         Alcotest.test_case "pop never raises inner ttl" `Quick
+           test_lfib_pop_never_raises_inner_ttl;
+         Alcotest.test_case "pop-and-ip ttl" `Quick test_lfib_pop_and_ip_ttl;
+         Alcotest.test_case "pop ttl=2 boundary" `Quick
+           test_lfib_pop_ttl_boundary;
          Alcotest.test_case "ttl expiry" `Quick test_lfib_step_ttl;
          Alcotest.test_case "no binding" `Quick test_lfib_step_no_binding ]);
       ("ldp",

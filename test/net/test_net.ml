@@ -409,6 +409,85 @@ let radix_add_remove_roundtrip =
        && (List.iter (fun p -> ignore (Radix.remove t p)) distinct;
            Radix.is_empty t))
 
+(* Churn property driven by the simulator's deterministic RNG:
+   interleave adds and removes against a naive assoc-list model, then
+   compare LPM answers. Removal is biased toward present prefixes so
+   glue-node splicing and re-rooting actually run, and addresses
+   cluster inside a few /8s so prefixes nest deeply. *)
+let test_radix_churn_matches_model () =
+  let rng = Mvpn_sim.Rng.create 0xce11 in
+  let random_addr () =
+    Ipv4.of_octets
+      (10 + Mvpn_sim.Rng.int rng 3)
+      (Mvpn_sim.Rng.int rng 4)
+      (Mvpn_sim.Rng.int rng 4)
+      (Mvpn_sim.Rng.int rng 256)
+  in
+  let random_prefix () =
+    Prefix.make (random_addr ()) (Mvpn_sim.Rng.int rng 33)
+  in
+  let naive model a =
+    List.fold_left
+      (fun best (p, v) ->
+         if Prefix.mem a p then
+           match best with
+           | Some (bp, _) when Prefix.length bp >= Prefix.length p -> best
+           | Some _ | None -> Some (p, v)
+         else best)
+      None model
+  in
+  for trial = 0 to 299 do
+    let t = Radix.create () in
+    let model = ref [] in
+    let drop p = List.filter (fun (q, _) -> not (Prefix.equal q p)) in
+    let ops = 20 + Mvpn_sim.Rng.int rng 60 in
+    for i = 0 to ops - 1 do
+      if !model <> [] && Mvpn_sim.Rng.bool rng 0.35 then begin
+        let victim =
+          if Mvpn_sim.Rng.bool rng 0.8 then
+            fst
+              (List.nth !model
+                 (Mvpn_sim.Rng.int rng (List.length !model)))
+          else random_prefix ()
+        in
+        let present =
+          List.exists (fun (q, _) -> Prefix.equal q victim) !model
+        in
+        if Radix.remove t victim <> present then
+          Alcotest.failf "trial %d: remove %s returned %b" trial
+            (Prefix.to_string victim) (not present);
+        model := drop victim !model
+      end
+      else begin
+        let p = random_prefix () in
+        Radix.add t p i;
+        model := (p, i) :: drop p !model
+      end
+    done;
+    if Radix.cardinal t <> List.length !model then
+      Alcotest.failf "trial %d: cardinal %d, model has %d" trial
+        (Radix.cardinal t) (List.length !model);
+    let check_addr a =
+      match Radix.lookup t a, naive !model a with
+      | None, None -> ()
+      | Some (p, v), Some (q, w) ->
+        if not (Prefix.equal p q && v = w) then
+          Alcotest.failf "trial %d: %s -> %s=%d, model says %s=%d" trial
+            (Ipv4.to_string a) (Prefix.to_string p) v (Prefix.to_string q)
+            w
+      | Some (p, v), None ->
+        Alcotest.failf "trial %d: %s -> %s=%d, model says none" trial
+          (Ipv4.to_string a) (Prefix.to_string p) v
+      | None, Some (q, w) ->
+        Alcotest.failf "trial %d: %s -> none, model says %s=%d" trial
+          (Ipv4.to_string a) (Prefix.to_string q) w
+    in
+    for _ = 1 to 25 do
+      check_addr (random_addr ())
+    done;
+    List.iter (fun (p, _) -> check_addr (Prefix.network p)) !model
+  done
+
 let test_radix_default_only () =
   let t = Radix.create () in
   Radix.add t Prefix.default "everything";
@@ -546,6 +625,8 @@ let () =
          Alcotest.test_case "default only" `Quick test_radix_default_only;
          Alcotest.test_case "of_list roundtrip" `Quick
            test_radix_of_list_roundtrip;
+         Alcotest.test_case "churn matches model" `Quick
+           test_radix_churn_matches_model;
          qt radix_vs_linear;
          qt radix_add_remove_roundtrip ]);
       ("fib",

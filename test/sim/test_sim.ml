@@ -298,6 +298,48 @@ let test_timeseries () =
     (Invalid_argument "Timeseries.add: time going backwards") (fun () ->
       Stats.Timeseries.add ts 1.5 0.0)
 
+(* Push payloads while registering them in a weak array, without
+   leaving strong references on this frame's stack.  [@inline never]
+   keeps the payload roots confined to the callee. *)
+let[@inline never] heap_fill_weak h (w : int ref Weak.t) n =
+  for i = 0 to n - 1 do
+    let payload = ref i in
+    Weak.set w i (Some payload);
+    Heap.push h (float_of_int i) payload
+  done
+
+let test_heap_pop_releases_payload () =
+  let h : int ref Heap.t = Heap.create () in
+  let w = Weak.create 4 in
+  heap_fill_weak h w 4;
+  (* Pop the two smallest; their payloads must become collectable even
+     though the heap itself stays live with the other two. *)
+  ignore (Sys.opaque_identity (Heap.pop h));
+  ignore (Sys.opaque_identity (Heap.pop h));
+  Gc.full_major ();
+  Alcotest.(check bool) "popped payloads reclaimed" true
+    (Weak.get w 0 = None && Weak.get w 1 = None);
+  Alcotest.(check bool) "live payloads retained" true
+    (Weak.get w 2 <> None && Weak.get w 3 <> None);
+  Alcotest.(check int) "heap still holds the rest" 2 (Heap.size h)
+
+let test_heap_drain_releases_all () =
+  (* Enough pushes to force at least one grow; after draining, nothing
+     may be pinned by vacated or freshly grown slots. *)
+  let n = 40 in
+  let h : int ref Heap.t = Heap.create () in
+  let w = Weak.create n in
+  heap_fill_weak h w n;
+  while Heap.pop h <> None do () done;
+  Gc.full_major ();
+  for i = 0 to n - 1 do
+    if Weak.get w i <> None then
+      Alcotest.failf "payload %d still reachable after drain" i
+  done;
+  (* Keep the drained heap (and its backing array) live across the GC
+     above, so reclamation is due to cleared slots, not a dead heap. *)
+  Alcotest.(check int) "drained" 0 (Heap.size h)
+
 let test_heap_clear () =
   let h = Heap.create () in
   Heap.push h 1.0 "x";
@@ -486,6 +528,10 @@ let () =
          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
          Alcotest.test_case "empty" `Quick test_heap_empty;
          Alcotest.test_case "clear" `Quick test_heap_clear;
+         Alcotest.test_case "pop releases payload" `Quick
+           test_heap_pop_releases_payload;
+         Alcotest.test_case "drain releases all" `Quick
+           test_heap_drain_releases_all;
          qt heap_sorts ]);
       ("engine",
        [ Alcotest.test_case "time order" `Quick test_engine_time_order;

@@ -1,0 +1,201 @@
+open Mvpn_telemetry
+
+(* Every test runs against the process-global registry and control
+   flag, so each starts from a clean slate and leaves telemetry off. *)
+let wrap f () =
+  Registry.reset ();
+  Control.disable ();
+  Fun.protect ~finally:(fun () ->
+      Registry.reset ();
+      Control.disable ())
+    f
+
+(* --- Control ----------------------------------------------------------- *)
+
+let test_control_scoping () =
+  Alcotest.(check bool) "starts off" false (Control.is_enabled ());
+  Control.with_enabled (fun () ->
+      Alcotest.(check bool) "on inside" true (Control.is_enabled ());
+      Control.with_disabled (fun () ->
+          Alcotest.(check bool) "nested off" false (Control.is_enabled ()));
+      Alcotest.(check bool) "restored on" true (Control.is_enabled ()));
+  Alcotest.(check bool) "restored off" false (Control.is_enabled ())
+
+let test_control_restores_on_exception () =
+  (try Control.with_enabled (fun () -> failwith "boom") with
+   | Failure _ -> ());
+  Alcotest.(check bool) "off after raise" false (Control.is_enabled ())
+
+(* --- Counter ----------------------------------------------------------- *)
+
+let test_counter_gated () =
+  let c = Counter.make "c" in
+  Counter.incr c;
+  Counter.add c 10;
+  Alcotest.(check int) "no-op while disabled" 0 (Counter.value c);
+  Control.with_enabled (fun () ->
+      Counter.incr c;
+      Counter.incr c;
+      Counter.add c 5);
+  Alcotest.(check int) "counts while enabled" 7 (Counter.value c);
+  Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Counter.value c)
+
+(* --- Gauge ------------------------------------------------------------- *)
+
+let test_gauge_gated () =
+  let g = Gauge.make "g" in
+  Gauge.set g 42.0;
+  Alcotest.(check (float 1e-9)) "no-op while disabled" 0.0 (Gauge.value g);
+  Control.with_enabled (fun () -> Gauge.set g 42.0);
+  Alcotest.(check (float 1e-9)) "set while enabled" 42.0 (Gauge.value g)
+
+(* --- Histogram --------------------------------------------------------- *)
+
+let test_histogram_point_mass () =
+  let h = Histogram.make "h" in
+  Control.with_enabled (fun () ->
+      for _ = 1 to 100 do
+        Histogram.observe h 5.0
+      done);
+  Alcotest.(check int) "count" 100 (Histogram.count h);
+  (* All mass in one bucket: every quantile clamps to the exact value. *)
+  Alcotest.(check (float 1e-9)) "p50" 5.0 (Histogram.p50 h);
+  Alcotest.(check (float 1e-9)) "p99" 5.0 (Histogram.p99 h);
+  Alcotest.(check (float 1e-9)) "max" 5.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 5.0 (Histogram.mean h)
+
+let test_histogram_quantile_bounds () =
+  let h = Histogram.make ~lo:1.0 "h" in
+  Control.with_enabled (fun () ->
+      for i = 1 to 1000 do
+        Histogram.observe_int h i
+      done);
+  (* Log buckets cover [x, 2x): quantile estimates carry at most a
+     factor-two relative error, clamped to the observed extrema. *)
+  let p50 = Histogram.p50 h and p99 = Histogram.p99 h in
+  Alcotest.(check bool) "p50 in [250,1000]" true (p50 >= 250.0 && p50 <= 1000.0);
+  Alcotest.(check bool) "p99 in [495,1000]" true (p99 >= 495.0 && p99 <= 1000.0);
+  Alcotest.(check bool) "monotone" true (p50 <= p99);
+  Alcotest.(check (float 1e-9)) "max exact" 1000.0 (Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "min exact" 1.0 (Histogram.min_value h);
+  Alcotest.(check (float 0.5)) "mean" 500.5 (Histogram.mean h)
+
+let test_histogram_disabled_and_reset () =
+  let h = Histogram.make "h" in
+  Histogram.observe h 1.0;
+  Alcotest.(check int) "no-op while disabled" 0 (Histogram.count h);
+  Control.with_enabled (fun () -> Histogram.observe h 3.0);
+  Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "reset quantile" 0.0 (Histogram.p50 h)
+
+(* --- Hop trace --------------------------------------------------------- *)
+
+let test_trace_per_packet () =
+  let t = Hop_trace.create () in
+  Control.with_enabled (fun () ->
+      Hop_trace.record t ~uid:1 ~time:0.1 ~node:0 "rx";
+      Hop_trace.record t ~uid:2 ~time:0.2 ~node:0 "rx";
+      Hop_trace.record t ~uid:1 ~time:0.3 ~node:1 "tx";
+      Hop_trace.record t ~uid:1 ~time:0.4 ~node:2 "deliver");
+  let hops = Hop_trace.trace t ~uid:1 in
+  Alcotest.(check (list string)) "chronological, one packet"
+    ["rx"; "tx"; "deliver"]
+    (List.map (fun (e : Hop_trace.event) -> e.Hop_trace.label) hops);
+  Alcotest.(check int) "recorded" 4 (Hop_trace.recorded t)
+
+let test_trace_ring_wraps () =
+  let t = Hop_trace.create ~capacity:4 () in
+  Control.with_enabled (fun () ->
+      for i = 1 to 10 do
+        Hop_trace.record t ~uid:i ~time:(float_of_int i) ~node:0 "rx"
+      done);
+  Alcotest.(check int) "recorded counts all" 10 (Hop_trace.recorded t);
+  Alcotest.(check (list int)) "ring keeps the newest, oldest first"
+    [7; 8; 9; 10]
+    (List.map (fun (e : Hop_trace.event) -> e.Hop_trace.uid)
+       (Hop_trace.recent t 100));
+  Alcotest.(check (list int)) "evicted packet has no trace" []
+    (List.map (fun (e : Hop_trace.event) -> e.Hop_trace.uid)
+       (Hop_trace.trace t ~uid:3))
+
+let test_trace_disabled () =
+  let t = Hop_trace.create () in
+  Hop_trace.record t ~uid:1 ~time:0.0 ~node:0 "rx";
+  Alcotest.(check int) "no-op while disabled" 0 (Hop_trace.recorded t)
+
+(* --- Registry ---------------------------------------------------------- *)
+
+let test_registry_get_or_create () =
+  let a = Registry.counter "x.count" in
+  let b = Registry.counter "x.count" in
+  Control.with_enabled (fun () -> Counter.incr a);
+  Alcotest.(check int) "same handle" 1 (Counter.value b);
+  Alcotest.(check int) "counter_value" 1 (Registry.counter_value "x.count");
+  Alcotest.(check int) "absent name reads 0" 0
+    (Registry.counter_value "nope");
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Registry: x.count already registered as a counter")
+    (fun () -> ignore (Registry.gauge "x.count"))
+
+let test_registry_reset_keeps_registrations () =
+  let c = Registry.counter "y.count" in
+  let h = Registry.histogram "y.hist" in
+  Control.with_enabled (fun () ->
+      Counter.incr c;
+      Histogram.observe h 1.0;
+      Hop_trace.record (Registry.trace ()) ~uid:9 ~time:1.0 ~node:0 "rx");
+  Registry.reset ();
+  Alcotest.(check int) "counter zeroed" 0 (Counter.value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Histogram.count h);
+  Alcotest.(check (list int)) "trace cleared" []
+    (List.map (fun (e : Hop_trace.event) -> e.Hop_trace.uid)
+       (Hop_trace.recent (Registry.trace ()) 10));
+  Alcotest.(check bool) "registration survives" true
+    (Registry.find_counter "y.count" <> None)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+  in
+  n = 0 || go 0
+
+let test_registry_json () =
+  let c = Registry.counter "z.count" in
+  let h = Registry.histogram "z.hist" in
+  Control.with_enabled (fun () ->
+      Counter.add c 3;
+      Histogram.observe h 2.0;
+      Hop_trace.record (Registry.trace ()) ~uid:7 ~time:1.5 ~node:4 "tx");
+  let json = Registry.to_json () in
+  Alcotest.(check bool) "counter serialized" true
+    (contains ~needle:"\"z.count\":3" json);
+  Alcotest.(check bool) "histogram serialized" true
+    (contains ~needle:"\"z.hist\":{\"count\":1" json);
+  Alcotest.(check bool) "trace serialized" true
+    (contains ~needle:"\"uid\":7" json);
+  Alcotest.(check bool) "trace label serialized" true
+    (contains ~needle:"\"event\":\"tx\"" json)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick (wrap f) in
+  Alcotest.run "telemetry"
+    [ ("control",
+       [ tc "scoping" test_control_scoping;
+         tc "restores on exception" test_control_restores_on_exception ]);
+      ("counter", [ tc "gated by control" test_counter_gated ]);
+      ("gauge", [ tc "gated by control" test_gauge_gated ]);
+      ("histogram",
+       [ tc "point mass" test_histogram_point_mass;
+         tc "quantile bounds" test_histogram_quantile_bounds;
+         tc "disabled and reset" test_histogram_disabled_and_reset ]);
+      ("hop-trace",
+       [ tc "per packet" test_trace_per_packet;
+         tc "ring wraps" test_trace_ring_wraps;
+         tc "disabled" test_trace_disabled ]);
+      ("registry",
+       [ tc "get or create" test_registry_get_or_create;
+         tc "reset keeps registrations" test_registry_reset_keeps_registrations;
+         tc "json export" test_registry_json ]) ]

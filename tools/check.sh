@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repository gate: everything must build (libraries, binaries, benches,
+# examples) and the full test suite must pass. lib/telemetry is built
+# with warnings as errors (see lib/telemetry/dune).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "ok"
