@@ -1,0 +1,214 @@
+module Packet = Mvpn_net.Packet
+module Fib = Mvpn_net.Fib
+module Prefix = Mvpn_net.Prefix
+module Ipv4 = Mvpn_net.Ipv4
+module Plane = Mvpn_mpls.Plane
+module Lfib = Mvpn_mpls.Lfib
+module Fec = Mvpn_mpls.Fec
+module Telemetry = Mvpn_telemetry
+
+let m_fib_hit = Telemetry.Registry.counter "fib.cache.hit"
+let m_fib_miss = Telemetry.Registry.counter "fib.cache.miss"
+let m_ftn_hit = Telemetry.Registry.counter "ftn.cache.hit"
+let m_ftn_miss = Telemetry.Registry.counter "ftn.cache.miss"
+let m_recompile = Telemetry.Registry.counter "dataplane.recompile"
+
+type verdict = Consumed | Continue
+
+type interceptor = from:int option -> Packet.t -> verdict
+
+type hooks = {
+  transmit : from:int -> to_:int -> Packet.t -> unit;
+  deliver : node:int -> Packet.t -> unit;
+  drop : node:int -> Packet.t -> string -> unit;
+  notify_receive : node:int -> from:int option -> Packet.t -> unit;
+}
+
+let no_hooks =
+  { transmit = (fun ~from:_ ~to_:_ _ -> ());
+    deliver = (fun ~node:_ _ -> ());
+    drop = (fun ~node:_ _ _ -> ());
+    notify_receive = (fun ~node:_ ~from:_ _ -> ()) }
+
+(* Direct-mapped dst → LPM-result cache. Slot count is a power of two;
+   a slot holds the address it answers for and the (possibly negative)
+   lookup result. 512 slots cover the working sets of the workloads
+   here; collisions just re-walk the trie. *)
+let cache_slots = 512
+
+let slot_of addr = (addr * 0x9E3779B1) lsr 16 land (cache_slots - 1)
+
+let no_key = -1
+
+type compiled = {
+  c_fib_gen : int;
+  c_lfib_gen : int;
+  c_ftn_gen : int;
+  c_icept_gen : int;
+  dispatch : from:int option -> Packet.t -> bool;  (* true = consumed *)
+  fib_keys : int array;  (* Ipv4.to_int of the cached dst; no_key = empty *)
+  fib_vals : (Prefix.t * Fib.route) option array;
+  ftn_memo : (Fec.t, Plane.ftn_entry option) Hashtbl.t;
+}
+
+type t = {
+  plane : Plane.t;
+  fibs : Fib.t array;
+  mutable hooks : hooks;
+  mutable cache : bool;
+  mutable auto_ftn : bool;
+  interceptors : interceptor list array;
+  icept_gens : int array;
+  compiled : compiled option array;
+  mutable recompiles : int;
+}
+
+let create ?(cache = true) ~nodes ~plane ~fibs () =
+  { plane; fibs; hooks = no_hooks; cache; auto_ftn = false;
+    interceptors = Array.make nodes [];
+    icept_gens = Array.make nodes 0;
+    compiled = Array.make nodes None;
+    recompiles = 0 }
+
+let set_hooks t hooks = t.hooks <- hooks
+
+let cache_enabled t = t.cache
+
+let set_cache t flag =
+  if t.cache <> flag then begin
+    t.cache <- flag;
+    Array.fill t.compiled 0 (Array.length t.compiled) None
+  end
+
+let set_auto_ftn t flag = t.auto_ftn <- flag
+
+let bump_interceptors t node chain =
+  t.interceptors.(node) <- chain;
+  t.icept_gens.(node) <- t.icept_gens.(node) + 1
+
+let set_interceptor t node f = bump_interceptors t node [f]
+
+let add_interceptor t node f =
+  bump_interceptors t node (f :: t.interceptors.(node))
+
+let clear_interceptor t node = bump_interceptors t node []
+
+let interceptor_generation t node = t.icept_gens.(node)
+
+let recompiles t = t.recompiles
+
+(* Fold the chain into one dispatcher. Interceptors run in list order
+   (prepend order) and the first [Consumed] wins — the same contract
+   the per-packet [List.exists] used to implement. *)
+let compile_dispatch = function
+  | [] -> fun ~from:_ _ -> false
+  | [f] -> fun ~from p -> f ~from p = Consumed
+  | chain ->
+    let arr = Array.of_list chain in
+    let n = Array.length arr in
+    fun ~from p ->
+      let rec go i = i < n && (arr.(i) ~from p = Consumed || go (i + 1)) in
+      go 0
+
+let compile t node =
+  t.recompiles <- t.recompiles + 1;
+  Telemetry.Counter.incr m_recompile;
+  let c =
+    { c_fib_gen = Fib.generation t.fibs.(node);
+      c_lfib_gen = Lfib.generation (Plane.lfib t.plane node);
+      c_ftn_gen = Plane.ftn_generation t.plane node;
+      c_icept_gen = t.icept_gens.(node);
+      dispatch = compile_dispatch t.interceptors.(node);
+      fib_keys = (if t.cache then Array.make cache_slots no_key else [||]);
+      fib_vals = (if t.cache then Array.make cache_slots None else [||]);
+      ftn_memo = Hashtbl.create (if t.cache then 16 else 1) }
+  in
+  t.compiled.(node) <- Some c;
+  c
+
+(* The per-packet staleness check: four int comparisons against the
+   live generations. Any mismatch throws the node's compiled state
+   away — caches never serve an entry older than the tables. *)
+let state t node =
+  match t.compiled.(node) with
+  | Some c
+    when c.c_fib_gen = Fib.generation t.fibs.(node)
+      && c.c_icept_gen = t.icept_gens.(node)
+      && c.c_lfib_gen = Lfib.generation (Plane.lfib t.plane node)
+      && c.c_ftn_gen = Plane.ftn_generation t.plane node -> c
+  | Some _ | None -> compile t node
+
+let fib_lookup t c node dst =
+  if not t.cache then Fib.lookup t.fibs.(node) dst
+  else begin
+    let key = Ipv4.to_int dst in
+    let slot = slot_of key in
+    if c.fib_keys.(slot) = key then begin
+      Telemetry.Counter.incr m_fib_hit;
+      c.fib_vals.(slot)
+    end else begin
+      Telemetry.Counter.incr m_fib_miss;
+      let r = Fib.lookup t.fibs.(node) dst in
+      c.fib_keys.(slot) <- key;
+      c.fib_vals.(slot) <- r;
+      r
+    end
+  end
+
+let ftn_lookup t c node fec =
+  if not t.cache then Plane.find_ftn t.plane node fec
+  else
+    match Hashtbl.find_opt c.ftn_memo fec with
+    | Some r ->
+      Telemetry.Counter.incr m_ftn_hit;
+      r
+    | None ->
+      Telemetry.Counter.incr m_ftn_miss;
+      let r = Plane.find_ftn t.plane node fec in
+      Hashtbl.add c.ftn_memo fec r;
+      r
+
+let find_ftn t node fec = ftn_lookup t (state t node) node fec
+
+(* Plain IP forwarding at [node]: cached FIB lookup on the visible
+   destination, local delivery, optional FTN label push, or relay. *)
+let forward_ip t node packet =
+  let c = state t node in
+  let hdr = Packet.visible_header packet in
+  match fib_lookup t c node hdr.Packet.dst with
+  | None -> t.hooks.drop ~node packet "no-route"
+  | Some (_, route) when route.Fib.next_hop = Fib.local_delivery ->
+    t.hooks.deliver ~node packet
+  | Some (prefix, route) ->
+    if hdr.Packet.ttl <= 1 then t.hooks.drop ~node packet "ip-ttl"
+    else begin
+      hdr.Packet.ttl <- hdr.Packet.ttl - 1;
+      let pushed =
+        t.auto_ftn
+        && (match ftn_lookup t c node (Fec.Prefix_fec prefix) with
+            | Some e ->
+              Packet.push_label packet ~label:e.Plane.push
+                ~exp:(Mvpn_net.Dscp.to_exp (Packet.visible_dscp packet))
+                ~ttl:hdr.Packet.ttl;
+              t.hooks.transmit ~from:node ~to_:e.Plane.next_hop packet;
+              true
+            | None -> false)
+      in
+      if not pushed then
+        t.hooks.transmit ~from:node ~to_:route.Fib.next_hop packet
+    end
+
+let receive t node ~from packet =
+  t.hooks.notify_receive ~node ~from packet;
+  let c = state t node in
+  if not (c.dispatch ~from packet) then begin
+    if Packet.top_label packet <> None then
+      match Lfib.step (Plane.lfib t.plane node) packet with
+      | Lfib.Forward nh -> t.hooks.transmit ~from:node ~to_:nh packet
+      | Lfib.Ip_continue nh ->
+        if nh = Lfib.local then forward_ip t node packet
+        else t.hooks.transmit ~from:node ~to_:nh packet
+      | Lfib.No_binding _ -> t.hooks.drop ~node packet "no-label-binding"
+      | Lfib.Ttl_expired -> t.hooks.drop ~node packet "label-ttl"
+    else forward_ip t node packet
+  end

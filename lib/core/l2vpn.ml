@@ -60,16 +60,16 @@ let receive_side t pw ~toward_a packet =
   side.endpoint.on_deliver packet
 
 let install_demux t pe =
-  Network.add_interceptor t.net pe (fun ~from packet ->
+  Dataplane.add_interceptor (Network.dataplane t.net) pe (fun ~from packet ->
       ignore from;
       match Packet.top_label packet with
       | Some shim ->
         (match Hashtbl.find_opt t.demux (pe, shim.Packet.label) with
          | Some (pw, toward_a) ->
            receive_side t pw ~toward_a packet;
-           Network.Consumed
-         | None -> Network.Continue)
-      | None -> Network.Continue)
+           Dataplane.Consumed
+         | None -> Dataplane.Continue)
+      | None -> Dataplane.Continue)
 
 let deploy ~net ~backbone =
   let topo = Network.topology net in
@@ -135,9 +135,8 @@ let send t ~pw ~from_a packet =
     packet.Packet.size <- packet.Packet.size + control_word_bytes;
     let exp = Mvpn_net.Dscp.to_exp (Packet.visible_dscp packet) in
     Packet.push_label packet ~label:dst_side.label ~exp ~ttl:64;
-    let plane = Network.plane t.net in
     let transport =
-      Plane.find_ftn plane src_side.endpoint.pe
+      Dataplane.find_ftn (Network.dataplane t.net) src_side.endpoint.pe
         (Fec.Prefix_fec (pe_loopback t dst_side.endpoint.pe))
     in
     match transport with

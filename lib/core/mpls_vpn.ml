@@ -110,14 +110,15 @@ let provision_ce_routing t (site : Site.t) =
     { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
   (* ...but group traffic originated at this site must go up to the PE
      (the FIB alone cannot tell the directions apart). *)
-  Network.add_interceptor t.net site.Site.ce_node (fun ~from packet ->
+  Dataplane.add_interceptor (Network.dataplane t.net) site.Site.ce_node
+    (fun ~from packet ->
       let dst = (Packet.visible_header packet).Packet.dst in
       if from = None && Mvpn_net.Ipv4.is_multicast dst then begin
         Network.transmit t.net ~from:site.Site.ce_node
           ~to_:site.Site.pe_node packet;
-        Network.Consumed
+        Dataplane.Consumed
       end
-      else Network.Continue)
+      else Dataplane.Continue)
 
 (* Bind a site into the data and control planes: VRF local route, a VPN
    label at the PE whose LFIB pops straight to the CE, and the VPNv4
@@ -154,11 +155,16 @@ let reimport_all t =
 
 (* --- data plane --------------------------------------------------------- *)
 
+(* Transport label selection goes through the dataplane's
+   generation-checked FTN cache: the FEC → FTN answer is memoized per
+   node and invalidated wholesale when LDP or RSVP-TE reinstall
+   bindings. *)
 let outer_transport t ~ingress_pe ~egress_pe =
-  let plane = Network.plane t.net in
+  let dp = Network.dataplane t.net in
   let te_ftn =
     match Hashtbl.find_opt t.pe_tunnels (ingress_pe, egress_pe) with
-    | Some tunnel_id -> Plane.find_ftn plane ingress_pe (Fec.Tunnel_fec tunnel_id)
+    | Some tunnel_id ->
+      Dataplane.find_ftn dp ingress_pe (Fec.Tunnel_fec tunnel_id)
     | None -> None
   in
   match te_ftn with
@@ -166,7 +172,7 @@ let outer_transport t ~ingress_pe ~egress_pe =
   | None ->
     (match Backbone.pop_of_node t.backbone egress_pe with
      | Some pop ->
-       Plane.find_ftn plane ingress_pe
+       Dataplane.find_ftn dp ingress_pe
          (Fec.Prefix_fec (Backbone.loopback t.backbone ~pop))
      | None -> None)
 
@@ -237,15 +243,15 @@ let pe_ingress t pe v ~from packet =
     | Some nh -> pe_forward_to t pe packet nh
 
 let install_pe_interceptor t pe =
-  Network.set_interceptor t.net pe (fun ~from packet ->
+  Dataplane.set_interceptor (Network.dataplane t.net) pe (fun ~from packet ->
       match from with
       | Some prev when Packet.top_label packet = None ->
         (match Hashtbl.find_opt t.ce_vrf prev with
          | Some v when Vrf.pe v = pe ->
            pe_ingress t pe v ~from packet;
-           Network.Consumed
-         | Some _ | None -> Network.Continue)
-      | Some _ | None -> Network.Continue)
+           Dataplane.Consumed
+         | Some _ | None -> Dataplane.Continue)
+      | Some _ | None -> Dataplane.Continue)
 
 (* --- deployment --------------------------------------------------------- *)
 

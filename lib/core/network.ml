@@ -27,7 +27,7 @@ let sojourn_hist dscp =
     Hashtbl.add sojourn_hists key h;
     h
 
-type verdict = Consumed | Continue
+type verdict = Dataplane.verdict = Consumed | Continue
 
 type trace_action =
   | Trace_receive of int option
@@ -43,19 +43,23 @@ type trace_event = {
   trace_action : trace_action;
 }
 
+(* A reason's authoritative count lives in [n] (always on, per
+   network); [metric] mirrors it into the registry so telemetry cannot
+   drift from the table when the global switch toggles mid-run. *)
+type drop_entry = { mutable n : int; metric : Telemetry.Counter.t }
+
 type t = {
   engine : Engine.t;
   topo : Topology.t;
   plane : Plane.t;
   policy : Qos_mapping.policy;
   fibs : Fib.t array;
+  dp : Dataplane.t;
   ports : Port.t option array;  (* indexed by link id *)
-  interceptors :
-    (from:int option -> Packet.t -> verdict) list array;
   sinks : (Packet.t -> unit) array;
-  drop_table : (string, int ref) Hashtbl.t;
+  drop_table : (string, drop_entry) Hashtbl.t;
+  mutable total_drops : int;
   link_tx_bytes : Telemetry.Counter.t array;  (* indexed by link id *)
-  mutable auto_ftn : bool;
   mutable tracer : (trace_event -> unit) option;
 }
 
@@ -85,16 +89,27 @@ let emit t ~node ?packet action =
           (match packet with Some p -> labels_of p | None -> []);
         trace_action = action }
 
+(* Single-source drop accounting: the per-network table is the
+   authority; the [net.drop.<reason>] and [net.drops] telemetry
+   counters are set from it (never independently incremented), so they
+   agree with {!drop_counts} whenever telemetry is on. *)
 let drop ?(node = -1) ?packet t reason =
   emit t ~node ?packet (Trace_drop reason);
-  Telemetry.Counter.incr m_drops;
-  if !Telemetry.Control.enabled then begin
-    Telemetry.Counter.incr (Telemetry.Registry.counter ("net.drop." ^ reason));
-    record_hop t ~node ?packet ("drop:" ^ reason)
-  end;
-  match Hashtbl.find_opt t.drop_table reason with
-  | Some r -> incr r
-  | None -> Hashtbl.add t.drop_table reason (ref 1)
+  let e =
+    match Hashtbl.find_opt t.drop_table reason with
+    | Some e -> e
+    | None ->
+      let e =
+        { n = 0; metric = Telemetry.Registry.counter ("net.drop." ^ reason) }
+      in
+      Hashtbl.add t.drop_table reason e;
+      e
+  in
+  e.n <- e.n + 1;
+  t.total_drops <- t.total_drops + 1;
+  Telemetry.Counter.set e.metric e.n;
+  Telemetry.Counter.set m_drops t.total_drops;
+  record_hop t ~node ?packet ("drop:" ^ reason)
 
 let engine t = t.engine
 let topology t = t.topo
@@ -103,14 +118,19 @@ let policy t = t.policy
 
 let fib t node = t.fibs.(node)
 
-let set_auto_ftn t flag = t.auto_ftn <- flag
+let dataplane t = t.dp
 
-let set_interceptor t node f = t.interceptors.(node) <- [f]
+let set_auto_ftn t flag = Dataplane.set_auto_ftn t.dp flag
 
-let add_interceptor t node f =
-  t.interceptors.(node) <- f :: t.interceptors.(node)
+let set_route_cache t flag = Dataplane.set_cache t.dp flag
 
-let clear_interceptor t node = t.interceptors.(node) <- []
+let route_cache t = Dataplane.cache_enabled t.dp
+
+let set_interceptor t node f = Dataplane.set_interceptor t.dp node f
+
+let add_interceptor t node f = Dataplane.add_interceptor t.dp node f
+
+let clear_interceptor t node = Dataplane.clear_interceptor t.dp node
 
 let set_sink t node f = t.sinks.(node) <- f
 
@@ -134,57 +154,20 @@ let transmit t ~from ~to_ packet =
        Port.send p packet
      | None -> drop ~node:from ~packet t "no-link")
 
-(* Plain IP forwarding at [node]: FIB lookup on the visible
-   destination, local delivery, optional FTN label push, or relay. *)
-let rec forward_ip t node packet =
-  let hdr = Packet.visible_header packet in
-  match Fib.lookup t.fibs.(node) hdr.Packet.dst with
-  | None -> drop ~node ~packet t "no-route"
-  | Some (_, route) when route.Fib.next_hop = Fib.local_delivery ->
-    emit t ~node ~packet Trace_deliver;
-    Telemetry.Counter.incr m_delivered;
-    if !Telemetry.Control.enabled then begin
-      record_hop t ~node ~packet "deliver";
-      Telemetry.Histogram.observe
-        (sojourn_hist (Packet.visible_dscp packet))
-        (Engine.now t.engine -. packet.Packet.created_at)
-    end;
-    t.sinks.(node) packet
-  | Some (prefix, route) ->
-    if hdr.Packet.ttl <= 1 then drop ~node ~packet t "ip-ttl"
-    else begin
-      hdr.Packet.ttl <- hdr.Packet.ttl - 1;
-      let pushed =
-        t.auto_ftn
-        && (match Plane.find_ftn t.plane node (Fec.Prefix_fec prefix) with
-            | Some e ->
-              Packet.push_label packet ~label:e.Plane.push
-                ~exp:(Mvpn_net.Dscp.to_exp (Packet.visible_dscp packet))
-                ~ttl:hdr.Packet.ttl;
-              transmit t ~from:node ~to_:e.Plane.next_hop packet;
-              true
-            | None -> false)
-      in
-      if not pushed then transmit t ~from:node ~to_:route.Fib.next_hop packet
-    end
+let deliver t node packet =
+  emit t ~node ~packet Trace_deliver;
+  Telemetry.Counter.incr m_delivered;
+  if !Telemetry.Control.enabled then begin
+    record_hop t ~node ~packet "deliver";
+    Telemetry.Histogram.observe
+      (sojourn_hist (Packet.visible_dscp packet))
+      (Engine.now t.engine -. packet.Packet.created_at)
+  end;
+  t.sinks.(node) packet
 
-and receive t node ~from packet =
-  emit t ~node ~packet (Trace_receive from);
-  record_hop t ~node ~packet "rx";
-  let intercepted =
-    List.exists (fun f -> f ~from packet = Consumed) t.interceptors.(node)
-  in
-  if not intercepted then begin
-    if Packet.top_label packet <> None then
-      match Lfib.step (Plane.lfib t.plane node) packet with
-      | Lfib.Forward nh -> transmit t ~from:node ~to_:nh packet
-      | Lfib.Ip_continue nh ->
-        if nh = Lfib.local then forward_ip t node packet
-        else transmit t ~from:node ~to_:nh packet
-      | Lfib.No_binding _ -> drop ~node ~packet t "no-label-binding"
-      | Lfib.Ttl_expired -> drop ~node ~packet t "label-ttl"
-    else forward_ip t node packet
-  end
+let forward_ip t node packet = Dataplane.forward_ip t.dp node packet
+
+let receive t node ~from packet = Dataplane.receive t.dp node ~from packet
 
 let inject t node packet = receive t node ~from:None packet
 
@@ -192,26 +175,37 @@ let inject_after t ~delay node packet =
   Engine.schedule t.engine ~delay (fun () -> inject t node packet)
 
 let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
-    ?(seed = 7) engine topo =
+    ?(route_cache = true) ?(seed = 7) engine topo =
   let nodes = Topology.node_count topo in
   let master_rng = Rng.create seed in
   let links = Topology.links topo in
   let n_links = Topology.link_count topo in
-  (* Ports capture the network record in their delivery callbacks, so
-     the record is built first with empty port slots. *)
+  let plane = Plane.create ~nodes in
+  let fibs = Array.init nodes (fun _ -> Fib.create ()) in
+  let dp = Dataplane.create ~cache:route_cache ~nodes ~plane ~fibs () in
+  (* Ports and the dataplane hooks capture the network record in their
+     callbacks, so the record is built first with empty port slots and
+     the hooks wired afterwards. *)
   let net =
-    { engine; topo; plane = Plane.create ~nodes; policy;
-      fibs = Array.init nodes (fun _ -> Fib.create ());
+    { engine; topo; plane; policy; fibs; dp;
       ports = Array.make (max 1 n_links) None;
-      interceptors = Array.make nodes [];
       sinks = Array.make nodes (fun _ -> ());
       drop_table = Hashtbl.create 16;
+      total_drops = 0;
       link_tx_bytes =
         Array.init (max 1 n_links) (fun i ->
             Telemetry.Registry.counter
               (Printf.sprintf "net.link%d.tx_bytes" i));
-      auto_ftn = false; tracer = None }
+      tracer = None }
   in
+  Dataplane.set_hooks dp
+    { Dataplane.transmit = (fun ~from ~to_ p -> transmit net ~from ~to_ p);
+      deliver = (fun ~node p -> deliver net node p);
+      drop = (fun ~node p reason -> drop ~node ~packet:p net reason);
+      notify_receive =
+        (fun ~node ~from p ->
+           emit net ~node ~packet:p (Trace_receive from);
+           record_hop net ~node ~packet:p "rx") };
   (* Default sinks count unclaimed deliveries. *)
   for v = 0 to nodes - 1 do
     net.sinks.(v) <- (fun packet -> drop ~node:v ~packet net "no-sink")
@@ -238,7 +232,7 @@ let install_fib t node source =
   Fib.iter (fun p r -> Fib.add t.fibs.(node) p r) source
 
 let drop_counts t =
-  Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.drop_table []
+  Hashtbl.fold (fun k e acc -> (k, e.n) :: acc) t.drop_table []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let drops t = Hashtbl.fold (fun _ v acc -> acc + !v) t.drop_table 0
+let drops t = t.total_drops

@@ -1,40 +1,42 @@
-(** The simulated packet network: routers, ports and forwarding.
+(** The simulated packet network: the I/O shell around {!Dataplane}.
 
     Ties everything together at the data plane. Every topology node
     becomes a router with one egress {!Mvpn_qos.Port} per outgoing link
     (queue discipline chosen by the {!Qos_mapping.policy}), an IP FIB,
-    and a share of the MPLS {!Mvpn_mpls.Plane}. Forwarding per packet:
-
-    + a node-specific {e interceptor}, if installed, sees the packet
-      first (PE ingress/egress processing, tunnel endpoints live here);
-    + a labelled packet goes through the LFIB (swap/pop/PHP);
-    + an unlabelled packet is longest-prefix matched in the node's FIB
-      on the visible destination and either delivered to the node's
-      sink, label-pushed via the FTN (when [auto_ftn] is on), or
-      forwarded.
+    and a share of the MPLS {!Mvpn_mpls.Plane}. The per-packet decision
+    path (interceptor dispatch, LFIB step, FIB longest-prefix match,
+    FTN push) lives in the node's compiled {!Dataplane} pipeline; this
+    module owns what surrounds it — ports and links, local sinks, drop
+    accounting, tracing — and hands the dataplane its hooks.
 
     All progress happens on the discrete-event engine; queueing,
     serialization and propagation delays come from the ports. *)
 
 type t
 
-type verdict = Consumed | Continue
+type verdict = Dataplane.verdict = Consumed | Continue
 
 val create :
   ?policy:Qos_mapping.policy ->
   ?buffer_bytes:int ->
   ?wred:bool ->
+  ?route_cache:bool ->
   ?seed:int ->
   Mvpn_sim.Engine.t -> Mvpn_sim.Topology.t -> t
 (** Builds ports for every link present in the topology. [policy]
     defaults to [Best_effort]; [wred] (default true) arms WRED on the
-    AF bands of DiffServ ports. Links added to the topology afterwards
-    are unknown to the network. *)
+    AF bands of DiffServ ports; [route_cache] (default true) arms the
+    dataplane's generation-invalidated route/FTN caches. Links added to
+    the topology afterwards are unknown to the network. *)
 
 val engine : t -> Mvpn_sim.Engine.t
 val topology : t -> Mvpn_sim.Topology.t
 val plane : t -> Mvpn_mpls.Plane.t
 val policy : t -> Qos_mapping.policy
+
+val dataplane : t -> Dataplane.t
+(** The compiled forwarding pipelines. Services register interceptors
+    and make cached FTN queries through this. *)
 
 val fib : t -> int -> Mvpn_net.Fib.t
 (** The node's IP FIB (mutable; provisioning fills it). *)
@@ -43,12 +45,17 @@ val set_auto_ftn : t -> bool -> unit
 (** When on, an IP-forwarded packet whose matched FIB prefix has an FTN
     binding at this node gets the label pushed (plain MPLS ingress). *)
 
-val set_interceptor :
-  t -> int -> (from:int option -> Mvpn_net.Packet.t -> verdict) -> unit
-(** Replace the node's interceptor chain with this single function. *)
+val set_route_cache : t -> bool -> unit
+(** Toggle the dataplane caches (flushes compiled state). E0 races the
+    two settings; behavior is observationally identical either way. *)
 
-val add_interceptor :
-  t -> int -> (from:int option -> Mvpn_net.Packet.t -> verdict) -> unit
+val route_cache : t -> bool
+
+val set_interceptor : t -> int -> Dataplane.interceptor -> unit
+(** Replace the node's interceptor chain with this single function.
+    (Convenience for {!Dataplane.set_interceptor}.) *)
+
+val add_interceptor : t -> int -> Dataplane.interceptor -> unit
 (** Prepend to the node's interceptor chain: interceptors run in
     prepend order and the first [Consumed] wins — how several services
     (an L3 VPN's PE function, an L2 pseudowire demux) share one edge
@@ -108,7 +115,10 @@ val install_fib : t -> int -> Mvpn_net.Fib.t -> unit
     (provisioning helper: copy an OSPF-computed table in). *)
 
 val drop_counts : t -> (string * int) list
-(** Per-reason drop counters, sorted by reason. *)
+(** Per-reason drop counters, sorted by reason. The per-network drop
+    table is the single authority; the [net.drop.<reason>] and
+    [net.drops] telemetry counters mirror it (set, not independently
+    incremented), so the two views agree whenever telemetry is on. *)
 
 val drops : t -> int
 (** Total drops across all reasons (not counting port queue drops —

@@ -140,7 +140,8 @@ let provision_ce t (site : Site.t) =
     { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
   Fib.add ce_fib (loopback_of_site site)
     { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
-  Network.set_interceptor t.net site.Site.ce_node (ce_interceptor t site)
+  Dataplane.set_interceptor (Network.dataplane t.net) site.Site.ce_node
+    (ce_interceptor t site)
 
 let add_site t site =
   provision_ce t site;

@@ -16,9 +16,15 @@ let local = -1
 type t = {
   mutable table : entry option array;
   mutable count : int;
+  (* Monotonic mutation counter: bumped by install, successful
+     uninstall and clear, so compiled forwarding state built over this
+     LFIB can detect staleness in O(1). *)
+  mutable gen : int;
 }
 
-let create () = { table = [||]; count = 0 }
+let create () = { table = [||]; count = 0; gen = 0 }
+
+let generation t = t.gen
 
 let ensure t label =
   let cap = Array.length t.table in
@@ -36,7 +42,8 @@ let install t ~in_label entry =
     invalid_arg (Printf.sprintf "Lfib.install: reserved label %d" in_label);
   ensure t in_label;
   if t.table.(in_label) = None then t.count <- t.count + 1;
-  t.table.(in_label) <- Some entry
+  t.table.(in_label) <- Some entry;
+  t.gen <- t.gen + 1
 
 let uninstall t ~in_label =
   if in_label >= 0 && in_label < Array.length t.table
@@ -44,6 +51,7 @@ let uninstall t ~in_label =
   then begin
     t.table.(in_label) <- None;
     t.count <- t.count - 1;
+    t.gen <- t.gen + 1;
     true
   end else false
 
@@ -55,7 +63,8 @@ let size t = t.count
 
 let clear t =
   t.table <- [||];
-  t.count <- 0
+  t.count <- 0;
+  t.gen <- t.gen + 1
 
 type step_result =
   | Forward of int

@@ -39,6 +39,12 @@ val lookup : t -> int -> entry option
 val size : t -> int
 (** Number of installed entries — per-LSR MPLS state (E1). *)
 
+val generation : t -> int
+(** Monotonic mutation counter, bumped by {!install}, successful
+    {!uninstall} and {!clear}. LDP refresh after a failure re-installs
+    entries, so a generation mismatch tells compiled dataplane state
+    that label bindings moved underneath it. *)
+
 val clear : t -> unit
 
 (** Result of running one labelled packet through an LSR. *)

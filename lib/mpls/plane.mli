@@ -28,6 +28,14 @@ val remove_ftn : t -> int -> Fec.t -> bool
 
 val find_ftn : t -> int -> Fec.t -> ftn_entry option
 
+val ftn_generation : t -> int -> int
+(** Monotonic mutation counter of the node's FTN map, bumped by
+    {!install_ftn} and successful {!remove_ftn} — including every
+    binding {!Ldp.distribute}/{!Ldp.refresh} or RSVP-TE (re)installs.
+    FEC → FTN caches compare it to detect that an ingress binding moved
+    (e.g. after a failure re-splice).
+    @raise Invalid_argument on a bad node. *)
+
 val ftn_size : t -> int -> int
 
 val total_lfib_entries : t -> int

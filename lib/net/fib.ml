@@ -14,6 +14,8 @@ let remove t p = Radix.remove t p
 
 let lookup t a = Radix.lookup t a
 
+let generation t = Radix.generation t
+
 let next_hop t a = Option.map (fun (_, r) -> r.next_hop) (Radix.lookup t a)
 
 let find t p = Radix.find t p

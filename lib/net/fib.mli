@@ -33,6 +33,13 @@ val remove : t -> Prefix.t -> bool
 val lookup : t -> Ipv4.t -> (Prefix.t * route) option
 (** Longest-prefix match. *)
 
+val generation : t -> int
+(** Monotonic mutation counter, bumped by {!add}, {!remove} and
+    {!clear_source}. Route caches compiled over this table (the
+    dataplane's dst → route cache) compare generations to detect that
+    their entries may be stale — reconvergence invalidates by bumping,
+    never by notifying. *)
+
 val next_hop : t -> Ipv4.t -> int option
 (** Next-hop node for an address, if any route matches. *)
 

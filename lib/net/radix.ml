@@ -13,12 +13,21 @@ type 'a node = {
   mutable right : 'a node option;
 }
 
-type 'a t = { mutable root : 'a node; mutable count : int }
+type 'a t = {
+  mutable root : 'a node;
+  mutable count : int;
+  (* Monotonic mutation counter: bumped by every completed [add],
+     successful [remove] and [clear]. Caches built over a snapshot of
+     the trie compare generations to detect staleness in O(1). *)
+  mutable gen : int;
+}
 
 let fresh_root () =
   { prefix = Prefix.default; value = None; left = None; right = None }
 
-let create () = { root = fresh_root (); count = 0 }
+let create () = { root = fresh_root (); count = 0; gen = 0 }
+
+let generation t = t.gen
 
 let is_empty t = t.count = 0
 
@@ -73,7 +82,8 @@ let add t p v =
           t.count <- t.count + 1
         end
   in
-  go t.root
+  go t.root;
+  t.gen <- t.gen + 1
 
 let find t p =
   let rec go node =
@@ -124,6 +134,7 @@ let remove t p =
        set_child root (Prefix.bit r.prefix 0) (Some r);
        t.root <- root
      | None -> t.root <- fresh_root ());
+    if !removed then t.gen <- t.gen + 1;
     !removed
   end
 
@@ -194,4 +205,5 @@ let of_list bindings =
 
 let clear t =
   t.root <- fresh_root ();
-  t.count <- 0
+  t.count <- 0;
+  t.gen <- t.gen + 1

@@ -20,6 +20,12 @@ val is_empty : 'a t -> bool
 val cardinal : 'a t -> int
 (** Number of bound prefixes. *)
 
+val generation : 'a t -> int
+(** Monotonic mutation counter: bumped by every {!add}, successful
+    {!remove} and {!clear}. Two equal generations guarantee the trie
+    contents have not changed in between, so lookup caches compare
+    generations instead of invalidating eagerly. *)
+
 val add : 'a t -> Prefix.t -> 'a -> unit
 (** [add t p v] binds [p] to [v], replacing any previous binding of [p]. *)
 

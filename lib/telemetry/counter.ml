@@ -8,6 +8,8 @@ let incr t = if !Control.enabled then t.count <- t.count + 1
 
 let add t n = if !Control.enabled then t.count <- t.count + n
 
+let set t n = if !Control.enabled then t.count <- n
+
 let value t = t.count
 
 let reset t = t.count <- 0

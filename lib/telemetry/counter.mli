@@ -13,6 +13,12 @@ val incr : t -> unit
 val add : t -> int -> unit
 (** [add t n] bumps by [n] (e.g. bytes forwarded). *)
 
+val set : t -> int -> unit
+(** [set t n] overwrites the count — for counters mirroring an
+    always-on authoritative source (e.g. the network's per-reason drop
+    table), so the exported value cannot drift from the source when
+    telemetry is toggled mid-run. *)
+
 val value : t -> int
 
 val reset : t -> unit

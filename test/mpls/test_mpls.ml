@@ -179,6 +179,23 @@ let test_lfib_step_no_binding () =
   | Lfib.No_binding 999 -> ()
   | _ -> Alcotest.fail "expected no binding"
 
+(* Generation counters: every ILM mutation that can change a lookup
+   answer bumps; failed uninstalls do not (route caches key on this). *)
+let test_lfib_generation () =
+  let l = Lfib.create () in
+  let g0 = Lfib.generation l in
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Swap 200; next_hop = 7 };
+  let g1 = Lfib.generation l in
+  Alcotest.(check bool) "install bumps" true (g1 > g0);
+  Alcotest.(check bool) "uninstall miss" false (Lfib.uninstall l ~in_label:101);
+  Alcotest.(check int) "no-op uninstall does not bump" g1 (Lfib.generation l);
+  Alcotest.(check bool) "uninstall hit" true (Lfib.uninstall l ~in_label:100);
+  let g2 = Lfib.generation l in
+  Alcotest.(check bool) "uninstall bumps" true (g2 > g1);
+  Lfib.install l ~in_label:100 { Lfib.op = Lfib.Pop; next_hop = 7 };
+  Lfib.clear l;
+  Alcotest.(check bool) "clear bumps" true (Lfib.generation l > g2)
+
 (* --- Ldp -------------------------------------------------------------- *)
 
 (* Line: 0 - 1 - 2 - 3; FEC egress at 3. *)
@@ -268,6 +285,42 @@ let test_ldp_refresh_after_failure () =
   match Plane.find_ftn plane n.(0) fec with
   | Some e -> Alcotest.(check int) "after: via 2" n.(2) e.Plane.next_hop
   | None -> Alcotest.fail "no ftn after refresh"
+
+(* An LDP re-splice must be visible to FTN caches: refresh goes through
+   {!Plane.install_ftn}/{!Plane.remove_ftn}, so the ingress node's FTN
+   generation moves whenever its binding does. *)
+let test_plane_ftn_generation_tracks_refresh () =
+  let topo = Topology.create () in
+  let n = Array.init 4 (fun _ -> Topology.add_node topo) in
+  ignore (Topology.connect topo n.(0) n.(1) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect topo n.(1) n.(3) ~bandwidth:1e9 ~delay:0.001);
+  ignore (Topology.connect topo n.(0) n.(2) ~bandwidth:1e9 ~delay:0.001);
+  ignore
+    (Topology.connect ~cost:2 topo n.(2) n.(3) ~bandwidth:1e9 ~delay:0.001);
+  let plane = Plane.create ~nodes:4 in
+  let dest = pfx "10.3.0.0/16" in
+  let g0 = Plane.ftn_generation plane n.(0) in
+  let ldp = Ldp.distribute topo plane ~fecs:[(dest, n.(3))] in
+  let g1 = Plane.ftn_generation plane n.(0) in
+  Alcotest.(check bool) "distribute bumps ingress" true (g1 > g0);
+  Topology.set_duplex_state topo n.(0) n.(1) false;
+  Ldp.refresh ldp;
+  Alcotest.(check bool) "refresh bumps ingress" true
+    (Plane.ftn_generation plane n.(0) > g1);
+  (* Direct FTN surgery counts too. *)
+  let g2 = Plane.ftn_generation plane n.(1) in
+  Plane.install_ftn plane n.(1) (Fec.Prefix_fec dest)
+    { Plane.push = 77; next_hop = n.(3) };
+  let g3 = Plane.ftn_generation plane n.(1) in
+  Alcotest.(check bool) "install_ftn bumps" true (g3 > g2);
+  Alcotest.(check bool) "remove hit" true
+    (Plane.remove_ftn plane n.(1) (Fec.Prefix_fec dest));
+  let g4 = Plane.ftn_generation plane n.(1) in
+  Alcotest.(check bool) "remove_ftn bumps" true (g4 > g3);
+  Alcotest.(check bool) "remove miss" false
+    (Plane.remove_ftn plane n.(1) (Fec.Prefix_fec dest));
+  Alcotest.(check int) "no-op remove does not bump" g4
+    (Plane.ftn_generation plane n.(1))
 
 let test_ldp_refresh_removes_unreachable () =
   (* Partition the egress: refresh must withdraw the FTN entries of
@@ -752,7 +805,8 @@ let () =
          Alcotest.test_case "pop ttl=2 boundary" `Quick
            test_lfib_pop_ttl_boundary;
          Alcotest.test_case "ttl expiry" `Quick test_lfib_step_ttl;
-         Alcotest.test_case "no binding" `Quick test_lfib_step_no_binding ]);
+         Alcotest.test_case "no binding" `Quick test_lfib_step_no_binding;
+         Alcotest.test_case "generation" `Quick test_lfib_generation ]);
       ("ldp",
        [ Alcotest.test_case "end to end php" `Quick test_ldp_end_to_end_php;
          Alcotest.test_case "no php egress pops" `Quick
@@ -766,7 +820,9 @@ let () =
          Alcotest.test_case "messages and state" `Quick
            test_ldp_messages_and_state;
          qt ldp_lsp_always_reaches_egress;
-         qt ldp_splice_consistency ]);
+         qt ldp_splice_consistency;
+         Alcotest.test_case "ftn generation tracks refresh" `Quick
+           test_plane_ftn_generation_tracks_refresh ]);
       ("cspf",
        [ Alcotest.test_case "avoids reserved" `Quick
            test_cspf_avoids_reserved;

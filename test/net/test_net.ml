@@ -572,6 +572,34 @@ let test_fib_clear_source () =
   Alcotest.(check (option int)) "static route" (Some 3)
     (Fib.next_hop fib (ip "172.16.1.1"))
 
+(* Generation counters: every mutation that can change a lookup answer
+   must bump; no-op mutations must not (route caches key on this). *)
+let test_radix_generation () =
+  let t = Radix.create () in
+  let g0 = Radix.generation t in
+  Radix.add t (pfx "10.0.0.0/8") 1;
+  let g1 = Radix.generation t in
+  Alcotest.(check bool) "add bumps" true (g1 > g0);
+  Radix.add t (pfx "10.0.0.0/8") 2;
+  let g2 = Radix.generation t in
+  Alcotest.(check bool) "replace bumps" true (g2 > g1);
+  Alcotest.(check bool) "remove miss" false (Radix.remove t (pfx "10.1.0.0/16"));
+  Alcotest.(check int) "no-op remove does not bump" g2 (Radix.generation t);
+  Alcotest.(check bool) "remove hit" true (Radix.remove t (pfx "10.0.0.0/8"));
+  Alcotest.(check bool) "remove bumps" true (Radix.generation t > g2)
+
+let test_fib_generation () =
+  let fib = Fib.create () in
+  let g0 = Fib.generation fib in
+  Fib.add fib (pfx "10.0.0.0/8")
+    { Fib.next_hop = 1; cost = 1; source = Fib.Igp };
+  Fib.add fib (pfx "172.16.0.0/12")
+    { Fib.next_hop = 2; cost = 1; source = Fib.Static };
+  let g1 = Fib.generation fib in
+  Alcotest.(check bool) "adds bump" true (g1 > g0);
+  Alcotest.(check int) "reconvergence clear" 1 (Fib.clear_source fib Fib.Igp);
+  Alcotest.(check bool) "clear_source bumps" true (Fib.generation fib > g1)
+
 let () =
   let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "net"
@@ -628,7 +656,9 @@ let () =
          Alcotest.test_case "churn matches model" `Quick
            test_radix_churn_matches_model;
          qt radix_vs_linear;
-         qt radix_add_remove_roundtrip ]);
+         qt radix_add_remove_roundtrip;
+         Alcotest.test_case "generation" `Quick test_radix_generation ]);
       ("fib",
        [ Alcotest.test_case "basic" `Quick test_fib_basic;
-         Alcotest.test_case "clear source" `Quick test_fib_clear_source ]) ]
+         Alcotest.test_case "clear source" `Quick test_fib_clear_source;
+         Alcotest.test_case "generation" `Quick test_fib_generation ]) ]

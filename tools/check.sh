@@ -12,4 +12,24 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== E0 bench smoke (forwarding race + telemetry dump)"
+dune exec bench/main.exe -- --only E0 > /dev/null
+./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+for g in e0.rate.cached_pps e0.rate.uncached_pps; do
+  grep -q "\"$g\"" BENCH_telemetry.json || {
+    echo "missing gauge $g in BENCH_telemetry.json" >&2
+    exit 1
+  }
+done
+
+echo "== mvpn stats --json well-formed"
+stats_json=$(dune exec bin/mvpn.exe -- stats --json --duration 2)
+printf '%s' "$stats_json" | ./_build/default/tools/json_lint.exe
+for c in fib.cache.hit fib.cache.miss ftn.cache.hit ftn.cache.miss; do
+  printf '%s' "$stats_json" | grep -q "\"$c\"" || {
+    echo "missing counter $c in mvpn stats --json" >&2
+    exit 1
+  }
+done
+
 echo "ok"

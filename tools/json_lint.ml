@@ -1,0 +1,169 @@
+(* Dependency-free JSON well-formedness check for CI: reads stdin,
+   exits 0 if the input is exactly one valid JSON value (plus trailing
+   whitespace), exits 1 with a position-tagged message otherwise.
+
+   Used by tools/check.sh on `mvpn stats --json` output and on
+   BENCH_telemetry.json — a malformed dump should fail the gate, not
+   whatever downstream tool reads the file next. *)
+
+let buf =
+  let b = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel b stdin 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents b
+
+let pos = ref 0
+
+let fail msg =
+  (* Report 1-based line:column of the current position. *)
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to min !pos (String.length buf) - 1 do
+    if buf.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  Printf.eprintf "json_lint: %d:%d: %s\n" !line !col msg;
+  exit 1
+
+let peek () = if !pos < String.length buf then Some buf.[!pos] else None
+
+let advance () = incr pos
+
+let skip_ws () =
+  while
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect c =
+  match peek () with
+  | Some d when d = c -> advance ()
+  | Some d -> fail (Printf.sprintf "expected %c, found %c" c d)
+  | None -> fail (Printf.sprintf "expected %c, found end of input" c)
+
+let literal word =
+  let n = String.length word in
+  if !pos + n <= String.length buf && String.sub buf !pos n = word then
+    pos := !pos + n
+  else fail (Printf.sprintf "invalid literal (expected %s)" word)
+
+let parse_string () =
+  expect '"';
+  let rec go () =
+    match peek () with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance ()
+    | Some '\\' ->
+      advance ();
+      (match peek () with
+       | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') ->
+         advance ();
+         go ()
+       | Some 'u' ->
+         advance ();
+         for _ = 1 to 4 do
+           match peek () with
+           | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+           | _ -> fail "invalid \\u escape"
+         done;
+         go ()
+       | _ -> fail "invalid escape")
+    | Some c when Char.code c < 0x20 -> fail "control character in string"
+    | Some _ ->
+      advance ();
+      go ()
+  in
+  go ()
+
+let parse_number () =
+  let digits () =
+    match peek () with
+    | Some '0' .. '9' ->
+      while match peek () with Some '0' .. '9' -> true | _ -> false do
+        advance ()
+      done
+    | _ -> fail "expected digit"
+  in
+  if peek () = Some '-' then advance ();
+  (match peek () with
+   | Some '0' -> advance ()
+   | Some '1' .. '9' -> digits ()
+   | _ -> fail "malformed number");
+  if peek () = Some '.' then begin
+    advance ();
+    digits ()
+  end;
+  (match peek () with
+   | Some ('e' | 'E') ->
+     advance ();
+     (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+     digits ()
+   | _ -> ())
+
+let rec parse_value () =
+  skip_ws ();
+  match peek () with
+  | Some '"' -> parse_string ()
+  | Some '{' -> parse_object ()
+  | Some '[' -> parse_array ()
+  | Some 't' -> literal "true"
+  | Some 'f' -> literal "false"
+  | Some 'n' -> literal "null"
+  | Some ('-' | '0' .. '9') -> parse_number ()
+  | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  | None -> fail "empty input"
+
+and parse_object () =
+  expect '{';
+  skip_ws ();
+  if peek () = Some '}' then advance ()
+  else begin
+    let rec members () =
+      skip_ws ();
+      parse_string ();
+      skip_ws ();
+      expect ':';
+      parse_value ();
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        advance ();
+        members ()
+      | Some '}' -> advance ()
+      | _ -> fail "expected , or } in object"
+    in
+    members ()
+  end
+
+and parse_array () =
+  expect '[';
+  skip_ws ();
+  if peek () = Some ']' then advance ()
+  else begin
+    let rec elements () =
+      parse_value ();
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        advance ();
+        elements ()
+      | Some ']' -> advance ()
+      | _ -> fail "expected , or ] in array"
+    in
+    elements ()
+  end
+
+let () =
+  parse_value ();
+  skip_ws ();
+  if !pos <> String.length buf then fail "trailing garbage after JSON value"
