@@ -81,11 +81,6 @@ module Plane = Mvpn_mpls.Plane
 module Packet = Mvpn_net.Packet
 module Flow = Mvpn_net.Flow
 
-(* Gauges recorded by the last [run]; [main.ml] re-applies them before
-   writing BENCH_telemetry.json because later sections (E4c, E6b) reset
-   the registry mid-harness. *)
-let recorded : (string * float) list ref = ref []
-
 let rate_nodes = 8
 let rate_fill = 40_000 (* filler routes per node FIB *)
 let rate_packets = 200_000
@@ -183,14 +178,14 @@ let rate_race () =
      the compiled pipeline's route cache forwards %.2fx faster than\n\
      per-packet trie walks — the architectural point of C2 reproduced\n\
      inside one router's software path." rate_fill rate_nodes speedup;
-  recorded :=
-    [ ("e0.rate.cached_pps", on_pps);
-      ("e0.rate.uncached_pps", off_pps);
-      ("e0.rate.speedup", speedup) ];
+  (* Later sections bracket the registry with snapshot/restore, so
+     these survive to BENCH_telemetry.json without re-application. *)
   List.iter
     (fun (name, v) ->
        Mvpn_telemetry.Gauge.set (Mvpn_telemetry.Registry.gauge name) v)
-    !recorded
+    [ ("e0.rate.cached_pps", on_pps);
+      ("e0.rate.uncached_pps", off_pps);
+      ("e0.rate.speedup", speedup) ]
 
 let run () =
   Tables.heading "E0: label swap lookup vs IP longest-prefix match (Bechamel)";

@@ -42,7 +42,7 @@ let make_cpe () =
         Classifier.rule ~proto:Flow.Udp ~dst_port:(1433, 1433) 1 ]
     ()
 
-let run_variant ~cpe_marks ~map_dscp_to_exp =
+let run_variant ?slo ?failure ~cpe_marks ~map_dscp_to_exp () =
   let bb = Backbone.build ~pops:3 ~core_bandwidth ~chords:[] () in
   let mk_sites pop base =
     List.init pairs (fun i ->
@@ -58,10 +58,34 @@ let run_variant ~cpe_marks ~map_dscp_to_exp =
       ~policy:(Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched)
       engine (Backbone.topology bb)
   in
-  let _vpn =
+  let vpn =
     Mpls_vpn.deploy ~map_dscp_to_exp ~net ~backbone:bb
       ~sites:(senders @ receivers) ()
   in
+  (* Optional SLA conformance tracking: stock per-band objectives for
+     the one tenant, plus a span sampler. *)
+  (match slo with
+   | Some s ->
+     for band = 0 to Qos_mapping.band_count - 1 do
+       Mvpn_telemetry.Slo.declare s ~vpn:1 ~band
+         (Qos_mapping.default_objective band)
+     done;
+     Network.set_slo net (Some s);
+     Network.set_span_sampler net (Some (Mvpn_telemetry.Span.sampler ()))
+   | None -> ());
+  (* Optional core failure/repair churn between pop0 and pop1. *)
+  (match failure with
+   | Some (fail_at, repair_at) ->
+     let pops = Backbone.pops bb in
+     let set up =
+       Mvpn_sim.Topology.set_duplex_state (Backbone.topology bb) pops.(0)
+         pops.(1) up
+     in
+     Engine.schedule_at engine ~time:fail_at (fun () -> set false);
+     Engine.schedule_at engine ~time:repair_at (fun () ->
+         set true;
+         ignore (Mpls_vpn.reconverge vpn))
+   | None -> ());
   let registry = Traffic.registry engine in
   List.iter
     (fun (s : Site.t) ->
@@ -76,7 +100,7 @@ let run_variant ~cpe_marks ~map_dscp_to_exp =
            Traffic.sender registry ~net ~src_node:a.Site.ce_node
              ~flow:(Flow.make ~proto:Flow.Udp ~dst_port:port
                       (Site.host a 1) (Site.host b 1))
-             ~dscp:Dscp.best_effort ?cbq
+             ~dscp:Dscp.best_effort ~vpn:1 ?cbq
              ~collector:(Traffic.collector registry label)
              ()
          in
@@ -88,10 +112,13 @@ let run_variant ~cpe_marks ~map_dscp_to_exp =
        mk "bulk" 20 3_300_000.0 1500)
     senders;
   Engine.run ~until:(duration +. 5.0) engine;
+  (match slo with
+   | Some s -> Mvpn_telemetry.Slo.advance s ~time:(Engine.now engine)
+   | None -> ());
   ( Traffic.report registry "voice",
     Traffic.report registry "transactional" )
 
-let run () =
+let rec run () =
   Tables.heading
     "E6: CPE CBQ marking + edge DSCP->EXP mapping, core congested at 104%";
   let widths = [10; 9; 11; 11; 9; 11; 9; 6] in
@@ -101,7 +128,9 @@ let run () =
   Tables.rule widths;
   List.iter
     (fun (cpe_marks, map_exp) ->
-       let voice, trans = run_variant ~cpe_marks ~map_dscp_to_exp:map_exp in
+       let voice, trans =
+         run_variant ~cpe_marks ~map_dscp_to_exp:map_exp ()
+       in
        Tables.row widths
          [ string_of_bool cpe_marks;
            string_of_bool map_exp;
@@ -121,4 +150,57 @@ let run () =
     ~title:
       "E6b: full-chain telemetry (marks + mapping, congested core)"
     (fun () ->
-       ignore (run_variant ~cpe_marks:true ~map_dscp_to_exp:true))
+       ignore (run_variant ~cpe_marks:true ~map_dscp_to_exp:true ()));
+  e6c ()
+
+(* E6c — SLA conformance under failure: the full chain again, with the
+   pop0<->pop1 core link failed at t=10s and repaired (plus
+   reconvergence) at t=12s, per-(vpn, band) SLOs watching. The
+   conformance gauges and violation counts land in
+   BENCH_telemetry.json. *)
+and e6c () =
+  Tables.heading
+    "E6c: SLA conformance under failure (full chain, core link down \
+     10s-12s)";
+  let module T = Mvpn_telemetry in
+  let snap = T.Registry.snapshot () in
+  T.Registry.reset ();
+  let slo = T.Slo.create () in
+  T.Control.with_enabled (fun () ->
+      ignore
+        (run_variant ~slo ~failure:(10.0, 12.0) ~cpe_marks:true
+           ~map_dscp_to_exp:true ()));
+  let events = T.Registry.events () in
+  let violations = T.Event_log.count_kind events "slo_violation" in
+  let recoveries = T.Event_log.count_kind events "slo_recovered" in
+  let widths = [14; 8; 8; 8; 10; 10; 10] in
+  Tables.row widths
+    ["vpn/band"; "total"; "bad"; "drops"; "budget"; "burn fast"; "state"];
+  Tables.rule widths;
+  List.iter
+    (fun (r : T.Slo.report) ->
+       if r.T.Slo.total > 0 then
+         Tables.row widths
+           [ Printf.sprintf "v%d %s" r.T.Slo.vpn
+               (Qos_mapping.band_name r.T.Slo.band);
+             string_of_int r.T.Slo.total;
+             string_of_int r.T.Slo.bad;
+             string_of_int r.T.Slo.drops;
+             Printf.sprintf "%.0f%%" (100.0 *. r.T.Slo.budget_remaining);
+             Printf.sprintf "%.2g" r.T.Slo.burn_fast;
+             (if r.T.Slo.in_budget then "ok" else "OVER") ])
+    (T.Slo.reports slo);
+  Tables.note
+    "\n%d slo_violation and %d slo_recovered events across the outage\n\
+     (every class suffers while the ring is cut; budgets show which\n\
+     classes spent the failure affordably)." violations recoveries;
+  T.Registry.restore snap;
+  (* Publish after the restore so the gauges reach the harness JSON. *)
+  T.Control.with_enabled (fun () ->
+      T.Slo.publish_gauges ~prefix:"e6c.slo" slo;
+      T.Gauge.set
+        (T.Registry.gauge "e6c.slo.violations")
+        (float_of_int violations);
+      T.Gauge.set
+        (T.Registry.gauge "e6c.slo.recovered")
+        (float_of_int recoveries))

@@ -56,15 +56,10 @@ let run_one id =
     exit 1
 
 (* Counters accumulated across the experiments just run (sections that
-   reset the registry, like E4c/E6b, restart the accumulation). *)
+   bracket the registry with snapshot/restore, like E4c/E6b, are
+   transparent to the accumulation). *)
 let emit_telemetry () =
   let path = "BENCH_telemetry.json" in
-  (* E0's forwarding-rate gauges predate any mid-harness registry
-     reset; re-apply them so the JSON always carries the race result. *)
-  List.iter
-    (fun (name, v) ->
-       Mvpn_telemetry.Gauge.set (Mvpn_telemetry.Registry.gauge name) v)
-    !E0_forwarding.recorded;
   let oc = open_out path in
   output_string oc (Mvpn_telemetry.Registry.to_json ());
   output_char oc '\n';

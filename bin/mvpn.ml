@@ -9,6 +9,10 @@
      mvpn stats    [--json] ...                run the workload with
                                                telemetry on and dump the
                                                metric registry
+     mvpn slo      [--json] [--fail-at T] ...  run under per-(vpn, band)
+                                               SLOs; report conformance,
+                                               budgets and events; exit
+                                               non-zero when out of budget
      mvpn fail     [--pops N] ...              fail a core link mid-run and
                                                report reconvergence *)
 
@@ -249,6 +253,104 @@ let stats_cmd =
           $ load_arg $ duration_arg $ te_arg $ seed_arg $ json_arg
           $ trace_arg)
 
+(* --- slo ---------------------------------------------------------------- *)
+
+let slo_cmd =
+  let run pops vpns sites_per_vpn policy load duration use_te seed json
+      fail_at repair_at =
+    Telemetry.Registry.reset ();
+    Telemetry.Control.enable ();
+    let sc =
+      Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
+        (Scenario.Mpls_deployment { policy; use_te })
+    in
+    let slo = Scenario.attach_slo sc in
+    let net = Scenario.network sc in
+    let engine = Scenario.engine sc in
+    let sites = Scenario.sites sc in
+    let pairs = ref [] in
+    Array.iteri
+      (fun i a ->
+         if i mod 2 = 0 && i + 1 < Array.length sites then
+           pairs := (a, sites.(i + 1)) :: !pairs)
+      sites;
+    Scenario.add_mixed_workload ~load sc ~pairs:!pairs ~duration;
+    (* Optional mid-run core failure (and repair + reconvergence), to
+       watch the conformance engine catch the churn. *)
+    let pops_arr = Backbone.pops (Scenario.backbone sc) in
+    let set_core up =
+      Topology.set_duplex_state (Network.topology net) pops_arr.(0)
+        pops_arr.(1) up
+    in
+    (match fail_at with
+     | Some t when t > 0.0 ->
+       Engine.schedule engine ~delay:t (fun () -> set_core false)
+     | _ -> ());
+    (match fail_at, repair_at with
+     | Some _, Some t when t > 0.0 ->
+       Engine.schedule engine ~delay:t (fun () ->
+           set_core true;
+           match Scenario.mpls sc with
+           | Some m -> ignore (Mpls_vpn.reconverge m)
+           | None -> ())
+     | _ -> ());
+    Scenario.run sc ~duration:(duration +. 5.0);
+    Telemetry.Control.disable ();
+    let ok = Telemetry.Slo.in_budget slo in
+    let events = Telemetry.Registry.events () in
+    if json then begin
+      let spans =
+        match Network.span_sampler net with
+        | Some s -> Telemetry.Span.sampler_to_json s
+        | None -> "[]"
+      in
+      Printf.printf
+        "{\"now\":%.9g,\"in_budget\":%b,\"objectives\":%s,\"events\":%s,\
+         \"spans\":%s}"
+        (Engine.now engine) ok (Telemetry.Slo.to_json slo)
+        (Telemetry.Event_log.json_entries events)
+        spans
+    end
+    else begin
+      Printf.printf "SLA conformance after %.1fs (per vpn/band):\n"
+        (Engine.now engine);
+      Telemetry.Slo.pp Format.std_formatter slo;
+      Format.pp_print_flush Format.std_formatter ();
+      Printf.printf "\nevents (%d recorded):\n"
+        (Telemetry.Event_log.recorded events);
+      List.iter
+        (fun e ->
+           Format.printf "  %a@." Telemetry.Event_log.pp_entry e)
+        (Telemetry.Event_log.entries events);
+      Format.pp_print_flush Format.std_formatter ();
+      Printf.printf "\noverall: %s\n"
+        (if ok then "all objectives in budget"
+         else "OUT OF BUDGET")
+    end;
+    if not ok then exit 1
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit conformance, events and sampled spans as one JSON \
+                 object.")
+  in
+  let fail_arg =
+    Arg.(value & opt (some float) None & info ["fail-at"] ~docv:"SEC"
+           ~doc:"Fail the pop0<->pop1 core link at this time.")
+  in
+  let repair_arg =
+    Arg.(value & opt (some float) None & info ["repair-at"] ~docv:"SEC"
+           ~doc:"Repair the failed link (and reconverge) at this time.")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:"Run the mixed workload under per-(vpn, band) SLOs and report \
+             conformance, error budgets, burn rates and the event log. \
+             Exits non-zero iff any objective is out of budget.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
+          $ load_arg $ duration_arg $ te_arg $ seed_arg $ json_arg
+          $ fail_arg $ repair_arg)
+
 (* --- fail --------------------------------------------------------------- *)
 
 let fail_cmd =
@@ -354,4 +456,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [topo_cmd; deploy_cmd; run_cmd; stats_cmd; fail_cmd; plan_cmd]))
+          [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; fail_cmd;
+           plan_cmd]))

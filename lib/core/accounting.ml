@@ -1,8 +1,18 @@
 module Packet = Mvpn_net.Packet
+module Telemetry = Mvpn_telemetry
 
 type key = int * int  (* vpn, band *)
 
-type cell = { mutable packets : int; mutable bytes : int }
+(* Each cell mirrors its running totals into registry gauges
+   ([acct.vpn<N>.band<B>.{bytes,packets}]) so invoices and `mvpn
+   stats` agree; the cell stays authoritative (gauge writes are gated
+   on the global telemetry switch, the cell counts regardless). *)
+type cell = {
+  mutable packets : int;
+  mutable bytes : int;
+  g_packets : Telemetry.Gauge.t;
+  g_bytes : Telemetry.Gauge.t;
+}
 
 type t = { table : (key, cell) Hashtbl.t }
 
@@ -15,12 +25,21 @@ let observe t packet =
     match Hashtbl.find_opt t.table (vpn, band) with
     | Some c -> c
     | None ->
-      let c = { packets = 0; bytes = 0 } in
+      let g suffix =
+        Telemetry.Registry.gauge
+          (Printf.sprintf "acct.vpn%d.band%d.%s" vpn band suffix)
+      in
+      let c =
+        { packets = 0; bytes = 0; g_packets = g "packets";
+          g_bytes = g "bytes" }
+      in
       Hashtbl.replace t.table (vpn, band) c;
       c
   in
   cell.packets <- cell.packets + 1;
-  cell.bytes <- cell.bytes + packet.Packet.size
+  cell.bytes <- cell.bytes + packet.Packet.size;
+  Telemetry.Gauge.set cell.g_packets (float_of_int cell.packets);
+  Telemetry.Gauge.set cell.g_bytes (float_of_int cell.bytes)
 
 let sink t inner packet =
   observe t packet;

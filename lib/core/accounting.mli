@@ -16,7 +16,10 @@ val create : unit -> t
 
 val observe : t -> Mvpn_net.Packet.t -> unit
 (** Record one delivered packet against (its VPN, its marked class
-    band). Packets without a VPN tag are accounted to VPN 0. *)
+    band). Packets without a VPN tag are accounted to VPN 0. Running
+    totals are mirrored into registry gauges
+    [acct.vpn<N>.band<B>.{packets,bytes}] (when telemetry is enabled),
+    so {!usage} and [mvpn stats] show the same numbers. *)
 
 val sink : t -> (Mvpn_net.Packet.t -> unit) -> Mvpn_net.Packet.t -> unit
 (** [sink t inner] wraps an existing local-delivery sink with

@@ -113,6 +113,10 @@ let compile_dispatch = function
 let compile t node =
   t.recompiles <- t.recompiles + 1;
   Telemetry.Counter.incr m_recompile;
+  if !Telemetry.Control.enabled then
+    Telemetry.Event_log.record
+      (Telemetry.Registry.events ())
+      (Telemetry.Event_log.Recompile { node });
   let c =
     { c_fib_gen = Fib.generation t.fibs.(node);
       c_lfib_gen = Lfib.generation (Plane.lfib t.plane node);

@@ -24,8 +24,12 @@ let sample t link_id =
     Stats.Timeseries.add s.backlog now
       (float_of_int (Queue_disc.backlog_bytes (Port.qdisc port)))
 
-let start ?(interval = 1.0) net ~link_ids =
+let start ?(interval = 1.0) ?until net ~link_ids =
   if interval <= 0.0 then invalid_arg "Monitor.start: interval must be positive";
+  (match until with
+   | Some horizon when horizon < 0.0 ->
+     invalid_arg "Monitor.start: until must be non-negative"
+   | _ -> ());
   let t = { net; table = Hashtbl.create 16; stopped = false } in
   List.iter
     (fun link_id ->
@@ -34,8 +38,13 @@ let start ?(interval = 1.0) net ~link_ids =
            backlog = Stats.Timeseries.create () })
     link_ids;
   let engine = Network.engine net in
+  let expired () =
+    match until with
+    | Some horizon -> Engine.now engine > horizon
+    | None -> false
+  in
   let rec tick () =
-    if not t.stopped then begin
+    if not (t.stopped || expired ()) then begin
       List.iter (sample t) link_ids;
       Engine.schedule engine ~delay:interval tick
     end

@@ -11,13 +11,19 @@ type t
 
 val start :
   ?interval:float ->
+  ?until:float ->
   Network.t -> link_ids:int list -> t
 (** Begin sampling the given links every [interval] seconds (default
-    1.0) on the network's engine, until {!stop} or the run horizon.
-    Note the sampler re-arms itself: drive the engine with
-    [Engine.run ~until:...], or call {!stop} first, or a bare
-    [Engine.run] will never drain.
-    @raise Invalid_argument on a non-positive interval. *)
+    1.0) on the network's engine.
+
+    {b Warning}: without [until] the sampler re-arms itself forever, so
+    a bare [Engine.run] (no [~until]) will {e never drain} — you must
+    either drive the engine with [Engine.run ~until:...], call {!stop}
+    first, or pass [?until] here. With [~until:horizon] the sampler
+    stops re-arming at the first tick after [horizon] (at most one
+    trailing no-op event), so a bare [Engine.run] terminates.
+    @raise Invalid_argument on a non-positive interval or a negative
+    horizon. *)
 
 val stop : t -> unit
 (** Stop sampling after the currently armed tick. *)

@@ -61,6 +61,8 @@ type t = {
   mutable total_drops : int;
   link_tx_bytes : Telemetry.Counter.t array;  (* indexed by link id *)
   mutable tracer : (trace_event -> unit) option;
+  mutable slo : Telemetry.Slo.t option;
+  mutable span_sampler : Telemetry.Span.sampler option;
 }
 
 let record_hop t ~node ?packet label =
@@ -72,6 +74,37 @@ let record_hop t ~node ?packet label =
     | None -> ()
 
 let set_tracer t tracer = t.tracer <- tracer
+
+let set_slo t slo = t.slo <- slo
+let slo t = t.slo
+let set_span_sampler t sampler = t.span_sampler <- sampler
+let span_sampler t = t.span_sampler
+
+(* SLO/span keying: the tenant and its inner-header class — the same
+   (vpn, band) view {!Accounting} invoices by. Un-tenanted traffic
+   books under vpn 0. *)
+let vpn_band (p : Packet.t) =
+  ( (match p.Packet.vpn with Some v -> v | None -> 0),
+    Qos_mapping.band_of_dscp p.Packet.inner.Packet.dscp )
+
+(* Feed the conformance engine a terminal packet fate. Call only with
+   telemetry enabled, after the terminal hop event is recorded so a
+   sampled span sees it. *)
+let observe_fate t (p : Packet.t) ~dropped =
+  let vpn, band = vpn_band p in
+  (match t.slo with
+   | Some slo ->
+     let time = Engine.now t.engine in
+     if dropped then Telemetry.Slo.observe_drop slo ~vpn ~band ~time
+     else
+       Telemetry.Slo.observe_delivery slo ~vpn ~band ~time
+         ~latency:(time -. p.Packet.created_at)
+   | None -> ());
+  match t.span_sampler with
+  | Some s ->
+    Telemetry.Span.offer s (Telemetry.Registry.trace ()) ~uid:p.Packet.uid
+      ~vpn ~band ~dropped
+  | None -> ()
 
 let labels_of packet =
   List.map (fun (s : Packet.shim) -> s.Packet.label) packet.Packet.labels
@@ -109,7 +142,22 @@ let drop ?(node = -1) ?packet t reason =
   t.total_drops <- t.total_drops + 1;
   Telemetry.Counter.set e.metric e.n;
   Telemetry.Counter.set m_drops t.total_drops;
-  record_hop t ~node ?packet ("drop:" ^ reason)
+  record_hop t ~node ?packet ("drop:" ^ reason);
+  if !Telemetry.Control.enabled then
+    match packet with
+    | Some p -> observe_fate t p ~dropped:true
+    | None -> ()
+
+(* Port discards (queue refusal, link down mid-queue) stay out of the
+   drop table by contract — read those from the port counters — but
+   they are packet fates all the same: trace, span-sample and charge
+   them against the tenant's SLO. *)
+let port_drop t ~node packet reason =
+  emit t ~node ~packet (Trace_drop reason);
+  if !Telemetry.Control.enabled then begin
+    record_hop t ~node ~packet ("drop:" ^ reason);
+    observe_fate t packet ~dropped:true
+  end
 
 let engine t = t.engine
 let topology t = t.topo
@@ -161,7 +209,8 @@ let deliver t node packet =
     record_hop t ~node ~packet "deliver";
     Telemetry.Histogram.observe
       (sojourn_hist (Packet.visible_dscp packet))
-      (Engine.now t.engine -. packet.Packet.created_at)
+      (Engine.now t.engine -. packet.Packet.created_at);
+    observe_fate t packet ~dropped:false
   end;
   t.sinks.(node) packet
 
@@ -196,8 +245,15 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
         Array.init (max 1 n_links) (fun i ->
             Telemetry.Registry.counter
               (Printf.sprintf "net.link%d.tx_bytes" i));
-      tracer = None }
+      tracer = None;
+      slo = None;
+      span_sampler = None }
   in
+  (* Give the global event log a clock so producers without an engine
+     handle (topology flaps, dataplane recompiles) stamp sim time. *)
+  Telemetry.Event_log.set_clock
+    (Telemetry.Registry.events ())
+    (fun () -> Engine.now engine);
   Dataplane.set_hooks dp
     { Dataplane.transmit = (fun ~from ~to_ p -> transmit net ~from ~to_ p);
       deliver = (fun ~node p -> deliver net node p);
@@ -219,6 +275,10 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
        let p =
          Port.create engine ~link:l ~qdisc
            ~classify:(Qos_mapping.classify policy)
+           ~on_txstart:(fun packet ->
+               record_hop net ~node:l.Topology.src ~packet "txstart")
+           ~on_drop:(fun ~reason packet ->
+               port_drop net ~node:l.Topology.src packet reason)
            ~on_deliver:(fun packet ->
                receive net l.Topology.dst ~from:(Some l.Topology.src) packet)
        in

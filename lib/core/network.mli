@@ -110,6 +110,27 @@ type trace_event = {
 
 val set_tracer : t -> (trace_event -> unit) option -> unit
 
+(** {2 SLA conformance}
+
+    An attached {!Mvpn_telemetry.Slo} engine is fed every terminal
+    packet fate — deliveries (with their end-to-end latency), drops
+    from the drop table {e and} port discards (queue refusals,
+    link-down losses) — keyed by (vpn, inner-header band), the same
+    view {!Accounting} invoices by; un-tenanted traffic books under
+    vpn 0. An attached {!Mvpn_telemetry.Span.sampler} is offered the
+    same fates and reconstructs sampled packets' hop-by-hop spans from
+    the global trace ring. Both observations happen only while
+    {!Mvpn_telemetry.Control} is enabled and never affect
+    forwarding. *)
+
+val set_slo : t -> Mvpn_telemetry.Slo.t option -> unit
+
+val slo : t -> Mvpn_telemetry.Slo.t option
+
+val set_span_sampler : t -> Mvpn_telemetry.Span.sampler option -> unit
+
+val span_sampler : t -> Mvpn_telemetry.Span.sampler option
+
 val install_fib : t -> int -> Mvpn_net.Fib.t -> unit
 (** Merge every route of the given table into the node's FIB
     (provisioning helper: copy an OSPF-computed table in). *)

@@ -54,6 +54,18 @@ let make_qdisc ?rng ?(buffer_bytes = 262_144) ?(wred = true) policy =
          af_band af_cap;
          Queue_disc.plain_band be_cap |]
 
+(* Default per-band SLOs, derived from the SLA templates in
+   {!Mvpn_qos.Sla}: EF inherits the voice spec's p99/loss bounds, the
+   AF bands the transactional spec's (AF-lo relaxed), BE promises only
+   that it is not a permanent blackout. *)
+let default_objective band =
+  let open Mvpn_telemetry.Slo in
+  match band with
+  | 0 -> spec ~latency_p99:0.200 ~loss_ratio:0.01 ~availability:0.99 0.99
+  | 1 -> spec ~latency_p99:0.500 ~loss_ratio:0.05 ~availability:0.95 0.98
+  | 2 -> spec ~latency_p99:1.0 ~loss_ratio:0.10 ~availability:0.90 0.95
+  | _ -> spec ~loss_ratio:0.50 ~availability:0.50 0.50
+
 let classify policy p =
   match policy with
   | Best_effort -> 0

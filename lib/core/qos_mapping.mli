@@ -46,6 +46,12 @@ val make_qdisc :
     ~256 KB total) is split across bands under [Diffserv]; [wred]
     (default true) arms WRED on the AF bands. *)
 
+val default_objective : int -> Mvpn_telemetry.Slo.spec
+(** The stock SLO for a band, aligned with {!Mvpn_qos.Sla}'s templates:
+    EF 200 ms p99 / 1% loss at target 0.99; AF-hi 500 ms / 5% at 0.98;
+    AF-lo 1 s / 10% at 0.95; BE only loss 50% / availability 0.5 at
+    target 0.5. *)
+
 val classify : policy -> Mvpn_net.Packet.t -> int
 (** The port classifier for a policy: always band 0 under
     [Best_effort]. *)

@@ -160,7 +160,41 @@ let add_mixed_workload ?(load = 0.9) ?(start = 0.0) ?rng_seed t ~pairs
        add_pair_workload t ~load ~start ~stop:(start +. duration) rng a b)
     pairs
 
-let run t ~duration = Engine.run ~until:duration t.engine
+(* Declare the stock per-band objectives for every VPN with sites in
+   this scenario (plus vpn 0, where un-tenanted traffic books) and
+   attach the engine and a span sampler to the network. *)
+let attach_slo ?slo ?(sample_every = 64) t =
+  let slo =
+    match slo with
+    | Some s -> s
+    | None -> Mvpn_telemetry.Slo.create ()
+  in
+  let vpns =
+    Array.fold_left
+      (fun acc (s : Site.t) ->
+         if List.mem s.Site.vpn acc then acc else s.Site.vpn :: acc)
+      [ 0 ] t.sites
+    |> List.sort_uniq Int.compare
+  in
+  List.iter
+    (fun vpn ->
+       for band = 0 to Qos_mapping.band_count - 1 do
+         Mvpn_telemetry.Slo.declare slo ~vpn ~band
+           (Qos_mapping.default_objective band)
+       done)
+    vpns;
+  Network.set_slo t.net (Some slo);
+  Network.set_span_sampler t.net
+    (Some (Mvpn_telemetry.Span.sampler ~every:sample_every ()));
+  slo
+
+let run t ~duration =
+  Engine.run ~until:duration t.engine;
+  (* Close out the conformance windows at the horizon so the final
+     seconds are evaluated even if no packet lands after them. *)
+  match Network.slo t.net with
+  | Some slo -> Mvpn_telemetry.Slo.advance slo ~time:(Engine.now t.engine)
+  | None -> ()
 
 let class_report t label = Traffic.report t.registry label
 

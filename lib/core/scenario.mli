@@ -60,8 +60,18 @@ val add_mixed_workload :
     load is [load] × the access rate (default 0.9). Collectors are the
     class names from {!service_classes}. *)
 
+val attach_slo :
+  ?slo:Mvpn_telemetry.Slo.t -> ?sample_every:int -> t ->
+  Mvpn_telemetry.Slo.t
+(** Attach SLA conformance tracking to the scenario's network: declares
+    the stock {!Qos_mapping.default_objective} for every band of every
+    VPN with sites here (and vpn 0, where un-tenanted traffic books) on
+    [slo] (default: a fresh engine), plus a 1-in-[sample_every] span
+    sampler. Returns the engine for reporting. *)
+
 val run : t -> duration:float -> unit
-(** Drive the engine to [duration] seconds. *)
+(** Drive the engine to [duration] seconds, then close out any attached
+    SLO's conformance windows at the horizon. *)
 
 val class_report : t -> string -> Mvpn_qos.Sla.report
 

@@ -8,6 +8,8 @@ type t = {
   qdisc : Queue_disc.t;
   classify : Packet.t -> int;
   on_deliver : Packet.t -> unit;
+  on_txstart : Packet.t -> unit;
+  on_drop : reason:string -> Packet.t -> unit;
   mutable busy : bool;
   mutable offered : int;
   mutable delivered : int;
@@ -26,10 +28,14 @@ type counters = {
   busy_seconds : float;
 }
 
-let create engine ~link ~qdisc ~classify ~on_deliver =
-  { engine; link; qdisc; classify; on_deliver; busy = false; offered = 0;
-    delivered = 0; dropped_queue = 0; dropped_link_down = 0;
-    bytes_delivered = 0; busy_seconds = 0.0 }
+let nop_txstart (_ : Packet.t) = ()
+let nop_drop ~reason:(_ : string) (_ : Packet.t) = ()
+
+let create ?(on_txstart = nop_txstart) ?(on_drop = nop_drop) engine ~link
+    ~qdisc ~classify ~on_deliver =
+  { engine; link; qdisc; classify; on_deliver; on_txstart; on_drop;
+    busy = false; offered = 0; delivered = 0; dropped_queue = 0;
+    dropped_link_down = 0; bytes_delivered = 0; busy_seconds = 0.0 }
 
 let link t = t.link
 
@@ -42,6 +48,7 @@ let rec start_service (t : t) =
   | None -> t.busy <- false
   | Some packet ->
     t.busy <- true;
+    t.on_txstart packet;
     let tx =
       float_of_int packet.Packet.size *. 8.0 /. t.link.Topology.bandwidth
     in
@@ -53,17 +60,26 @@ let rec start_service (t : t) =
           Engine.schedule t.engine ~delay:t.link.Topology.delay (fun () ->
               t.on_deliver packet)
         end
-        else t.dropped_link_down <- t.dropped_link_down + 1;
+        else begin
+          t.dropped_link_down <- t.dropped_link_down + 1;
+          t.on_drop ~reason:"link-down" packet
+        end;
         start_service t)
 
 let send (t : t) packet =
   t.offered <- t.offered + 1;
-  if not t.link.Topology.up then
-    t.dropped_link_down <- t.dropped_link_down + 1
+  if not t.link.Topology.up then begin
+    t.dropped_link_down <- t.dropped_link_down + 1;
+    t.on_drop ~reason:"link-down" packet
+  end
   else begin
     match Queue_disc.enqueue t.qdisc ~cls:(t.classify packet) packet with
-    | Error (Queue_disc.Tail_drop | Queue_disc.Red_drop) ->
-      t.dropped_queue <- t.dropped_queue + 1
+    | Error Queue_disc.Tail_drop ->
+      t.dropped_queue <- t.dropped_queue + 1;
+      t.on_drop ~reason:"queue-tail" packet
+    | Error Queue_disc.Red_drop ->
+      t.dropped_queue <- t.dropped_queue + 1;
+      t.on_drop ~reason:"queue-red" packet
     | Ok () -> if not t.busy then start_service t
   end
 

@@ -11,6 +11,8 @@
 type t
 
 val create :
+  ?on_txstart:(Mvpn_net.Packet.t -> unit) ->
+  ?on_drop:(reason:string -> Mvpn_net.Packet.t -> unit) ->
   Mvpn_sim.Engine.t ->
   link:Mvpn_sim.Topology.link ->
   qdisc:Queue_disc.t ->
@@ -19,11 +21,15 @@ val create :
   t
 (** [classify] maps a packet to a band index (e.g. by EXP bits when
     labelled, by DSCP otherwise); [on_deliver] fires at the far end of
-    the link. *)
+    the link. [on_txstart] fires when a packet leaves the queue and
+    serialization begins (span tracing records its "txstart" hop
+    there); [on_drop] fires when the port discards — reasons
+    ["queue-tail"], ["queue-red"], ["link-down"]. Both default to
+    no-ops and must not re-enter the port. *)
 
 val send : t -> Mvpn_net.Packet.t -> unit
-(** Enqueue a packet for transmission. Dropped silently (but counted)
-    if the discipline refuses it or the link is down. *)
+(** Enqueue a packet for transmission. Dropped (counted, and reported
+    via [on_drop]) if the discipline refuses it or the link is down. *)
 
 val link : t -> Mvpn_sim.Topology.link
 

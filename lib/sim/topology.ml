@@ -104,8 +104,14 @@ let up_neighbors t v =
 let set_duplex_state t a b up =
   match find_link t a b, find_link t b a with
   | Some ab, Some ba ->
+    let changed = ab.up <> up || ba.up <> up in
     ab.up <- up;
-    ba.up <- up
+    ba.up <- up;
+    if changed && !Mvpn_telemetry.Control.enabled then
+      Mvpn_telemetry.Event_log.record
+        (Mvpn_telemetry.Registry.events ())
+        (if up then Mvpn_telemetry.Event_log.Link_up { src = a; dst = b }
+         else Mvpn_telemetry.Event_log.Link_down { src = a; dst = b })
   | _ ->
     invalid_arg
       (Printf.sprintf "Topology.set_duplex_state: no connection %d<->%d" a b)

@@ -1,0 +1,164 @@
+(* Bounded ring of typed, timestamped operational events — the "what
+   happened" companion to the metric registry's "how much". Recording
+   overwrites the oldest entry and is a no-op while {!Control} is
+   disabled; reading scans the ring (a forensics surface, not a hot
+   path). Timestamps come from a pluggable clock so producers that do
+   not own an engine (topology link flaps, dataplane recompiles) can
+   still stamp simulation time. *)
+
+type event =
+  | Slo_violation of {
+      vpn : int;
+      band : int;
+      dimension : string;
+      value : float;
+      bound : float;
+    }
+  | Slo_recovered of {
+      vpn : int;
+      band : int;
+      dimension : string;
+      value : float;
+      bound : float;
+    }
+  | Alert_fire of { vpn : int; band : int; burn_fast : float; burn_slow : float }
+  | Alert_clear of { vpn : int; band : int; burn_fast : float }
+  | Link_down of { src : int; dst : int }
+  | Link_up of { src : int; dst : int }
+  | Recompile of { node : int }
+  | Note of string
+
+type entry = { seq : int; time : float; event : event }
+
+let dummy = { seq = -1; time = 0.0; event = Note "" }
+
+type t = {
+  data : entry array;
+  mutable pos : int;  (* next slot to overwrite *)
+  mutable recorded : int;  (* total ever recorded *)
+  mutable clock : unit -> float;
+}
+
+let create ?(capacity = 1024) () =
+  if capacity < 1 then invalid_arg "Event_log.create: capacity must be positive";
+  { data = Array.make capacity dummy; pos = 0; recorded = 0;
+    clock = (fun () -> 0.0) }
+
+let set_clock t clock = t.clock <- clock
+
+let capacity t = Array.length t.data
+
+let recorded t = t.recorded
+
+let record t ?time event =
+  if !Control.enabled then begin
+    let time = match time with Some x -> x | None -> t.clock () in
+    t.data.(t.pos) <- { seq = t.recorded; time; event };
+    t.pos <- (t.pos + 1) mod Array.length t.data;
+    t.recorded <- t.recorded + 1
+  end
+
+(* Oldest-first fold over live entries. *)
+let fold f t init =
+  let cap = Array.length t.data in
+  let live = min t.recorded cap in
+  let start = (t.pos - live + cap) mod cap in
+  let acc = ref init in
+  for i = 0 to live - 1 do
+    acc := f !acc t.data.((start + i) mod cap)
+  done;
+  !acc
+
+let entries t = List.rev (fold (fun acc e -> e :: acc) t [])
+
+let recent t n =
+  let all = entries t in
+  let live = List.length all in
+  if live <= n then all
+  else List.filteri (fun i _ -> i >= live - n) all
+
+let kind = function
+  | Slo_violation _ -> "slo_violation"
+  | Slo_recovered _ -> "slo_recovered"
+  | Alert_fire _ -> "alert_fire"
+  | Alert_clear _ -> "alert_clear"
+  | Link_down _ -> "link_down"
+  | Link_up _ -> "link_up"
+  | Recompile _ -> "recompile"
+  | Note _ -> "note"
+
+let count_kind t k =
+  fold (fun acc e -> if String.equal (kind e.event) k then acc + 1 else acc)
+    t 0
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) dummy;
+  t.pos <- 0;
+  t.recorded <- 0
+
+(* --- export ------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+let entry_to_json e =
+  let detail =
+    match e.event with
+    | Slo_violation { vpn; band; dimension; value; bound }
+    | Slo_recovered { vpn; band; dimension; value; bound } ->
+      Printf.sprintf
+        "\"vpn\":%d,\"band\":%d,\"dimension\":\"%s\",\"value\":%s,\"bound\":%s"
+        vpn band (json_escape dimension) (json_float value) (json_float bound)
+    | Alert_fire { vpn; band; burn_fast; burn_slow } ->
+      Printf.sprintf
+        "\"vpn\":%d,\"band\":%d,\"burn_fast\":%s,\"burn_slow\":%s" vpn band
+        (json_float burn_fast) (json_float burn_slow)
+    | Alert_clear { vpn; band; burn_fast } ->
+      Printf.sprintf "\"vpn\":%d,\"band\":%d,\"burn_fast\":%s" vpn band
+        (json_float burn_fast)
+    | Link_down { src; dst } | Link_up { src; dst } ->
+      Printf.sprintf "\"src\":%d,\"dst\":%d" src dst
+    | Recompile { node } -> Printf.sprintf "\"node\":%d" node
+    | Note text -> Printf.sprintf "\"text\":\"%s\"" (json_escape text)
+  in
+  Printf.sprintf "{\"seq\":%d,\"time\":%s,\"kind\":\"%s\",%s}" e.seq
+    (json_float e.time) (kind e.event) detail
+
+let json_entries ?limit t =
+  let es = match limit with Some n -> recent t n | None -> entries t in
+  "[" ^ String.concat "," (List.map entry_to_json es) ^ "]"
+
+let pp_event ppf = function
+  | Slo_violation { vpn; band; dimension; value; bound } ->
+    Format.fprintf ppf "slo_violation vpn=%d band=%d %s=%.6g bound=%.6g" vpn
+      band dimension value bound
+  | Slo_recovered { vpn; band; dimension; value; bound } ->
+    Format.fprintf ppf "slo_recovered vpn=%d band=%d %s=%.6g bound=%.6g" vpn
+      band dimension value bound
+  | Alert_fire { vpn; band; burn_fast; burn_slow } ->
+    Format.fprintf ppf "alert_fire vpn=%d band=%d burn=%.3g/%.3g" vpn band
+      burn_fast burn_slow
+  | Alert_clear { vpn; band; burn_fast } ->
+    Format.fprintf ppf "alert_clear vpn=%d band=%d burn=%.3g" vpn band
+      burn_fast
+  | Link_down { src; dst } -> Format.fprintf ppf "link_down %d<->%d" src dst
+  | Link_up { src; dst } -> Format.fprintf ppf "link_up %d<->%d" src dst
+  | Recompile { node } -> Format.fprintf ppf "recompile node=%d" node
+  | Note text -> Format.fprintf ppf "note %s" text
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%.6f #%d %a" e.time e.seq pp_event e.event

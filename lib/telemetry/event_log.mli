@@ -1,0 +1,82 @@
+(** Bounded ring of typed, timestamped operational events.
+
+    Where the registry's counters say {e how much}, the event log says
+    {e what happened and when}: SLO violations and recoveries, alert
+    transitions, link failures/repairs, dataplane recompiles. The ring
+    keeps the most recent [capacity] entries; recording is a no-op
+    while {!Control} is disabled. Producers that do not own an engine
+    handle (topology, dataplane) rely on the pluggable clock set by
+    whoever does — see {!set_clock}. *)
+
+type event =
+  | Slo_violation of {
+      vpn : int;
+      band : int;
+      dimension : string;  (** ["latency_p99"], ["loss"], ["availability"] *)
+      value : float;
+      bound : float;
+    }
+  | Slo_recovered of {
+      vpn : int;
+      band : int;
+      dimension : string;
+      value : float;
+      bound : float;
+    }
+  | Alert_fire of { vpn : int; band : int; burn_fast : float; burn_slow : float }
+  | Alert_clear of { vpn : int; band : int; burn_fast : float }
+  | Link_down of { src : int; dst : int }
+  | Link_up of { src : int; dst : int }
+  | Recompile of { node : int }
+  | Note of string
+
+type entry = { seq : int; time : float; event : event }
+(** [seq] is the total-order position (monotonic even after the ring
+    wraps); [time] is simulation time. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 1024 entries.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val set_clock : t -> (unit -> float) -> unit
+(** Source of default timestamps for {!record} calls that omit [?time].
+    Starts as [fun () -> 0.0]; {!Mvpn_core.Network.create} points it at
+    its engine's [now]. *)
+
+val capacity : t -> int
+
+val recorded : t -> int
+(** Total entries ever recorded (>= live entries once wrapped). *)
+
+val record : t -> ?time:float -> event -> unit
+(** Append an entry, overwriting the oldest once full. [?time] defaults
+    to the clock set by {!set_clock}. No-op while {!Control} is
+    disabled. *)
+
+val entries : t -> entry list
+(** Live entries, oldest first. *)
+
+val recent : t -> int -> entry list
+(** The last [n] entries, oldest first. *)
+
+val fold : ('a -> entry -> 'a) -> t -> 'a -> 'a
+
+val kind : event -> string
+(** Stable snake_case tag, e.g. ["slo_violation"] — also the JSON
+    ["kind"] field. *)
+
+val count_kind : t -> string -> int
+(** Live entries whose {!kind} matches. *)
+
+val clear : t -> unit
+
+val entry_to_json : entry -> string
+
+val json_entries : ?limit:int -> t -> string
+(** JSON array of live entries (last [limit] when given). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

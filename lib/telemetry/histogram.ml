@@ -92,6 +92,29 @@ let reset t =
   t.vmin <- infinity;
   t.vmax <- neg_infinity
 
+(* Snapshots restore unconditionally, like [reset] — they are harness
+   operations, not instrumentation. *)
+type snapshot = {
+  s_counts : int array;
+  s_total : int;
+  s_sum : float;
+  s_vmin : float;
+  s_vmax : float;
+}
+
+let snapshot t =
+  { s_counts = Array.copy t.counts; s_total = t.total; s_sum = t.sum;
+    s_vmin = t.vmin; s_vmax = t.vmax }
+
+let restore t s =
+  let n = Stdlib.min (Array.length t.counts) (Array.length s.s_counts) in
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  Array.blit s.s_counts 0 t.counts 0 n;
+  t.total <- s.s_total;
+  t.sum <- s.s_sum;
+  t.vmin <- s.s_vmin;
+  t.vmax <- s.s_vmax
+
 let pp ppf t =
   Format.fprintf ppf
     "%s: n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g" t.name t.total

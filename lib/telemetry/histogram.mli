@@ -43,4 +43,15 @@ val p99 : t -> float
 
 val reset : t -> unit
 
+type snapshot
+
+val snapshot : t -> snapshot
+(** Capture counts and extrema for a later {!restore}. *)
+
+val restore : t -> snapshot -> unit
+(** Overwrite the histogram's state with the snapshot, unconditionally
+    (like {!reset}, this is a harness operation, not instrumentation).
+    A snapshot from a histogram with a different bucket count restores
+    what fits. *)
+
 val pp : Format.formatter -> t -> unit

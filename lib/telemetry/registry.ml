@@ -12,6 +12,10 @@ let trace_buffer = Hop_trace.create ()
 
 let trace () = trace_buffer
 
+let event_log = Event_log.create ()
+
+let events () = event_log
+
 let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
@@ -73,7 +77,44 @@ let reset () =
        | Gauge g -> Gauge.reset g
        | Histogram h -> Histogram.reset h)
     table;
-  Hop_trace.clear trace_buffer
+  Hop_trace.clear trace_buffer;
+  Event_log.clear event_log
+
+(* --- snapshot / restore ------------------------------------------------ *)
+
+(* Captures metric values only — the hop trace and event log are
+   forensic rings tied to one run and are not snapshotted. Restoring
+   writes values back unconditionally (a harness operation, like
+   [reset]); metrics registered after the snapshot are left alone. *)
+type saved =
+  | Saved_counter of int
+  | Saved_gauge of float
+  | Saved_histogram of Histogram.snapshot
+
+type snapshot = (string * saved) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun name m acc ->
+       let v =
+         match m with
+         | Counter c -> Saved_counter (Counter.value c)
+         | Gauge g -> Saved_gauge (Gauge.value g)
+         | Histogram h -> Saved_histogram (Histogram.snapshot h)
+       in
+       (name, v) :: acc)
+    table []
+
+let restore snap =
+  Control.with_enabled (fun () ->
+      List.iter
+        (fun (name, v) ->
+           match (Hashtbl.find_opt table name, v) with
+           | Some (Counter c), Saved_counter n -> Counter.set c n
+           | Some (Gauge g), Saved_gauge x -> Gauge.set g x
+           | Some (Histogram h), Saved_histogram s -> Histogram.restore h s
+           | _ -> ())
+        snap)
 
 (* --- export ------------------------------------------------------------ *)
 
@@ -107,7 +148,7 @@ let buf_object b entries render =
     entries;
   Buffer.add_char b '}'
 
-let to_json ?(trace_events = 64) () =
+let to_json ?(trace_events = 64) ?(event_entries = 256) () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\"counters\":";
   buf_object b
@@ -143,7 +184,9 @@ let to_json ?(trace_events = 64) () =
             e.Hop_trace.node
             (json_escape e.Hop_trace.label)))
     (Hop_trace.recent trace_buffer trace_events);
-  Buffer.add_string b "]}";
+  Buffer.add_string b "],\"events\":";
+  Buffer.add_string b (Event_log.json_entries ~limit:event_entries event_log);
+  Buffer.add_char b '}';
   Buffer.contents b
 
 let pp ?(trace_events = 0) ppf () =
@@ -188,4 +231,10 @@ let pp ?(trace_events = 0) ppf () =
     List.iter
       (fun e -> Format.fprintf ppf "  %a@." Hop_trace.pp_event e)
       (Hop_trace.recent trace_buffer trace_events)
+  end;
+  if Event_log.recorded event_log > 0 then begin
+    Format.fprintf ppf "events:@.";
+    List.iter
+      (fun e -> Format.fprintf ppf "  %a@." Event_log.pp_entry e)
+      (Event_log.entries event_log)
   end

@@ -23,6 +23,10 @@ val histogram : ?lo:float -> ?buckets:int -> string -> Histogram.t
 val trace : unit -> Hop_trace.t
 (** The global hop-trace ring buffer. *)
 
+val events : unit -> Event_log.t
+(** The global structured event log (SLO transitions, link flaps,
+    recompiles). Cleared by {!reset}; exported by {!to_json}. *)
+
 val find : string -> metric option
 
 val find_counter : string -> Counter.t option
@@ -40,13 +44,27 @@ val names : unit -> string list
 val cardinal : unit -> int
 
 val reset : unit -> unit
-(** Zero every metric and clear the hop trace, keeping registrations
-    (instrumented modules hold direct handles). *)
+(** Zero every metric and clear the hop trace and event log, keeping
+    registrations (instrumented modules hold direct handles). *)
 
-val to_json : ?trace_events:int -> unit -> string
+type snapshot
+
+val snapshot : unit -> snapshot
+(** Capture every registered metric's current value. The hop trace and
+    event log are forensic rings tied to one run and are not captured. *)
+
+val restore : snapshot -> unit
+(** Write the captured values back, unconditionally (a harness
+    operation like {!reset}, regardless of {!Control}). Metrics
+    registered after the snapshot keep their current values — so
+    [snapshot]/[reset]/work/[restore] brackets let a harness run an
+    isolated section without losing metrics accumulated before it. *)
+
+val to_json : ?trace_events:int -> ?event_entries:int -> unit -> string
 (** One JSON object: [{"counters":{...},"gauges":{...},
-    "histograms":{...},"trace":[...]}]. [trace_events] bounds the trace
-    tail (default 64). *)
+    "histograms":{...},"trace":[...],"events":[...]}]. [trace_events]
+    bounds the trace tail (default 64); [event_entries] bounds the
+    event tail (default 256). *)
 
 val pp : ?trace_events:int -> Format.formatter -> unit -> unit
 (** Pretty-printed dump; [trace_events] > 0 appends the trace tail. *)

@@ -1,0 +1,435 @@
+(* Streaming SLO engine: sliding-window conformance, error budgets and
+   multi-window burn-rate alerts per (vpn, band) objective.
+
+   Time is divided into one-second (configurable) buckets kept in a
+   ring of [slow_buckets]. Each delivery/drop observation lands in the
+   open bucket; when an observation (or an explicit {!advance}) moves
+   time past a bucket boundary the closed bucket is evaluated: window
+   statistics are recomputed, per-dimension violation state is
+   re-derived (firing [Slo_violation]/[Slo_recovered] events on
+   transitions) and the burn-rate alert updated ([Alert_fire] when both
+   the fast and the slow window burn the error budget faster than the
+   threshold, [Alert_clear] when the fast window cools down).
+
+   A packet is "good" when it is delivered within the objective's
+   latency bound; drops and late deliveries spend error budget. *)
+
+type spec = {
+  target : float;  (* required good fraction, e.g. 0.99 *)
+  latency_p99 : float option;  (* seconds; also the per-packet good bound *)
+  loss_ratio : float option;
+  availability : float option;  (* min fraction of available seconds *)
+}
+
+let spec ?latency_p99 ?loss_ratio ?availability target =
+  if target <= 0.0 || target >= 1.0 then
+    invalid_arg "Slo.spec: target must be in (0, 1)";
+  { target; latency_p99; loss_ratio; availability }
+
+(* Per-bucket latency sketch: log buckets above 1 us, like {!Histogram}
+   but flat ints so the whole bucket clears with one fill. *)
+let lat_buckets = 40
+let lat_lo = 1e-6
+
+let lat_index v =
+  if v < lat_lo then 0
+  else begin
+    let _, e = Float.frexp (v /. lat_lo) in
+    min (lat_buckets - 1) (max 0 (e - 1))
+  end
+
+type bucket = {
+  mutable total : int;
+  mutable bad : int;
+  mutable drops : int;
+  mutable lat_max : float;
+  lat : int array;  (* deliveries by latency bucket *)
+}
+
+let new_bucket () =
+  { total = 0; bad = 0; drops = 0; lat_max = 0.0;
+    lat = Array.make lat_buckets 0 }
+
+let clear_bucket b =
+  b.total <- 0;
+  b.bad <- 0;
+  b.drops <- 0;
+  b.lat_max <- 0.0;
+  Array.fill b.lat 0 lat_buckets 0
+
+type objective = {
+  vpn : int;
+  band : int;
+  spec : spec;
+  buckets : bucket array;
+  mutable cur : int;  (* absolute index of the open bucket *)
+  mutable cum_total : int;
+  mutable cum_bad : int;
+  mutable cum_drops : int;
+  (* Violation state per dimension, re-derived at every bucket close. *)
+  mutable viol_latency : bool;
+  mutable viol_loss : bool;
+  mutable viol_avail : bool;
+  mutable alerting : bool;
+  (* Last evaluated window statistics, for reports. *)
+  mutable last_p99 : float;
+  mutable last_loss : float;
+  mutable last_avail : float;
+  mutable burn_fast : float;
+  mutable burn_slow : float;
+}
+
+type t = {
+  bucket_width : float;
+  fast_n : int;
+  slow_n : int;
+  burn_threshold : float;
+  min_samples : int;
+  objectives : (int, objective) Hashtbl.t;  (* key = vpn lsl 4 lor band *)
+  events : Event_log.t;
+}
+
+let m_violation = Registry.counter "slo.violation"
+let m_recovered = Registry.counter "slo.recovered"
+let m_alert_fire = Registry.counter "slo.alert_fire"
+let m_alert_clear = Registry.counter "slo.alert_clear"
+
+let create ?(bucket_width = 1.0) ?(fast_buckets = 5) ?(slow_buckets = 60)
+    ?(burn_threshold = 2.0) ?(min_samples = 5) ?events () =
+  if bucket_width <= 0.0 then
+    invalid_arg "Slo.create: bucket_width must be positive";
+  if fast_buckets < 1 || slow_buckets < fast_buckets then
+    invalid_arg "Slo.create: need 1 <= fast_buckets <= slow_buckets";
+  let events =
+    match events with Some e -> e | None -> Registry.events ()
+  in
+  { bucket_width; fast_n = fast_buckets; slow_n = slow_buckets;
+    burn_threshold; min_samples; objectives = Hashtbl.create 16; events }
+
+let key ~vpn ~band = (vpn lsl 4) lor (band land 0xF)
+
+let declare t ~vpn ~band spec =
+  let k = key ~vpn ~band in
+  if not (Hashtbl.mem t.objectives k) then
+    Hashtbl.add t.objectives k
+      { vpn; band; spec;
+        buckets = Array.init t.slow_n (fun _ -> new_bucket ());
+        cur = 0; cum_total = 0; cum_bad = 0; cum_drops = 0;
+        viol_latency = false; viol_loss = false; viol_avail = false;
+        alerting = false; last_p99 = 0.0; last_loss = 0.0;
+        last_avail = 1.0; burn_fast = 0.0; burn_slow = 0.0 }
+
+(* --- window evaluation ------------------------------------------------- *)
+
+(* Sum the last [k] buckets ending at absolute index [upto]
+   (inclusive); valid for k <= slow_n since older slots have been
+   recycled. *)
+let window_fold t obj ~upto ~k f init =
+  let acc = ref init in
+  for b = max 0 (upto - k + 1) to upto do
+    acc := f !acc obj.buckets.(b mod t.slow_n)
+  done;
+  !acc
+
+let window_p99 t obj ~upto ~k =
+  let merged = Array.make lat_buckets 0 in
+  let n, vmax =
+    window_fold t obj ~upto ~k
+      (fun (n, vmax) b ->
+         Array.iteri (fun i c -> merged.(i) <- merged.(i) + c) b.lat;
+         (n + b.total - b.drops, Float.max vmax b.lat_max))
+      (0, 0.0)
+  in
+  if n = 0 then (0, 0.0)
+  else begin
+    let target = Stdlib.max 1 (int_of_float (ceil (0.99 *. float_of_int n))) in
+    let rec walk i cum =
+      if i >= lat_buckets then vmax
+      else begin
+        let cum' = cum + merged.(i) in
+        if cum' >= target && merged.(i) > 0 then
+          Float.min vmax (lat_lo *. Float.pow 2.0 (float_of_int (i + 1)))
+        else walk (i + 1) cum'
+      end
+    in
+    (n, walk 0 0)
+  end
+
+let burn_of ~target ~bad ~total =
+  if total = 0 then 0.0
+  else
+    let frac = float_of_int bad /. float_of_int total in
+    frac /. Float.max (1.0 -. target) 1e-9
+
+let transition t obj ~time ~dimension ~value ~bound ~was ~now =
+  (match (was, now) with
+   | false, true ->
+     Counter.incr m_violation;
+     Event_log.record t.events ~time
+       (Event_log.Slo_violation
+          { vpn = obj.vpn; band = obj.band; dimension; value; bound })
+   | true, false ->
+     Counter.incr m_recovered;
+     Event_log.record t.events ~time
+       (Event_log.Slo_recovered
+          { vpn = obj.vpn; band = obj.band; dimension; value; bound })
+   | _ -> ());
+  now
+
+(* Evaluate objective state as of the close of absolute bucket
+   [closing] (windows end at that bucket). *)
+let evaluate t obj ~closing =
+  let bucket_end = float_of_int (closing + 1) *. t.bucket_width in
+  let fast_bad, fast_total =
+    window_fold t obj ~upto:closing ~k:t.fast_n
+      (fun (b, n) bk -> (b + bk.bad, n + bk.total))
+      (0, 0)
+  in
+  let slow_bad, slow_total =
+    window_fold t obj ~upto:closing ~k:t.slow_n
+      (fun (b, n) bk -> (b + bk.bad, n + bk.total))
+      (0, 0)
+  in
+  obj.burn_fast <- burn_of ~target:obj.spec.target ~bad:fast_bad ~total:fast_total;
+  obj.burn_slow <- burn_of ~target:obj.spec.target ~bad:slow_bad ~total:slow_total;
+  (* latency p99 over the fast window *)
+  (match obj.spec.latency_p99 with
+   | None -> ()
+   | Some bound ->
+     let n, p99 = window_p99 t obj ~upto:closing ~k:t.fast_n in
+     if n >= t.min_samples then begin
+       obj.last_p99 <- p99;
+       obj.viol_latency <-
+         transition t obj ~time:bucket_end ~dimension:"latency_p99"
+           ~value:p99 ~bound ~was:obj.viol_latency ~now:(p99 > bound)
+     end
+     else if n = 0 && obj.viol_latency then
+       (* No traffic in the window: latency conformance is moot. *)
+       obj.viol_latency <-
+         transition t obj ~time:bucket_end ~dimension:"latency_p99"
+           ~value:0.0 ~bound ~was:true ~now:false);
+  (* loss ratio over the fast window *)
+  (match obj.spec.loss_ratio with
+   | None -> ()
+   | Some bound ->
+     let drops, total =
+       window_fold t obj ~upto:closing ~k:t.fast_n
+         (fun (d, n) bk -> (d + bk.drops, n + bk.total))
+         (0, 0)
+     in
+     if total >= t.min_samples then begin
+       let ratio = float_of_int drops /. float_of_int total in
+       obj.last_loss <- ratio;
+       obj.viol_loss <-
+         transition t obj ~time:bucket_end ~dimension:"loss" ~value:ratio
+           ~bound ~was:obj.viol_loss ~now:(ratio > bound)
+     end
+     else if total = 0 && obj.viol_loss then
+       obj.viol_loss <-
+         transition t obj ~time:bucket_end ~dimension:"loss" ~value:0.0
+           ~bound ~was:true ~now:false);
+  (* availability over the slow window: a second with traffic counts as
+     down when every packet in it was dropped *)
+  (match obj.spec.availability with
+   | None -> ()
+   | Some bound ->
+     let down, with_traffic =
+       window_fold t obj ~upto:closing ~k:t.slow_n
+         (fun (d, n) bk ->
+            if bk.total = 0 then (d, n)
+            else ((if bk.drops = bk.total then d + 1 else d), n + 1))
+         (0, 0)
+     in
+     if with_traffic > 0 then begin
+       let avail =
+         1.0 -. (float_of_int down /. float_of_int with_traffic)
+       in
+       obj.last_avail <- avail;
+       obj.viol_avail <-
+         transition t obj ~time:bucket_end ~dimension:"availability"
+           ~value:avail ~bound ~was:obj.viol_avail ~now:(avail < bound)
+     end);
+  (* multi-window burn-rate alert *)
+  if (not obj.alerting)
+  && obj.burn_fast >= t.burn_threshold
+  && obj.burn_slow >= t.burn_threshold
+  then begin
+    obj.alerting <- true;
+    Counter.incr m_alert_fire;
+    Event_log.record t.events ~time:bucket_end
+      (Event_log.Alert_fire
+         { vpn = obj.vpn; band = obj.band; burn_fast = obj.burn_fast;
+           burn_slow = obj.burn_slow })
+  end
+  else if obj.alerting && obj.burn_fast < t.burn_threshold then begin
+    obj.alerting <- false;
+    Counter.incr m_alert_clear;
+    Event_log.record t.events ~time:bucket_end
+      (Event_log.Alert_clear
+         { vpn = obj.vpn; band = obj.band; burn_fast = obj.burn_fast })
+  end
+
+let advance_obj t obj ~target_bucket =
+  if target_bucket > obj.cur then begin
+    (* A jump past the whole ring leaves only empty history; evaluate
+       the transition once from just before the gap's end rather than
+       spinning through millions of identical empty closes. *)
+    if target_bucket - obj.cur > t.slow_n then begin
+      Array.iter clear_bucket obj.buckets;
+      obj.cur <- target_bucket - t.slow_n
+    end;
+    while obj.cur < target_bucket do
+      evaluate t obj ~closing:obj.cur;
+      obj.cur <- obj.cur + 1;
+      clear_bucket obj.buckets.(obj.cur mod t.slow_n)
+    done
+  end
+
+let bucket_of t time = int_of_float (time /. t.bucket_width)
+
+let advance t ~time =
+  if !Control.enabled then
+    let target_bucket = bucket_of t time in
+    Hashtbl.iter (fun _ obj -> advance_obj t obj ~target_bucket)
+      t.objectives
+
+let find t ~vpn ~band = Hashtbl.find_opt t.objectives (key ~vpn ~band)
+
+let observe_with t ~vpn ~band ~time f =
+  match find t ~vpn ~band with
+  | None -> ()
+  | Some obj ->
+    advance_obj t obj ~target_bucket:(bucket_of t time);
+    let bk = obj.buckets.(obj.cur mod t.slow_n) in
+    f obj bk
+
+let observe_delivery t ~vpn ~band ~time ~latency =
+  if !Control.enabled then
+    observe_with t ~vpn ~band ~time (fun obj bk ->
+        bk.total <- bk.total + 1;
+        bk.lat.(lat_index latency) <- bk.lat.(lat_index latency) + 1;
+        if latency > bk.lat_max then bk.lat_max <- latency;
+        obj.cum_total <- obj.cum_total + 1;
+        let late =
+          match obj.spec.latency_p99 with
+          | Some bound -> latency > bound
+          | None -> false
+        in
+        if late then begin
+          bk.bad <- bk.bad + 1;
+          obj.cum_bad <- obj.cum_bad + 1
+        end)
+
+let observe_drop t ~vpn ~band ~time =
+  if !Control.enabled then
+    observe_with t ~vpn ~band ~time (fun obj bk ->
+        bk.total <- bk.total + 1;
+        bk.bad <- bk.bad + 1;
+        bk.drops <- bk.drops + 1;
+        obj.cum_total <- obj.cum_total + 1;
+        obj.cum_bad <- obj.cum_bad + 1;
+        obj.cum_drops <- obj.cum_drops + 1)
+
+(* --- reporting --------------------------------------------------------- *)
+
+type report = {
+  vpn : int;
+  band : int;
+  target : float;
+  total : int;
+  bad : int;
+  drops : int;
+  budget_allowed : float;
+  budget_spent : float;
+  budget_remaining : float;  (* fraction of the budget left, <= 1 *)
+  latency_p99 : float;
+  loss_ratio : float;
+  availability : float;
+  burn_fast : float;
+  burn_slow : float;
+  violations : string list;
+  alerting : bool;
+  in_budget : bool;
+}
+
+let report_of obj =
+  let allowed = (1.0 -. obj.spec.target) *. float_of_int obj.cum_total in
+  let spent = float_of_int obj.cum_bad in
+  let remaining =
+    if allowed <= 0.0 then (if obj.cum_bad = 0 then 1.0 else 0.0)
+    else Float.max 0.0 (1.0 -. (spent /. allowed))
+  in
+  let violations =
+    List.filter_map
+      (fun (flag, name) -> if flag then Some name else None)
+      [ (obj.viol_latency, "latency_p99"); (obj.viol_loss, "loss");
+        (obj.viol_avail, "availability") ]
+  in
+  { vpn = obj.vpn; band = obj.band; target = obj.spec.target;
+    total = obj.cum_total; bad = obj.cum_bad; drops = obj.cum_drops;
+    budget_allowed = allowed; budget_spent = spent;
+    budget_remaining = remaining; latency_p99 = obj.last_p99;
+    loss_ratio = obj.last_loss; availability = obj.last_avail;
+    burn_fast = obj.burn_fast; burn_slow = obj.burn_slow; violations;
+    alerting = obj.alerting;
+    in_budget = spent <= allowed || obj.cum_total = 0 }
+
+let reports t =
+  Hashtbl.fold (fun _ obj acc -> report_of obj :: acc) t.objectives []
+  |> List.sort (fun a b -> compare (a.vpn, a.band) (b.vpn, b.band))
+
+let in_budget t =
+  List.for_all (fun r -> r.in_budget) (reports t)
+
+let violation_count t =
+  Event_log.count_kind t.events "slo_violation"
+
+let json_float v =
+  if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+
+let report_to_json r =
+  Printf.sprintf
+    "{\"vpn\":%d,\"band\":%d,\"target\":%s,\"total\":%d,\"bad\":%d,\
+     \"drops\":%d,\"budget_allowed\":%s,\"budget_spent\":%s,\
+     \"budget_remaining\":%s,\"latency_p99\":%s,\"loss_ratio\":%s,\
+     \"availability\":%s,\"burn_fast\":%s,\"burn_slow\":%s,\
+     \"violations\":[%s],\"alerting\":%b,\"in_budget\":%b}"
+    r.vpn r.band (json_float r.target) r.total r.bad r.drops
+    (json_float r.budget_allowed) (json_float r.budget_spent)
+    (json_float r.budget_remaining) (json_float r.latency_p99)
+    (json_float r.loss_ratio) (json_float r.availability)
+    (json_float r.burn_fast) (json_float r.burn_slow)
+    (String.concat "," (List.map (Printf.sprintf "\"%s\"") r.violations))
+    r.alerting r.in_budget
+
+let to_json t =
+  "[" ^ String.concat "," (List.map report_to_json (reports t)) ^ "]"
+
+let publish_gauges ?(prefix = "slo") t =
+  List.iter
+    (fun r ->
+       let g suffix v =
+         Gauge.set
+           (Registry.gauge
+              (Printf.sprintf "%s.vpn%d.band%d.%s" prefix r.vpn r.band
+                 suffix))
+           v
+       in
+       g "budget_remaining" r.budget_remaining;
+       g "burn_fast" r.burn_fast;
+       g "burn_slow" r.burn_slow;
+       g "in_budget" (if r.in_budget then 1.0 else 0.0))
+    (reports t)
+
+let pp ppf t =
+  List.iter
+    (fun r ->
+       Format.fprintf ppf
+         "vpn=%d band=%d target=%.3g total=%d bad=%d drops=%d \
+          budget=%.1f%% burn=%.2g/%.2g%s%s@."
+         r.vpn r.band r.target r.total r.bad r.drops
+         (100.0 *. r.budget_remaining) r.burn_fast r.burn_slow
+         (if r.violations = [] then ""
+          else " VIOLATED:" ^ String.concat "," r.violations)
+         (if r.alerting then " ALERTING" else ""))
+    (reports t)

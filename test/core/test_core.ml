@@ -1456,6 +1456,203 @@ let test_simulation_determinism () =
        Alcotest.(check (float 0.0)) "p99 bitwise" p1 p2)
     first second
 
+(* --- SLA conformance (spans, SLOs, events) ------------------------------ *)
+
+module T = Mvpn_telemetry
+
+(* Every conformance test runs against the process-global registry. *)
+let wrap_telemetry f () =
+  T.Registry.reset ();
+  T.Control.disable ();
+  Fun.protect ~finally:(fun () ->
+      T.Registry.reset ();
+      T.Control.disable ())
+    f
+
+let test_monitor_until_horizon () =
+  let topo = Topology.create () in
+  let ids = Topology.line topo 2 ~bandwidth:1e6 ~delay:0.001 in
+  let engine = Engine.create () in
+  let net = Network.create engine topo in
+  Fib.add (Network.fib net ids.(0)) Prefix.default
+    { Fib.next_hop = ids.(1); cost = 1; source = Fib.Static };
+  Fib.add (Network.fib net ids.(1)) Prefix.default
+    { Fib.next_hop = Fib.local_delivery; cost = 0; source = Fib.Connected };
+  Network.set_sink net ids.(1) (fun _ -> ());
+  let link =
+    match Topology.find_link topo ids.(0) ids.(1) with
+    | Some l -> l
+    | None -> Alcotest.fail "link missing"
+  in
+  Alcotest.check_raises "negative horizon refused"
+    (Invalid_argument "Monitor.start: until must be non-negative")
+    (fun () ->
+       ignore (Monitor.start ~until:(-1.0) net ~link_ids:[link.Topology.id]));
+  let mon =
+    Monitor.start ~interval:1.0 ~until:5.0 net
+      ~link_ids:[link.Topology.id]
+  in
+  let registry = Traffic.registry engine in
+  let emit =
+    Traffic.sender registry ~net ~src_node:ids.(0)
+      ~flow:(Flow.make (ip "10.0.0.1") (ip "10.1.0.1"))
+      ~dscp:Dscp.best_effort
+      ~collector:(Traffic.collector registry "x")
+      ()
+  in
+  Traffic.cbr engine ~start:0.0 ~stop:3.0 ~rate_bps:100_000.0
+    ~packet_bytes:1000 emit;
+  (* The regression: a bare run (no [~until], no [stop]) must drain —
+     the sampler used to re-arm itself forever. *)
+  Engine.run engine;
+  let series = Monitor.utilization_series mon ~link_id:link.Topology.id in
+  let n = Mvpn_sim.Stats.Timeseries.length series in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampling stopped at the horizon (%d samples)" n)
+    true
+    (n >= 4 && n <= 6)
+
+let test_accounting_gauges_match_usage () =
+  let acct = Accounting.create () in
+  let record vpn dscp size =
+    Accounting.observe acct
+      (Packet.make ~vpn ~dscp ~size ~now:0.0
+         (Flow.make (ip "10.0.0.1") (ip "10.1.0.1")))
+  in
+  T.Control.with_enabled (fun () ->
+      record 1 Dscp.ef 200;
+      record 1 Dscp.ef 200;
+      record 1 Dscp.best_effort 1500;
+      record 2 (Dscp.af 3 1) 512);
+  (* The registry view and the usage view must agree cell by cell. *)
+  let usage = Accounting.usage acct in
+  Alcotest.(check int) "three cells" 3 (List.length usage);
+  List.iter
+    (fun (u : Accounting.usage) ->
+       let gauge suffix =
+         T.Gauge.value
+           (T.Registry.gauge
+              (Printf.sprintf "acct.vpn%d.band%d.%s" u.Accounting.vpn
+                 u.Accounting.band suffix))
+       in
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "vpn%d band%d packets" u.Accounting.vpn
+            u.Accounting.band)
+         (float_of_int u.Accounting.packets)
+         (gauge "packets");
+       Alcotest.(check (float 1e-9))
+         (Printf.sprintf "vpn%d band%d bytes" u.Accounting.vpn
+            u.Accounting.band)
+         (float_of_int u.Accounting.bytes)
+         (gauge "bytes"))
+    usage
+
+let test_span_attributes_delivery () =
+  let e = build_e2e () in
+  let s11 = site_by_id e 11 and s12 = site_by_id e 12 in
+  let delivered_at = ref nan in
+  Network.set_sink e.net s12.Site.ce_node (fun _ ->
+      delivered_at := Engine.now e.engine);
+  let p =
+    Packet.make ~vpn:1 ~dscp:Dscp.ef ~now:(Engine.now e.engine)
+      (Flow.make
+         (Prefix.nth_host s11.Site.prefix 1)
+         (Prefix.nth_host s12.Site.prefix 1))
+  in
+  T.Control.with_enabled (fun () ->
+      Network.inject e.net s11.Site.ce_node p;
+      Engine.run e.engine);
+  Alcotest.(check bool) "delivered" true (Float.is_finite !delivered_at);
+  let events =
+    T.Hop_trace.trace (T.Registry.trace ()) ~uid:p.Packet.uid
+  in
+  match T.Span.of_trace ~vpn:1 ~band:0 events with
+  | None -> Alcotest.fail "span expected"
+  | Some s ->
+    Alcotest.(check string) "delivered outcome" "delivered"
+      (T.Span.outcome_name s.T.Span.outcome);
+    (* CE -> PE -> P -> PE -> CE: well more than three stages. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "spans %d segments" (List.length s.T.Span.segments))
+      true
+      (List.length s.T.Span.segments >= 3);
+    (* Contiguous segments attribute the packet's whole life: their
+       dwells must sum to the independently-measured end-to-end delay
+       (sink time minus creation time) within a microsecond. *)
+    let e2e = !delivered_at -. p.Packet.created_at in
+    let dwell_sum =
+      List.fold_left
+        (fun a (g : T.Span.segment) -> a +. g.T.Span.dwell)
+        0.0 s.T.Span.segments
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "dwells %.9f vs e2e %.9f" dwell_sum e2e)
+      true
+      (Float.abs (dwell_sum -. e2e) < 1e-6);
+    Alcotest.(check bool) "transmission time attributed" true
+      (T.Span.dwell_of_kind s T.Span.Transmission > 0.0)
+
+let test_slo_sees_failure_and_repair () =
+  let bb = Backbone.build ~pops:6 ~chords:[] () in
+  let a =
+    Backbone.attach_site bb ~id:1 ~name:"a" ~vpn:1
+      ~prefix:(pfx "10.0.0.0/16") ~pop:0
+  in
+  let b =
+    Backbone.attach_site bb ~id:2 ~name:"b" ~vpn:1
+      ~prefix:(pfx "10.1.0.0/16") ~pop:2
+  in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let vpn = Mpls_vpn.deploy ~net ~backbone:bb ~sites:[a; b] () in
+  let slo = T.Slo.create () in
+  T.Slo.declare slo ~vpn:1 ~band:0 (Qos_mapping.default_objective 0);
+  Network.set_slo net (Some slo);
+  let registry = Traffic.registry engine in
+  Network.set_sink net b.Site.ce_node (Traffic.sink registry);
+  let emit =
+    Traffic.sender registry ~net ~src_node:a.Site.ce_node
+      ~flow:(Flow.make ~proto:Flow.Udp ~dst_port:5060 (Site.host a 1)
+               (Site.host b 1))
+      ~dscp:Dscp.ef ~vpn:1
+      ~collector:(Traffic.collector registry "voice")
+      ()
+  in
+  Traffic.cbr engine ~start:0.0 ~stop:30.0 ~rate_bps:80_000.0
+    ~packet_bytes:200 emit;
+  let pops = Backbone.pops bb in
+  Engine.schedule_at engine ~time:5.0 (fun () ->
+      Topology.set_duplex_state (Backbone.topology bb) pops.(0) pops.(1)
+        false);
+  Engine.schedule_at engine ~time:8.0 (fun () ->
+      Topology.set_duplex_state (Backbone.topology bb) pops.(0) pops.(1)
+        true;
+      ignore (Mpls_vpn.reconverge vpn));
+  T.Control.with_enabled (fun () ->
+      Engine.run ~until:32.0 engine;
+      T.Slo.advance slo ~time:(Engine.now engine));
+  let events = T.Registry.events () in
+  (* The outage must show up as at least one violation with a matching
+     recovery on the same (vpn, band, dimension) after the repair. *)
+  let violated = Hashtbl.create 8 and matched = ref 0 in
+  T.Event_log.fold
+    (fun () (entry : T.Event_log.entry) ->
+       match entry.T.Event_log.event with
+       | T.Event_log.Slo_violation { vpn; band; dimension; _ } ->
+         Hashtbl.replace violated (vpn, band, dimension) ()
+       | T.Event_log.Slo_recovered { vpn; band; dimension; _ } ->
+         if Hashtbl.mem violated (vpn, band, dimension) then incr matched
+       | _ -> ())
+    events ();
+  Alcotest.(check bool) "a violation fired" true
+    (T.Event_log.count_kind events "slo_violation" >= 1);
+  Alcotest.(check bool) "a matching recovery followed" true (!matched >= 1);
+  (* Link events bracketed the outage. *)
+  Alcotest.(check int) "link_down logged" 1
+    (T.Event_log.count_kind events "link_down");
+  Alcotest.(check int) "link_up logged" 1
+    (T.Event_log.count_kind events "link_up")
+
 let () =
   Alcotest.run "core"
     [ ("membership",
@@ -1570,7 +1767,16 @@ let () =
          Alcotest.test_case "unreachable demand" `Quick
            test_planning_unreachable_demand ]);
       ("monitor",
-       [ Alcotest.test_case "sampling" `Quick test_monitor_sampling ]);
+       [ Alcotest.test_case "sampling" `Quick test_monitor_sampling;
+         Alcotest.test_case "until horizon" `Quick
+           (wrap_telemetry test_monitor_until_horizon) ]);
+      ("conformance",
+       [ Alcotest.test_case "accounting gauges match usage" `Quick
+           (wrap_telemetry test_accounting_gauges_match_usage);
+         Alcotest.test_case "span attributes delivery" `Quick
+           (wrap_telemetry test_span_attributes_delivery);
+         Alcotest.test_case "slo sees failure and repair" `Quick
+           (wrap_telemetry test_slo_sees_failure_and_repair) ]);
       ("scenario",
        [ Alcotest.test_case "qos protects voice" `Slow
            test_scenario_mpls_qos_protects_voice;

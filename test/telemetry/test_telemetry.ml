@@ -179,6 +179,350 @@ let test_registry_json () =
   Alcotest.(check bool) "trace label serialized" true
     (contains ~needle:"\"event\":\"tx\"" json)
 
+(* --- Histogram edge cases ---------------------------------------------- *)
+
+let test_histogram_empty () =
+  let h = Histogram.make "empty" in
+  Alcotest.(check int) "count" 0 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "mean" 0.0 (Histogram.mean h);
+  Alcotest.(check (float 1e-12)) "min" 0.0 (Histogram.min_value h);
+  Alcotest.(check (float 1e-12)) "max" 0.0 (Histogram.max_value h);
+  List.iter
+    (fun q ->
+       Alcotest.(check (float 1e-12))
+         (Printf.sprintf "q%.2f of empty" q)
+         0.0 (Histogram.quantile h q))
+    [0.0; 0.5; 0.99; 1.0];
+  Alcotest.check_raises "fraction above 1"
+    (Invalid_argument "Histogram.quantile: fraction outside [0, 1]")
+    (fun () -> ignore (Histogram.quantile h 1.5))
+
+let test_histogram_single_sample () =
+  let h = Histogram.make "one" in
+  Control.with_enabled (fun () -> Histogram.observe h 0.0042);
+  (* Every quantile of a point mass is the point: interpolation inside
+     the bucket must clamp to the observed extrema. *)
+  List.iter
+    (fun q ->
+       Alcotest.(check (float 1e-12))
+         (Printf.sprintf "q%.2f" q)
+         0.0042 (Histogram.quantile h q))
+    [0.0; 0.5; 0.9; 0.99; 1.0];
+  Alcotest.(check (float 1e-12)) "min" 0.0042 (Histogram.min_value h);
+  Alcotest.(check (float 1e-12)) "max" 0.0042 (Histogram.max_value h)
+
+let test_histogram_one_bucket () =
+  (* A single-bucket histogram degenerates gracefully: everything lands
+     in bucket 0 and quantiles stay within [min, max]. *)
+  let h = Histogram.make ~buckets:1 "tiny" in
+  Control.with_enabled (fun () ->
+      List.iter (Histogram.observe h) [0.001; 5.0; 123.0]);
+  Alcotest.(check int) "count" 3 (Histogram.count h);
+  let p50 = Histogram.p50 h and p99 = Histogram.p99 h in
+  Alcotest.(check bool)
+    (Printf.sprintf "p50 %.6g within extrema" p50)
+    true (p50 >= 0.001 && p50 <= 123.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "p99 %.6g within extrema" p99)
+    true (p99 >= 0.001 && p99 <= 123.0)
+
+let test_histogram_quantile_clamped () =
+  (* Two far-apart samples: bucket interpolation could stray outside
+     the observed range; quantiles must clamp to [vmin, vmax]. *)
+  let h = Histogram.make "clamp" in
+  Control.with_enabled (fun () ->
+      Histogram.observe h 1.0;
+      Histogram.observe h 1.0000001);
+  List.iter
+    (fun q ->
+       let v = Histogram.quantile h q in
+       Alcotest.(check bool)
+         (Printf.sprintf "q%.2f = %.9g clamped" q v)
+         true (v >= 1.0 && v <= 1.0000001))
+    [0.0; 0.01; 0.5; 0.99; 1.0];
+  (* Below-range values clamp into bucket 0 without breaking extrema. *)
+  let low = Histogram.make ~lo:1e-3 "low" in
+  Control.with_enabled (fun () -> Histogram.observe low 1e-9);
+  Alcotest.(check (float 1e-15)) "sub-lo sample reported exactly" 1e-9
+    (Histogram.p50 low)
+
+let test_histogram_observe_int_gated () =
+  let h = Histogram.make "gated" in
+  Histogram.observe_int h 7;
+  Alcotest.(check int) "no-op while disabled" 0 (Histogram.count h);
+  Control.with_enabled (fun () -> Histogram.observe_int h 7);
+  Alcotest.(check int) "counts while enabled" 1 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "value" 7.0 (Histogram.max_value h)
+
+let test_histogram_snapshot_restore () =
+  let h = Histogram.make "snap" in
+  Control.with_enabled (fun () ->
+      Histogram.observe h 1.0;
+      Histogram.observe h 4.0);
+  let s = Histogram.snapshot h in
+  Control.with_enabled (fun () ->
+      for _ = 1 to 50 do Histogram.observe h 100.0 done);
+  Histogram.restore h s;
+  Alcotest.(check int) "count back" 2 (Histogram.count h);
+  Alcotest.(check (float 1e-12)) "sum back" 5.0 (Histogram.sum h);
+  Alcotest.(check (float 1e-12)) "max back" 4.0 (Histogram.max_value h)
+
+(* --- Event log --------------------------------------------------------- *)
+
+let test_event_log_gated_and_wraps () =
+  let l = Event_log.create ~capacity:4 () in
+  Event_log.record l ~time:0.0 (Event_log.Note "ignored");
+  Alcotest.(check int) "no-op while disabled" 0 (Event_log.recorded l);
+  Control.with_enabled (fun () ->
+      for i = 1 to 6 do
+        Event_log.record l ~time:(float_of_int i)
+          (Event_log.Note (Printf.sprintf "n%d" i))
+      done);
+  Alcotest.(check int) "all recorded" 6 (Event_log.recorded l);
+  let entries = Event_log.entries l in
+  Alcotest.(check int) "ring keeps capacity" 4 (List.length entries);
+  Alcotest.(check (list int)) "oldest evicted, seq monotonic"
+    [2; 3; 4; 5]
+    (List.map (fun (e : Event_log.entry) -> e.Event_log.seq) entries);
+  Alcotest.(check int) "recent 2" 2 (List.length (Event_log.recent l 2));
+  Event_log.clear l;
+  Alcotest.(check int) "cleared" 0 (List.length (Event_log.entries l))
+
+let test_event_log_kinds_and_clock () =
+  let l = Event_log.create () in
+  Event_log.set_clock l (fun () -> 42.0);
+  Control.with_enabled (fun () ->
+      Event_log.record l
+        (Event_log.Slo_violation
+           { vpn = 1; band = 0; dimension = "loss"; value = 0.5; bound = 0.01 });
+      Event_log.record l (Event_log.Link_down { src = 0; dst = 1 });
+      Event_log.record l (Event_log.Link_up { src = 0; dst = 1 });
+      Event_log.record l (Event_log.Recompile { node = 3 }));
+  Alcotest.(check int) "one violation" 1
+    (Event_log.count_kind l "slo_violation");
+  Alcotest.(check int) "no recoveries" 0
+    (Event_log.count_kind l "slo_recovered");
+  (match Event_log.entries l with
+   | e :: _ ->
+     Alcotest.(check (float 1e-9)) "clock supplied time" 42.0
+       e.Event_log.time;
+     Alcotest.(check string) "kind tag" "slo_violation"
+       (Event_log.kind e.Event_log.event)
+   | [] -> Alcotest.fail "entries expected");
+  let json = Event_log.json_entries l in
+  Alcotest.(check bool) "json has kinds" true
+    (contains ~needle:"\"kind\":\"link_down\"" json
+     && contains ~needle:"\"kind\":\"recompile\"" json)
+
+(* --- Span -------------------------------------------------------------- *)
+
+let hop ~uid ~time ~node label = { Hop_trace.uid; time; node; label }
+
+let test_span_of_trace_delivered () =
+  let events =
+    [ hop ~uid:7 ~time:0.000 ~node:0 "rx";
+      hop ~uid:7 ~time:0.001 ~node:0 "tx";
+      hop ~uid:7 ~time:0.003 ~node:0 "txstart";
+      hop ~uid:7 ~time:0.007 ~node:1 "rx";
+      hop ~uid:7 ~time:0.008 ~node:1 "deliver" ]
+  in
+  match Span.of_trace ~vpn:1 ~band:0 events with
+  | None -> Alcotest.fail "span expected"
+  | Some s ->
+    Alcotest.(check int) "uid" 7 s.Span.uid;
+    Alcotest.(check string) "outcome" "delivered"
+      (Span.outcome_name s.Span.outcome);
+    Alcotest.(check int) "four segments" 4 (List.length s.Span.segments);
+    Alcotest.(check (list string)) "stage sequence"
+      ["processing"; "queueing"; "transmission"; "delivery"]
+      (List.map (fun (g : Span.segment) -> Span.kind_name g.Span.kind)
+         s.Span.segments);
+    Alcotest.(check (float 1e-12)) "processing dwell" 0.001
+      (Span.dwell_of_kind s Span.Processing);
+    Alcotest.(check (float 1e-12)) "queueing dwell" 0.002
+      (Span.dwell_of_kind s Span.Queueing);
+    Alcotest.(check (float 1e-12)) "transmission dwell" 0.004
+      (Span.dwell_of_kind s Span.Transmission);
+    (* Contiguous segments: dwells account for every microsecond. *)
+    let dwell_sum =
+      List.fold_left (fun a (g : Span.segment) -> a +. g.Span.dwell) 0.0
+        s.Span.segments
+    in
+    Alcotest.(check (float 1e-12)) "dwells sum to end-to-end" (Span.total s)
+      dwell_sum;
+    Alcotest.(check (float 1e-12)) "total" 0.008 (Span.total s)
+
+let test_span_of_trace_dropped () =
+  let events =
+    [ hop ~uid:9 ~time:0.0 ~node:0 "rx";
+      hop ~uid:9 ~time:0.001 ~node:0 "tx";
+      hop ~uid:9 ~time:0.001 ~node:0 "drop:queue-tail" ]
+  in
+  (match Span.of_trace events with
+   | None -> Alcotest.fail "span expected"
+   | Some s ->
+     (match s.Span.outcome with
+      | Span.Dropped reason ->
+        Alcotest.(check string) "reason" "queue-tail" reason
+      | _ -> Alcotest.fail "dropped outcome expected"));
+  Alcotest.(check bool) "empty trace yields none" true
+    (Span.of_trace [] = None)
+
+let test_span_sampler () =
+  let trace = Registry.trace () in
+  let s = Span.sampler ~every:2 ~keep:8 () in
+  let feed ~uid ~dropped =
+    Control.with_enabled (fun () ->
+        Hop_trace.record trace ~uid ~time:0.0 ~node:0 "rx";
+        Hop_trace.record trace ~uid ~time:0.001 ~node:0
+          (if dropped then "drop:no-route" else "deliver");
+        Span.offer s trace ~uid ~vpn:1 ~band:0 ~dropped)
+  in
+  (* Disabled: offers are invisible. *)
+  Span.offer s trace ~uid:99 ~vpn:1 ~band:0 ~dropped:false;
+  Alcotest.(check int) "no-op while disabled" 0 (Span.offered s);
+  feed ~uid:1 ~dropped:false;
+  feed ~uid:2 ~dropped:false;
+  feed ~uid:3 ~dropped:false;
+  (* every=2: uids 1 and 3 kept (first of a key always), 2 skipped. *)
+  Alcotest.(check (list int)) "1-in-2 deliveries kept" [1; 3]
+    (List.map (fun (sp : Span.t) -> sp.Span.uid) (Span.delivered_spans s));
+  feed ~uid:4 ~dropped:true;
+  Alcotest.(check (list int)) "drops always kept" [4]
+    (List.map (fun (sp : Span.t) -> sp.Span.uid) (Span.dropped_spans s));
+  Alcotest.(check int) "offered" 4 (Span.offered s);
+  Alcotest.(check int) "kept" 3 (Span.kept s);
+  Alcotest.(check bool) "json is an array" true
+    (String.length (Span.sampler_to_json s) > 2
+     && (Span.sampler_to_json s).[0] = '[');
+  Span.clear s;
+  Alcotest.(check int) "cleared" 0 (Span.kept s)
+
+(* --- SLO --------------------------------------------------------------- *)
+
+let test_slo_spec_validation () =
+  Alcotest.check_raises "target must be a fraction"
+    (Invalid_argument "Slo.spec: target must be in (0, 1)")
+    (fun () -> ignore (Slo.spec 1.0))
+
+let test_slo_good_traffic_stays_in_budget () =
+  let events = Event_log.create () in
+  let t = Slo.create ~events () in
+  Slo.declare t ~vpn:1 ~band:0
+    (Slo.spec ~latency_p99:0.1 ~loss_ratio:0.01 ~availability:0.9 0.99);
+  Control.with_enabled (fun () ->
+      for i = 0 to 99 do
+        Slo.observe_delivery t ~vpn:1 ~band:0
+          ~time:(0.1 *. float_of_int i) ~latency:0.002
+      done;
+      Slo.advance t ~time:20.0);
+  Alcotest.(check bool) "in budget" true (Slo.in_budget t);
+  Alcotest.(check int) "no violations" 0
+    (Event_log.count_kind events "slo_violation");
+  (match Slo.reports t with
+   | [r] ->
+     Alcotest.(check int) "total" 100 r.Slo.total;
+     Alcotest.(check int) "bad" 0 r.Slo.bad;
+     Alcotest.(check (float 1e-9)) "budget untouched" 1.0
+       r.Slo.budget_remaining;
+     Alcotest.(check bool) "available" true (r.Slo.availability >= 0.9)
+   | rs -> Alcotest.fail (Printf.sprintf "one report, got %d" (List.length rs)))
+
+let test_slo_violation_recovery_and_alert () =
+  let events = Event_log.create () in
+  let t = Slo.create ~events () in
+  Slo.declare t ~vpn:1 ~band:0
+    (Slo.spec ~latency_p99:0.1 ~loss_ratio:0.01 ~availability:0.9 0.99);
+  Control.with_enabled (fun () ->
+      (* 10 s of healthy traffic... *)
+      for i = 0 to 99 do
+        Slo.observe_delivery t ~vpn:1 ~band:0
+          ~time:(0.1 *. float_of_int i) ~latency:0.002
+      done;
+      (* ...then a 5 s blackout: every packet dropped. *)
+      for i = 0 to 49 do
+        Slo.observe_drop t ~vpn:1 ~band:0
+          ~time:(10.0 +. (0.1 *. float_of_int i))
+      done;
+      Slo.advance t ~time:16.0);
+  Alcotest.(check bool) "loss violation fired" true
+    (Event_log.count_kind events "slo_violation" >= 1);
+  Alcotest.(check bool) "burn-rate alert fired" true
+    (Event_log.count_kind events "alert_fire" >= 1);
+  Alcotest.(check bool) "out of budget" false (Slo.in_budget t);
+  (match Slo.reports t with
+   | [r] ->
+     Alcotest.(check bool) "burn fast over threshold" true
+       (r.Slo.burn_fast >= 2.0);
+     Alcotest.(check bool) "violations listed" true
+       (List.mem "loss" r.Slo.violations)
+   | _ -> Alcotest.fail "one report expected");
+  (* Repair: healthy traffic long enough for the blackout to age out
+     of the 60 s slow window; violations clear, the alert clears. *)
+  Control.with_enabled (fun () ->
+      for i = 0 to 659 do
+        Slo.observe_delivery t ~vpn:1 ~band:0
+          ~time:(16.0 +. (0.1 *. float_of_int i)) ~latency:0.002
+      done;
+      Slo.advance t ~time:85.0);
+  Alcotest.(check bool) "recovery fired" true
+    (Event_log.count_kind events "slo_recovered" >= 1);
+  Alcotest.(check bool) "alert cleared" true
+    (Event_log.count_kind events "alert_clear" >= 1);
+  (match Slo.reports t with
+   | [r] -> Alcotest.(check bool) "no live violations" true
+              (r.Slo.violations = [] && not r.Slo.alerting)
+   | _ -> Alcotest.fail "one report expected")
+
+let test_slo_gated_and_json () =
+  let events = Event_log.create () in
+  let t = Slo.create ~events () in
+  Slo.declare t ~vpn:2 ~band:1 (Slo.spec ~loss_ratio:0.1 0.9);
+  (* Disabled: observations vanish. *)
+  Slo.observe_delivery t ~vpn:2 ~band:1 ~time:0.5 ~latency:0.001;
+  Slo.observe_drop t ~vpn:2 ~band:1 ~time:0.6;
+  (match Slo.reports t with
+   | [r] -> Alcotest.(check int) "no-op while disabled" 0 r.Slo.total
+   | _ -> Alcotest.fail "one report expected");
+  Control.with_enabled (fun () ->
+      Slo.observe_delivery t ~vpn:2 ~band:1 ~time:0.5 ~latency:0.001;
+      Slo.advance t ~time:5.0);
+  let json = Slo.to_json t in
+  Alcotest.(check bool) "json carries the key" true
+    (contains ~needle:"\"vpn\":2" json && contains ~needle:"\"band\":1" json);
+  Control.with_enabled (fun () -> Slo.publish_gauges ~prefix:"t.slo" t);
+  Alcotest.(check bool) "gauge mirrors in_budget" true
+    (match Registry.find_gauge "t.slo.vpn2.band1.in_budget" with
+     | Some g -> Gauge.value g = 1.0
+     | None -> false)
+
+(* --- Registry snapshot/restore ----------------------------------------- *)
+
+let test_registry_snapshot_restore () =
+  let c = Registry.counter "s.count" in
+  let g = Registry.gauge "s.gauge" in
+  let h = Registry.histogram "s.hist" in
+  Control.with_enabled (fun () ->
+      Counter.add c 5;
+      Gauge.set g 2.5;
+      Histogram.observe h 1.0);
+  let snap = Registry.snapshot () in
+  Registry.reset ();
+  Control.with_enabled (fun () ->
+      Counter.add c 100;
+      Gauge.set g 9.9;
+      Histogram.observe h 50.0;
+      Gauge.set (Registry.gauge "s.fresh") 7.0);
+  Registry.restore snap;
+  Alcotest.(check int) "counter restored" 5 (Counter.value c);
+  Alcotest.(check (float 1e-9)) "gauge restored" 2.5 (Gauge.value g);
+  Alcotest.(check int) "histogram count restored" 1 (Histogram.count h);
+  Alcotest.(check (float 1e-9)) "histogram sum restored" 1.0
+    (Histogram.sum h);
+  (* Metrics born after the snapshot keep their section values. *)
+  Alcotest.(check (float 1e-9)) "post-snapshot metric kept" 7.0
+    (Gauge.value (Registry.gauge "s.fresh"))
+
 let () =
   let tc name f = Alcotest.test_case name `Quick (wrap f) in
   Alcotest.run "telemetry"
@@ -190,7 +534,13 @@ let () =
       ("histogram",
        [ tc "point mass" test_histogram_point_mass;
          tc "quantile bounds" test_histogram_quantile_bounds;
-         tc "disabled and reset" test_histogram_disabled_and_reset ]);
+         tc "disabled and reset" test_histogram_disabled_and_reset;
+         tc "empty" test_histogram_empty;
+         tc "single sample" test_histogram_single_sample;
+         tc "one bucket" test_histogram_one_bucket;
+         tc "quantile clamped" test_histogram_quantile_clamped;
+         tc "observe_int gated" test_histogram_observe_int_gated;
+         tc "snapshot restore" test_histogram_snapshot_restore ]);
       ("hop-trace",
        [ tc "per packet" test_trace_per_packet;
          tc "ring wraps" test_trace_ring_wraps;
@@ -198,4 +548,17 @@ let () =
       ("registry",
        [ tc "get or create" test_registry_get_or_create;
          tc "reset keeps registrations" test_registry_reset_keeps_registrations;
-         tc "json export" test_registry_json ]) ]
+         tc "json export" test_registry_json;
+         tc "snapshot restore" test_registry_snapshot_restore ]);
+      ("event-log",
+       [ tc "gated and wraps" test_event_log_gated_and_wraps;
+         tc "kinds and clock" test_event_log_kinds_and_clock ]);
+      ("span",
+       [ tc "of_trace delivered" test_span_of_trace_delivered;
+         tc "of_trace dropped" test_span_of_trace_dropped;
+         tc "sampler" test_span_sampler ]);
+      ("slo",
+       [ tc "spec validation" test_slo_spec_validation;
+         tc "good traffic in budget" test_slo_good_traffic_stays_in_budget;
+         tc "violation recovery alert" test_slo_violation_recovery_and_alert;
+         tc "gated and json" test_slo_gated_and_json ]) ]

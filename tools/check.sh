@@ -22,6 +22,39 @@ for g in e0.rate.cached_pps e0.rate.uncached_pps; do
   }
 done
 
+echo "== E6 bench smoke (SLA conformance + event log)"
+dune exec bench/main.exe -- --only E6 > /dev/null
+./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+grep -q '"e6c\.slo\.vpn' BENCH_telemetry.json || {
+  echo "no per-(vpn, band) conformance gauges after the E6 smoke" >&2
+  exit 1
+}
+grep -q '"kind":"slo_' BENCH_telemetry.json || {
+  echo "no slo events in the event log after the E6 smoke" >&2
+  exit 1
+}
+# Accounting gauges must only name known bands (0..3).
+if grep -Eo '"acct\.vpn[0-9]+\.band[0-9]+' BENCH_telemetry.json \
+   | grep -Ev 'band[0-3]$' | grep -q .; then
+  echo "unknown-band accounting gauge in BENCH_telemetry.json" >&2
+  exit 1
+fi
+
+echo "== mvpn slo --json well-formed"
+slo_json=$(dune exec bin/mvpn.exe -- slo --json --duration 5) || {
+  echo "mvpn slo reports out of budget on a healthy run" >&2
+  exit 1
+}
+printf '%s' "$slo_json" | ./_build/default/tools/json_lint.exe
+printf '%s' "$slo_json" | grep -q '"objectives":\[{"vpn":' || {
+  echo "no slo records in mvpn slo --json" >&2
+  exit 1
+}
+printf '%s' "$slo_json" | grep -q '"events":\[{"seq":' || {
+  echo "empty event log in mvpn slo --json" >&2
+  exit 1
+}
+
 echo "== mvpn stats --json well-formed"
 stats_json=$(dune exec bin/mvpn.exe -- stats --json --duration 2)
 printf '%s' "$stats_json" | ./_build/default/tools/json_lint.exe
