@@ -36,6 +36,8 @@ let experiments =
      E13_restoration.run);
     ("E14", "group communication: ingress-replication multicast",
      E14_multicast.run);
+    ("E15", "chaos: seeded fault storms, fast reroute on vs off",
+     E15_chaos.run);
     ("ABL", "ablations: scheduler, WRED, PHP, shared-vs-per-pair LSPs",
      Ablations.run) ]
 

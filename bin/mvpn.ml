@@ -257,13 +257,22 @@ let stats_cmd =
 
 let slo_cmd =
   let run pops vpns sites_per_vpn policy load duration use_te seed json
-      fail_at repair_at =
+      fail_at repair_at chaos_seed =
     Telemetry.Registry.reset ();
     Telemetry.Control.enable ();
     let sc =
       Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
         (Scenario.Mpls_deployment { policy; use_te })
     in
+    (* --chaos SEED: arm the full resilience stack (IP fallback, FRR
+       bypasses, backoff recovery) plus the seeded fault plan, and
+       judge conformance under that storm. *)
+    (match chaos_seed with
+     | Some cseed ->
+       ignore
+         (Mvpn_resilience.Harness.arm ~frr:true ~fallback:true ~seed:cseed
+            ~duration sc)
+     | None -> ());
     let slo = Scenario.attach_slo sc in
     let net = Scenario.network sc in
     let engine = Scenario.engine sc in
@@ -342,14 +351,68 @@ let slo_cmd =
     Arg.(value & opt (some float) None & info ["repair-at"] ~docv:"SEC"
            ~doc:"Repair the failed link (and reconverge) at this time.")
   in
+  let chaos_arg =
+    Arg.(value & opt (some int) None & info ["chaos"] ~docv:"SEED"
+           ~doc:"Run under a seeded chaos fault plan with fast reroute, IP \
+                 fallback and backoff recovery armed; judge the SLOs under \
+                 that storm.")
+  in
   Cmd.v
     (Cmd.info "slo"
        ~doc:"Run the mixed workload under per-(vpn, band) SLOs and report \
              conformance, error budgets, burn rates and the event log. \
-             Exits non-zero iff any objective is out of budget.")
+             Exit status is the contract: 0 when every objective is in \
+             budget, 1 when any objective is out of budget (124 on \
+             command-line errors, per cmdliner).")
     Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
           $ load_arg $ duration_arg $ te_arg $ seed_arg $ json_arg
-          $ fail_arg $ repair_arg)
+          $ fail_arg $ repair_arg $ chaos_arg)
+
+(* --- chaos -------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let run pops vpns sites_per_vpn load duration seed events json no_frr
+      no_fallback =
+    Telemetry.Registry.reset ();
+    Telemetry.Control.enable ();
+    let h =
+      Mvpn_resilience.Harness.build ~pops ~vpns ~sites_per_vpn ~events ~load
+        ~frr:(not no_frr) ~fallback:(not no_fallback) ~seed ~duration ()
+    in
+    Mvpn_resilience.Harness.run h;
+    Telemetry.Control.disable ();
+    if json then print_string (Mvpn_resilience.Harness.summary_json h)
+    else begin
+      Mvpn_resilience.Harness.pp_summary Format.std_formatter h;
+      Format.pp_print_flush Format.std_formatter ()
+    end
+  in
+  let events_arg =
+    Arg.(value & opt int 12 & info ["events"] ~docv:"N"
+           ~doc:"Number of faults in the seeded plan.")
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit the replayable plan and every terminal fate as one \
+                 JSON object. Byte-identical for equal seeds.")
+  in
+  let no_frr_arg =
+    Arg.(value & flag & info ["no-frr"]
+           ~doc:"Disarm MPLS fast reroute (baseline regime).")
+  in
+  let no_fallback_arg =
+    Arg.(value & flag & info ["no-fallback"]
+           ~doc:"Disarm best-effort IP fallback at the ingress PE.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Run the mixed workload under a seeded fault storm — link \
+             flaps, node outages, loss and corruption bursts, \
+             control-plane session drops — with fast reroute, IP fallback \
+             and backoff recovery armed, and account every packet's fate.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ load_arg
+          $ duration_arg $ seed_arg $ events_arg $ json_arg $ no_frr_arg
+          $ no_fallback_arg)
 
 (* --- fail --------------------------------------------------------------- *)
 
@@ -456,5 +519,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; fail_cmd;
-           plan_cmd]))
+          [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; chaos_cmd;
+           fail_cmd; plan_cmd]))

@@ -15,6 +15,13 @@ module Rsvp_te = Mvpn_mpls.Rsvp_te
 
 let provider_asn = 65000
 
+let m_fallback_packets =
+  Mvpn_telemetry.Registry.counter "resilience.fallback.packets"
+let m_fallback_engaged =
+  Mvpn_telemetry.Registry.counter "resilience.fallback.engaged"
+let m_fallback_restored =
+  Mvpn_telemetry.Registry.counter "resilience.fallback.restored"
+
 type t = {
   net : Network.t;
   backbone : Backbone.t;
@@ -34,10 +41,20 @@ type t = {
   external_labels : (int * int, unit) Hashtbl.t;
   map_dscp_to_exp : bool;
   domain : int -> bool;
+  (* Graceful degradation: when no labelled transport reaches the
+     egress PE, tunnel the VPN label inside plain IP toward the egress
+     loopback instead of dropping. Off by default; the resilience
+     layer and the chaos benches switch it on. *)
+  mutable ip_fallback : bool;
+  (* (ingress, egress) PE pairs currently degraded to IP: drives the
+     once-per-episode engage/restore events and counters. *)
+  fallback_active : (int * int, unit) Hashtbl.t;
   mutable touches : int;
 }
 
 let membership t = t.membership
+let set_ip_fallback t flag = t.ip_fallback <- flag
+let ip_fallback t = t.ip_fallback
 let mpbgp t = t.mpbgp
 let ospf t = t.ospf
 let ldp t = t.ldp
@@ -176,14 +193,77 @@ let outer_transport t ~ingress_pe ~egress_pe =
          (Fec.Prefix_fec (Backbone.loopback t.backbone ~pop))
      | None -> None)
 
+(* A PE egress hop still delivers when its link is up — or when a
+   fast-reroute bypass currently covers it (the transmit-time switch in
+   {!Network.transmit} will detour the packet). *)
+let egress_usable t pe nh =
+  match Topology.find_link (Network.topology t.net) pe nh with
+  | None -> false
+  | Some l ->
+    l.Topology.up
+    || (match
+          Lfib.protection (Plane.lfib (Network.plane t.net) pe) ~next_hop:nh
+        with
+        | Some pr -> pr.Lfib.usable ()
+        | None -> false)
+
+(* The labelled transport works again for this PE pair: close any open
+   degradation episode — the make-before-break return to the LSP. *)
+let note_transport_ok t ~ingress ~egress =
+  if Hashtbl.mem t.fallback_active (ingress, egress) then begin
+    Hashtbl.remove t.fallback_active (ingress, egress);
+    Mvpn_telemetry.Counter.incr m_fallback_restored;
+    if !Mvpn_telemetry.Control.enabled then
+      Mvpn_telemetry.Event_log.record
+        (Mvpn_telemetry.Registry.events ())
+        (Mvpn_telemetry.Event_log.Lsp_restored { ingress; egress })
+  end
+
+let fallback_overhead = 24  (* outer IPv4 (20 B) + GRE shim (4 B) *)
+
+(* Graceful degradation (RFC 4023 in spirit): no labelled transport
+   reaches the egress PE, so carry the VPN label inside a best-effort
+   IP tunnel between PE loopbacks — the outer header rides the global
+   FIBs that OSPF keeps converging even while LDP/RSVP-TE state is
+   gone. The label travels in the GRE key (the outer [src_port]); the
+   egress PE's interceptor restores it. Best effort by construction:
+   [copy_tos:false] leaves the outer DSCP at BE, so the core cannot
+   see the tenant's class — degraded, counted, never silent. *)
+let send_fallback t ~ingress ~egress ~vpn_label packet =
+  match
+    (Backbone.pop_of_node t.backbone ingress,
+     Backbone.pop_of_node t.backbone egress)
+  with
+  | Some ipop, Some epop ->
+    let src = Prefix.network (Backbone.loopback t.backbone ~pop:ipop) in
+    let dst = Prefix.network (Backbone.loopback t.backbone ~pop:epop) in
+    Packet.encapsulate packet ~src ~dst ~proto:Mvpn_net.Flow.Gre
+      ~overhead:fallback_overhead ~copy_tos:false;
+    (Packet.visible_header packet).Packet.src_port <- vpn_label;
+    if not (Hashtbl.mem t.fallback_active (ingress, egress)) then begin
+      Hashtbl.replace t.fallback_active (ingress, egress) ();
+      Mvpn_telemetry.Counter.incr m_fallback_engaged;
+      if !Mvpn_telemetry.Control.enabled then
+        Mvpn_telemetry.Event_log.record
+          (Mvpn_telemetry.Registry.events ())
+          (Mvpn_telemetry.Event_log.Fallback_engaged { ingress; egress })
+    end;
+    Mvpn_telemetry.Counter.incr m_fallback_packets;
+    Network.forward_ip t.net ingress packet
+  | _ -> Network.drop_packet ~node:ingress ~packet t.net "pe-unreachable"
+
 (* Forward a packet out of a PE along one VRF route: hairpin to a
    local CE, plain IP over an Option-A border, or — the §5 edge
    function — push the VPN label with the CPE-marked DSCP in the EXP
-   bits of the whole stack and hand it to the transport LSP. *)
+   bits of the whole stack and hand it to the transport LSP. When no
+   labelled transport survives (FTN gone or its egress link dead and
+   unprotected), degrade to the IP tunnel if enabled, else drop
+   ["pe-unreachable"]. *)
 let pe_forward_to t pe packet nh =
   let hdr = Packet.visible_header packet in
   let relay to_ =
-    if hdr.Packet.ttl <= 1 then Network.drop_packet t.net "ip-ttl"
+    if hdr.Packet.ttl <= 1 then
+      Network.drop_packet ~node:pe ~packet t.net "ip-ttl"
     else begin
       hdr.Packet.ttl <- hdr.Packet.ttl - 1;
       Network.transmit t.net ~from:pe ~to_ packet
@@ -198,18 +278,35 @@ let pe_forward_to t pe packet nh =
       else 0
     in
     let ttl = hdr.Packet.ttl in
-    Packet.push_label packet ~label:vpn_label ~exp ~ttl;
+    let labelled_send e =
+      note_transport_ok t ~ingress:pe ~egress:egress_pe;
+      Packet.push_label packet ~label:vpn_label ~exp ~ttl;
+      (match e with
+       | Some (e : Plane.ftn_entry) ->
+         if e.Plane.push <> Label.explicit_null then
+           Packet.push_label packet ~label:e.Plane.push ~exp ~ttl;
+         Network.transmit t.net ~from:pe ~to_:e.Plane.next_hop packet
+       | None ->
+         (* Adjacent PHP egress: the inner label alone travels. *)
+         (match Hashtbl.find_opt t.pe_next_hop (pe, egress_pe) with
+          | Some nh -> Network.transmit t.net ~from:pe ~to_:nh packet
+          | None -> assert false))
+    in
     (match outer_transport t ~ingress_pe:pe ~egress_pe with
-     | Some e ->
-       if e.Plane.push <> Label.explicit_null then
-         Packet.push_label packet ~label:e.Plane.push ~exp ~ttl;
-       Network.transmit t.net ~from:pe ~to_:e.Plane.next_hop packet
-     | None ->
-       (* Next hop is the PHP egress itself (adjacent PE): the inner
-          label alone travels. *)
+     | Some e when egress_usable t pe e.Plane.next_hop ->
+       labelled_send (Some e)
+     | Some _ | None ->
+       (* No usable transport LSP. Single-label PHP only works when the
+          egress PE is literally the next hop; a missing FTN toward a
+          distant PE (an LDP session loss, say) is a transport outage,
+          not an implicit-null. *)
        (match Hashtbl.find_opt t.pe_next_hop (pe, egress_pe) with
-        | Some nh -> Network.transmit t.net ~from:pe ~to_:nh packet
-        | None -> Network.drop_packet t.net "pe-unreachable"))
+        | Some nh when nh = egress_pe && egress_usable t pe nh ->
+          labelled_send None
+        | Some _ | None ->
+          if t.ip_fallback then
+            send_fallback t ~ingress:pe ~egress:egress_pe ~vpn_label packet
+          else Network.drop_packet ~node:pe ~packet t.net "pe-unreachable"))
 
 (* Group communication (the abstract's "users who want to specify group
    communication"): ingress replication — one copy per VRF route, each
@@ -239,19 +336,46 @@ let pe_ingress t pe v ~from packet =
     pe_multicast t pe v ~from packet
   else
     match Vrf.lookup v hdr.Packet.dst with
-    | None -> Network.drop_packet t.net "vrf-no-route"
+    | None -> Network.drop_packet ~node:pe ~packet t.net "vrf-no-route"
     | Some nh -> pe_forward_to t pe packet nh
 
 let install_pe_interceptor t pe =
+  let own_loopback =
+    match Backbone.pop_of_node t.backbone pe with
+    | Some pop -> Some (Prefix.network (Backbone.loopback t.backbone ~pop))
+    | None -> None
+  in
   Dataplane.set_interceptor (Network.dataplane t.net) pe (fun ~from packet ->
-      match from with
-      | Some prev when Packet.top_label packet = None ->
-        (match Hashtbl.find_opt t.ce_vrf prev with
-         | Some v when Vrf.pe v = pe ->
-           pe_ingress t pe v ~from packet;
-           Dataplane.Consumed
-         | Some _ | None -> Dataplane.Continue)
-      | Some _ | None -> Dataplane.Continue)
+      match packet.Packet.outer with
+      | Some o
+        when from <> None
+          && Packet.top_label packet = None
+          && o.Packet.proto = Mvpn_net.Flow.Gre
+          && (match own_loopback with
+              | Some lo -> Mvpn_net.Ipv4.equal o.Packet.dst lo
+              | None -> false) ->
+        (* Terminate a degraded-mode tunnel: strip the outer header,
+           restore the VPN label from the GRE key and let the normal
+           pipeline pop it toward the CE. *)
+        let vpn_label = o.Packet.src_port in
+        let outer_ttl = o.Packet.ttl in
+        Packet.decapsulate packet;
+        Packet.push_label packet ~label:vpn_label
+          ~exp:
+            (if t.map_dscp_to_exp then
+               Dscp.to_exp (Packet.visible_dscp packet)
+             else 0)
+          ~ttl:outer_ttl;
+        Dataplane.Continue
+      | Some _ | None ->
+        (match from with
+         | Some prev when Packet.top_label packet = None ->
+           (match Hashtbl.find_opt t.ce_vrf prev with
+            | Some v when Vrf.pe v = pe ->
+              pe_ingress t pe v ~from packet;
+              Dataplane.Consumed
+            | Some _ | None -> Dataplane.Continue)
+         | Some _ | None -> Dataplane.Continue))
 
 (* --- deployment --------------------------------------------------------- *)
 
@@ -308,6 +432,7 @@ let deploy ?(mechanism = Membership.Directory) ?(session_mode = Mpbgp.Full_mesh)
       site_state = Hashtbl.create 16; pe_tunnels = Hashtbl.create 16;
       pe_next_hop = Hashtbl.create 64;
       external_labels = Hashtbl.create 16; map_dscp_to_exp; domain;
+      ip_fallback = false; fallback_active = Hashtbl.create 8;
       touches = 0 }
   in
   refresh_fibs t;

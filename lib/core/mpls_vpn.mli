@@ -54,6 +54,22 @@ val ospf : t -> Mvpn_routing.Ospf.t
 val ldp : t -> Mvpn_mpls.Ldp.t
 val te : t -> Mvpn_mpls.Rsvp_te.t option
 
+val set_ip_fallback : t -> bool -> unit
+(** Graceful degradation toggle (default off). When on and no labelled
+    transport reaches the egress PE — FTN missing, or its egress link
+    down with no usable fast-reroute bypass — the ingress PE tunnels
+    the VPN label inside a best-effort IP packet between PE loopbacks
+    (MPLS-in-IP, RFC 4023 in spirit; the VPN label rides the GRE key)
+    instead of dropping. The egress PE's interceptor decapsulates and
+    the VPN label pops to the CE as usual. Degraded traffic is
+    best-effort by construction (the outer header carries BE, the
+    tenant's class is invisible to the core) and is always visible:
+    [resilience.fallback.packets]/[engaged]/[restored] counters and
+    one [Fallback_engaged]/[Lsp_restored] event pair per degraded
+    (ingress, egress) episode. *)
+
+val ip_fallback : t -> bool
+
 val vrf : t -> pe:int -> vpn:int -> Vrf.t option
 
 val vrfs : t -> Vrf.t list

@@ -12,6 +12,8 @@ module Telemetry = Mvpn_telemetry
 
 let m_drops = Telemetry.Registry.counter "net.drops"
 let m_delivered = Telemetry.Registry.counter "net.delivered"
+let m_frr_switched = Telemetry.Registry.counter "resilience.frr.switched"
+let m_frr_unprotected = Telemetry.Registry.counter "resilience.frr.unprotected"
 
 (* Per-class sojourn histograms, created on first delivery of each
    codepoint ("net.sojourn.EF", "net.sojourn.AF31", "net.sojourn.BE"). *)
@@ -58,6 +60,10 @@ type t = {
   ports : Port.t option array;  (* indexed by link id *)
   sinks : (Packet.t -> unit) array;
   drop_table : (string, drop_entry) Hashtbl.t;
+  (* (plr, protected next hop) pairs currently detoured over a bypass:
+     the switchover event fires once per failure episode, not once per
+     packet; entries clear when the protected link comes back up. *)
+  frr_engaged : (int * int, unit) Hashtbl.t;
   mutable total_drops : int;
   link_tx_bytes : Telemetry.Counter.t array;  (* indexed by link id *)
   mutable tracer : (trace_event -> unit) option;
@@ -189,10 +195,51 @@ let port t ~link_id =
   | Some p -> p
   | None -> invalid_arg (Printf.sprintf "Network.port: unknown link %d" link_id)
 
+(* Facility-backup fast reroute happens here, at the universal egress
+   choke point: when the link toward [to_] is down and this node holds
+   a usable {!Lfib.protection} for that next hop, push the bypass label
+   over whatever the packet already carries and hand it to the bypass
+   neighbor instead. The bypass LSP merges at [to_], whose PHP
+   penultimate hop pops the bypass label, so [to_] receives exactly the
+   packet the dead link would have delivered — labelled or plain IP.
+   Because the check reads live link state, the switch is effective the
+   same tick the link dies: no recompile, no re-signalling in the hot
+   path. Down links without a usable bypass count
+   [resilience.frr.unprotected] and fall through to the port, whose
+   link-down accounting names the loss. *)
 let transmit t ~from ~to_ packet =
   match Topology.find_link t.topo from to_ with
   | None -> drop ~node:from ~packet t "no-link"
   | Some l ->
+    let l, to_ =
+      if l.Topology.up then (l, to_)
+      else
+        match Lfib.protection (Plane.lfib t.plane from) ~next_hop:to_ with
+        | Some pr when pr.Lfib.usable () ->
+          (match Topology.find_link t.topo from pr.Lfib.via with
+           | Some bypass ->
+             let exp, ttl =
+               match packet.Packet.labels with
+               | (s : Packet.shim) :: _ -> (s.Packet.exp, s.Packet.ttl)
+               | [] -> (0, (Packet.visible_header packet).Packet.ttl)
+             in
+             Packet.push_label packet ~label:pr.Lfib.push ~exp ~ttl;
+             Telemetry.Counter.incr m_frr_switched;
+             if not (Hashtbl.mem t.frr_engaged (from, to_)) then begin
+               Hashtbl.replace t.frr_engaged (from, to_) ();
+               if !Telemetry.Control.enabled then
+                 Telemetry.Event_log.record
+                   (Telemetry.Registry.events ())
+                   (Telemetry.Event_log.Frr_switchover
+                      { src = from; dst = to_ })
+             end;
+             record_hop t ~node:from ~packet "frr";
+             (bypass, pr.Lfib.via)
+           | None -> (l, to_))
+        | Some _ | None ->
+          Telemetry.Counter.incr m_frr_unprotected;
+          (l, to_)
+    in
     (match t.ports.(l.Topology.id) with
      | Some p ->
        emit t ~node:from ~packet (Trace_transmit to_);
@@ -240,6 +287,7 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
       ports = Array.make (max 1 n_links) None;
       sinks = Array.make nodes (fun _ -> ());
       drop_table = Hashtbl.create 16;
+      frr_engaged = Hashtbl.create 8;
       total_drops = 0;
       link_tx_bytes =
         Array.init (max 1 n_links) (fun i ->
@@ -254,6 +302,13 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
   Telemetry.Event_log.set_clock
     (Telemetry.Registry.events ())
     (fun () -> Engine.now engine);
+  (* A repaired link ends its fast-reroute episode: the next failure of
+     the same link announces a fresh switchover. *)
+  Topology.on_duplex_change topo (fun ~a ~b ~up ->
+      if up then begin
+        Hashtbl.remove net.frr_engaged (a, b);
+        Hashtbl.remove net.frr_engaged (b, a)
+      end);
   Dataplane.set_hooks dp
     { Dataplane.transmit = (fun ~from ~to_ p -> transmit net ~from ~to_ p);
       deliver = (fun ~node p -> deliver net node p);
@@ -286,7 +341,7 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
     links;
   net
 
-let drop_packet t reason = drop t reason
+let drop_packet ?node ?packet t reason = drop ?node ?packet t reason
 
 let install_fib t node source =
   Fib.iter (fun p r -> Fib.add t.fibs.(node) p r) source

@@ -80,13 +80,25 @@ val forward_ip : t -> int -> Mvpn_net.Packet.t -> unit
 
 val transmit : t -> from:int -> to_:int -> Mvpn_net.Packet.t -> unit
 (** Queue a packet on the from→to link's port.
-    Counts a ["no-link"] drop if no such link exists. *)
+    Counts a ["no-link"] drop if no such link exists.
+
+    Fast reroute: when the from→to link is down and the sender's LFIB
+    holds a usable {!Mvpn_mpls.Lfib.protection} for [to_], the bypass
+    label is pushed and the packet leaves toward the bypass neighbor
+    instead — same-tick protection switching, counted under
+    [resilience.frr.switched] with one [Frr_switchover] event per
+    failure episode. A down link with no usable bypass counts
+    [resilience.frr.unprotected] and the port's link-down accounting
+    names the loss. *)
 
 val port : t -> link_id:int -> Mvpn_qos.Port.t
 (** @raise Invalid_argument on an unknown link id. *)
 
-val drop_packet : t -> string -> unit
-(** Count a drop under a reason — for interceptors that discard. *)
+val drop_packet :
+  ?node:int -> ?packet:Mvpn_net.Packet.t -> t -> string -> unit
+(** Count a drop under a reason — for interceptors that discard. Pass
+    the packet so the fate reaches tracing, SLO conformance and span
+    sampling; without it the drop is counted but unattributed. *)
 
 (** {2 Tracing}
 

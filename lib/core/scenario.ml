@@ -202,6 +202,17 @@ let class_reports t =
   List.map (fun label -> (label, Traffic.report t.registry label))
     (Traffic.labels t.registry)
 
+let core_links t =
+  let is_pop v = Backbone.pop_of_node t.backbone v <> None in
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (l : Topology.link) ->
+          if is_pop l.Topology.src && is_pop l.Topology.dst
+          && l.Topology.src < l.Topology.dst
+          then Some (l.Topology.src, l.Topology.dst)
+          else None)
+       (Topology.links (Backbone.topology t.backbone)))
+
 let max_core_utilization t =
   let now = Engine.now t.engine in
   List.fold_left

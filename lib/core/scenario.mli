@@ -78,6 +78,11 @@ val class_report : t -> string -> Mvpn_qos.Sla.report
 val class_reports : t -> (string * Mvpn_qos.Sla.report) list
 (** One report per class that generated traffic, in class order. *)
 
+val core_links : t -> (int * int) list
+(** The backbone's core (POP–POP) duplex links as sorted (src, dst)
+    node pairs with src < dst — the fault targets chaos scenarios flap
+    (CE access links excluded). *)
+
 val max_core_utilization : t -> float
 (** Highest port utilization over backbone core links (CE access links
     excluded) at the current engine time. *)

@@ -11,6 +11,8 @@ type op = Swap of int | Pop | Pop_and_ip
 
 type entry = { op : op; next_hop : int }
 
+type protection = { push : int; via : int; usable : unit -> bool }
+
 let local = -1
 
 type t = {
@@ -20,9 +22,16 @@ type t = {
      uninstall and clear, so compiled forwarding state built over this
      LFIB can detect staleness in O(1). *)
   mutable gen : int;
+  (* Facility-backup NHLFEs, keyed by the protected next hop. Consulted
+     by the I/O shell when the primary link is down; never by [step],
+     so the per-packet decision path is untouched while links are
+     healthy. Not generation-tracked: compiled caches never capture
+     protection decisions. *)
+  protections : (int, protection) Hashtbl.t;
 }
 
-let create () = { table = [||]; count = 0; gen = 0 }
+let create () =
+  { table = [||]; count = 0; gen = 0; protections = Hashtbl.create 4 }
 
 let generation t = t.gen
 
@@ -65,6 +74,25 @@ let clear t =
   t.table <- [||];
   t.count <- 0;
   t.gen <- t.gen + 1
+
+let set_protection t ~next_hop ~push ~via ~usable =
+  if not (Label.valid push) then
+    invalid_arg (Printf.sprintf "Lfib.set_protection: invalid label %d" push);
+  Hashtbl.replace t.protections next_hop { push; via; usable }
+
+let protection t ~next_hop = Hashtbl.find_opt t.protections next_hop
+
+let remove_protection t ~next_hop =
+  if Hashtbl.mem t.protections next_hop then begin
+    Hashtbl.remove t.protections next_hop;
+    true
+  end else false
+
+let clear_protections t = Hashtbl.reset t.protections
+
+let protected_next_hops t =
+  List.sort Int.compare
+    (Hashtbl.fold (fun nh _ acc -> nh :: acc) t.protections [])
 
 type step_result =
   | Forward of int

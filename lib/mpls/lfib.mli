@@ -23,6 +23,14 @@ type entry = {
 val local : int
 (** Pseudo next-hop (-1): process locally after the op. *)
 
+(** A facility-backup NHLFE: when the link toward the protected next
+    hop is down, push [push] over whatever the primary op produced and
+    forward to [via] instead — the packet tunnels around the failure
+    and merges back at the protected next hop, which sees exactly the
+    stack it would have received. [usable] reports whether every link
+    of the bypass path is currently up. *)
+type protection = { push : int; via : int; usable : unit -> bool }
+
 type t
 
 val create : unit -> t
@@ -46,6 +54,30 @@ val generation : t -> int
     that label bindings moved underneath it. *)
 
 val clear : t -> unit
+
+(** {2 Fast-reroute protection}
+
+    Backup NHLFEs installed by the resilience layer
+    ([Mvpn_resilience.Frr]) and consulted by the network I/O shell at
+    transmit time when the primary link is down. They live beside the
+    ILM so the point of local repair owns its own backup state, but
+    {!step} never reads them and they do not participate in
+    {!generation} — protection switches packets the instant a link
+    dies without recompiling anything. *)
+
+val set_protection :
+  t -> next_hop:int -> push:int -> via:int -> usable:(unit -> bool) -> unit
+(** Bind (or replace) the facility backup protecting this node's link
+    toward [next_hop]. @raise Invalid_argument on an invalid label. *)
+
+val protection : t -> next_hop:int -> protection option
+
+val remove_protection : t -> next_hop:int -> bool
+
+val clear_protections : t -> unit
+
+val protected_next_hops : t -> int list
+(** Sorted next hops with a protection bound (inspection/tests). *)
 
 (** Result of running one labelled packet through an LSR. *)
 type step_result =

@@ -44,6 +44,13 @@ let remove_ftn t node fec =
 
 let find_ftn t node fec = Hashtbl.find_opt (get t node).ftn fec
 
+let clear_ftn t node =
+  let s = get t node in
+  if Hashtbl.length s.ftn > 0 then begin
+    Hashtbl.reset s.ftn;
+    s.ftn_gen <- s.ftn_gen + 1
+  end
+
 let ftn_generation t node = (get t node).ftn_gen
 
 let ftn_size t node = Hashtbl.length (get t node).ftn

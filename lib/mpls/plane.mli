@@ -28,6 +28,11 @@ val remove_ftn : t -> int -> Fec.t -> bool
 
 val find_ftn : t -> int -> Fec.t -> ftn_entry option
 
+val clear_ftn : t -> int -> unit
+(** Drop every FTN binding at a node (bumps the generation when any
+    existed) — what a control-plane session loss does to an ingress
+    until LDP/RSVP-TE re-installs. *)
+
 val ftn_generation : t -> int -> int
 (** Monotonic mutation counter of the node's FTN map, bumped by
     {!install_ftn} and successful {!remove_ftn} — including every

@@ -1,5 +1,8 @@
 module Topology = Mvpn_sim.Topology
 
+let m_reroute_attempt = Mvpn_telemetry.Registry.counter "rsvp.reroute.attempt"
+let m_reroute_skipped = Mvpn_telemetry.Registry.counter "rsvp.reroute.skipped"
+
 type admission = Cspf | Igp_only
 
 type class_type = Global_pool | Subpool
@@ -22,6 +25,9 @@ type t = {
   php : bool;
   subpool_fraction : float;
   subpool : (int, float) Hashtbl.t;  (* link id -> premium bps reserved *)
+  (* tunnel id -> topology generation at its last failed re-signal
+     attempt; reroute_down skips the tunnel until the topology moves. *)
+  reroute_failed : (int, int) Hashtbl.t;
   mutable tunnels : tunnel list;
   mutable next_id : int;
 }
@@ -30,7 +36,7 @@ let create ?(php = true) ?(subpool_fraction = 0.4) topo plane =
   if subpool_fraction <= 0.0 || subpool_fraction > 1.0 then
     invalid_arg "Rsvp_te.create: subpool fraction outside (0, 1]";
   { topo; plane; php; subpool_fraction; subpool = Hashtbl.create 32;
-    tunnels = []; next_id = 1 }
+    reroute_failed = Hashtbl.create 8; tunnels = []; next_id = 1 }
 
 let subpool_reserved t (l : Topology.link) =
   Option.value ~default:0.0 (Hashtbl.find_opt t.subpool l.Topology.id)
@@ -271,28 +277,42 @@ let handle_link_failure t =
   List.iter (release_tunnel t) victims;
   List.length victims
 
+(* Re-signal down tunnels. A tunnel whose last attempt failed against
+   the current topology generation is skipped outright — CSPF over an
+   unchanged graph cannot succeed where it just failed, so retry
+   storms (backoff loops, flap bursts) cost nothing until the topology
+   actually moves. *)
 let reroute_down t =
+  let gen = Topology.generation t.topo in
   let down = List.filter (fun tn -> not tn.up) t.tunnels in
   let restored = ref 0 in
   List.iter
     (fun tn ->
-       let usable (l : Topology.link) =
-         l.Topology.up
-         && Topology.available l >= tn.bandwidth
-         && (tn.class_type = Global_pool
-             || subpool_room t l >= tn.bandwidth)
-       in
-       match Mvpn_routing.Spf.shortest_path ~usable t.topo ~src:tn.src ~dst:tn.dst with
-       | Some path when reserve_path t.topo path tn.bandwidth ->
-         tn.path <- path;
-         tn.up <- true;
-         if tn.class_type = Subpool then
-           List.iter
-             (fun l -> bump_subpool t l tn.bandwidth)
-             (links_of_path t.topo path);
-         install_labels t tn;
-         incr restored
-       | Some _ | None -> ())
+       match Hashtbl.find_opt t.reroute_failed tn.id with
+       | Some g when g = gen -> Mvpn_telemetry.Counter.incr m_reroute_skipped
+       | Some _ | None ->
+         Mvpn_telemetry.Counter.incr m_reroute_attempt;
+         let usable (l : Topology.link) =
+           l.Topology.up
+           && Topology.available l >= tn.bandwidth
+           && (tn.class_type = Global_pool
+               || subpool_room t l >= tn.bandwidth)
+         in
+         match
+           Mvpn_routing.Spf.shortest_path ~usable t.topo ~src:tn.src
+             ~dst:tn.dst
+         with
+         | Some path when reserve_path t.topo path tn.bandwidth ->
+           tn.path <- path;
+           tn.up <- true;
+           Hashtbl.remove t.reroute_failed tn.id;
+           if tn.class_type = Subpool then
+             List.iter
+               (fun l -> bump_subpool t l tn.bandwidth)
+               (links_of_path t.topo path);
+           install_labels t tn;
+           incr restored
+         | Some _ | None -> Hashtbl.replace t.reroute_failed tn.id gen)
     down;
   (!restored, List.length down - !restored)
 

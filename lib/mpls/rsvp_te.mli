@@ -75,7 +75,11 @@ val handle_link_failure : t -> int
 
 val reroute_down : t -> int * int
 (** Try to re-signal every down tunnel (CSPF, no preemption); returns
-    [(restored, still_down)]. *)
+    [(restored, still_down)]. A tunnel whose previous attempt failed
+    against the current {!Mvpn_sim.Topology.generation} is skipped
+    (counted in [still_down]) until the topology changes — retry
+    loops are free while nothing moved. Telemetry: the
+    [rsvp.reroute.attempt] / [rsvp.reroute.skipped] counters. *)
 
 val overcommitted_links : t -> (Mvpn_sim.Topology.link * float) list
 (** Links whose reservations exceed capacity, with the excess — only

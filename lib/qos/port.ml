@@ -2,6 +2,8 @@ module Engine = Mvpn_sim.Engine
 module Topology = Mvpn_sim.Topology
 module Packet = Mvpn_net.Packet
 
+type fault = { loss : float; corrupt : float; seed : int }
+
 type t = {
   engine : Engine.t;
   link : Topology.link;
@@ -11,10 +13,12 @@ type t = {
   on_txstart : Packet.t -> unit;
   on_drop : reason:string -> Packet.t -> unit;
   mutable busy : bool;
+  mutable fault : fault option;
   mutable offered : int;
   mutable delivered : int;
   mutable dropped_queue : int;
   mutable dropped_link_down : int;
+  mutable dropped_fault : int;
   mutable bytes_delivered : int;
   mutable busy_seconds : float;
 }
@@ -24,6 +28,7 @@ type counters = {
   delivered : int;
   dropped_queue : int;
   dropped_link_down : int;
+  dropped_fault : int;
   bytes_delivered : int;
   busy_seconds : float;
 }
@@ -34,8 +39,49 @@ let nop_drop ~reason:(_ : string) (_ : Packet.t) = ()
 let create ?(on_txstart = nop_txstart) ?(on_drop = nop_drop) engine ~link
     ~qdisc ~classify ~on_deliver =
   { engine; link; qdisc; classify; on_deliver; on_txstart; on_drop;
-    busy = false; offered = 0; delivered = 0; dropped_queue = 0;
-    dropped_link_down = 0; bytes_delivered = 0; busy_seconds = 0.0 }
+    busy = false; fault = None; offered = 0; delivered = 0;
+    dropped_queue = 0; dropped_link_down = 0; dropped_fault = 0;
+    bytes_delivered = 0; busy_seconds = 0.0 }
+
+let set_fault t ?(loss = 0.0) ?(corrupt = 0.0) ~seed () =
+  if loss < 0.0 || loss > 1.0 || corrupt < 0.0 || corrupt > 1.0 then
+    invalid_arg "Port.set_fault: probabilities must be within [0, 1]";
+  t.fault <- Some { loss; corrupt; seed }
+
+let clear_fault t = t.fault <- None
+
+let faulty t = t.fault <> None
+
+(* Stateless per-packet fault decision: a splitmix64 finalizer over
+   (uid, seed, salt) mapped to [0, 1). Keyed on the packet uid rather
+   than drawn from a stream so the verdict for a given packet does not
+   depend on how many other packets happened to cross the port first —
+   what makes seeded chaos runs comparable across FRR on/off. *)
+let fault_uniform ~uid ~seed ~salt =
+  let z =
+    Int64.add
+      (Int64.mul (Int64.of_int uid) 0x9E3779B97F4A7C15L)
+      (Int64.add (Int64.mul (Int64.of_int seed) 0xBF58476D1CE4E5B9L)
+         (Int64.of_int salt))
+  in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) *. 0x1p-53
+
+let fault_verdict t (packet : Packet.t) =
+  match t.fault with
+  | None -> None
+  | Some { loss; corrupt; seed } ->
+    if loss > 0.0
+    && fault_uniform ~uid:packet.Packet.uid ~seed ~salt:1 < loss then
+      Some "chaos-loss"
+    else if corrupt > 0.0
+         && fault_uniform ~uid:packet.Packet.uid ~seed ~salt:2 < corrupt then
+      Some "chaos-corrupt"
+    else None
 
 let link t = t.link
 
@@ -73,6 +119,11 @@ let send (t : t) packet =
     t.on_drop ~reason:"link-down" packet
   end
   else begin
+    match fault_verdict t packet with
+    | Some reason ->
+      t.dropped_fault <- t.dropped_fault + 1;
+      t.on_drop ~reason packet
+    | None ->
     match Queue_disc.enqueue t.qdisc ~cls:(t.classify packet) packet with
     | Error Queue_disc.Tail_drop ->
       t.dropped_queue <- t.dropped_queue + 1;
@@ -87,6 +138,7 @@ let counters (t : t) =
   { offered = t.offered; delivered = t.delivered;
     dropped_queue = t.dropped_queue;
     dropped_link_down = t.dropped_link_down;
+    dropped_fault = t.dropped_fault;
     bytes_delivered = t.bytes_delivered; busy_seconds = t.busy_seconds }
 
 let utilization (t : t) ~now =

@@ -29,7 +29,28 @@ val create :
 
 val send : t -> Mvpn_net.Packet.t -> unit
 (** Enqueue a packet for transmission. Dropped (counted, and reported
-    via [on_drop]) if the discipline refuses it or the link is down. *)
+    via [on_drop]) if the discipline refuses it, the link is down, or
+    an armed fault claims it (reasons ["chaos-loss"] /
+    ["chaos-corrupt"]). *)
+
+(** {2 Fault injection}
+
+    The chaos engine's data-plane lever: an armed fault discards a
+    fraction of arriving packets before they queue, modelling a lossy
+    or corrupting span. Verdicts are a pure hash of (packet uid, seed)
+    — not a stream — so a given packet's fate on this port is
+    independent of what other traffic crossed it, which keeps seeded
+    chaos runs comparable across configurations. *)
+
+val set_fault : t -> ?loss:float -> ?corrupt:float -> seed:int -> unit -> unit
+(** Arm a loss/corruption fault. [loss] and [corrupt] (defaults 0) are
+    independent per-packet probabilities; corruption is only tested on
+    packets that survive loss.
+    @raise Invalid_argument if a probability is outside [0, 1]. *)
+
+val clear_fault : t -> unit
+
+val faulty : t -> bool
 
 val link : t -> Mvpn_sim.Topology.link
 
@@ -40,6 +61,7 @@ type counters = {
   delivered : int;
   dropped_queue : int;
   dropped_link_down : int;
+  dropped_fault : int;  (** discards by an armed chaos fault *)
   bytes_delivered : int;
   busy_seconds : float;
 }

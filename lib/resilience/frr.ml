@@ -1,0 +1,112 @@
+module Topology = Mvpn_sim.Topology
+module Spf = Mvpn_routing.Spf
+module Plane = Mvpn_mpls.Plane
+module Lfib = Mvpn_mpls.Lfib
+module Label = Mvpn_mpls.Label
+module Network = Mvpn_core.Network
+module Telemetry = Mvpn_telemetry
+
+let m_protected = Telemetry.Registry.counter "resilience.frr.protected_links"
+let m_unprotected_links =
+  Telemetry.Registry.counter "resilience.frr.unprotected_links"
+
+type stats = { protected_links : int; unprotected_links : int }
+
+type t = {
+  net : Network.t;
+  links : (int * int) list;  (* directed (plr, next hop) pairs *)
+  (* Bypass ILM entries installed at transit LSRs, so rearm can retire
+     the previous generation before signalling fresh paths. *)
+  mutable installed : (int * int) list;  (* (node, in_label) *)
+  mutable stats : stats;
+}
+
+let stats t = t.stats
+
+(* Facility backup for the directed link a→b: a CSPF path from a to b
+   that excludes the protected link in both directions, one bypass
+   label per hop, PHP at the penultimate bypass hop so b — the merge
+   point — receives exactly the stack the dead link would have
+   delivered. The PLR's protection record captures the bypass links,
+   so [usable] reads live state: a bypass that later loses one of its
+   own links stops being offered. *)
+let protect_one t a b =
+  let topo = Network.topology t.net in
+  let plane = Network.plane t.net in
+  let usable (l : Topology.link) =
+    l.Topology.up
+    && not
+         ((l.Topology.src = a && l.Topology.dst = b)
+          || (l.Topology.src = b && l.Topology.dst = a))
+  in
+  match Spf.shortest_path ~usable topo ~src:a ~dst:b with
+  | None | Some ([] | [_]) -> false
+  | Some path ->
+    let hops = Array.of_list (List.tl path) in  (* n1 .. nk, b *)
+    let n = Array.length hops in
+    (* n >= 2: a direct hop would need the excluded link. *)
+    let labels =
+      Array.init (n - 1) (fun i ->
+          Label.Allocator.alloc (Plane.allocator plane hops.(i)))
+    in
+    for i = 0 to n - 2 do
+      let entry =
+        if i = n - 2 then { Lfib.op = Lfib.Pop; next_hop = hops.(n - 1) }
+        else { Lfib.op = Lfib.Swap labels.(i + 1); next_hop = hops.(i + 1) }
+      in
+      Lfib.install (Plane.lfib plane hops.(i)) ~in_label:labels.(i) entry;
+      t.installed <- (hops.(i), labels.(i)) :: t.installed
+    done;
+    let bypass_links =
+      let rec go acc = function
+        | x :: (y :: _ as rest) ->
+          (match Topology.find_link topo x y with
+           | Some l -> go (l :: acc) rest
+           | None -> acc)
+        | _ -> acc
+      in
+      go [] path
+    in
+    let usable () =
+      List.for_all (fun (l : Topology.link) -> l.Topology.up) bypass_links
+    in
+    Lfib.set_protection (Plane.lfib plane a) ~next_hop:b ~push:labels.(0)
+      ~via:hops.(0) ~usable;
+    true
+
+let install t =
+  let ok, missing =
+    List.fold_left
+      (fun (ok, missing) (a, b) ->
+         if protect_one t a b then (ok + 1, missing) else (ok, missing + 1))
+      (0, 0) t.links
+  in
+  t.stats <- { protected_links = ok; unprotected_links = missing };
+  Telemetry.Counter.set m_protected ok;
+  Telemetry.Counter.set m_unprotected_links missing
+
+let all_directed_links net =
+  List.map
+    (fun (l : Topology.link) -> (l.Topology.src, l.Topology.dst))
+    (Topology.links (Network.topology net))
+
+let arm ?links net =
+  let links = match links with Some l -> l | None -> all_directed_links net in
+  let t =
+    { net; links; installed = [];
+      stats = { protected_links = 0; unprotected_links = 0 } }
+  in
+  install t;
+  t
+
+let rearm t =
+  let plane = Network.plane t.net in
+  List.iter
+    (fun (node, label) ->
+       ignore (Lfib.uninstall (Plane.lfib plane node) ~in_label:label))
+    t.installed;
+  t.installed <- [];
+  List.iter
+    (fun (a, _) -> Lfib.clear_protections (Plane.lfib plane a))
+    t.links;
+  install t

@@ -1,0 +1,32 @@
+(** MPLS fast reroute: facility-backup bypass LSPs.
+
+    For every protected directed link a→b, precompute a CSPF bypass
+    path from a to b that excludes the protected link (both
+    directions), install its label-switched path into the transit
+    LFIBs, and bind an {!Mvpn_mpls.Lfib.protection} record at a — the
+    point of local repair. When a→b dies, {!Mvpn_core.Network.transmit}
+    pushes the bypass label the same tick and the packet merges back at
+    b (PHP at the bypass penultimate hop) carrying exactly the stack
+    the dead link would have delivered, labelled or plain IP.
+
+    Links with no alternate path (single-homed access legs, partitioned
+    cores) stay unprotected — counted, never silent: the
+    [resilience.frr.protected_links] / [resilience.frr.unprotected_links]
+    counters mirror {!stats}, and unprotected traffic falls to the
+    port's link-down accounting (or the PE's IP fallback). *)
+
+type stats = { protected_links : int; unprotected_links : int }
+
+type t
+
+val arm : ?links:(int * int) list -> Mvpn_core.Network.t -> t
+(** Compute and install bypasses for the given directed (PLR, next
+    hop) pairs — default: every directed link of the topology. Call
+    with all links up (typically right after deployment). *)
+
+val rearm : t -> unit
+(** Retire every installed bypass entry and protection record, then
+    recompute against the current topology — after reconvergence, so
+    bypass paths track the surviving graph. *)
+
+val stats : t -> stats

@@ -1,0 +1,171 @@
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Rng = Mvpn_sim.Rng
+module Network = Mvpn_core.Network
+module Telemetry = Mvpn_telemetry
+
+let m_resignal = Telemetry.Registry.counter "resilience.recovery.resignal"
+let m_suppressed = Telemetry.Registry.counter "resilience.recovery.suppressed"
+let m_damped = Telemetry.Registry.counter "resilience.recovery.damped"
+let m_released = Telemetry.Registry.counter "resilience.recovery.released"
+
+type config = {
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+  damp_threshold : int;
+  damp_window : float;
+  reuse_after : float;
+}
+
+let default_config =
+  { base_delay = 0.2; max_delay = 5.0; jitter = 0.25; damp_threshold = 5;
+    damp_window = 2.0; reuse_after = 3.0 }
+
+type link_state = {
+  mutable downs : float list;  (* down transitions inside the window *)
+  mutable damped : bool;
+  mutable last_down : float;
+}
+
+type t = {
+  net : Network.t;
+  config : config;
+  rng : Rng.t;
+  repair : unit -> int * int;
+  states : (int * int, link_state) Hashtbl.t;
+  mutable pending : bool;  (* a repair burst is already scheduled *)
+  mutable attempt : int;  (* consecutive failed bursts, drives backoff *)
+}
+
+let key a b = (min a b, max a b)
+
+let state t a b =
+  let k = key a b in
+  match Hashtbl.find_opt t.states k with
+  | Some s -> s
+  | None ->
+    let s = { downs = []; damped = false; last_down = neg_infinity } in
+    Hashtbl.add t.states k s;
+    s
+
+let damped t a b =
+  match Hashtbl.find_opt t.states (key a b) with
+  | Some s -> s.damped
+  | None -> false
+
+let now t = Engine.now (Network.engine t.net)
+
+(* One duplex link per down pair: count each (a, b) with a < b once. *)
+let down_links t =
+  List.filter_map
+    (fun (l : Topology.link) ->
+       if (not l.Topology.up) && l.Topology.src < l.Topology.dst then
+         Some (l.Topology.src, l.Topology.dst)
+       else None)
+    (Topology.links (Network.topology t.net))
+
+(* Fire one repair burst. While every down link is damped the burst is
+   suppressed — re-signalling cannot succeed and would only thrash;
+   the release path re-arms repair when a damped link holds up. *)
+let rec fire t =
+  t.pending <- false;
+  let down = down_links t in
+  let undamped = List.filter (fun (a, b) -> not (damped t a b)) down in
+  if down <> [] && undamped = [] then
+    Telemetry.Counter.incr m_suppressed
+  else begin
+    t.attempt <- t.attempt + 1;
+    Telemetry.Counter.incr m_resignal;
+    let restored, still_down = t.repair () in
+    if !Telemetry.Control.enabled then
+      Telemetry.Event_log.record
+        (Telemetry.Registry.events ())
+        (Telemetry.Event_log.Resignal
+           { attempt = t.attempt; restored; still_down });
+    if still_down = 0 then t.attempt <- 0
+    else if List.exists (fun (a, b) -> not (damped t a b)) (down_links t)
+    then schedule_repair t
+  end
+
+(* Exponential backoff with deterministic jitter: coalesced — while a
+   burst is pending, further failures fold into it. *)
+and schedule_repair t =
+  if not t.pending then begin
+    t.pending <- true;
+    let backoff =
+      Float.min t.config.max_delay
+        (t.config.base_delay *. (2.0 ** float_of_int t.attempt))
+    in
+    let jit = 1.0 +. (t.config.jitter *. ((2.0 *. Rng.uniform t.rng) -. 1.0)) in
+    Engine.schedule (Network.engine t.net) ~delay:(backoff *. jit) (fun () ->
+        fire t)
+  end
+
+(* A damped link earns release by holding up for [reuse_after]. *)
+let schedule_release t (a, b) s =
+  let check_at = now t +. t.config.reuse_after in
+  Engine.schedule_at (Network.engine t.net) ~time:check_at (fun () ->
+      if s.damped && s.last_down < check_at -. t.config.reuse_after +. 1e-9
+      then begin
+        let still_up =
+          match Topology.find_link (Network.topology t.net) a b with
+          | Some l -> l.Topology.up
+          | None -> false
+        in
+        if still_up then begin
+          s.damped <- false;
+          s.downs <- [];
+          Telemetry.Counter.incr m_released;
+          if !Telemetry.Control.enabled then
+            Telemetry.Event_log.record
+              (Telemetry.Registry.events ())
+              (Telemetry.Event_log.Flap_released { src = a; dst = b });
+          schedule_repair t
+        end
+      end)
+
+let on_change t ~a ~b ~up =
+  let s = state t a b in
+  let time = now t in
+  if not up then begin
+    s.last_down <- time;
+    s.downs <-
+      time
+      :: List.filter (fun d -> time -. d <= t.config.damp_window) s.downs;
+    if (not s.damped) && List.length s.downs >= t.config.damp_threshold
+    then begin
+      s.damped <- true;
+      Telemetry.Counter.incr m_damped;
+      let ka, kb = key a b in
+      if !Telemetry.Control.enabled then
+        Telemetry.Event_log.record
+          (Telemetry.Registry.events ())
+          (Telemetry.Event_log.Flap_damped
+             { src = ka; dst = kb; flaps = List.length s.downs })
+    end;
+    if not s.damped then schedule_repair t
+  end
+  else if s.damped then schedule_release t (key a b) s
+  else schedule_repair t
+
+let request t = schedule_repair t
+
+let arm ?(config = default_config) ~seed net ~repair =
+  if config.base_delay <= 0.0 || config.max_delay < config.base_delay then
+    invalid_arg "Recovery.arm: bad delays";
+  if config.jitter < 0.0 || config.jitter >= 1.0 then
+    invalid_arg "Recovery.arm: jitter outside [0, 1)";
+  if config.damp_threshold < 2 then
+    invalid_arg "Recovery.arm: damp threshold below 2";
+  let t =
+    { net; config; rng = Rng.create seed; repair;
+      states = Hashtbl.create 16; pending = false; attempt = 0 }
+  in
+  Topology.on_duplex_change (Network.topology net) (fun ~a ~b ~up ->
+      on_change t ~a ~b ~up);
+  t
+
+let damped_links t =
+  Hashtbl.fold (fun k s acc -> if s.damped then k :: acc else acc) t.states []
+  |> List.sort compare

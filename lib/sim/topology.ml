@@ -15,10 +15,17 @@ type t = {
   mutable link_arr : link array;
   mutable link_n : int;
   mutable adj : (int * int) list array;  (* node -> (neighbor, link id) *)
+  mutable generation : int;
+  mutable duplex_hooks : (a:int -> b:int -> up:bool -> unit) list;
 }
 
 let create () =
-  { names = [||]; nodes = 0; link_arr = [||]; link_n = 0; adj = [||] }
+  { names = [||]; nodes = 0; link_arr = [||]; link_n = 0; adj = [||];
+    generation = 0; duplex_hooks = [] }
+
+let generation t = t.generation
+
+let on_duplex_change t hook = t.duplex_hooks <- t.duplex_hooks @ [hook]
 
 let grow_to arr n fill =
   let cap = Array.length arr in
@@ -85,6 +92,7 @@ let add_oneway ?(cost = 1) t a b ~bandwidth ~delay =
   t.link_arr.(t.link_n) <- l;
   t.link_n <- t.link_n + 1;
   t.adj.(a) <- (b, l.id) :: t.adj.(a);
+  t.generation <- t.generation + 1;
   l
 
 let connect ?cost t a b ~bandwidth ~delay =
@@ -101,17 +109,25 @@ let neighbors t v =
 let up_neighbors t v =
   List.filter (fun (_, l) -> l.up) (neighbors t v)
 
+(* Idempotent: a call that re-asserts the current state is a no-op —
+   no events, no generation bump, no hook firing — so callers (retry
+   loops, chaos replays) can re-assert freely without provoking
+   spurious reconvergence. *)
 let set_duplex_state t a b up =
   match find_link t a b, find_link t b a with
   | Some ab, Some ba ->
     let changed = ab.up <> up || ba.up <> up in
-    ab.up <- up;
-    ba.up <- up;
-    if changed && !Mvpn_telemetry.Control.enabled then
-      Mvpn_telemetry.Event_log.record
-        (Mvpn_telemetry.Registry.events ())
-        (if up then Mvpn_telemetry.Event_log.Link_up { src = a; dst = b }
-         else Mvpn_telemetry.Event_log.Link_down { src = a; dst = b })
+    if changed then begin
+      ab.up <- up;
+      ba.up <- up;
+      t.generation <- t.generation + 1;
+      if !Mvpn_telemetry.Control.enabled then
+        Mvpn_telemetry.Event_log.record
+          (Mvpn_telemetry.Registry.events ())
+          (if up then Mvpn_telemetry.Event_log.Link_up { src = a; dst = b }
+           else Mvpn_telemetry.Event_log.Link_down { src = a; dst = b });
+      List.iter (fun hook -> hook ~a ~b ~up) t.duplex_hooks
+    end
   | _ ->
     invalid_arg
       (Printf.sprintf "Topology.set_duplex_state: no connection %d<->%d" a b)

@@ -61,8 +61,22 @@ val up_neighbors : t -> int -> (int * link) list
 
 val set_duplex_state : t -> int -> int -> bool -> unit
 (** Bring both directions of the a↔b connection up or down — the
-    failure-injection hook.
+    failure-injection hook. Idempotent: re-asserting the current state
+    emits no events, fires no {!on_duplex_change} hooks and leaves
+    {!generation} alone.
     @raise Invalid_argument if no such connection exists. *)
+
+val generation : t -> int
+(** Monotonic topology mutation counter: bumped by every link added
+    and every {e effective} {!set_duplex_state} transition. Consumers
+    (e.g. RSVP-TE re-signalling) compare it to avoid repeating work
+    against an unchanged topology. *)
+
+val on_duplex_change : t -> (a:int -> b:int -> up:bool -> unit) -> unit
+(** Register a hook called after every effective duplex state
+    transition (the resilience layer's failure-detection feed). Hooks
+    run in registration order; they are never called for idempotent
+    re-assertions. *)
 
 val available : link -> float
 (** Unreserved capacity: [bandwidth -. reserved], floored at 0. *)

@@ -26,6 +26,13 @@ type event =
   | Link_down of { src : int; dst : int }
   | Link_up of { src : int; dst : int }
   | Recompile of { node : int }
+  | Fault_injected of { fault : string; a : int; b : int; param : float }
+  | Frr_switchover of { src : int; dst : int }
+  | Fallback_engaged of { ingress : int; egress : int }
+  | Lsp_restored of { ingress : int; egress : int }
+  | Flap_damped of { src : int; dst : int; flaps : int }
+  | Flap_released of { src : int; dst : int }
+  | Resignal of { attempt : int; restored : int; still_down : int }
   | Note of string
 
 type entry = { seq : int; time : float; event : event }
@@ -85,6 +92,13 @@ let kind = function
   | Link_down _ -> "link_down"
   | Link_up _ -> "link_up"
   | Recompile _ -> "recompile"
+  | Fault_injected _ -> "fault_injected"
+  | Frr_switchover _ -> "frr_switchover"
+  | Fallback_engaged _ -> "fallback_engaged"
+  | Lsp_restored _ -> "lsp_restored"
+  | Flap_damped _ -> "flap_damped"
+  | Flap_released _ -> "flap_released"
+  | Resignal _ -> "resignal"
   | Note _ -> "note"
 
 let count_kind t k =
@@ -130,9 +144,20 @@ let entry_to_json e =
     | Alert_clear { vpn; band; burn_fast } ->
       Printf.sprintf "\"vpn\":%d,\"band\":%d,\"burn_fast\":%s" vpn band
         (json_float burn_fast)
-    | Link_down { src; dst } | Link_up { src; dst } ->
+    | Link_down { src; dst } | Link_up { src; dst }
+    | Frr_switchover { src; dst } | Flap_released { src; dst } ->
       Printf.sprintf "\"src\":%d,\"dst\":%d" src dst
     | Recompile { node } -> Printf.sprintf "\"node\":%d" node
+    | Fault_injected { fault; a; b; param } ->
+      Printf.sprintf "\"fault\":\"%s\",\"a\":%d,\"b\":%d,\"param\":%s"
+        (json_escape fault) a b (json_float param)
+    | Fallback_engaged { ingress; egress } | Lsp_restored { ingress; egress } ->
+      Printf.sprintf "\"ingress\":%d,\"egress\":%d" ingress egress
+    | Flap_damped { src; dst; flaps } ->
+      Printf.sprintf "\"src\":%d,\"dst\":%d,\"flaps\":%d" src dst flaps
+    | Resignal { attempt; restored; still_down } ->
+      Printf.sprintf "\"attempt\":%d,\"restored\":%d,\"still_down\":%d"
+        attempt restored still_down
     | Note text -> Printf.sprintf "\"text\":\"%s\"" (json_escape text)
   in
   Printf.sprintf "{\"seq\":%d,\"time\":%s,\"kind\":\"%s\",%s}" e.seq
@@ -158,6 +183,21 @@ let pp_event ppf = function
   | Link_down { src; dst } -> Format.fprintf ppf "link_down %d<->%d" src dst
   | Link_up { src; dst } -> Format.fprintf ppf "link_up %d<->%d" src dst
   | Recompile { node } -> Format.fprintf ppf "recompile node=%d" node
+  | Fault_injected { fault; a; b; param } ->
+    Format.fprintf ppf "fault %s %d<->%d param=%.3g" fault a b param
+  | Frr_switchover { src; dst } ->
+    Format.fprintf ppf "frr_switchover %d->%d" src dst
+  | Fallback_engaged { ingress; egress } ->
+    Format.fprintf ppf "fallback_engaged pe%d->pe%d" ingress egress
+  | Lsp_restored { ingress; egress } ->
+    Format.fprintf ppf "lsp_restored pe%d->pe%d" ingress egress
+  | Flap_damped { src; dst; flaps } ->
+    Format.fprintf ppf "flap_damped %d<->%d after %d flaps" src dst flaps
+  | Flap_released { src; dst } ->
+    Format.fprintf ppf "flap_released %d<->%d" src dst
+  | Resignal { attempt; restored; still_down } ->
+    Format.fprintf ppf "resignal attempt=%d restored=%d still_down=%d"
+      attempt restored still_down
   | Note text -> Format.fprintf ppf "note %s" text
 
 let pp_entry ppf e =

@@ -28,6 +28,29 @@ type event =
   | Link_down of { src : int; dst : int }
   | Link_up of { src : int; dst : int }
   | Recompile of { node : int }
+  | Fault_injected of { fault : string; a : int; b : int; param : float }
+      (** chaos-engine injection; [fault] is the fault kind
+          (["link_flap"], ["node_down"], ["loss_burst"],
+          ["corrupt_burst"], ["session_drop"]), [a]/[b] the nodes (or
+          link endpoints) involved, [param] the hold time, duration or
+          probability of the fault. *)
+  | Frr_switchover of { src : int; dst : int }
+      (** first packet deflected onto the facility bypass protecting
+          the src→dst link in this failure episode *)
+  | Fallback_engaged of { ingress : int; egress : int }
+      (** the ingress PE started tunnelling this PE-pair's traffic as
+          best-effort MPLS-in-IP because the label path is gone *)
+  | Lsp_restored of { ingress : int; egress : int }
+      (** make-before-break: the PE-pair's traffic returned to a
+          re-signalled LSP after a fallback episode *)
+  | Flap_damped of { src : int; dst : int; flaps : int }
+      (** the link flapped more than the damping threshold inside the
+          window; re-signalling on its account is suppressed *)
+  | Flap_released of { src : int; dst : int }
+      (** a damped link held up long enough; suppression lifted *)
+  | Resignal of { attempt : int; restored : int; still_down : int }
+      (** one control-plane recovery burst (backoff attempt number,
+          tunnels restored, tunnels still down) *)
   | Note of string
 
 type entry = { seq : int; time : float; event : event }

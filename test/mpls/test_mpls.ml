@@ -626,6 +626,48 @@ let test_te_failure_and_reroute () =
     Alcotest.(check (list int)) "detour path" [0; 2; 3] tn.Rsvp_te.path
   | _ -> Alcotest.fail "expected one tunnel"
 
+(* A reroute that failed against topology generation G is not retried
+   until the topology moves past G — backoff loops may call
+   reroute_down freely without re-running CSPF against a graph that
+   cannot have changed the answer. *)
+let test_te_reroute_skips_unchanged_generation () =
+  Mvpn_telemetry.Control.enable ();
+  Fun.protect ~finally:Mvpn_telemetry.Control.disable @@ fun () ->
+  let counter = Mvpn_telemetry.Registry.counter_value in
+  let topo, n = te_topo () in
+  let plane = Plane.create ~nodes:4 in
+  let te = Rsvp_te.create topo plane in
+  (match Rsvp_te.signal te ~src:n.(0) ~dst:n.(3) ~bandwidth:60.0 with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "signal: %s" e);
+  (* Sever both ways to node 3: the reroute has nowhere to go. *)
+  Topology.set_duplex_state topo n.(1) n.(3) false;
+  Topology.set_duplex_state topo n.(2) n.(3) false;
+  Alcotest.(check int) "tunnel down" 1 (Rsvp_te.handle_link_failure te);
+  let a0 = counter "rsvp.reroute.attempt" in
+  let s0 = counter "rsvp.reroute.skipped" in
+  let restored, still_down = Rsvp_te.reroute_down te in
+  Alcotest.(check (pair int int)) "first try fails" (0, 1)
+    (restored, still_down);
+  Alcotest.(check int) "one CSPF attempt" (a0 + 1)
+    (counter "rsvp.reroute.attempt");
+  (* Nothing moved: retries are skipped, not re-signalled. *)
+  let restored, still_down = Rsvp_te.reroute_down te in
+  Alcotest.(check (pair int int)) "skipped still counts down" (0, 1)
+    (restored, still_down);
+  let _, _ = Rsvp_te.reroute_down te in
+  Alcotest.(check int) "no further attempts" (a0 + 1)
+    (counter "rsvp.reroute.attempt");
+  Alcotest.(check int) "both retries skipped" (s0 + 2)
+    (counter "rsvp.reroute.skipped");
+  (* The topology moves: the next call attempts and restores. *)
+  Topology.set_duplex_state topo n.(2) n.(3) true;
+  let restored, still_down = Rsvp_te.reroute_down te in
+  Alcotest.(check (pair int int)) "restored after change" (1, 0)
+    (restored, still_down);
+  Alcotest.(check int) "one more attempt" (a0 + 2)
+    (counter "rsvp.reroute.attempt")
+
 let test_te_explicit_path () =
   let topo, n = te_topo () in
   let plane = Plane.create ~nodes:4 in
@@ -840,6 +882,8 @@ let () =
          Alcotest.test_case "preemption" `Quick test_te_preemption;
          Alcotest.test_case "failure and reroute" `Quick
            test_te_failure_and_reroute;
+         Alcotest.test_case "reroute skips unchanged generation" `Quick
+           test_te_reroute_skips_unchanged_generation;
          Alcotest.test_case "explicit path" `Quick test_te_explicit_path;
          Alcotest.test_case "ds-te subpool caps premium" `Quick
            test_te_subpool_caps_premium;

@@ -1,0 +1,347 @@
+(* Resilience: fast reroute, IP fallback, backoff recovery, chaos.
+
+   The acceptance properties of the chaos work live here:
+   - a link failure under facility backup switches the same tick, with
+     (next to) no loss and no silent drops;
+   - a control-plane session loss degrades to accounted IP fallback and
+     logs the LSP restoration;
+   - a flap storm damps the link after K flaps with at most one
+     re-signal burst;
+   - a seeded chaos run is deterministic fault-for-fault and
+     fate-for-fate;
+   - under any seeded storm, FRR delivery is a superset of no-FRR
+     delivery, and every undelivered packet lands in exactly one
+     drop counter (qcheck). *)
+
+open Mvpn_core
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Rng = Mvpn_sim.Rng
+module Flow = Mvpn_net.Flow
+module Packet = Mvpn_net.Packet
+module Prefix = Mvpn_net.Prefix
+module Dscp = Mvpn_net.Dscp
+module Plane = Mvpn_mpls.Plane
+module Port = Mvpn_qos.Port
+module Frr = Mvpn_resilience.Frr
+module Chaos = Mvpn_resilience.Chaos
+module Recovery = Mvpn_resilience.Recovery
+module Harness = Mvpn_resilience.Harness
+module T = Mvpn_telemetry
+
+let cv = T.Registry.counter_value
+
+let with_telemetry f () =
+  T.Control.enable ();
+  Fun.protect ~finally:T.Control.disable f
+
+(* --- a two-site rig on the 6-POP ring ---------------------------------- *)
+
+type rig = {
+  bb : Backbone.t;
+  engine : Engine.t;
+  net : Network.t;
+  vpn : Mpls_vpn.t;
+  a : Site.t;
+  b : Site.t;
+  registry : Traffic.registry;
+  delivered : (int, unit) Hashtbl.t;  (* uid -> () at b's CE *)
+}
+
+let build_rig () =
+  Packet.reset_uid_counter ();
+  let bb = Backbone.build ~pops:6 ~chords:[] () in
+  let a =
+    Backbone.attach_site bb ~id:1 ~name:"a" ~vpn:1
+      ~prefix:(Prefix.of_string_exn "10.0.0.0/16") ~pop:0
+  in
+  let b =
+    Backbone.attach_site bb ~id:2 ~name:"b" ~vpn:1
+      ~prefix:(Prefix.of_string_exn "10.1.0.0/16") ~pop:2
+  in
+  let engine = Engine.create () in
+  let net = Network.create engine (Backbone.topology bb) in
+  let vpn = Mpls_vpn.deploy ~net ~backbone:bb ~sites:[a; b] () in
+  let registry = Traffic.registry engine in
+  let delivered = Hashtbl.create 512 in
+  Network.set_sink net b.Site.ce_node (fun p ->
+      Hashtbl.replace delivered p.Packet.uid ();
+      Traffic.sink registry p);
+  { bb; engine; net; vpn; a; b; registry; delivered }
+
+let voice r ~stop =
+  let emit =
+    Traffic.sender r.registry ~net:r.net ~src_node:r.a.Site.ce_node
+      ~flow:(Flow.make ~proto:Flow.Udp ~dst_port:5060 (Site.host r.a 1)
+               (Site.host r.b 1))
+      ~dscp:Dscp.ef ~vpn:1
+      ~collector:(Traffic.collector r.registry "voice")
+      ()
+  in
+  Traffic.cbr r.engine ~start:0.0 ~stop ~rate_bps:80_000.0 ~packet_bytes:200
+    emit
+
+let core_directed bb =
+  let is_pop v = Backbone.pop_of_node bb v <> None in
+  List.filter_map
+    (fun (l : Topology.link) ->
+       if is_pop l.Topology.src && is_pop l.Topology.dst then
+         Some (l.Topology.src, l.Topology.dst)
+       else None)
+    (Topology.links (Backbone.topology bb))
+
+let core_duplex bb =
+  List.filter (fun (x, y) -> x < y) (core_directed bb)
+
+let port_drops r =
+  List.fold_left
+    (fun acc (l : Topology.link) ->
+       let c = Port.counters (Network.port r.net ~link_id:l.Topology.id) in
+       acc + c.Port.dropped_queue + c.Port.dropped_link_down
+       + c.Port.dropped_fault)
+    0
+    (Topology.links (Backbone.topology r.bb))
+
+let net_drops r =
+  List.fold_left (fun acc (_, n) -> acc + n) 0 (Network.drop_counts r.net)
+
+(* Every sent packet ends delivered or in exactly one drop counter. *)
+let check_accounting ?(msg = "accounting") r =
+  let sent = (Traffic.report r.registry "voice").Mvpn_qos.Sla.sent in
+  Alcotest.(check int) msg sent
+    (Hashtbl.length r.delivered + port_drops r + net_drops r)
+
+(* --- FRR: same-tick switchover ----------------------------------------- *)
+
+let test_frr_switchover () =
+  let r = build_rig () in
+  let f = Frr.arm ~links:(core_directed r.bb) r.net in
+  let s = Frr.stats f in
+  Alcotest.(check int) "every core link protected" 0
+    s.Frr.unprotected_links;
+  let switched0 = cv "resilience.frr.switched" in
+  voice r ~stop:10.0;
+  let pops = Backbone.pops r.bb in
+  (* Kill the link under the LSP mid-run; nobody reconverges. *)
+  Engine.schedule_at r.engine ~time:5.0 (fun () ->
+      Topology.set_duplex_state (Network.topology r.net) pops.(0) pops.(1)
+        false);
+  Engine.run r.engine;
+  let rep = Traffic.report r.registry "voice" in
+  Alcotest.(check bool) "bypass carries the stream" true
+    (rep.Mvpn_qos.Sla.sent - rep.Mvpn_qos.Sla.received <= 3);
+  Alcotest.(check bool) "switchovers counted" true
+    (cv "resilience.frr.switched" - switched0 > 100);
+  Alcotest.(check int) "one switchover event this episode" 1
+    (T.Event_log.count_kind (T.Registry.events ()) "frr_switchover");
+  check_accounting r
+
+(* --- fallback: session loss degrades to IP, restoration logged --------- *)
+
+let test_fallback_and_restore () =
+  let r = build_rig () in
+  Mpls_vpn.set_ip_fallback r.vpn true;
+  let fb0 = cv "resilience.fallback.packets" in
+  let rs0 = cv "resilience.fallback.restored" in
+  voice r ~stop:10.0;
+  let pops = Backbone.pops r.bb in
+  (* LDP/BGP session loss at the ingress PE: label bindings vanish. *)
+  Engine.schedule_at r.engine ~time:5.0 (fun () ->
+      Plane.clear_ftn (Network.plane r.net) pops.(0));
+  Engine.schedule_at r.engine ~time:7.0 (fun () ->
+      ignore (Mpls_vpn.reconverge r.vpn));
+  Engine.run r.engine;
+  let rep = Traffic.report r.registry "voice" in
+  Alcotest.(check int) "nothing lost: fallback carried the gap"
+    rep.Mvpn_qos.Sla.sent rep.Mvpn_qos.Sla.received;
+  Alcotest.(check bool) "fallback packets counted" true
+    (cv "resilience.fallback.packets" - fb0 > 50);
+  Alcotest.(check int) "restoration counted" 1
+    (cv "resilience.fallback.restored" - rs0);
+  check_accounting r
+
+let test_fallback_off_drops_accounted () =
+  let r = build_rig () in
+  voice r ~stop:8.0;
+  let pops = Backbone.pops r.bb in
+  Engine.schedule_at r.engine ~time:4.0 (fun () ->
+      Plane.clear_ftn (Network.plane r.net) pops.(0));
+  Engine.run r.engine;
+  let rep = Traffic.report r.registry "voice" in
+  Alcotest.(check bool) "loss without fallback" true
+    (rep.Mvpn_qos.Sla.received < rep.Mvpn_qos.Sla.sent);
+  check_accounting r ~msg:"never silent"
+
+(* --- flap damping: a storm earns at most one burst --------------------- *)
+
+let test_flap_storm_damps () =
+  let r = build_rig () in
+  let bursts = ref 0 in
+  let rec_t =
+    Recovery.arm ~seed:5 r.net ~repair:(fun () ->
+        incr bursts;
+        ignore (Mpls_vpn.reconverge r.vpn);
+        let down =
+          List.length
+            (List.filter
+               (fun (l : Topology.link) ->
+                  (not l.Topology.up) && l.Topology.src < l.Topology.dst)
+               (Topology.links (Network.topology r.net)))
+        in
+        (0, down))
+  in
+  let damped0 = cv "resilience.recovery.damped" in
+  let supp0 = cv "resilience.recovery.suppressed" in
+  voice r ~stop:10.0;
+  let pops = Backbone.pops r.bb in
+  let topo = Network.topology r.net in
+  (* Six downs in 120 ms — well past 5-in-2s — then it stays down. *)
+  for i = 0 to 5 do
+    let at = 5.0 +. (0.02 *. float_of_int i) in
+    Engine.schedule_at r.engine ~time:at (fun () ->
+        Topology.set_duplex_state topo pops.(0) pops.(1) false);
+    if i < 5 then
+      Engine.schedule_at r.engine ~time:(at +. 0.01) (fun () ->
+          Topology.set_duplex_state topo pops.(0) pops.(1) true)
+  done;
+  Engine.run r.engine;
+  Alcotest.(check bool) "at most one re-signal burst" true (!bursts <= 1);
+  Alcotest.(check int) "link damped" 1
+    (cv "resilience.recovery.damped" - damped0);
+  Alcotest.(check bool) "damped query" true
+    (Recovery.damped rec_t pops.(0) pops.(1));
+  Alcotest.(check bool) "pending burst suppressed, not fired" true
+    (cv "resilience.recovery.suppressed" - supp0 >= 1);
+  Alcotest.(check int) "typed damping event" 1
+    (T.Event_log.count_kind (T.Registry.events ()) "flap_damped");
+  check_accounting r ~msg:"zero unaccounted drops under the storm"
+
+(* A damped link that holds up is released and repair resumes. *)
+let test_flap_release_after_hold () =
+  let r = build_rig () in
+  let rec_t =
+    Recovery.arm ~seed:9 r.net ~repair:(fun () ->
+        ignore (Mpls_vpn.reconverge r.vpn);
+        (0, 0))
+  in
+  let rel0 = cv "resilience.recovery.released" in
+  let pops = Backbone.pops r.bb in
+  let topo = Network.topology r.net in
+  for i = 0 to 4 do
+    let at = 1.0 +. (0.02 *. float_of_int i) in
+    Engine.schedule_at r.engine ~time:at (fun () ->
+        Topology.set_duplex_state topo pops.(0) pops.(1) false);
+    Engine.schedule_at r.engine ~time:(at +. 0.01) (fun () ->
+        Topology.set_duplex_state topo pops.(0) pops.(1) true)
+  done;
+  Engine.run r.engine;
+  Alcotest.(check bool) "released after holding up" true
+    (cv "resilience.recovery.released" - rel0 >= 1);
+  Alcotest.(check bool) "no longer damped" false
+    (Recovery.damped rec_t pops.(0) pops.(1));
+  Alcotest.(check int) "typed release event" 1
+    (T.Event_log.count_kind (T.Registry.events ()) "flap_released")
+
+(* --- chaos: same seed, same faults, same fates ------------------------- *)
+
+let chaos_fates seed =
+  Packet.reset_uid_counter ();
+  let d0 = cv "net.delivered" in
+  let h =
+    Harness.build ~pops:6 ~vpns:1 ~sites_per_vpn:2 ~events:8 ~frr:true
+      ~fallback:true ~seed ~duration:5.0 ()
+  in
+  Harness.run h;
+  let net = Scenario.network (Harness.scenario h) in
+  ( String.concat "," (List.map Chaos.fault_json (Harness.plan h)),
+    cv "net.delivered" - d0,
+    Harness.port_totals h,
+    Network.drop_counts net )
+
+let test_chaos_deterministic () =
+  let p1, d1, t1, dr1 = chaos_fates 42 in
+  let p2, d2, t2, dr2 = chaos_fates 42 in
+  Alcotest.(check string) "same plan" p1 p2;
+  Alcotest.(check int) "same deliveries" d1 d2;
+  Alcotest.(check bool) "same port fates" true (t1 = t2);
+  Alcotest.(check (list (pair string int))) "same drop table" dr1 dr2;
+  let p3, _, _, _ = chaos_fates 43 in
+  Alcotest.(check bool) "different seed, different plan" true (p1 <> p3)
+
+(* --- qcheck: FRR delivery is a superset, every loss accounted ---------- *)
+
+(* One seeded storm (link faults only), one voice stream, FRR on or
+   off; packet uids align across regimes because generation is
+   identical and fault verdicts are stateless hashes of uid. *)
+let storm_run ~frr seed =
+  Packet.reset_uid_counter ();
+  let r = build_rig () in
+  let f =
+    if frr then Some (Frr.arm ~links:(core_directed r.bb) r.net) else None
+  in
+  ignore
+    (Recovery.arm ~seed:((seed * 3) + 1) r.net ~repair:(fun () ->
+         ignore (Mpls_vpn.reconverge r.vpn);
+         (match f with Some f -> Frr.rearm f | None -> ());
+         let down =
+           List.length
+             (List.filter
+                (fun (l : Topology.link) ->
+                   (not l.Topology.up) && l.Topology.src < l.Topology.dst)
+                (Topology.links (Network.topology r.net)))
+         in
+         (0, down)));
+  let plan =
+    Chaos.random_plan ~events:6 ~rng:(Rng.create seed)
+      ~links:(core_duplex r.bb) ~duration:6.0 ()
+  in
+  Chaos.schedule r.net plan;
+  voice r ~stop:6.0;
+  Engine.run r.engine;
+  let sent = (Traffic.report r.registry "voice").Mvpn_qos.Sla.sent in
+  let accounted =
+    Hashtbl.length r.delivered + port_drops r + net_drops r
+  in
+  (r.delivered, sent, accounted)
+
+let superset_property =
+  QCheck.Test.make ~count:6 ~name:"chaos: frr delivery superset + accounted"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+       let base, base_sent, base_acct = storm_run ~frr:false seed in
+       let with_frr, frr_sent, frr_acct = storm_run ~frr:true seed in
+       let subset =
+         Hashtbl.fold
+           (fun uid () ok -> ok && Hashtbl.mem with_frr uid)
+           base true
+       in
+       if not subset then
+         QCheck.Test.fail_report "a packet delivered without FRR was lost \
+                                  with it";
+       if base_sent <> base_acct || frr_sent <> frr_acct then
+         QCheck.Test.fail_reportf
+           "unaccounted drops: base %d/%d, frr %d/%d" base_acct base_sent
+           frr_acct frr_sent;
+       true)
+
+let qt t = QCheck_alcotest.to_alcotest t
+
+let () =
+  Alcotest.run "resilience"
+    [ ("frr",
+       [ Alcotest.test_case "same-tick switchover" `Quick
+           (with_telemetry test_frr_switchover) ]);
+      ("fallback",
+       [ Alcotest.test_case "session loss degrades and restores" `Quick
+           (with_telemetry test_fallback_and_restore);
+         Alcotest.test_case "fallback off still accounted" `Quick
+           (with_telemetry test_fallback_off_drops_accounted) ]);
+      ("recovery",
+       [ Alcotest.test_case "flap storm damps" `Quick
+           (with_telemetry test_flap_storm_damps);
+         Alcotest.test_case "damped link released after hold" `Quick
+           (with_telemetry test_flap_release_after_hold) ]);
+      ("chaos",
+       [ Alcotest.test_case "seeded runs deterministic" `Quick
+           (with_telemetry test_chaos_deterministic);
+         qt superset_property ]) ]

@@ -442,6 +442,29 @@ let test_topology_failure () =
   Alcotest.(check int) "restored" 1
     (List.length (Topology.up_neighbors t a))
 
+(* A redundant set_duplex_state is a no-op: no hook firings, no
+   generation bump — chaos replays and retry loops must be free to
+   re-assert the state they already believe in. *)
+let test_topology_duplex_idempotent () =
+  let t = Topology.create () in
+  let a = Topology.add_node t and b = Topology.add_node t in
+  ignore (Topology.connect t a b ~bandwidth:1e9 ~delay:0.001);
+  let fired = ref 0 in
+  Topology.on_duplex_change t (fun ~a:_ ~b:_ ~up:_ -> incr fired);
+  Topology.set_duplex_state t a b false;
+  let gen = Topology.generation t in
+  Alcotest.(check int) "one transition, one firing" 1 !fired;
+  Topology.set_duplex_state t a b false;
+  Topology.set_duplex_state t a b false;
+  Alcotest.(check int) "redundant sets fire nothing" 1 !fired;
+  Alcotest.(check int) "generation untouched" gen (Topology.generation t);
+  Topology.set_duplex_state t a b true;
+  Alcotest.(check int) "restore fires once" 2 !fired;
+  Alcotest.(check bool) "generation bumped" true
+    (Topology.generation t > gen);
+  Topology.set_duplex_state t a b true;
+  Alcotest.(check int) "redundant restore is silent" 2 !fired
+
 let test_topology_reserve () =
   let t = Topology.create () in
   let a = Topology.add_node t and b = Topology.add_node t in
@@ -567,6 +590,8 @@ let () =
          Alcotest.test_case "duplicates rejected" `Quick
            test_topology_duplicate_rejected;
          Alcotest.test_case "failure injection" `Quick test_topology_failure;
+         Alcotest.test_case "duplex state idempotent" `Quick
+           test_topology_duplex_idempotent;
          Alcotest.test_case "reservation" `Quick test_topology_reserve;
          Alcotest.test_case "builders" `Quick test_topology_builders;
          Alcotest.test_case "ring with chords" `Quick

@@ -55,6 +55,34 @@ printf '%s' "$slo_json" | grep -q '"events":\[{"seq":' || {
   exit 1
 }
 
+echo "== E15 bench smoke (chaos: FRR on vs off, resilience gauges)"
+dune exec bench/main.exe -- --only E15 > /dev/null
+./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+for g in e15.frr.lost e15.nofrr.lost e15.frr_gain_packets \
+         e15.frr.resilience.frr.switched resilience.chaos.faults; do
+  grep -q "\"$g\"" BENCH_telemetry.json || {
+    echo "missing resilience metric $g in BENCH_telemetry.json" >&2
+    exit 1
+  }
+done
+
+echo "== mvpn chaos --json deterministic and well-formed"
+chaos_a=$(dune exec bin/mvpn.exe -- chaos --seed 42 --duration 10 --json)
+chaos_b=$(dune exec bin/mvpn.exe -- chaos --seed 42 --duration 10 --json)
+printf '%s' "$chaos_a" | ./_build/default/tools/json_lint.exe
+[ "$chaos_a" = "$chaos_b" ] || {
+  echo "mvpn chaos --seed 42 --json differs between two runs" >&2
+  exit 1
+}
+printf '%s' "$chaos_a" | grep -q '"plan":\[{"kind":' || {
+  echo "no fault plan in mvpn chaos --json" >&2
+  exit 1
+}
+printf '%s' "$chaos_a" | grep -q '"resilience.chaos.faults":12' || {
+  echo "chaos fault counter missing or wrong in mvpn chaos --json" >&2
+  exit 1
+}
+
 echo "== mvpn stats --json well-formed"
 stats_json=$(dune exec bin/mvpn.exe -- stats --json --duration 2)
 printf '%s' "$stats_json" | ./_build/default/tools/json_lint.exe
