@@ -149,7 +149,7 @@ let a2_cell ~wred =
     in
     (* Poisson so the two colours interleave randomly — tail drop's
        colour-blindness only shows without phase locking. *)
-    Traffic.poisson engine (Mvpn_sim.Rng.split rng) ~start:0.0 ~stop:30.0
+    Traffic.poisson engine (Mvpn_sim.Rng.fork rng) ~start:0.0 ~stop:30.0
       ~rate_pps:(rate /. 8000.0) ~packet_bytes:1000 emit
   in
   (* 2.6 Mb/s of AF3x into a 2 Mb/s link: the band must shed 25%. *)

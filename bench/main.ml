@@ -38,6 +38,8 @@ let experiments =
      E14_multicast.run);
     ("E15", "chaos: seeded fault storms, fast reroute on vs off",
      E15_chaos.run);
+    ("E16", "partitioned parallel runner: seq vs K=2/4/8 shards",
+     E16_parallel.run);
     ("ABL", "ablations: scheduler, WRED, PHP, shared-vs-per-pair LSPs",
      Ablations.run) ]
 

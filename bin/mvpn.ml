@@ -173,7 +173,6 @@ let run_cmd =
       Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
         (Scenario.Mpls_deployment { policy; use_te })
     in
-    let sites = Scenario.sites sc in
     (* Wrap every CE sink with usage accounting. *)
     let acct = Accounting.create () in
     let registry = Scenario.registry sc in
@@ -181,14 +180,9 @@ let run_cmd =
       (fun (s : Site.t) ->
          Network.set_sink (Scenario.network sc) s.Site.ce_node
            (Accounting.sink acct (Traffic.sink registry)))
-      sites;
-    let pairs = ref [] in
-    Array.iteri
-      (fun i a ->
-         if i mod 2 = 0 && i + 1 < Array.length sites then
-           pairs := (a, sites.(i + 1)) :: !pairs)
-      sites;
-    Scenario.add_mixed_workload ~load sc ~pairs:!pairs ~duration;
+      (Scenario.sites sc);
+    Scenario.add_mixed_workload ~load sc ~pairs:(Scenario.default_pairs sc)
+      ~duration;
     Scenario.run sc ~duration:(duration +. 5.0);
     print_reports sc;
     Printf.printf "\nmax core utilization: %.1f%%   core loss: %.2f%%\n"
@@ -218,14 +212,8 @@ let stats_cmd =
       Scenario.build ~pops ~vpns ~sites_per_vpn ~seed
         (Scenario.Mpls_deployment { policy; use_te })
     in
-    let sites = Scenario.sites sc in
-    let pairs = ref [] in
-    Array.iteri
-      (fun i a ->
-         if i mod 2 = 0 && i + 1 < Array.length sites then
-           pairs := (a, sites.(i + 1)) :: !pairs)
-      sites;
-    Scenario.add_mixed_workload ~load sc ~pairs:!pairs ~duration;
+    Scenario.add_mixed_workload ~load sc ~pairs:(Scenario.default_pairs sc)
+      ~duration;
     Scenario.run sc ~duration:(duration +. 5.0);
     Telemetry.Control.disable ();
     if json then print_string (Telemetry.Registry.to_json ~trace_events ())
@@ -276,14 +264,8 @@ let slo_cmd =
     let slo = Scenario.attach_slo sc in
     let net = Scenario.network sc in
     let engine = Scenario.engine sc in
-    let sites = Scenario.sites sc in
-    let pairs = ref [] in
-    Array.iteri
-      (fun i a ->
-         if i mod 2 = 0 && i + 1 < Array.length sites then
-           pairs := (a, sites.(i + 1)) :: !pairs)
-      sites;
-    Scenario.add_mixed_workload ~load sc ~pairs:!pairs ~duration;
+    Scenario.add_mixed_workload ~load sc ~pairs:(Scenario.default_pairs sc)
+      ~duration;
     (* Optional mid-run core failure (and repair + reconvergence), to
        watch the conformance engine catch the churn. *)
     let pops_arr = Backbone.pops (Scenario.backbone sc) in
@@ -414,6 +396,112 @@ let chaos_cmd =
           $ duration_arg $ seed_arg $ events_arg $ json_arg $ no_frr_arg
           $ no_fallback_arg)
 
+(* --- par ---------------------------------------------------------------- *)
+
+let par_cmd =
+  let run pops vpns sites_per_vpn policy load duration use_te seed shards
+      core_delay seq json =
+    Telemetry.Registry.reset ();
+    Telemetry.Control.enable ();
+    let cfg =
+      { Mvpn_par.Runner.shards; pops; vpns; sites_per_vpn; policy; use_te;
+        load; duration; seed; core_delay }
+    in
+    let o =
+      if seq then Mvpn_par.Runner.run_sequential cfg
+      else Mvpn_par.Runner.run_parallel cfg
+    in
+    Telemetry.Control.disable ();
+    let open Mvpn_par.Runner in
+    if json then begin
+      let b = Buffer.create 8192 in
+      Printf.bprintf b
+        "{\"shards\":%d,\"sizes\":[%s],\"cut_links\":%d,\"lookahead\":%b,"
+        o.shards
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int o.sizes)))
+        o.cut_links o.lookahead;
+      Printf.bprintf b
+        "\"delivered\":%d,\"dropped\":%d,\"events\":%d,\"scheduled\":%d,\
+         \"exchanged\":%d,\"leftover\":%d,\"overflow\":%d,"
+        o.delivered o.dropped o.events o.scheduled o.exchanged o.leftover
+        o.overflow;
+      Printf.bprintf b "\"classes\":{%s},"
+        (String.concat ","
+           (List.map
+              (fun (l, s, r) ->
+                 Printf.sprintf "\"%s\":{\"sent\":%d,\"received\":%d}" l s r)
+              o.classes));
+      Printf.bprintf b
+        "\"slo\":{\"in_budget\":%b,\"violations\":%d,\"objectives\":%s},"
+        (Telemetry.Slo.in_budget o.slo)
+        (Telemetry.Slo.violation_count o.slo)
+        (Telemetry.Slo.to_json o.slo);
+      Printf.bprintf b "\"registry\":%s}" o.registry_json;
+      print_string (Buffer.contents b)
+    end
+    else begin
+      Printf.printf
+        "partitioned run: %d shard(s), %d cut link(s), %s sync\n"
+        o.shards o.cut_links
+        (if o.lookahead then "lookahead-window" else "epoch-barrier");
+      Printf.printf "  nodes per shard   %s\n"
+        (String.concat "/"
+           (Array.to_list (Array.map string_of_int o.sizes)));
+      Printf.printf "  delivered         %d\n  dropped           %d\n"
+        o.delivered o.dropped;
+      Printf.printf "  events run        %d (scheduled %d)\n" o.events
+        o.scheduled;
+      Printf.printf
+        "  cross-shard       %d packet(s), %d past horizon, %d overflow\n"
+        o.exchanged o.leftover o.overflow;
+      Printf.printf "  %-15s %8s %8s\n" "class" "sent" "recv";
+      List.iter
+        (fun (l, s, r) -> Printf.printf "  %-15s %8d %8d\n" l s r)
+        o.classes;
+      Printf.printf "\nSLA conformance (merged fate replay):\n";
+      Telemetry.Slo.pp Format.std_formatter o.slo;
+      Format.pp_print_flush Format.std_formatter ();
+      Printf.printf "overall: %s\n"
+        (if Telemetry.Slo.in_budget o.slo then "all objectives in budget"
+         else "OUT OF BUDGET")
+    end
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info ["shards"] ~docv:"K"
+           ~doc:"Number of parallel shards (domains). Clamped to the \
+                 number of POP regions; 1 degenerates to a sequential \
+                 run through the same machinery.")
+  in
+  let core_delay_arg =
+    Arg.(value & opt (some float) None & info ["core-delay"] ~docv:"SEC"
+           ~doc:"Override the POP-POP propagation delay (the \
+                 synchronization lookahead). 0 forces the epoch-barrier \
+                 fallback.")
+  in
+  let seq_arg =
+    Arg.(value & flag & info ["seq"]
+           ~doc:"Run the identical build/workload sequentially in one \
+                 domain (baseline for totals comparison).")
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit the outcome, per-class sums, SLO conformance and \
+                 the merged telemetry registry as one JSON object. \
+                 Byte-identical for equal seeds at every shard count.")
+  in
+  Cmd.v
+    (Cmd.info "par"
+       ~doc:"Run the mixed workload on the multicore partitioned runner: \
+             the backbone is cut into shards (one OCaml domain each, \
+             conservatively synchronized over the cut links) and the \
+             per-shard telemetry merges into one snapshot whose totals \
+             are identical to the sequential run's, for every shard \
+             count.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
+          $ load_arg $ duration_arg $ te_arg $ seed_arg $ shards_arg
+          $ core_delay_arg $ seq_arg $ json_arg)
+
 (* --- fail --------------------------------------------------------------- *)
 
 let fail_cmd =
@@ -520,4 +608,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; chaos_cmd;
-           fail_cmd; plan_cmd]))
+           par_cmd; fail_cmd; plan_cmd]))

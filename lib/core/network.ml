@@ -16,18 +16,27 @@ let m_frr_switched = Telemetry.Registry.counter "resilience.frr.switched"
 let m_frr_unprotected = Telemetry.Registry.counter "resilience.frr.unprotected"
 
 (* Per-class sojourn histograms, created on first delivery of each
-   codepoint ("net.sojourn.EF", "net.sojourn.AF31", "net.sojourn.BE"). *)
+   codepoint ("net.sojourn.EF", "net.sojourn.AF31", "net.sojourn.BE").
+   The dscp→handle memo is process-wide and lazily grown from whichever
+   domain first delivers that codepoint, hence the mutex; the histogram
+   values themselves are per-domain (see Mvpn_telemetry.Histogram). *)
 let sojourn_hists : (int, Telemetry.Histogram.t) Hashtbl.t = Hashtbl.create 8
+
+let sojourn_mutex = Mutex.create ()
 
 let sojourn_hist dscp =
   let key = Mvpn_net.Dscp.to_int dscp in
-  match Hashtbl.find_opt sojourn_hists key with
-  | Some h -> h
-  | None ->
-    let name = Format.asprintf "net.sojourn.%a" Mvpn_net.Dscp.pp dscp in
-    let h = Telemetry.Registry.histogram ~lo:1e-6 name in
-    Hashtbl.add sojourn_hists key h;
-    h
+  Mutex.lock sojourn_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock sojourn_mutex)
+    (fun () ->
+       match Hashtbl.find_opt sojourn_hists key with
+       | Some h -> h
+       | None ->
+         let name = Format.asprintf "net.sojourn.%a" Mvpn_net.Dscp.pp dscp in
+         let h = Telemetry.Registry.histogram ~lo:1e-6 name in
+         Hashtbl.add sojourn_hists key h;
+         h)
 
 type verdict = Dataplane.verdict = Consumed | Continue
 
@@ -69,6 +78,10 @@ type t = {
   mutable tracer : (trace_event -> unit) option;
   mutable slo : Telemetry.Slo.t option;
   mutable span_sampler : Telemetry.Span.sampler option;
+  mutable fate_hook :
+    (time:float -> vpn:int -> band:int -> dropped:bool -> latency:float ->
+     unit)
+      option;
 }
 
 let record_hop t ~node ?packet label =
@@ -85,6 +98,7 @@ let set_slo t slo = t.slo <- slo
 let slo t = t.slo
 let set_span_sampler t sampler = t.span_sampler <- sampler
 let span_sampler t = t.span_sampler
+let set_fate_hook t hook = t.fate_hook <- hook
 
 (* SLO/span keying: the tenant and its inner-header class — the same
    (vpn, band) view {!Accounting} invoices by. Un-tenanted traffic
@@ -98,6 +112,12 @@ let vpn_band (p : Packet.t) =
    sampled span sees it. *)
 let observe_fate t (p : Packet.t) ~dropped =
   let vpn, band = vpn_band p in
+  (match t.fate_hook with
+   | Some hook ->
+     let time = Engine.now t.engine in
+     hook ~time ~vpn ~band ~dropped
+       ~latency:(if dropped then 0.0 else time -. p.Packet.created_at)
+   | None -> ());
   (match t.slo with
    | Some slo ->
      let time = Engine.now t.engine in
@@ -295,7 +315,8 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
               (Printf.sprintf "net.link%d.tx_bytes" i));
       tracer = None;
       slo = None;
-      span_sampler = None }
+      span_sampler = None;
+      fate_hook = None }
   in
   (* Give the global event log a clock so producers without an engine
      handle (topology flaps, dataplane recompiles) stamp sim time. *)
@@ -324,7 +345,7 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
   List.iter
     (fun (l : Topology.link) ->
        let qdisc =
-         Qos_mapping.make_qdisc ~rng:(Rng.split master_rng) ?buffer_bytes
+         Qos_mapping.make_qdisc ~rng:(Rng.fork master_rng) ?buffer_bytes
            ?wred policy
        in
        let p =

@@ -71,6 +71,12 @@ val inject : t -> int -> Mvpn_net.Packet.t -> unit
 (** Hand a packet to a node as if originated there (runs the full
     receive path, interceptor included). *)
 
+val receive : t -> int -> from:(int option) -> Mvpn_net.Packet.t -> unit
+(** Run the node's receive path for a packet arriving from the given
+    neighbor (the continuation a port's propagation event invokes).
+    Exposed so the parallel runner can re-inject packets that crossed a
+    cut link from another shard; [inject] is [receive ~from:None]. *)
+
 val inject_after : t -> delay:float -> int -> Mvpn_net.Packet.t -> unit
 (** Schedule [inject] after a processing delay (crypto cost, CPU). *)
 
@@ -142,6 +148,19 @@ val slo : t -> Mvpn_telemetry.Slo.t option
 val set_span_sampler : t -> Mvpn_telemetry.Span.sampler option -> unit
 
 val span_sampler : t -> Mvpn_telemetry.Span.sampler option
+
+val set_fate_hook :
+  t ->
+  (time:float -> vpn:int -> band:int -> dropped:bool -> latency:float ->
+   unit)
+    option ->
+  unit
+(** Observe every terminal packet fate — the same stream an attached
+    {!Mvpn_telemetry.Slo} sees, as plain data: deliveries carry their
+    end-to-end latency, drops carry [latency = 0]. The parallel runner
+    collects fates per shard and replays the time-sorted merge into one
+    SLO engine, so conformance totals are identical for every shard
+    count. Fires only while {!Mvpn_telemetry.Control} is enabled. *)
 
 val install_fib : t -> int -> Mvpn_net.Fib.t -> unit
 (** Merge every route of the given table into the node's FIB

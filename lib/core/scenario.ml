@@ -51,10 +51,10 @@ let site t ~vpn ~idx =
 
 let site_id ~vpn ~idx = (vpn * 1000) + idx
 
-let build ?(pops = 12) ?(core_bandwidth = 45e6) ?(access_bandwidth = 2e6)
-    ?(vpns = 2) ?(sites_per_vpn = 4) ?(seed = 11) ?wred ?te_bandwidth
-    deployment =
-  let bb = Backbone.build ~pops ~core_bandwidth () in
+let build ?(pops = 12) ?(core_bandwidth = 45e6) ?core_delay
+    ?(access_bandwidth = 2e6) ?(vpns = 2) ?(sites_per_vpn = 4) ?(seed = 11)
+    ?wred ?te_bandwidth deployment =
+  let bb = Backbone.build ~pops ~core_bandwidth ?core_delay () in
   let site_list = ref [] in
   for v = 1 to vpns do
     for k = 0 to sites_per_vpn - 1 do
@@ -117,7 +117,15 @@ let service_classes =
 let voice_rate = 64_000.0
 let transactional_rate = 200_000.0
 
-let add_pair_workload t ~load ~start ~stop rng (a : Site.t) (b : Site.t) =
+(* [armed = false] creates the senders (so flows are registered for
+   sink-side measurement — the receive end of a pair may live in
+   another shard) and performs every RNG draw of the armed path, but
+   starts no arrival process: a partitioned run arms only the pairs a
+   shard owns, yet each pair's substreams must be byte-identical to the
+   sequential run's, so draw order cannot depend on the ownership
+   filter. *)
+let add_pair_workload t ~armed ~load ~start ~stop rng (a : Site.t)
+    (b : Site.t) =
   let make_sender ~label ~dscp ~port =
     let flow =
       Flow.make ~proto:Flow.Udp ~src_port:port ~dst_port:port
@@ -130,35 +138,67 @@ let add_pair_workload t ~load ~start ~stop rng (a : Site.t) (b : Site.t) =
       ()
   in
   let voice = make_sender ~label:"voice" ~dscp:Dscp.ef ~port:5060 in
-  Traffic.onoff t.engine (Rng.split rng) ~start ~stop ~on_mean:1.0
-    ~off_mean:1.35 ~rate_bps:voice_rate ~packet_bytes:200 voice;
+  let r_voice = Rng.fork rng in
+  if armed then
+    Traffic.onoff t.engine r_voice ~start ~stop ~on_mean:1.0
+      ~off_mean:1.35 ~rate_bps:voice_rate ~packet_bytes:200 voice;
   let transactional =
     make_sender ~label:"transactional" ~dscp:(Dscp.af 3 1) ~port:1433
   in
-  Traffic.poisson t.engine (Rng.split rng) ~start ~stop
-    ~rate_pps:(transactional_rate /. (512.0 *. 8.0))
-    ~packet_bytes:512 transactional;
+  let r_transactional = Rng.fork rng in
+  if armed then
+    Traffic.poisson t.engine r_transactional ~start ~stop
+      ~rate_pps:(transactional_rate /. (512.0 *. 8.0))
+      ~packet_bytes:512 transactional;
   let bulk = make_sender ~label:"bulk" ~dscp:Dscp.best_effort ~port:20 in
   let bulk_rate =
     Float.max 0.0
       ((load *. t.access_bandwidth) -. voice_rate -. transactional_rate)
   in
   if bulk_rate > 0.0 then begin
-    let mean_burst_bytes = 30_000.0 in
-    Traffic.pareto_bursts t.engine (Rng.split rng) ~start ~stop
-      ~burst_rate:(bulk_rate /. (mean_burst_bytes *. 8.0))
-      ~mean_burst_bytes bulk
+    let r_bulk = Rng.fork rng in
+    if armed then begin
+      let mean_burst_bytes = 30_000.0 in
+      Traffic.pareto_bursts t.engine r_bulk ~start ~stop
+        ~burst_rate:(bulk_rate /. (mean_burst_bytes *. 8.0))
+        ~mean_burst_bytes bulk
+    end
   end
 
-let add_mixed_workload ?(load = 0.9) ?(start = 0.0) ?rng_seed t ~pairs
+let add_mixed_workload ?(load = 0.9) ?(start = 0.0) ?rng_seed ?only t ~pairs
     ~duration =
   let rng =
-    match rng_seed with Some s -> Rng.create s | None -> Rng.split t.rng
+    match rng_seed with Some s -> Rng.create s | None -> Rng.fork t.rng
   in
   List.iter
     (fun (a, b) ->
-       add_pair_workload t ~load ~start ~stop:(start +. duration) rng a b)
+       let armed = match only with None -> true | Some f -> f a b in
+       add_pair_workload t ~armed ~load ~start ~stop:(start +. duration) rng
+         a b)
     pairs
+
+let default_pairs t =
+  let pairs = ref [] in
+  Array.iteri
+    (fun i a ->
+       if i mod 2 = 0 && i + 1 < Array.length t.sites then
+         pairs := (a, t.sites.(i + 1)) :: !pairs)
+    t.sites;
+  !pairs
+
+(* Node → POP region, for partitioning: a POP node maps to its own
+   index, a CE to its PE's POP, so a region (POP plus homed sites) is
+   never split across shards and every cut is a core link. *)
+let region_hint t =
+  let topo = Backbone.topology t.backbone in
+  let n = Topology.node_count topo in
+  let hint = Array.init n (fun v -> Backbone.pop_of_node t.backbone v) in
+  Array.iter
+    (fun (s : Site.t) ->
+       if s.Site.ce_node < n then
+         hint.(s.Site.ce_node) <- Backbone.pop_of_node t.backbone s.Site.pe_node)
+    t.sites;
+  fun v -> if v >= 0 && v < n then hint.(v) else None
 
 (* Declare the stock per-band objectives for every VPN with sites in
    this scenario (plus vpn 0, where un-tenanted traffic books) and

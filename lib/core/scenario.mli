@@ -20,6 +20,7 @@ type t
 val build :
   ?pops:int ->
   ?core_bandwidth:float ->
+  ?core_delay:float ->
   ?access_bandwidth:float ->
   ?vpns:int ->
   ?sites_per_vpn:int ->
@@ -30,7 +31,9 @@ val build :
 (** Defaults: 12 POPs at 45 Mb/s, 2 Mb/s access, 2 VPNs × 4 sites.
     VPN [v]'s site [k] uses prefix 10.k.0.0/16 — the same in every VPN,
     so isolation is exercised constantly. Sites spread round-robin over
-    POPs with an offset per VPN. *)
+    POPs with an offset per VPN. [core_delay] overrides the POP–POP
+    propagation delay (the parallel runner's lookahead; 0 forces its
+    epoch-barrier fallback). *)
 
 val engine : t -> Mvpn_sim.Engine.t
 val network : t -> Network.t
@@ -53,12 +56,29 @@ val add_mixed_workload :
   ?load:float ->
   ?start:float ->
   ?rng_seed:int ->
+  ?only:(Site.t -> Site.t -> bool) ->
   t -> pairs:(Site.t * Site.t) list -> duration:float -> unit
 (** Per site pair: one on/off EF voice call (64 kb/s, 200-byte
     packets), Poisson AF31 transactions (200 kb/s mean, 512-byte), and
     Pareto-bursty best-effort bulk sized so the pair's total offered
     load is [load] × the access rate (default 0.9). Collectors are the
-    class names from {!service_classes}. *)
+    class names from {!service_classes}.
+
+    [only] filters which pairs actually start sources; filtered pairs
+    still perform every RNG draw, so the armed pairs' substreams are
+    byte-identical to an unfiltered run — how a partitioned run arms
+    each pair in exactly one shard without perturbing the others. *)
+
+val default_pairs : t -> (Site.t * Site.t) list
+(** The demo workload pairing used by [mvpn]: consecutive sites
+    (0→1, 2→3, …) in build order. Exposed so the sequential and
+    partitioned entry points drive byte-identical workloads. *)
+
+val region_hint : t -> int -> int option
+(** Node → POP region for {!Mvpn_par.Partition}: a POP node maps to its
+    own index, a CE to its PE's POP, so a region (POP plus homed sites)
+    is never split across shards and every cut is a core link. [None]
+    for nodes outside any region. *)
 
 val attach_slo :
   ?slo:Mvpn_telemetry.Slo.t -> ?sample_every:int -> t ->

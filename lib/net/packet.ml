@@ -26,9 +26,16 @@ type t = {
 
 let default_ttl = 64
 
-let uid_counter = ref 0
+(* Atomic so packet construction is safe from any domain. Uids stay
+   unique process-wide but their allocation order across domains is not
+   deterministic — nothing semantic may depend on uid values beyond
+   uniqueness (per-packet fault verdicts key on uid, which is why
+   seeded chaos runs are single-domain). *)
+let uid_counter = Atomic.make 0
 
-let reset_uid_counter () = uid_counter := 0
+let reset_uid_counter () = Atomic.set uid_counter 0
+
+let next_uid () = 1 + Atomic.fetch_and_add uid_counter 1
 
 let header_of_flow ?(dscp = Dscp.best_effort) (flow : Flow.t) =
   { src = flow.src; dst = flow.dst; proto = flow.proto;
@@ -36,8 +43,7 @@ let header_of_flow ?(dscp = Dscp.best_effort) (flow : Flow.t) =
     ttl = default_ttl }
 
 let make ?vpn ?(seq = 0) ?(dscp = Dscp.best_effort) ?(size = 512) ~now flow =
-  incr uid_counter;
-  { uid = !uid_counter; flow; vpn; seq; created_at = now; size;
+  { uid = next_uid (); flow; vpn; seq; created_at = now; size;
     inner = header_of_flow ~dscp flow; encrypted = false; outer = None;
     labels = []; encap_bytes = 0 }
 
@@ -46,8 +52,7 @@ let copy_header (h : header) =
     dst_port = h.dst_port; dscp = h.dscp; ttl = h.ttl }
 
 let copy p =
-  incr uid_counter;
-  { uid = !uid_counter; flow = p.flow; vpn = p.vpn; seq = p.seq;
+  { uid = next_uid (); flow = p.flow; vpn = p.vpn; seq = p.seq;
     created_at = p.created_at; size = p.size;
     inner = copy_header p.inner; encrypted = p.encrypted;
     outer = Option.map copy_header p.outer;

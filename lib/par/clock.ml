@@ -1,0 +1,83 @@
+type t = {
+  shards : int;
+  horizon : float;
+  inbound : (int * float) list array;
+  la : bool;
+  mutex : Mutex.t;
+  changed : Condition.t;
+  pubs : float array;  (* guarded by [mutex] *)
+  nexts : float array;  (* barrier-disciplined: write own slot, barrier,
+                           read all, barrier *)
+  mutable arrived : int;
+  mutable phase : bool;
+}
+
+let create ~shards ~horizon ~inbound =
+  if shards < 1 then invalid_arg "Clock.create: shards < 1";
+  if Array.length inbound <> shards then
+    invalid_arg "Clock.create: inbound length <> shards";
+  Array.iter
+    (List.iter (fun (j, _) ->
+         if j < 0 || j >= shards then
+           invalid_arg "Clock.create: bad source shard"))
+    inbound;
+  let la = Array.for_all (List.for_all (fun (_, d) -> d > 0.0)) inbound in
+  { shards; horizon; inbound; la;
+    mutex = Mutex.create (); changed = Condition.create ();
+    pubs = Array.make shards 0.0; nexts = Array.make shards infinity;
+    arrived = 0; phase = false }
+
+let horizon t = t.horizon
+
+let lookahead t = t.la
+
+let bound_locked t shard =
+  List.fold_left
+    (fun acc (j, d) -> Float.min acc (t.pubs.(j) +. d))
+    t.horizon t.inbound.(shard)
+
+let next_bound t ~shard ~completed =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    let b = bound_locked t shard in
+    if b > completed || b >= t.horizon then b
+    else begin
+      Condition.wait t.changed t.mutex;
+      wait ()
+    end
+  in
+  let b = wait () in
+  Mutex.unlock t.mutex;
+  b
+
+let publish t ~shard v =
+  Mutex.lock t.mutex;
+  if v > t.pubs.(shard) then begin
+    t.pubs.(shard) <- v;
+    Condition.broadcast t.changed
+  end;
+  Mutex.unlock t.mutex
+
+let barrier t =
+  Mutex.lock t.mutex;
+  let sense = t.phase in
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.shards then begin
+    t.arrived <- 0;
+    t.phase <- not t.phase;
+    Condition.broadcast t.changed
+  end
+  else
+    while t.phase = sense do
+      Condition.wait t.changed t.mutex
+    done;
+  Mutex.unlock t.mutex
+
+let min_next t ~shard v =
+  t.nexts.(shard) <- v;
+  barrier t;
+  let m = Array.fold_left Float.min infinity t.nexts in
+  (* Second rendezvous: nobody overwrites [nexts] for the following
+     round until everyone has read this one. *)
+  barrier t;
+  m

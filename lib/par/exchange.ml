@@ -1,0 +1,92 @@
+type msg = {
+  arrival : float;
+  sent : float;
+  src_shard : int;
+  seq : int;
+  src_node : int;
+  dst_node : int;
+  packet : Mvpn_net.Packet.t;
+}
+
+type channel = {
+  mutex : Mutex.t;
+  mutable buf : msg list;  (* newest first; reversed on drain *)
+  mutable next_seq : int;
+  mutable len : int;
+}
+
+type t = {
+  shards : int;
+  capacity : int;
+  chans : channel option array;  (* src * shards + dst *)
+  overflow : int Atomic.t;
+}
+
+let create ?(capacity = 65536) ~shards () =
+  if shards < 1 then invalid_arg "Exchange.create: shards < 1";
+  if capacity < 1 then invalid_arg "Exchange.create: capacity < 1";
+  { shards; capacity;
+    chans = Array.make (shards * shards) None;
+    overflow = Atomic.make 0 }
+
+let index t ~src ~dst =
+  if src < 0 || src >= t.shards || dst < 0 || dst >= t.shards || src = dst
+  then invalid_arg "Exchange: bad shard pair";
+  (src * t.shards) + dst
+
+let open_channel t ~src ~dst =
+  let i = index t ~src ~dst in
+  match t.chans.(i) with
+  | Some _ -> ()
+  | None ->
+    t.chans.(i) <-
+      Some { mutex = Mutex.create (); buf = []; next_seq = 0; len = 0 }
+
+let channels t =
+  let acc = ref [] in
+  for src = t.shards - 1 downto 0 do
+    for dst = t.shards - 1 downto 0 do
+      if src <> dst && t.chans.((src * t.shards) + dst) <> None then
+        acc := (src, dst) :: !acc
+    done
+  done;
+  !acc
+
+let send t ~src ~dst ~arrival ~sent ~src_node ~dst_node packet =
+  match t.chans.(index t ~src ~dst) with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Exchange.send: no channel %d -> %d" src dst)
+  | Some ch ->
+    Mutex.lock ch.mutex;
+    let m =
+      { arrival; sent; src_shard = src; seq = ch.next_seq; src_node;
+        dst_node; packet }
+    in
+    ch.next_seq <- ch.next_seq + 1;
+    ch.buf <- m :: ch.buf;
+    ch.len <- ch.len + 1;
+    let over = ch.len > t.capacity in
+    Mutex.unlock ch.mutex;
+    if over then Atomic.incr t.overflow
+
+let drain t ~dst =
+  let acc = ref [] in
+  for src = t.shards - 1 downto 0 do
+    if src <> dst then
+      match t.chans.((src * t.shards) + dst) with
+      | None -> ()
+      | Some ch ->
+        Mutex.lock ch.mutex;
+        let got = ch.buf in
+        ch.buf <- [];
+        ch.len <- 0;
+        Mutex.unlock ch.mutex;
+        (* [got] is newest-first; rev_append onto the higher-src groups
+           already in [acc] yields oldest-first within each group,
+           groups in ascending source-shard order. *)
+        acc := List.rev_append got !acc
+  done;
+  !acc
+
+let overflows t = Atomic.get t.overflow

@@ -1,0 +1,54 @@
+(** Cross-shard packet exchange: one mutex-guarded channel per ordered
+    (source shard, destination shard) pair that owns at least one cut
+    link.
+
+    A packet finishing serialization on a cut-link port is pushed with
+    its send-derived arrival stamp ([tx end + propagation delay]) and a
+    per-channel sequence number; the destination shard drains its
+    inbound channels at window boundaries and re-inserts the packets
+    into its own event heap in a deterministic order (see
+    {!Shard.ingest}).
+
+    Channels are bounded with {e soft} backpressure: a push over
+    capacity is counted ([par.exchange.overflow]) rather than blocked —
+    a sender blocking mid-window on a receiver that is itself waiting
+    for this shard's clock publication would deadlock the conservative
+    synchronization, so window sizing (lookahead), not blocking, is the
+    real flow control. *)
+
+type msg = {
+  arrival : float;  (** send time + link propagation delay *)
+  sent : float;  (** serialization end on the source shard *)
+  src_shard : int;
+  seq : int;  (** per-channel send sequence *)
+  src_node : int;
+  dst_node : int;
+  packet : Mvpn_net.Packet.t;
+}
+
+type t
+
+val create : ?capacity:int -> shards:int -> unit -> t
+(** [capacity] (default 65536 messages) is the per-channel soft bound.
+    No channels exist until {!open_channel}. *)
+
+val open_channel : t -> src:int -> dst:int -> unit
+(** Idempotent. The runner opens exactly one channel per ordered shard
+    pair that has a cut link. *)
+
+val channels : t -> (int * int) list
+(** Open (src, dst) pairs, sorted. *)
+
+val send :
+  t -> src:int -> dst:int -> arrival:float -> sent:float -> src_node:int ->
+  dst_node:int -> Mvpn_net.Packet.t -> unit
+(** Called from the source shard's domain.
+    @raise Invalid_argument if the channel was never opened. *)
+
+val drain : t -> dst:int -> msg list
+(** Pop everything currently queued toward [dst], in channel order then
+    send order (the caller merges and sorts by arrival). Called from
+    the destination shard's domain; safe against concurrent sends. *)
+
+val overflows : t -> int
+(** Total pushes that found a channel over capacity. *)

@@ -1,0 +1,288 @@
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Registry = Mvpn_telemetry.Registry
+module Control = Mvpn_telemetry.Control
+module Slo = Mvpn_telemetry.Slo
+module Event_log = Mvpn_telemetry.Event_log
+module Scenario = Mvpn_core.Scenario
+module Network = Mvpn_core.Network
+module Site = Mvpn_core.Site
+module Qos_mapping = Mvpn_core.Qos_mapping
+module Sla = Mvpn_qos.Sla
+
+type config = {
+  shards : int;
+  pops : int;
+  vpns : int;
+  sites_per_vpn : int;
+  policy : Qos_mapping.policy;
+  use_te : bool;
+  load : float;
+  duration : float;
+  seed : int;
+  core_delay : float option;
+}
+
+let default_config =
+  { shards = 4; pops = 12; vpns = 2; sites_per_vpn = 4;
+    policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+    use_te = false; load = 0.9; duration = 30.0; seed = 11;
+    core_delay = None }
+
+type outcome = {
+  shards : int;
+  sizes : int array;
+  cut_links : int;
+  lookahead : bool;
+  delivered : int;
+  dropped : int;
+  events : int;
+  scheduled : int;
+  exchanged : int;
+  leftover : int;
+  overflow : int;
+  classes : (string * int * int) list;
+  slo : Slo.t;
+  registry_json : string;
+  horizon : float;
+}
+
+let horizon_of cfg = cfg.duration +. 5.0
+
+let build_replica cfg () =
+  Scenario.build ~pops:cfg.pops ~vpns:cfg.vpns
+    ~sites_per_vpn:cfg.sites_per_vpn ~seed:cfg.seed
+    ?core_delay:cfg.core_delay
+    (Scenario.Mpls_deployment { policy = cfg.policy; use_te = cfg.use_te })
+
+let arm_workload cfg sc ~only =
+  Scenario.add_mixed_workload ~load:cfg.load ~only sc
+    ~pairs:(Scenario.default_pairs sc) ~duration:cfg.duration
+
+(* Replay the merged, time-sorted fate stream into a fresh conformance
+   engine with the stock per-(vpn, band) objectives — the same
+   declarations [Scenario.attach_slo] makes. A private event log keeps
+   violation events out of the global forensic ring (the registry JSON
+   was captured already; see below). *)
+let replay_slo ~scenario ~horizon fates =
+  let log = Event_log.create () in
+  let slo = Slo.create ~events:log () in
+  let vpns =
+    Array.fold_left
+      (fun acc (s : Site.t) ->
+         if List.mem s.Site.vpn acc then acc else s.Site.vpn :: acc)
+      [ 0 ] (Scenario.sites scenario)
+    |> List.sort_uniq Int.compare
+  in
+  List.iter
+    (fun vpn ->
+       for band = 0 to Qos_mapping.band_count - 1 do
+         Slo.declare slo ~vpn ~band (Qos_mapping.default_objective band)
+       done)
+    vpns;
+  Control.with_enabled (fun () ->
+      List.iter
+        (fun (f : Shard.fate) ->
+           if f.Shard.f_dropped then
+             Slo.observe_drop slo ~vpn:f.Shard.f_vpn ~band:f.Shard.f_band
+               ~time:f.Shard.f_time
+           else
+             Slo.observe_delivery slo ~vpn:f.Shard.f_vpn ~band:f.Shard.f_band
+               ~time:f.Shard.f_time ~latency:f.Shard.f_latency)
+        fates;
+      Slo.advance slo ~time:horizon);
+  slo
+
+let class_sums per_replica_reports =
+  let tbl = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (List.iter (fun (label, (r : Sla.report)) ->
+         let s0, v0 =
+           match Hashtbl.find_opt tbl label with
+           | Some x -> x
+           | None ->
+             order := label :: !order;
+             (0, 0)
+         in
+         Hashtbl.replace tbl label (s0 + r.Sla.sent, v0 + r.Sla.received)))
+    per_replica_reports;
+  List.rev_map (fun l -> let s, v = Hashtbl.find tbl l in (l, s, v)) !order
+
+(* One shard's life: conservative windows (or epoch barriers when some
+   cut link has zero lookahead), then the final inclusive pass at the
+   horizon, then a last channel flush so post-horizon messages are
+   accounted as leftovers rather than stranded. *)
+let drive sh clock =
+  let id = Shard.id sh in
+  let horizon = Clock.horizon clock in
+  if Clock.lookahead clock then begin
+    let rec loop completed =
+      if completed < horizon then begin
+        let b = Clock.next_bound clock ~shard:id ~completed in
+        Shard.ingest sh ~bound:b ~inclusive:false;
+        Shard.run_before sh ~before:b;
+        Clock.publish clock ~shard:id b;
+        loop b
+      end
+    in
+    loop 0.0
+  end
+  else begin
+    let rec rounds () =
+      Clock.barrier clock;
+      Shard.ingest sh ~bound:horizon ~inclusive:true;
+      let nxt = Option.value ~default:infinity (Shard.peek sh) in
+      let m = Clock.min_next clock ~shard:id nxt in
+      if m <= horizon then begin
+        Shard.run_to sh ~until:m;
+        rounds ()
+      end
+    in
+    rounds ()
+  end;
+  Clock.barrier clock;
+  Shard.ingest sh ~bound:horizon ~inclusive:true;
+  Shard.run_to sh ~until:horizon;
+  Clock.barrier clock;
+  (* Everyone has finished the horizon pass: drain what those last
+     events sent (all of it arrives strictly past the horizon). *)
+  Shard.ingest sh ~bound:neg_infinity ~inclusive:false
+
+let run_parallel (cfg : config) =
+  if cfg.shards < 1 then invalid_arg "Runner.run_parallel: shards < 1";
+  let horizon = horizon_of cfg in
+  (* Throwaway build, telemetry off, just to cut the topology — every
+     replica builds the same one, so the partition is exact. *)
+  let part =
+    Control.with_disabled (fun () ->
+        let sc = build_replica cfg () in
+        Partition.compute
+          ~hint:(Scenario.region_hint sc)
+          (Network.topology (Scenario.network sc))
+          ~shards:cfg.shards)
+  in
+  let k = part.Partition.shards in
+  let ex = Exchange.create ~shards:k () in
+  let inbound = Array.make k [] in
+  List.iter
+    (fun (l : Topology.link) ->
+       let s = part.Partition.owner.(l.Topology.src)
+       and d = part.Partition.owner.(l.Topology.dst) in
+       Exchange.open_channel ex ~src:s ~dst:d;
+       inbound.(d) <-
+         (match List.assoc_opt s inbound.(d) with
+          | Some d0 ->
+            (s, Float.min d0 l.Topology.delay)
+            :: List.remove_assoc s inbound.(d)
+          | None -> (s, l.Topology.delay) :: inbound.(d)))
+    part.Partition.cut;
+  let clock = Clock.create ~shards:k ~horizon ~inbound in
+  let domains =
+    Array.init k (fun i ->
+        Domain.spawn (fun () ->
+            let sh =
+              Shard.create ~id:i ~part ~exchange:ex
+                ~build:(build_replica cfg) ~arm:(arm_workload cfg)
+            in
+            drive sh clock;
+            Shard.collect sh))
+  in
+  let cols = Array.map Domain.join domains in
+  (* Merge every shard's metric cells into this domain, in shard order
+     (associative, so the order only pins float rounding). *)
+  Array.iter (fun c -> Registry.absorb c.Shard.r_snapshot) cols;
+  (* Post-horizon cross-shard packets: the sequential run scheduled
+     their propagation events (and never executed them); re-schedule
+     them on the destination replica so [sim.scheduled] agrees. *)
+  let leftover = ref 0 in
+  Array.iter
+    (fun c ->
+       let eng = Scenario.engine c.Shard.r_scenario in
+       let net = Scenario.network c.Shard.r_scenario in
+       List.iter
+         (fun (m : Exchange.msg) ->
+            incr leftover;
+            let dst = m.Exchange.dst_node and src = m.Exchange.src_node in
+            let packet = m.Exchange.packet in
+            Engine.schedule_at eng ~time:m.Exchange.arrival (fun () ->
+                Network.receive net dst ~from:(Some src) packet))
+         c.Shard.r_leftover)
+    cols;
+  let registry_json = Registry.to_json ~trace_events:0 () in
+  let counter_sum name =
+    Array.fold_left
+      (fun acc c -> acc + Registry.snapshot_counter c.Shard.r_snapshot name)
+      0 cols
+  in
+  let fates =
+    Array.to_list cols
+    |> List.concat_map (fun c ->
+           List.map (fun f -> (c.Shard.r_id, f)) c.Shard.r_fates)
+    |> List.sort (fun (sa, (fa : Shard.fate)) (sb, fb) ->
+           match Float.compare fa.Shard.f_time fb.Shard.f_time with
+           | 0 ->
+             (match Int.compare sa sb with
+              | 0 -> Int.compare fa.Shard.f_seq fb.Shard.f_seq
+              | c -> c)
+           | c -> c)
+    |> List.map snd
+  in
+  let slo = replay_slo ~scenario:cols.(0).Shard.r_scenario ~horizon fates in
+  { shards = k;
+    sizes = Partition.sizes part;
+    cut_links = List.length part.Partition.cut;
+    lookahead = Clock.lookahead clock;
+    delivered = counter_sum "net.delivered";
+    dropped = counter_sum "net.drops";
+    events = counter_sum "sim.events";
+    scheduled = counter_sum "sim.scheduled" + !leftover;
+    exchanged =
+      Array.fold_left (fun acc c -> acc + c.Shard.r_sent) 0 cols;
+    leftover = !leftover;
+    overflow = Exchange.overflows ex;
+    classes =
+      class_sums
+        (Array.to_list cols
+         |> List.map (fun c -> Scenario.class_reports c.Shard.r_scenario));
+    slo; registry_json; horizon }
+
+let run_sequential (cfg : config) =
+  let horizon = horizon_of cfg in
+  let base = Registry.snapshot () in
+  let sc = build_replica cfg () in
+  let net = Scenario.network sc in
+  let fates = ref [] in
+  let fseq = ref 0 in
+  Network.set_fate_hook net
+    (Some
+       (fun ~time ~vpn ~band ~dropped ~latency ->
+          let f =
+            { Shard.f_time = time; f_vpn = vpn; f_band = band;
+              f_dropped = dropped; f_latency = latency; f_seq = !fseq }
+          in
+          incr fseq;
+          fates := f :: !fates));
+  arm_workload cfg sc ~only:(fun _ _ -> true);
+  Engine.run ~until:horizon (Scenario.engine sc);
+  let finis = Registry.snapshot () in
+  let diff name =
+    Registry.snapshot_counter finis name
+    - Registry.snapshot_counter base name
+  in
+  let registry_json = Registry.to_json ~trace_events:0 () in
+  let slo = replay_slo ~scenario:sc ~horizon (List.rev !fates) in
+  { shards = 1;
+    sizes =
+      [| Topology.node_count (Network.topology net) |];
+    cut_links = 0;
+    lookahead = true;
+    delivered = diff "net.delivered";
+    dropped = diff "net.drops";
+    events = diff "sim.events";
+    scheduled = diff "sim.scheduled";
+    exchanged = 0;
+    leftover = 0;
+    overflow = 0;
+    classes = class_sums [ Scenario.class_reports sc ];
+    slo; registry_json; horizon }

@@ -1,0 +1,68 @@
+(** The partitioned parallel simulation runner.
+
+    Spawns one domain per shard, each holding a full replica of the
+    scenario but executing only its owned nodes' events
+    (see {!Shard}), synchronized conservatively through {!Clock} and
+    exchanging cut-link packets through {!Exchange}. After the domains
+    join, per-shard telemetry snapshots merge associatively into the
+    calling domain's registry cells, post-horizon cross-shard packets
+    are re-scheduled for bookkeeping parity, and the time-sorted merge
+    of every shard's packet fates replays into one SLO engine.
+
+    The headline invariant: for a given config, {!run_parallel} at any
+    shard count and {!run_sequential} produce identical delivered /
+    dropped / scheduled / executed-event totals, identical per-class
+    sent / received sums and identical SLO conformance — partitioning
+    changes wall-clock, not results.
+
+    Telemetry must be enabled ({!Mvpn_telemetry.Control.enable}) around
+    either entry point; totals are counted through the registry. *)
+
+type config = {
+  shards : int;  (** requested; clamped to the region count *)
+  pops : int;
+  vpns : int;
+  sites_per_vpn : int;
+  policy : Mvpn_core.Qos_mapping.policy;
+  use_te : bool;
+  load : float;
+  duration : float;  (** workload seconds; the engines run 5 s longer *)
+  seed : int;
+  core_delay : float option;
+      (** POP–POP propagation override; [Some 0.] forces the
+          epoch-barrier fallback *)
+}
+
+val default_config : config
+(** The [mvpn] demo defaults: 4 shards, 12 POPs, 2 VPNs × 4 sites,
+    DiffServ policy, load 0.9, 30 s, seed 11. *)
+
+type outcome = {
+  shards : int;  (** effective shard count *)
+  sizes : int array;  (** nodes owned per shard *)
+  cut_links : int;
+  lookahead : bool;  (** false when the barrier fallback ran *)
+  delivered : int;
+  dropped : int;
+  events : int;  (** executed simulation events, all shards *)
+  scheduled : int;  (** scheduled events, including leftover parity *)
+  exchanged : int;  (** packets carried across shards *)
+  leftover : int;  (** cross-shard packets arriving past the horizon *)
+  overflow : int;  (** exchange soft-bound overflows *)
+  classes : (string * int * int) list;
+      (** per service class: label, sent, received *)
+  slo : Mvpn_telemetry.Slo.t;  (** replayed conformance engine *)
+  registry_json : string;
+      (** merged registry snapshot, captured {e before} the SLO replay
+          so the counters object matches a sequential [mvpn stats] run
+          byte for byte *)
+  horizon : float;
+}
+
+val run_parallel : config -> outcome
+(** @raise Invalid_argument if [config.shards < 1]. *)
+
+val run_sequential : config -> outcome
+(** Single-domain baseline on the identical build/workload path
+    (ignores [config.shards]); totals are diffed against the registry
+    state at entry, so a dirty registry does not skew them. *)

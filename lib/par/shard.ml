@@ -1,0 +1,135 @@
+module Engine = Mvpn_sim.Engine
+module Topology = Mvpn_sim.Topology
+module Registry = Mvpn_telemetry.Registry
+module Scenario = Mvpn_core.Scenario
+module Network = Mvpn_core.Network
+module Site = Mvpn_core.Site
+module Port = Mvpn_qos.Port
+
+type fate = {
+  f_time : float;
+  f_vpn : int;
+  f_band : int;
+  f_dropped : bool;
+  f_latency : float;
+  f_seq : int;
+}
+
+type result = {
+  r_id : int;
+  r_snapshot : Registry.snapshot;
+  r_fates : fate list;
+  r_leftover : Exchange.msg list;
+  r_sent : int;
+  r_ingested : int;
+  r_scenario : Scenario.t;
+}
+
+type t = {
+  sid : int;
+  sc : Scenario.t;
+  net : Network.t;
+  eng : Engine.t;
+  exchange : Exchange.t;
+  mutable pending : Exchange.msg list;  (* sorted by [msg_order] *)
+  mutable fates : fate list;  (* newest first *)
+  mutable fseq : int;
+  mutable sent : int;
+  mutable ingested : int;
+}
+
+let msg_order (a : Exchange.msg) (b : Exchange.msg) =
+  match Float.compare a.Exchange.arrival b.Exchange.arrival with
+  | 0 ->
+    (match Float.compare a.Exchange.sent b.Exchange.sent with
+     | 0 ->
+       (match Int.compare a.Exchange.src_shard b.Exchange.src_shard with
+        | 0 -> Int.compare a.Exchange.seq b.Exchange.seq
+        | c -> c)
+     | c -> c)
+  | c -> c
+
+let create ~id ~part ~exchange ~build ~arm =
+  let sc = build () in
+  (* Every replica's build bumps this domain's metric cells; only the
+     canonical replica keeps them, so deploy-time counters appear
+     exactly once in the merged snapshot. [Registry.reset] only zeroes
+     the calling domain's cells — concurrent builds are unaffected. *)
+  if id > 0 then Registry.reset ();
+  let net = Scenario.network sc in
+  let eng = Scenario.engine sc in
+  let t =
+    { sid = id; sc; net; eng; exchange; pending = []; fates = []; fseq = 0;
+      sent = 0; ingested = 0 }
+  in
+  Network.set_fate_hook net
+    (Some
+       (fun ~time ~vpn ~band ~dropped ~latency ->
+          let f =
+            { f_time = time; f_vpn = vpn; f_band = band;
+              f_dropped = dropped; f_latency = latency; f_seq = t.fseq }
+          in
+          t.fseq <- t.fseq + 1;
+          t.fates <- f :: t.fates));
+  (* Outbound cut ports hand finished transmissions to the exchange
+     instead of scheduling the propagation event locally. *)
+  let owner = part.Partition.owner in
+  List.iter
+    (fun (l : Topology.link) ->
+       if owner.(l.Topology.src) = id then begin
+         let dst_shard = owner.(l.Topology.dst) in
+         let src_node = l.Topology.src and dst_node = l.Topology.dst in
+         Port.set_handoff
+           (Network.port net ~link_id:l.Topology.id)
+           (Some
+              (fun ~arrival packet ->
+                 t.sent <- t.sent + 1;
+                 Exchange.send exchange ~src:id ~dst:dst_shard ~arrival
+                   ~sent:(Engine.now eng) ~src_node ~dst_node packet))
+       end)
+    part.Partition.cut;
+  (* Arm sources only for pairs whose sending CE this shard owns. The
+     workload still performs every RNG draw for filtered pairs, so each
+     armed pair's substream is byte-identical to the sequential run. *)
+  arm sc ~only:(fun (a : Site.t) _ -> owner.(a.Site.ce_node) = id);
+  t
+
+let id t = t.sid
+
+let engine t = t.eng
+
+let ingest t ~bound ~inclusive =
+  let fresh = Exchange.drain t.exchange ~dst:t.sid in
+  if fresh <> [] then
+    t.pending <- List.merge msg_order t.pending (List.sort msg_order fresh);
+  let ready (m : Exchange.msg) =
+    if inclusive then m.Exchange.arrival <= bound
+    else m.Exchange.arrival < bound
+  in
+  let rec take = function
+    | m :: rest when ready m ->
+      t.ingested <- t.ingested + 1;
+      let arrival = m.Exchange.arrival in
+      let dst = m.Exchange.dst_node and src = m.Exchange.src_node in
+      let packet = m.Exchange.packet in
+      Engine.schedule_at t.eng ~time:arrival (fun () ->
+          Network.receive t.net dst ~from:(Some src) packet);
+      take rest
+    | rest -> t.pending <- rest
+  in
+  take t.pending
+
+let run_before t ~before = Engine.run_before t.eng ~before
+
+let run_to t ~until = Engine.run ~until t.eng
+
+let peek t = Engine.peek_time t.eng
+
+let collect t =
+  { r_id = t.sid;
+    r_snapshot = Registry.snapshot ();
+    r_fates = List.rev t.fates;
+    r_leftover = t.pending;
+    r_sent = t.sent;
+    r_ingested = t.ingested;
+    r_scenario = t.sc }

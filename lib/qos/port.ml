@@ -14,6 +14,7 @@ type t = {
   on_drop : reason:string -> Packet.t -> unit;
   mutable busy : bool;
   mutable fault : fault option;
+  mutable handoff : (arrival:float -> Packet.t -> unit) option;
   mutable offered : int;
   mutable delivered : int;
   mutable dropped_queue : int;
@@ -39,7 +40,7 @@ let nop_drop ~reason:(_ : string) (_ : Packet.t) = ()
 let create ?(on_txstart = nop_txstart) ?(on_drop = nop_drop) engine ~link
     ~qdisc ~classify ~on_deliver =
   { engine; link; qdisc; classify; on_deliver; on_txstart; on_drop;
-    busy = false; fault = None; offered = 0; delivered = 0;
+    busy = false; fault = None; handoff = None; offered = 0; delivered = 0;
     dropped_queue = 0; dropped_link_down = 0; dropped_fault = 0;
     bytes_delivered = 0; busy_seconds = 0.0 }
 
@@ -49,6 +50,8 @@ let set_fault t ?(loss = 0.0) ?(corrupt = 0.0) ~seed () =
   t.fault <- Some { loss; corrupt; seed }
 
 let clear_fault t = t.fault <- None
+
+let set_handoff t h = t.handoff <- h
 
 let faulty t = t.fault <> None
 
@@ -103,8 +106,16 @@ let rec start_service (t : t) =
         if t.link.Topology.up then begin
           t.delivered <- t.delivered + 1;
           t.bytes_delivered <- t.bytes_delivered + packet.Packet.size;
-          Engine.schedule t.engine ~delay:t.link.Topology.delay (fun () ->
-              t.on_deliver packet)
+          match t.handoff with
+          | Some hand ->
+            (* Propagation is owned elsewhere (a cut link of a
+               partitioned run): hand over the packet stamped with its
+               arrival time instead of scheduling locally. *)
+            hand ~arrival:(Engine.now t.engine +. t.link.Topology.delay)
+              packet
+          | None ->
+            Engine.schedule t.engine ~delay:t.link.Topology.delay (fun () ->
+                t.on_deliver packet)
         end
         else begin
           t.dropped_link_down <- t.dropped_link_down + 1;

@@ -52,6 +52,15 @@ val clear_fault : t -> unit
 
 val faulty : t -> bool
 
+val set_handoff : t -> (arrival:float -> Mvpn_net.Packet.t -> unit) option -> unit
+(** Override propagation: when set, a packet finishing serialization on
+    an up link is passed to the handoff with its computed arrival time
+    ([now + link delay]) instead of being scheduled on this engine. The
+    parallel runner installs handoffs on cut-link ports so the packet
+    crosses into the shard that owns the far end; [None] restores local
+    propagation. Serialization, port counters and drop handling are
+    unchanged either way. *)
+
 val link : t -> Mvpn_sim.Topology.link
 
 val qdisc : t -> Queue_disc.t

@@ -52,6 +52,23 @@ let run ?until e =
   in
   loop ()
 
+let peek_time e = Option.map fst (Heap.peek e.queue)
+
+(* Bounded-horizon drain for the parallel runner: process events with
+   time strictly below [before], but do not advance [now] to the bound
+   itself — the window bound is a synchronization artifact, not a
+   simulated instant, and a later window (or the final inclusive [run])
+   owns the events at the bound. *)
+let run_before e ~before =
+  e.stopped <- false;
+  let rec loop () =
+    if not e.stopped then
+      match Heap.peek e.queue with
+      | Some (time, _) when time < before -> if step e then loop ()
+      | Some _ | None -> ()
+  in
+  loop ()
+
 let pending e = Heap.size e.queue
 
 let processed e = e.processed

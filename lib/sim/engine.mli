@@ -29,6 +29,16 @@ val run : ?until:float -> t -> unit
 val step : t -> bool
 (** Run exactly one event; [false] when the queue is empty. *)
 
+val peek_time : t -> float option
+(** Timestamp of the next pending event, without running it. *)
+
+val run_before : t -> before:float -> unit
+(** Process every pending event with time strictly below [before],
+    leaving events at or after [before] queued and [now] at the last
+    processed event. The conservative parallel runner uses this to
+    advance a shard through a safe window without claiming the window
+    bound itself. *)
+
 val pending : t -> int
 (** Number of scheduled events not yet run. *)
 

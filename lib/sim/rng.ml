@@ -15,7 +15,16 @@ let bits64 r =
   r.state <- Int64.add r.state golden_gamma;
   mix r.state
 
-let split r = { state = bits64 r }
+let fork r = { state = bits64 r }
+
+(* Indexed substream: derived from the parent's *current* position and
+   the index only, without advancing the parent — so shard k of a
+   partitioned run gets the same stream no matter how many sibling
+   substreams exist or in what order they are taken. Double-mixing with
+   a distinct xor constant decorrelates adjacent indices. *)
+let split r i =
+  let z = Int64.add r.state (Int64.mul (Int64.of_int (i + 1)) golden_gamma) in
+  { state = mix (Int64.logxor (mix z) 0x632BE59BD9B4E019L) }
 
 let int r bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

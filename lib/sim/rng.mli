@@ -10,10 +10,17 @@ type t
 val create : int -> t
 (** [create seed] is a fresh generator; equal seeds give equal streams. *)
 
-val split : t -> t
-(** [split r] derives an independent generator from [r], advancing [r].
-    Use one split per traffic source so adding a source does not perturb
+val fork : t -> t
+(** [fork r] derives an independent generator from [r], advancing [r].
+    Use one fork per traffic source so adding a source does not perturb
     the others' streams. *)
+
+val split : t -> int -> t
+(** [split r i] is the [i]-th deterministic substream of [r]'s current
+    position, without advancing [r]: the same [(r, i)] always yields
+    the same stream, and distinct indices yield decorrelated streams.
+    Use one substream per shard of a partitioned run so the assignment
+    of work to domains never perturbs the draws. *)
 
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)

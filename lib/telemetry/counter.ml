@@ -1,17 +1,33 @@
-type t = { name : string; mutable count : int }
+(* The handle is shared across domains; the count lives in domain-local
+   storage, so concurrent domains bump private cells and never lose
+   increments to a read-modify-write race. Each domain therefore holds a
+   partial count: [value] reads the calling domain's partial, and a
+   harness combines partials with [Registry.snapshot] (taken inside the
+   domain) + [Registry.absorb] (counters add). *)
+type t = { name : string; cell : int ref Domain.DLS.key }
 
-let make name = { name; count = 0 }
+let make name = { name; cell = Domain.DLS.new_key (fun () -> ref 0) }
 
 let name t = t.name
 
-let incr t = if !Control.enabled then t.count <- t.count + 1
+let cell t = Domain.DLS.get t.cell
 
-let add t n = if !Control.enabled then t.count <- t.count + n
+let incr t =
+  if !Control.enabled then begin
+    let c = cell t in
+    c := !c + 1
+  end
 
-let set t n = if !Control.enabled then t.count <- n
+let add t n =
+  if !Control.enabled then begin
+    let c = cell t in
+    c := !c + n
+  end
 
-let value t = t.count
+let set t n = if !Control.enabled then cell t := n
 
-let reset t = t.count <- 0
+let value t = !(cell t)
 
-let pp ppf t = Format.fprintf ppf "%s = %d" t.name t.count
+let reset t = cell t := 0
+
+let pp ppf t = Format.fprintf ppf "%s = %d" t.name (value t)

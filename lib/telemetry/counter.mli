@@ -1,5 +1,11 @@
 (** Monotonic event counter. Mutation is a no-op while {!Control} is
-    disabled. *)
+    disabled.
+
+    Domain-safe: the handle is shared, but the count lives in
+    domain-local storage, so domains bump private partials and never
+    lose increments. [value]/[reset] act on the calling domain's
+    partial; partials are combined with [Registry.snapshot] (taken in
+    the owning domain) + [Registry.absorb] (counters add). *)
 
 type t
 

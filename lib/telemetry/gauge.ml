@@ -1,13 +1,17 @@
-type t = { name : string; mutable value : float }
+(* Shared handle, per-domain value cell — see counter.ml for the
+   storage discipline. *)
+type t = { name : string; cell : float ref Domain.DLS.key }
 
-let make name = { name; value = 0.0 }
+let make name = { name; cell = Domain.DLS.new_key (fun () -> ref 0.0) }
 
 let name t = t.name
 
-let set t v = if !Control.enabled then t.value <- v
+let cell t = Domain.DLS.get t.cell
 
-let value t = t.value
+let set t v = if !Control.enabled then cell t := v
 
-let reset t = t.value <- 0.0
+let value t = !(cell t)
 
-let pp ppf t = Format.fprintf ppf "%s = %.6g" t.name t.value
+let reset t = cell t := 0.0
+
+let pp ppf t = Format.fprintf ppf "%s = %.6g" t.name (value t)

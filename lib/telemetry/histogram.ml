@@ -3,11 +3,14 @@
    a cumulative walk with linear interpolation inside the crossing
    bucket, clamped to the exact observed min/max. Relative error is
    bounded by the factor-of-two bucket width, which is plenty for
-   latency p50/p90/p99 summaries. *)
+   latency p50/p90/p99 summaries.
 
-type t = {
-  name : string;
-  lo : float;  (* lower bound of bucket 0; values below land in it *)
+   The handle (name + bucket geometry) is shared across domains; the
+   mutable state lives in domain-local storage so concurrent domains
+   record into private cells. Per-domain partials are combined with
+   [snapshot] (in the owning domain) + [absorb]. *)
+
+type state = {
   counts : int array;
   mutable total : int;
   mutable sum : float;
@@ -15,65 +18,85 @@ type t = {
   mutable vmax : float;
 }
 
+type t = {
+  name : string;
+  lo : float;  (* lower bound of bucket 0; values below land in it *)
+  buckets : int;
+  cells : state Domain.DLS.key;
+}
+
 let default_buckets = 96
 
 let make ?(lo = 1e-9) ?(buckets = default_buckets) name =
   if lo <= 0.0 then invalid_arg "Histogram.make: lo must be positive";
   if buckets < 1 then invalid_arg "Histogram.make: need at least one bucket";
-  { name; lo; counts = Array.make buckets 0; total = 0; sum = 0.0;
-    vmin = infinity; vmax = neg_infinity }
+  { name; lo; buckets;
+    cells =
+      Domain.DLS.new_key (fun () ->
+          { counts = Array.make buckets 0; total = 0; sum = 0.0;
+            vmin = infinity; vmax = neg_infinity }) }
 
 let name t = t.name
+
+let state t = Domain.DLS.get t.cells
 
 let bucket_index t v =
   if v < t.lo then 0
   else begin
     (* v/lo = m·2^e with m in [0.5, 1), so v sits in bucket e-1. *)
     let _, e = Float.frexp (v /. t.lo) in
-    min (Array.length t.counts - 1) (max 0 (e - 1))
+    min (t.buckets - 1) (max 0 (e - 1))
   end
 
 let observe_unchecked t v =
+  let s = state t in
   let i = bucket_index t v in
-  t.counts.(i) <- t.counts.(i) + 1;
-  t.total <- t.total + 1;
-  t.sum <- t.sum +. v;
-  if v < t.vmin then t.vmin <- v;
-  if v > t.vmax then t.vmax <- v
+  s.counts.(i) <- s.counts.(i) + 1;
+  s.total <- s.total + 1;
+  s.sum <- s.sum +. v;
+  if v < s.vmin then s.vmin <- v;
+  if v > s.vmax then s.vmax <- v
 
 let observe t v = if !Control.enabled then observe_unchecked t v
 
 let observe_int t n = if !Control.enabled then observe_unchecked t (float_of_int n)
 
-let count t = t.total
+let count t = (state t).total
 
-let sum t = t.sum
+let sum t = (state t).sum
 
-let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+let mean t =
+  let s = state t in
+  if s.total = 0 then 0.0 else s.sum /. float_of_int s.total
 
-let min_value t = if t.total = 0 then 0.0 else t.vmin
+let min_value t =
+  let s = state t in
+  if s.total = 0 then 0.0 else s.vmin
 
-let max_value t = if t.total = 0 then 0.0 else t.vmax
+let max_value t =
+  let s = state t in
+  if s.total = 0 then 0.0 else s.vmax
 
 let quantile t q =
   if q < 0.0 || q > 1.0 then
     invalid_arg "Histogram.quantile: fraction outside [0, 1]";
-  if t.total = 0 then 0.0
+  let s = state t in
+  if s.total = 0 then 0.0
   else begin
-    let target = Float.max 1.0 (Float.round (q *. float_of_int t.total)) in
-    let n = Array.length t.counts in
+    let target = Float.max 1.0 (Float.round (q *. float_of_int s.total)) in
+    let n = t.buckets in
     let rec walk i cum =
-      if i >= n then t.vmax
+      if i >= n then s.vmax
       else begin
-        let cum' = cum + t.counts.(i) in
-        if float_of_int cum' >= target && t.counts.(i) > 0 then begin
+        let cum' = cum + s.counts.(i) in
+        if float_of_int cum' >= target && s.counts.(i) > 0 then begin
           let lower = if i = 0 then 0.0 else t.lo *. Float.pow 2.0 (float_of_int i) in
           let upper = t.lo *. Float.pow 2.0 (float_of_int (i + 1)) in
           let frac =
-            (target -. float_of_int cum) /. float_of_int t.counts.(i)
+            (target -. float_of_int cum) /. float_of_int s.counts.(i)
           in
           let est = lower +. (frac *. (upper -. lower)) in
-          Float.min t.vmax (Float.max t.vmin est)
+          Float.min s.vmax (Float.max s.vmin est)
         end
         else walk (i + 1) cum'
       end
@@ -86,11 +109,12 @@ let p90 t = quantile t 0.90
 let p99 t = quantile t 0.99
 
 let reset t =
-  Array.fill t.counts 0 (Array.length t.counts) 0;
-  t.total <- 0;
-  t.sum <- 0.0;
-  t.vmin <- infinity;
-  t.vmax <- neg_infinity
+  let s = state t in
+  Array.fill s.counts 0 t.buckets 0;
+  s.total <- 0;
+  s.sum <- 0.0;
+  s.vmin <- infinity;
+  s.vmax <- neg_infinity
 
 (* Snapshots restore unconditionally, like [reset] — they are harness
    operations, not instrumentation. *)
@@ -103,19 +127,32 @@ type snapshot = {
 }
 
 let snapshot t =
-  { s_counts = Array.copy t.counts; s_total = t.total; s_sum = t.sum;
-    s_vmin = t.vmin; s_vmax = t.vmax }
+  let s = state t in
+  { s_counts = Array.copy s.counts; s_total = s.total; s_sum = s.sum;
+    s_vmin = s.vmin; s_vmax = s.vmax }
 
-let restore t s =
-  let n = Stdlib.min (Array.length t.counts) (Array.length s.s_counts) in
-  Array.fill t.counts 0 (Array.length t.counts) 0;
-  Array.blit s.s_counts 0 t.counts 0 n;
-  t.total <- s.s_total;
-  t.sum <- s.s_sum;
-  t.vmin <- s.s_vmin;
-  t.vmax <- s.s_vmax
+let restore t snap =
+  let s = state t in
+  let n = Stdlib.min t.buckets (Array.length snap.s_counts) in
+  Array.fill s.counts 0 t.buckets 0;
+  Array.blit snap.s_counts 0 s.counts 0 n;
+  s.total <- snap.s_total;
+  s.sum <- snap.s_sum;
+  s.vmin <- snap.s_vmin;
+  s.vmax <- snap.s_vmax
+
+let absorb t snap =
+  let s = state t in
+  let n = Stdlib.min t.buckets (Array.length snap.s_counts) in
+  for i = 0 to n - 1 do
+    s.counts.(i) <- s.counts.(i) + snap.s_counts.(i)
+  done;
+  s.total <- s.total + snap.s_total;
+  s.sum <- s.sum +. snap.s_sum;
+  if snap.s_vmin < s.vmin then s.vmin <- snap.s_vmin;
+  if snap.s_vmax > s.vmax then s.vmax <- snap.s_vmax
 
 let pp ppf t =
   Format.fprintf ppf
-    "%s: n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g" t.name t.total
+    "%s: n=%d mean=%.6g p50=%.6g p90=%.6g p99=%.6g max=%.6g" t.name (count t)
     (mean t) (p50 t) (p90 t) (p99 t) (max_value t)

@@ -4,7 +4,11 @@
     is O(1) with no per-sample allocation, and quantiles (p50/p90/p99)
     are estimated by interpolating inside the crossing bucket — bounded
     relative error, clamped to the exact observed min/max. Recording is
-    a no-op while {!Control} is disabled. *)
+    a no-op while {!Control} is disabled.
+
+    Domain-safe like {!Counter}: bucket geometry is shared, mutable
+    state is domain-local; merge per-domain partials with
+    {!snapshot} + {!absorb}. *)
 
 type t
 
@@ -53,5 +57,11 @@ val restore : t -> snapshot -> unit
     (like {!reset}, this is a harness operation, not instrumentation).
     A snapshot from a histogram with a different bucket count restores
     what fits. *)
+
+val absorb : t -> snapshot -> unit
+(** Merge the snapshot into the histogram: bucket counts and totals
+    add, extrema widen. Associative and commutative, so per-domain
+    partials can be folded in any order. Unconditional, like
+    {!restore}. *)
 
 val pp : Format.formatter -> t -> unit

@@ -5,16 +5,31 @@ type metric =
 
 (* One process-wide registry: instrumented modules create their metrics
    at load time and hold direct references, so the table only ever
-   grows. [reset] zeroes values without dropping registrations. *)
+   grows. [reset] zeroes values without dropping registrations.
+
+   The name→handle table is shared across domains and guarded by a
+   mutex (registration is rare — handles are cached by callers — so
+   the lock is never on the per-packet path). Metric *values* live in
+   per-domain cells inside the handles (see counter.ml), and the
+   forensic rings below are fully domain-local. *)
 let table : (string, metric) Hashtbl.t = Hashtbl.create 64
 
-let trace_buffer = Hop_trace.create ()
+let table_mutex = Mutex.create ()
 
-let trace () = trace_buffer
+let locked f =
+  Mutex.lock table_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table_mutex) f
 
-let event_log = Event_log.create ()
+(* Hop trace and event log are per-domain rings: each domain records
+   its own forensic tail. They are not merged across domains — exports
+   read the calling domain's rings. *)
+let trace_key = Domain.DLS.new_key (fun () -> Hop_trace.create ())
 
-let events () = event_log
+let trace () = Domain.DLS.get trace_key
+
+let event_key = Domain.DLS.new_key (fun () -> Event_log.create ())
+
+let events () = Domain.DLS.get event_key
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -22,18 +37,19 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let register name wrap make select =
-  match Hashtbl.find_opt table name with
-  | Some m ->
-    (match select m with
-     | Some v -> v
-     | None ->
-       invalid_arg
-         (Printf.sprintf "Registry: %s already registered as a %s" name
-            (kind_name m)))
-  | None ->
-    let v = make name in
-    Hashtbl.replace table name (wrap v);
-    v
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some m ->
+        (match select m with
+         | Some v -> v
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Registry: %s already registered as a %s" name
+                (kind_name m)))
+      | None ->
+        let v = make name in
+        Hashtbl.replace table name (wrap v);
+        v)
 
 let counter name =
   register name (fun c -> Counter c) Counter.make (function
@@ -51,7 +67,7 @@ let histogram ?lo ?buckets name =
     (fun name -> Histogram.make ?lo ?buckets name)
     (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
-let find name = Hashtbl.find_opt table name
+let find name = locked (fun () -> Hashtbl.find_opt table name)
 
 let find_counter name =
   match find name with Some (Counter c) -> Some c | Some _ | None -> None
@@ -66,19 +82,22 @@ let counter_value name =
   match find_counter name with Some c -> Counter.value c | None -> 0
 
 let names () =
-  List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) table [])
+  locked (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) table []))
 
-let cardinal () = Hashtbl.length table
+let cardinal () = locked (fun () -> Hashtbl.length table)
 
 let reset () =
-  Hashtbl.iter
-    (fun _ -> function
-       | Counter c -> Counter.reset c
-       | Gauge g -> Gauge.reset g
-       | Histogram h -> Histogram.reset h)
-    table;
-  Hop_trace.clear trace_buffer;
-  Event_log.clear event_log
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function
+           | Counter c -> Counter.reset c
+           | Gauge g -> Gauge.reset g
+           | Histogram h -> Histogram.reset h)
+        table);
+  Hop_trace.clear (trace ());
+  Event_log.clear (events ())
 
 (* --- snapshot / restore ------------------------------------------------ *)
 
@@ -94,27 +113,50 @@ type saved =
 type snapshot = (string * saved) list
 
 let snapshot () =
-  Hashtbl.fold
-    (fun name m acc ->
-       let v =
-         match m with
-         | Counter c -> Saved_counter (Counter.value c)
-         | Gauge g -> Saved_gauge (Gauge.value g)
-         | Histogram h -> Saved_histogram (Histogram.snapshot h)
-       in
-       (name, v) :: acc)
-    table []
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name m acc ->
+           let v =
+             match m with
+             | Counter c -> Saved_counter (Counter.value c)
+             | Gauge g -> Saved_gauge (Gauge.value g)
+             | Histogram h -> Saved_histogram (Histogram.snapshot h)
+           in
+           (name, v) :: acc)
+        table [])
 
 let restore snap =
   Control.with_enabled (fun () ->
       List.iter
         (fun (name, v) ->
-           match (Hashtbl.find_opt table name, v) with
+           match (find name, v) with
            | Some (Counter c), Saved_counter n -> Counter.set c n
            | Some (Gauge g), Saved_gauge x -> Gauge.set g x
            | Some (Histogram h), Saved_histogram s -> Histogram.restore h s
            | _ -> ())
         snap)
+
+(* Merge a snapshot taken in another domain into this domain's cells:
+   counters and gauges add, histograms merge bucket-wise. Associative
+   and commutative, so shard partials fold in any order into one
+   deterministic total. Handles are process-wide, so every name in a
+   same-process snapshot already resolves; the [None] arms only guard
+   against snapshots outliving a changed registry. *)
+let absorb snap =
+  Control.with_enabled (fun () ->
+      List.iter
+        (fun (name, v) ->
+           match (find name, v) with
+           | Some (Counter c), Saved_counter n -> Counter.add c n
+           | Some (Gauge g), Saved_gauge x -> Gauge.set g (Gauge.value g +. x)
+           | Some (Histogram h), Saved_histogram s -> Histogram.absorb h s
+           | _ -> ())
+        snap)
+
+let snapshot_counter snap name =
+  match List.assoc_opt name snap with
+  | Some (Saved_counter n) -> n
+  | Some (Saved_gauge _ | Saved_histogram _) | None -> 0
 
 (* --- export ------------------------------------------------------------ *)
 
@@ -183,9 +225,9 @@ let to_json ?(trace_events = 64) ?(event_entries = 256) () =
             (json_float e.Hop_trace.time)
             e.Hop_trace.node
             (json_escape e.Hop_trace.label)))
-    (Hop_trace.recent trace_buffer trace_events);
+    (Hop_trace.recent (trace ()) trace_events);
   Buffer.add_string b "],\"events\":";
-  Buffer.add_string b (Event_log.json_entries ~limit:event_entries event_log);
+  Buffer.add_string b (Event_log.json_entries ~limit:event_entries (events ()));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -230,11 +272,11 @@ let pp ?(trace_events = 0) ppf () =
     Format.fprintf ppf "trace (last %d events):@." trace_events;
     List.iter
       (fun e -> Format.fprintf ppf "  %a@." Hop_trace.pp_event e)
-      (Hop_trace.recent trace_buffer trace_events)
+      (Hop_trace.recent (trace ()) trace_events)
   end;
-  if Event_log.recorded event_log > 0 then begin
+  if Event_log.recorded (events ()) > 0 then begin
     Format.fprintf ppf "events:@.";
     List.iter
       (fun e -> Format.fprintf ppf "  %a@." Event_log.pp_entry e)
-      (Event_log.entries event_log)
+      (Event_log.entries (events ()))
   end

@@ -4,7 +4,14 @@
     ([Registry.counter "lfib.swap"]) and keep the returned handle;
     look-ups after creation are never on the hot path. Exports render
     every registered metric sorted by name, as JSON or pretty text,
-    together with the tail of the global {!Hop_trace} ring. *)
+    together with the tail of the global {!Hop_trace} ring.
+
+    Domain-safety: the name→handle table is shared (mutex-guarded
+    registration), metric values are per-domain cells, and the trace /
+    event rings are per-domain. Every read or reset acts on the calling
+    domain's partials; a parallel harness takes {!snapshot} inside each
+    worker domain and folds the results into the coordinating domain
+    with {!absorb}. *)
 
 type metric =
   | Counter of Counter.t
@@ -21,11 +28,11 @@ val histogram : ?lo:float -> ?buckets:int -> string -> Histogram.t
 (** [lo]/[buckets] apply only on first creation. *)
 
 val trace : unit -> Hop_trace.t
-(** The global hop-trace ring buffer. *)
+(** The calling domain's hop-trace ring buffer. *)
 
 val events : unit -> Event_log.t
-(** The global structured event log (SLO transitions, link flaps,
-    recompiles). Cleared by {!reset}; exported by {!to_json}. *)
+(** The calling domain's structured event log (SLO transitions, link
+    flaps, recompiles). Cleared by {!reset}; exported by {!to_json}. *)
 
 val find : string -> metric option
 
@@ -59,6 +66,15 @@ val restore : snapshot -> unit
     registered after the snapshot keep their current values — so
     [snapshot]/[reset]/work/[restore] brackets let a harness run an
     isolated section without losing metrics accumulated before it. *)
+
+val absorb : snapshot -> unit
+(** Merge the snapshot into the calling domain's cells: counters and
+    gauges add, histograms merge bucket-wise (associative and
+    commutative, so shard partials fold in any order into one
+    deterministic total). Unconditional, like {!restore}. *)
+
+val snapshot_counter : snapshot -> string -> int
+(** The counter value captured in the snapshot; 0 when absent. *)
 
 val to_json : ?trace_events:int -> ?event_entries:int -> unit -> string
 (** One JSON object: [{"counters":{...},"gauges":{...},

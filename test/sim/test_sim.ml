@@ -15,11 +15,49 @@ let test_rng_seeds_differ () =
 
 let test_rng_split_independent () =
   let parent = Rng.create 7 in
-  let child = Rng.split parent in
+  let child = Rng.fork parent in
   let c1 = Rng.bits64 child in
   (* Re-deriving from the same parent state gives a different child. *)
-  let child2 = Rng.split parent in
+  let child2 = Rng.fork parent in
   Alcotest.(check bool) "children differ" true (Rng.bits64 child2 <> c1)
+
+let test_rng_split_indexed () =
+  (* split derives from the parent's current position and the index
+     only: it never advances the parent, so substream i is the same
+     stream regardless of how many siblings are taken or in what
+     order. *)
+  let parent = Rng.create 7 in
+  let before = Rng.split parent 0 in
+  let again = Rng.split parent 0 in
+  for _ = 1 to 50 do
+    Alcotest.(check int64) "same substream" (Rng.bits64 before)
+      (Rng.bits64 again)
+  done;
+  let backwards = List.rev_map (Rng.split parent) [ 2; 1; 0 ] in
+  let forwards = List.map (Rng.split parent) [ 0; 1; 2 ] in
+  List.iter2
+    (fun a b ->
+       Alcotest.(check int64) "order independent" (Rng.bits64 a)
+         (Rng.bits64 b))
+    backwards forwards;
+  let untouched = Rng.create 7 in
+  Alcotest.(check int64) "parent unmoved" (Rng.bits64 untouched)
+    (Rng.bits64 parent)
+
+let test_rng_split_distinct () =
+  let parent = Rng.create 23 in
+  let seen = Hashtbl.create 64 in
+  for i = 0 to 63 do
+    let v = Rng.bits64 (Rng.split parent i) in
+    if Hashtbl.mem seen v then
+      Alcotest.failf "substreams %d and %d collide" (Hashtbl.find seen v) i;
+    Hashtbl.add seen v i
+  done;
+  (* splitting after the parent advances gives fresh substreams *)
+  let first = Rng.bits64 (Rng.split parent 0) in
+  ignore (Rng.bits64 parent);
+  Alcotest.(check bool) "substreams track parent position" true
+    (Rng.bits64 (Rng.split parent 0) <> first)
 
 let test_rng_int_bounds () =
   let r = Rng.create 3 in
@@ -368,6 +406,25 @@ let test_engine_schedule_at_now () =
   Engine.run e;
   Alcotest.(check bool) "ran" true !ran
 
+let test_engine_run_before () =
+  (* run_before is strict: events at exactly the bound stay queued, so
+     a conservative window [completed, bound) never executes an event a
+     later cross-shard arrival at [bound] could precede. *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  List.iter
+    (fun t -> Engine.schedule_at e ~time:t (fun () -> fired := t :: !fired))
+    [ 1.0; 2.0; 3.0 ];
+  Engine.run_before e ~before:2.0;
+  Alcotest.(check (list (float 0.0))) "strictly before" [ 1.0 ]
+    (List.rev !fired);
+  Alcotest.(check (option (float 0.0))) "bound event still queued"
+    (Some 2.0) (Engine.peek_time e);
+  Engine.run_before e ~before:10.0;
+  Alcotest.(check (list (float 0.0))) "rest drained" [ 1.0; 2.0; 3.0 ]
+    (List.rev !fired);
+  Alcotest.(check (option (float 0.0))) "empty" None (Engine.peek_time e)
+
 let test_summary_single_sample () =
   let s = Stats.Summary.create () in
   Stats.Summary.add s 5.0;
@@ -543,6 +600,8 @@ let () =
          Alcotest.test_case "exponential mean" `Quick
            test_rng_exponential_mean;
          Alcotest.test_case "pareto min" `Quick test_rng_pareto_min;
+         Alcotest.test_case "split indexed" `Quick test_rng_split_indexed;
+         Alcotest.test_case "split distinct" `Quick test_rng_split_distinct;
          Alcotest.test_case "normal moments" `Quick test_rng_normal_moments;
          Alcotest.test_case "shuffle permutes" `Quick
            test_rng_shuffle_permutes ]);
@@ -569,7 +628,9 @@ let () =
          Alcotest.test_case "processed counter" `Quick
            test_engine_processed_counter;
          Alcotest.test_case "schedule_at now" `Quick
-           test_engine_schedule_at_now ]);
+           test_engine_schedule_at_now;
+         Alcotest.test_case "run_before strict" `Quick
+           test_engine_run_before ]);
       ("stats",
        [ Alcotest.test_case "summary moments" `Quick test_summary_moments;
          Alcotest.test_case "summary empty" `Quick test_summary_empty;

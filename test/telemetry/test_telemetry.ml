@@ -523,13 +523,42 @@ let test_registry_snapshot_restore () =
   Alcotest.(check (float 1e-9)) "post-snapshot metric kept" 7.0
     (Gauge.value (Registry.gauge "s.fresh"))
 
+(* Two domains bumping one counter handle concurrently must not lose a
+   single increment: each domain's bumps land in its own domain-local
+   cell, and the partials combine through snapshot (taken inside the
+   owning domain) + absorb. A plain shared [mutable int] would lose
+   increments to read-modify-write races here. *)
+let test_counter_two_domains () =
+  let c = Registry.counter "par.shared" in
+  let bumps = 100_000 in
+  Control.enable ();
+  let worker () =
+    (* Fresh domain: its cell starts at 0 regardless of main's. *)
+    for _ = 1 to bumps do
+      Counter.incr c
+    done;
+    Registry.snapshot ()
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  for _ = 1 to bumps do
+    Counter.incr c
+  done;
+  let s1 = Domain.join d1 and s2 = Domain.join d2 in
+  Alcotest.(check int) "domain partial" bumps
+    (Registry.snapshot_counter s1 "par.shared");
+  Registry.absorb s1;
+  Registry.absorb s2;
+  Alcotest.(check int) "no lost increments" (3 * bumps) (Counter.value c)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick (wrap f) in
   Alcotest.run "telemetry"
     [ ("control",
        [ tc "scoping" test_control_scoping;
          tc "restores on exception" test_control_restores_on_exception ]);
-      ("counter", [ tc "gated by control" test_counter_gated ]);
+      ("counter",
+       [ tc "gated by control" test_counter_gated;
+         tc "two domains" test_counter_two_domains ]);
       ("gauge", [ tc "gated by control" test_gauge_gated ]);
       ("histogram",
        [ tc "point mass" test_histogram_point_mass;

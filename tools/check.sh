@@ -93,4 +93,34 @@ for c in fib.cache.hit fib.cache.miss ftn.cache.hit ftn.cache.miss; do
   }
 done
 
+echo "== E16 bench smoke (parallel runner rates + speedups)"
+dune exec bench/main.exe -- --only E16 > /dev/null
+./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+for g in e16.rate.seq_pps e16.rate.k2_pps e16.rate.k4_pps \
+         e16.rate.k8_pps e16.speedup.k2 e16.speedup.k4 e16.speedup.k8; do
+  grep -q "\"$g\"" BENCH_telemetry.json || {
+    echo "missing parallel-runner gauge $g in BENCH_telemetry.json" >&2
+    exit 1
+  }
+done
+
+echo "== mvpn par --json deterministic and well-formed"
+par_a=$(dune exec bin/mvpn.exe -- par --shards 4 --duration 2 --json)
+par_b=$(dune exec bin/mvpn.exe -- par --shards 4 --duration 2 --json)
+printf '%s' "$par_a" | ./_build/default/tools/json_lint.exe
+[ "$par_a" = "$par_b" ] || {
+  echo "mvpn par --shards 4 --json differs between two runs" >&2
+  exit 1
+}
+
+echo "== mvpn par totals match mvpn stats (same seed/scenario)"
+par_counters=$(printf '%s' "$par_a" \
+  | grep -o '"counters":{[^}]*}' | head -n 1)
+stats_counters=$(printf '%s' "$stats_json" \
+  | grep -o '"counters":{[^}]*}' | head -n 1)
+[ -n "$par_counters" ] && [ "$par_counters" = "$stats_counters" ] || {
+  echo "mvpn par counters diverge from the sequential mvpn stats run" >&2
+  exit 1
+}
+
 echo "ok"
