@@ -33,9 +33,9 @@ let fingerprint (o : Runner.outcome) =
     o.Runner.scheduled, o.Runner.classes,
     T.Slo.in_budget o.Runner.slo, T.Slo.violation_count o.Runner.slo )
 
-let timed tag run =
+let timed tag c run =
   let t0 = Unix.gettimeofday () in
-  let outcome = run (cfg 1) in
+  let outcome = run c in
   { tag; outcome; wall = Unix.gettimeofday () -. t0 }
 
 let timed_par k =
@@ -72,7 +72,21 @@ let run () =
     [ "run"; "shards"; "cut"; "delivered"; "dropped"; "events";
       "exchanged"; "wall"; "pps"; "speedup" ];
   Tables.rule widths;
-  let seq = timed "seq" Runner.run_sequential in
+  (* Same process, back to back: the heap oracle vs the calendar-queue
+     fast path. Sharing the process cancels machine noise, so the rate
+     ratio is trustworthy — and the fingerprint comparison proves the
+     calendar executes the exact heap schedule. *)
+  let seq_heap =
+    timed "seq-heap"
+      { (cfg 1) with Runner.backend = Mvpn_sim.Engine.Binary_heap }
+      Runner.run_sequential
+  in
+  let seq =
+    timed "seq-cal"
+      { (cfg 1) with Runner.backend = Mvpn_sim.Engine.Calendar }
+      Runner.run_sequential
+  in
+  check_fingerprint ~baseline:seq seq_heap;
   let seq_rate = rate seq in
   let report s =
     Tables.row widths
@@ -86,7 +100,10 @@ let run () =
         Printf.sprintf "%.0f" (rate s);
         Printf.sprintf "%.2fx" (rate s /. seq_rate) ]
   in
+  report seq_heap;
   report seq;
+  T.Gauge.set (T.Registry.gauge "e16.rate.seq_heap_pps") (rate seq_heap);
+  T.Gauge.set (T.Registry.gauge "e16.rate.seq_calendar_pps") seq_rate;
   T.Gauge.set (T.Registry.gauge "e16.rate.seq_pps") seq_rate;
   List.iter
     (fun k ->
@@ -103,11 +120,15 @@ let run () =
   Tables.note
     "\nEvery row carries the same fingerprint — delivered, dropped,\n\
      executed and scheduled events, per-class sums and the SLO verdict\n\
-     are byte-identical from K=1 through K=8 (the bench aborts on any\n\
-     divergence). Shards exchange cut-link packets through bounded\n\
-     channels and advance under conservative lookahead windows, so the\n\
-     schedule each shard executes is the sequential schedule projected\n\
-     onto its nodes. The pps and speedup columns are wall-clock\n\
-     delivered-packet rates: bounded by the machine's core count, at\n\
-     or below 1x on a single core (synchronization is pure overhead\n\
-     there), scaling with cores on real multicore hosts."
+     are byte-identical from the seq-heap oracle through K=8 (the\n\
+     bench aborts on any divergence). seq-heap and seq-cal run the\n\
+     same schedule through the binary-heap oracle and the\n\
+     calendar-queue fast path in one process, so their rate ratio is\n\
+     immune to machine noise. Shards exchange cut-link packets through\n\
+     bounded channels and advance under conservative lookahead\n\
+     windows, so the schedule each shard executes is the sequential\n\
+     schedule projected onto its nodes. The pps and speedup columns\n\
+     are wall-clock delivered-packet rates: bounded by the machine's\n\
+     core count, at or below 1x on a single core (synchronization is\n\
+     pure overhead there), scaling with cores on real multicore\n\
+     hosts."

@@ -405,7 +405,8 @@ let par_cmd =
     Telemetry.Control.enable ();
     let cfg =
       { Mvpn_par.Runner.shards; pops; vpns; sites_per_vpn; policy; use_te;
-        load; duration; seed; core_delay }
+        load; duration; seed; core_delay;
+        backend = Mvpn_sim.Engine.Calendar }
     in
     let o =
       if seq then Mvpn_par.Runner.run_sequential cfg

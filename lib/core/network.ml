@@ -75,6 +75,24 @@ type t = {
   frr_engaged : (int * int, unit) Hashtbl.t;
   mutable total_drops : int;
   link_tx_bytes : Telemetry.Counter.t array;  (* indexed by link id *)
+  (* Hot-path telemetry coalescing: while the engine is inside a batch
+     window (Engine.in_batch), per-packet counter writes accumulate in
+     the plain fields below and flush once per window via the engine's
+     on_flush hook. Outside a window every write stays immediate, so
+     hand-driven tests observe exact counters. *)
+  mutable pending_delivered : int;
+  pending_tx : int array;  (* indexed by link id *)
+  link_dirty : bool array;  (* indexed by link id *)
+  dirty_links : int array;  (* stack of dirty link ids *)
+  mutable dirty_n : int;
+  mutable drops_dirty : bool;
+  (* Per-dscp memo of the global sojourn-histogram handles, and the
+     builder domain's hop-trace ring: both replace a mutex / DLS lookup
+     per delivered packet. A network is built and driven by exactly one
+     domain (shards construct theirs inside Domain.spawn), so caching
+     the domain-local ring in the record is safe. *)
+  sojourn_cache : Telemetry.Histogram.t option array;
+  mutable trace_ring : Telemetry.Hop_trace.t option;
   mutable tracer : (trace_event -> unit) option;
   mutable slo : Telemetry.Slo.t option;
   mutable span_sampler : Telemetry.Span.sampler option;
@@ -84,13 +102,50 @@ type t = {
       option;
 }
 
+let trace_ring t =
+  match t.trace_ring with
+  | Some r -> r
+  | None ->
+    let r = Telemetry.Registry.trace () in
+    t.trace_ring <- Some r;
+    r
+
 let record_hop t ~node ?packet label =
   if !Telemetry.Control.enabled then
     match packet with
     | Some (p : Packet.t) ->
-      Telemetry.Hop_trace.record (Telemetry.Registry.trace ())
+      Telemetry.Hop_trace.record (trace_ring t)
         ~uid:p.Packet.uid ~time:(Engine.now t.engine) ~node label
     | None -> ()
+
+(* Flush every coalesced counter. Accumulation only happens while
+   telemetry is enabled, so the flush writes are forced on — the switch
+   may have been toggled between accumulation and window exit, and
+   counts observed while enabled must not be lost. *)
+let flush_pending t =
+  if t.pending_delivered <> 0 then begin
+    Telemetry.Control.with_enabled (fun () ->
+        Telemetry.Counter.add m_delivered t.pending_delivered);
+    t.pending_delivered <- 0
+  end;
+  if t.dirty_n > 0 then begin
+    Telemetry.Control.with_enabled (fun () ->
+        for i = 0 to t.dirty_n - 1 do
+          let id = t.dirty_links.(i) in
+          Telemetry.Counter.add t.link_tx_bytes.(id) t.pending_tx.(id);
+          t.pending_tx.(id) <- 0;
+          t.link_dirty.(id) <- false
+        done);
+    t.dirty_n <- 0
+  end;
+  if t.drops_dirty then begin
+    Telemetry.Control.with_enabled (fun () ->
+        Hashtbl.iter
+          (fun _ e -> Telemetry.Counter.set e.metric e.n)
+          t.drop_table;
+        Telemetry.Counter.set m_drops t.total_drops);
+    t.drops_dirty <- false
+  end
 
 let set_tracer t tracer = t.tracer <- tracer
 
@@ -166,8 +221,15 @@ let drop ?(node = -1) ?packet t reason =
   in
   e.n <- e.n + 1;
   t.total_drops <- t.total_drops + 1;
-  Telemetry.Counter.set e.metric e.n;
-  Telemetry.Counter.set m_drops t.total_drops;
+  (* The authoritative table row just advanced; mirror it into the
+     registry now, or (inside a batch window) once at the flush. *)
+  if Engine.in_batch t.engine then begin
+    if !Telemetry.Control.enabled then t.drops_dirty <- true
+  end
+  else begin
+    Telemetry.Counter.set e.metric e.n;
+    Telemetry.Counter.set m_drops t.total_drops
+  end;
   record_hop t ~node ?packet ("drop:" ^ reason);
   if !Telemetry.Control.enabled then
     match packet with
@@ -263,19 +325,45 @@ let transmit t ~from ~to_ packet =
     (match t.ports.(l.Topology.id) with
      | Some p ->
        emit t ~node:from ~packet (Trace_transmit to_);
-       Telemetry.Counter.add t.link_tx_bytes.(l.Topology.id)
-         packet.Packet.size;
-       record_hop t ~node:from ~packet "tx";
+       if !Telemetry.Control.enabled then begin
+         let id = l.Topology.id in
+         if Engine.in_batch t.engine then begin
+           if not t.link_dirty.(id) then begin
+             t.link_dirty.(id) <- true;
+             t.dirty_links.(t.dirty_n) <- id;
+             t.dirty_n <- t.dirty_n + 1
+           end;
+           t.pending_tx.(id) <- t.pending_tx.(id) + packet.Packet.size
+         end
+         else Telemetry.Counter.add t.link_tx_bytes.(id) packet.Packet.size;
+         record_hop t ~node:from ~packet "tx"
+       end;
        Port.send p packet
      | None -> drop ~node:from ~packet t "no-link")
 
+(* Per-network memo in front of the mutex-guarded global table: after
+   the first delivery of a codepoint, the handle comes from a plain
+   array read. *)
+let sojourn_for t dscp =
+  let key = Mvpn_net.Dscp.to_int dscp in
+  if key >= 0 && key < Array.length t.sojourn_cache then
+    match t.sojourn_cache.(key) with
+    | Some h -> h
+    | None ->
+      let h = sojourn_hist dscp in
+      t.sojourn_cache.(key) <- Some h;
+      h
+  else sojourn_hist dscp
+
 let deliver t node packet =
   emit t ~node ~packet Trace_deliver;
-  Telemetry.Counter.incr m_delivered;
   if !Telemetry.Control.enabled then begin
+    if Engine.in_batch t.engine then
+      t.pending_delivered <- t.pending_delivered + 1
+    else Telemetry.Counter.incr m_delivered;
     record_hop t ~node ~packet "deliver";
     Telemetry.Histogram.observe
-      (sojourn_hist (Packet.visible_dscp packet))
+      (sojourn_for t (Packet.visible_dscp packet))
       (Engine.now t.engine -. packet.Packet.created_at);
     observe_fate t packet ~dropped:false
   end;
@@ -313,11 +401,20 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
         Array.init (max 1 n_links) (fun i ->
             Telemetry.Registry.counter
               (Printf.sprintf "net.link%d.tx_bytes" i));
+      pending_delivered = 0;
+      pending_tx = Array.make (max 1 n_links) 0;
+      link_dirty = Array.make (max 1 n_links) false;
+      dirty_links = Array.make (max 1 n_links) 0;
+      dirty_n = 0;
+      drops_dirty = false;
+      sojourn_cache = Array.make 64 None;
+      trace_ring = None;
       tracer = None;
       slo = None;
       span_sampler = None;
       fate_hook = None }
   in
+  Engine.on_flush engine (fun () -> flush_pending net);
   (* Give the global event log a clock so producers without an engine
      handle (topology flaps, dataplane recompiles) stamp sim time. *)
   Telemetry.Event_log.set_clock

@@ -51,7 +51,7 @@ let site t ~vpn ~idx =
 
 let site_id ~vpn ~idx = (vpn * 1000) + idx
 
-let build ?(pops = 12) ?(core_bandwidth = 45e6) ?core_delay
+let build ?backend ?(pops = 12) ?(core_bandwidth = 45e6) ?core_delay
     ?(access_bandwidth = 2e6) ?(vpns = 2) ?(sites_per_vpn = 4) ?(seed = 11)
     ?wred ?te_bandwidth deployment =
   let bb = Backbone.build ~pops ~core_bandwidth ?core_delay () in
@@ -70,7 +70,7 @@ let build ?(pops = 12) ?(core_bandwidth = 45e6) ?core_delay
     done
   done;
   let all_sites = List.rev !site_list in
-  let engine = Engine.create () in
+  let engine = Engine.create ?backend () in
   let policy =
     match deployment with
     | Mpls_deployment { policy; _ } -> policy

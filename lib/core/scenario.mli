@@ -18,6 +18,7 @@ type deployment =
 type t
 
 val build :
+  ?backend:Mvpn_sim.Engine.backend ->
   ?pops:int ->
   ?core_bandwidth:float ->
   ?core_delay:float ->
@@ -33,7 +34,8 @@ val build :
     so isolation is exercised constantly. Sites spread round-robin over
     POPs with an offset per VPN. [core_delay] overrides the POP–POP
     propagation delay (the parallel runner's lookahead; 0 forces its
-    epoch-barrier fallback). *)
+    epoch-barrier fallback). [backend] selects the engine's event
+    queue (default {!Mvpn_sim.Engine.Calendar}). *)
 
 val engine : t -> Mvpn_sim.Engine.t
 val network : t -> Network.t

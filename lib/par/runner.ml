@@ -21,13 +21,14 @@ type config = {
   duration : float;
   seed : int;
   core_delay : float option;
+  backend : Engine.backend;
 }
 
 let default_config =
   { shards = 4; pops = 12; vpns = 2; sites_per_vpn = 4;
     policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
     use_te = false; load = 0.9; duration = 30.0; seed = 11;
-    core_delay = None }
+    core_delay = None; backend = Engine.Calendar }
 
 type outcome = {
   shards : int;
@@ -50,7 +51,7 @@ type outcome = {
 let horizon_of cfg = cfg.duration +. 5.0
 
 let build_replica cfg () =
-  Scenario.build ~pops:cfg.pops ~vpns:cfg.vpns
+  Scenario.build ~backend:cfg.backend ~pops:cfg.pops ~vpns:cfg.vpns
     ~sites_per_vpn:cfg.sites_per_vpn ~seed:cfg.seed
     ?core_delay:cfg.core_delay
     (Scenario.Mpls_deployment { policy = cfg.policy; use_te = cfg.use_te })

@@ -31,6 +31,10 @@ type config = {
   core_delay : float option;
       (** POP–POP propagation override; [Some 0.] forces the
           epoch-barrier fallback *)
+  backend : Mvpn_sim.Engine.backend;
+      (** event-queue backend for every replica engine (default
+          {!Mvpn_sim.Engine.Calendar}); results are backend-invariant,
+          wall-clock is not *)
 }
 
 val default_config : config

@@ -1,0 +1,252 @@
+(* Calendar queue (Brown 1988): an array of [nbuckets] FIFO-sorted time
+   buckets of width [w]. An event with key [k] lives in virtual bucket
+   [vb = floor (k / w)], physical bucket [vb land mask]; one "year" is
+   [nbuckets * w] of key space. The dequeue cursor [cur_vb] walks
+   virtual buckets: a bucket's head is popped when it falls inside the
+   cursor's window ([key < (cur_vb + 1) * w]), otherwise the cursor
+   advances. A full fruitless year falls back to a direct scan of all
+   bucket heads (the queue is sparse relative to the width), which also
+   re-seats the cursor.
+
+   Buckets are kept sorted by [(key, seq)] with [seq] a global push
+   counter, so equal-key events pop in insertion order — the same FIFO
+   tie-break {!Heap} implements, making the two structures
+   order-identical and the engine's fingerprints byte-identical under
+   either. Pushing a key behind the cursor re-seats the cursor (the
+   engine never does this, but the structure stays a correct general
+   priority queue for the property tests).
+
+   Sizing: the bucket count doubles above 2 buckets/event and halves
+   below 1/2, and on every rebuild the width is re-derived from the
+   live key span (~3 expected events per bucket). Between rebuilds a
+   running estimate of the mean pop gap triggers a re-width when the
+   observed event density drifts >8x from what the width was built
+   for — the "density shift" rule that keeps both skewed bursts and
+   long-idle phases O(1). *)
+
+type 'a cell =
+  | Nil
+  | Cell of { key : float; seq : int; value : 'a; mutable next : 'a cell }
+
+type 'a t = {
+  mutable buckets : 'a cell array;
+  mutable mask : int;  (* Array.length buckets - 1; power of two *)
+  mutable w : float;  (* bucket width, > 0 *)
+  mutable cur_vb : int;  (* cursor: virtual bucket to scan next *)
+  mutable size : int;
+  mutable next_seq : int;
+  (* Density tracking between rebuilds: mean gap between successive
+     pops, compared against the gap the current width was sized for. *)
+  mutable last_pop_key : float;
+  mutable gap_sum : float;
+  mutable gap_n : int;
+  (* Most recent measured mean pop gap; 0.0 until the first
+     measurement. Preferred over the live key span when deriving the
+     width: a handful of far-future timers can stretch the span by
+     orders of magnitude (the classic calendar-queue skew pathology),
+     while the pop gap tracks where the dequeue action actually is. *)
+  mutable gap_hint : float;
+}
+
+let min_buckets = 32
+let max_buckets = 1 lsl 20
+
+(* Re-examine width after this many pops (power of two, cheap mask). *)
+let rewidth_period = 8192
+
+let create () =
+  { buckets = Array.make min_buckets Nil; mask = min_buckets - 1; w = 1.0;
+    cur_vb = 0; size = 0; next_seq = 0;
+    last_pop_key = neg_infinity; gap_sum = 0.0; gap_n = 0; gap_hint = 0.0 }
+
+let size q = q.size
+
+let is_empty q = q.size = 0
+
+(* Virtual bucket of [key]: floor (key / w), clamped so the float →
+   int conversion is always defined. The clamp only engages for keys
+   astronomically far from the cursor, where the bucket index is
+   meaningless anyway (such events are found by the direct scan). *)
+let vb_of w key =
+  let p = key /. w in
+  if p >= 4.0e18 then max_int / 2
+  else if p <= -4.0e18 then min_int / 2
+  else int_of_float (Float.floor p)
+
+(* Insert sorted by (key, seq). [seq] grows monotonically, so walking
+   while [strictly less than the new cell] appends equal keys in
+   insertion order. Top-level recursion (not an inner closure) so a
+   push performs exactly one allocation: the new cell. *)
+let rec ins_walk prev key seq value =
+  match prev with
+  | Nil -> assert false
+  | Cell p ->
+    (match p.next with
+     | Cell n when n.key < key || (n.key = key && n.seq < seq) ->
+       ins_walk p.next key seq value
+     | next -> p.next <- Cell { key; seq; value; next })
+
+let insert_sorted q idx key seq value =
+  match q.buckets.(idx) with
+  | Cell h when h.key < key || (h.key = key && h.seq < seq) ->
+    ins_walk q.buckets.(idx) key seq value
+  | head -> q.buckets.(idx) <- Cell { key; seq; value; next = head }
+
+(* Rebuild with [nbuckets] buckets, width derived from the live key
+   span (targeting ~3 events per bucket so dequeue scans stay short).
+   O(size); called on threshold crossings and density drift, both
+   amortized. *)
+let rebuild q nbuckets =
+  let old = q.buckets in
+  let n = max min_buckets (min max_buckets nbuckets) in
+  (* Live key span for the new width. *)
+  let kmin = ref infinity and kmax = ref neg_infinity in
+  Array.iter
+    (fun head ->
+       let rec go = function
+         | Nil -> ()
+         | Cell c ->
+           if c.key < !kmin then kmin := c.key;
+           if c.key > !kmax then kmax := c.key;
+           go c.next
+       in
+       go head)
+    old;
+  let span = !kmax -. !kmin in
+  let w =
+    if q.size = 0 then q.w
+    else begin
+      (* ~3 expected events per bucket: from the measured pop gap when
+         one exists, else from the live span (start-up, before any
+         pops). Span can be wildly skewed by far-future outliers; the
+         gap cannot. *)
+      let ideal =
+        if q.gap_hint > 0.0 then 3.0 *. q.gap_hint
+        else if span > 0.0 then 3.0 *. span /. float_of_int q.size
+        else q.w
+      in
+      (* Keep floor (key / w) far inside int range. *)
+      let lo = Float.max 1e-300 (Float.abs !kmax *. 1e-15) in
+      Float.max ideal lo
+    end
+  in
+  q.buckets <- Array.make n Nil;
+  q.mask <- n - 1;
+  q.w <- w;
+  Array.iter
+    (fun head ->
+       let rec go = function
+         | Nil -> ()
+         | Cell c ->
+           let next = c.next in
+           insert_sorted q (vb_of w c.key land q.mask) c.key c.seq c.value;
+           go next
+       in
+       go head)
+    old;
+  (* Re-seat the cursor at the earliest live bucket. *)
+  if q.size > 0 then q.cur_vb <- vb_of w !kmin;
+  q.gap_sum <- 0.0;
+  q.gap_n <- 0
+
+let push q key value =
+  if not (Float.is_finite key) then invalid_arg "Calendar.push: key not finite";
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  let vb = vb_of q.w key in
+  if q.size = 0 || vb < q.cur_vb then q.cur_vb <- vb;
+  insert_sorted q (vb land q.mask) key seq value;
+  q.size <- q.size + 1;
+  if q.size > 2 * (q.mask + 1) && q.mask + 1 < max_buckets then
+    rebuild q (2 * (q.mask + 1))
+
+(* Fallback when a whole year's scan found nothing due: the population
+   is sparse relative to the width, so take the global minimum across
+   all bucket heads (each head is its bucket's minimum) and re-seat the
+   cursor there. Cold path; runs at most once per pop. *)
+let direct_min q =
+  let best = ref Nil in
+  Array.iter
+    (fun head ->
+       match head, !best with
+       | Nil, _ -> ()
+       | Cell c, Cell b ->
+         if c.key < b.key || (c.key = b.key && c.seq < b.seq) then
+           best := head
+       | Cell _, Nil -> best := head)
+    q.buckets;
+  (match !best with
+   | Cell b -> q.cur_vb <- vb_of q.w b.key
+   | Nil -> assert false);
+  !best
+
+(* Advance the cursor to the virtual bucket holding the global minimum,
+   returning that minimum cell (still linked, never copied — the
+   returned value is the bucket head itself). O(1) expected: the cursor
+   only moves over buckets with no due event, and each position is
+   visited once per year. *)
+let rec scan_min q vb remaining =
+  if remaining = 0 then direct_min q
+  else
+    match q.buckets.(vb land q.mask) with
+    | Cell c when c.key < float_of_int (vb + 1) *. q.w ->
+      q.cur_vb <- vb;
+      q.buckets.(vb land q.mask)
+    | _ -> scan_min q (vb + 1) (remaining - 1)
+
+let find_min q =
+  if q.size = 0 then Nil else scan_min q q.cur_vb (q.mask + 1)
+
+let peek q =
+  match find_min q with
+  | Nil -> None
+  | Cell c -> Some (c.key, c.value)
+
+let pop q =
+  match find_min q with
+  | Nil -> None
+  | Cell c ->
+    (* find_min re-seated the cursor, so the minimum is the head of the
+       cursor's physical bucket. *)
+    let idx = q.cur_vb land q.mask in
+    (match q.buckets.(idx) with
+     | Cell h -> q.buckets.(idx) <- h.next
+     | Nil -> assert false);
+    q.size <- q.size - 1;
+    (* Density drift check: compare the mean inter-pop gap against the
+       ~w/3 gap the current width was derived for; rebuild on >8x
+       drift in either direction. *)
+    if q.last_pop_key > neg_infinity then begin
+      q.gap_sum <- q.gap_sum +. (c.key -. q.last_pop_key);
+      q.gap_n <- q.gap_n + 1;
+      if q.gap_n land (rewidth_period - 1) = 0 && q.gap_sum > 0.0 then begin
+        let mean_gap = q.gap_sum /. float_of_int q.gap_n in
+        q.gap_hint <- mean_gap;
+        let built_for = q.w /. 3.0 in
+        if mean_gap > 8.0 *. built_for || mean_gap < built_for /. 8.0 then
+          rebuild q (q.mask + 1)
+        else begin
+          q.gap_sum <- 0.0;
+          q.gap_n <- 0
+        end
+      end
+    end;
+    q.last_pop_key <- c.key;
+    if q.size < (q.mask + 1) / 2 && q.mask + 1 > min_buckets then
+      rebuild q ((q.mask + 1) / 2);
+    Some (c.key, c.value)
+
+let clear q =
+  q.buckets <- Array.make min_buckets Nil;
+  q.mask <- min_buckets - 1;
+  q.w <- 1.0;
+  q.cur_vb <- 0;
+  q.size <- 0;
+  q.next_seq <- 0;
+  q.last_pop_key <- neg_infinity;
+  q.gap_sum <- 0.0;
+  q.gap_n <- 0
+
+let bucket_count q = q.mask + 1
+
+let width q = q.w

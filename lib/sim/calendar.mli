@@ -1,0 +1,41 @@
+(** Calendar queue keyed on float priorities, with FIFO tie-breaking.
+
+    The fast event queue of the discrete-event engine (Brown 1988): a
+    ring of time buckets of width [w] covering one "year" of [n]
+    buckets; an event at time [k] lives in bucket [floor (k / w) mod n].
+    Enqueue is O(1) (buckets are kept sorted and are short on average);
+    dequeue scans forward from the current bucket and is O(1) in the
+    common case. The bucket count doubles/halves with the population
+    and the width is re-derived from the observed inter-event gap, so
+    the structure tracks density shifts automatically.
+
+    Equal-priority elements pop in insertion order — the exact
+    [(key, seq)] total order {!Heap} implements, which keeps the two
+    structures byte-interchangeable under the engine. {!Heap} stays as
+    the reference oracle; the scheduler-contract property test drives
+    both through one harness. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q k v] inserts [v] with priority [k]. Keys must be finite. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum-priority element; among equal
+    priorities, the earliest pushed. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+
+val bucket_count : 'a t -> int
+(** Current number of buckets (introspection for tests). *)
+
+val width : 'a t -> float
+(** Current bucket width in key units (introspection for tests). *)

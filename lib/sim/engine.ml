@@ -1,17 +1,85 @@
 let m_events = Mvpn_telemetry.Registry.counter "sim.events"
 let m_scheduled = Mvpn_telemetry.Registry.counter "sim.scheduled"
 
+type backend = Binary_heap | Calendar
+
+(* Monomorphic variant dispatch: one predictable branch per queue op,
+   no closure indirection on the hot path. *)
+type queue =
+  | Q_heap of (unit -> unit) Heap.t
+  | Q_cal of (unit -> unit) Calendar.t
+
+let q_push q k v =
+  match q with
+  | Q_heap h -> Heap.push h k v
+  | Q_cal c -> Calendar.push c k v
+
+let q_pop q =
+  match q with
+  | Q_heap h -> Heap.pop h
+  | Q_cal c -> Calendar.pop c
+
+let q_peek q =
+  match q with
+  | Q_heap h -> Heap.peek h
+  | Q_cal c -> Calendar.peek c
+
+let q_size q =
+  match q with
+  | Q_heap h -> Heap.size h
+  | Q_cal c -> Calendar.size c
+
 type t = {
-  queue : (unit -> unit) Heap.t;
+  queue : queue;
   mutable now : float;
   mutable processed : int;
   mutable stopped : bool;
+  (* Batched telemetry: inside a [run]/[run_before] window the
+     sim.events / sim.scheduled counters accumulate in these plain ints
+     and flush once at window exit, instead of paying a DLS counter
+     write per event. Outside a window, writes stay immediate so tests
+     that schedule or step by hand observe exact counters. *)
+  mutable in_batch : bool;
+  mutable batch_events : int;
+  mutable batch_scheduled : int;
+  mutable flush_hooks : (unit -> unit) list;
 }
 
-let create () =
-  { queue = Heap.create (); now = 0.0; processed = 0; stopped = false }
+let create ?(backend = Calendar) () =
+  let queue =
+    match backend with
+    | Binary_heap -> Q_heap (Heap.create ())
+    | Calendar -> Q_cal (Calendar.create ())
+  in
+  { queue; now = 0.0; processed = 0; stopped = false;
+    in_batch = false; batch_events = 0; batch_scheduled = 0;
+    flush_hooks = [] }
 
 let now e = e.now
+
+let in_batch e = e.in_batch
+
+let on_flush e f = e.flush_hooks <- f :: e.flush_hooks
+
+(* Accumulation is gated on the telemetry switch at event time (same
+   observable semantics as an immediate Counter.incr); the flush write
+   itself is forced on, since the switch may have been toggled between
+   accumulation and window exit. *)
+let flush_batch e =
+  List.iter (fun f -> f ()) e.flush_hooks;
+  if e.batch_events <> 0 || e.batch_scheduled <> 0 then
+    Mvpn_telemetry.Control.with_enabled (fun () ->
+        Mvpn_telemetry.Counter.add m_events e.batch_events;
+        Mvpn_telemetry.Counter.add m_scheduled e.batch_scheduled);
+  e.batch_events <- 0;
+  e.batch_scheduled <- 0
+
+let note_scheduled e =
+  if e.in_batch then begin
+    if !Mvpn_telemetry.Control.enabled then
+      e.batch_scheduled <- e.batch_scheduled + 1
+  end
+  else Mvpn_telemetry.Counter.incr m_scheduled
 
 let check_finite what v =
   if not (Float.is_finite v) then
@@ -20,39 +88,57 @@ let check_finite what v =
 let schedule e ~delay f =
   check_finite "schedule" delay;
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  Mvpn_telemetry.Counter.incr m_scheduled;
-  Heap.push e.queue (e.now +. delay) f
+  note_scheduled e;
+  q_push e.queue (e.now +. delay) f
 
 let schedule_at e ~time f =
   check_finite "schedule_at" time;
   if time < e.now then invalid_arg "Engine.schedule_at: time in the past";
-  Mvpn_telemetry.Counter.incr m_scheduled;
-  Heap.push e.queue time f
+  note_scheduled e;
+  q_push e.queue time f
 
 let step e =
-  match Heap.pop e.queue with
+  match q_pop e.queue with
   | None -> false
   | Some (time, f) ->
     e.now <- time;
     e.processed <- e.processed + 1;
-    Mvpn_telemetry.Counter.incr m_events;
+    if e.in_batch then begin
+      if !Mvpn_telemetry.Control.enabled then
+        e.batch_events <- e.batch_events + 1
+    end
+    else Mvpn_telemetry.Counter.incr m_events;
     f ();
     true
+
+(* Run [body] as one batch window. Nested windows flush only at the
+   outermost exit; the flush survives an exception from an event so no
+   accumulated counts are lost. *)
+let in_window e body =
+  if e.in_batch then body ()
+  else begin
+    e.in_batch <- true;
+    Fun.protect
+      ~finally:(fun () ->
+          e.in_batch <- false;
+          flush_batch e)
+      body
+  end
 
 let run ?until e =
   e.stopped <- false;
   let horizon = match until with Some t -> t | None -> infinity in
-  let rec loop () =
-    if not e.stopped then
-      match Heap.peek e.queue with
-      | Some (time, _) when time <= horizon ->
-        if step e then loop ()
-      | Some _ | None ->
-        if Float.is_finite horizon && horizon > e.now then e.now <- horizon
-  in
-  loop ()
+  in_window e (fun () ->
+      let rec loop () =
+        if not e.stopped then
+          match q_peek e.queue with
+          | Some (time, _) when time <= horizon -> if step e then loop ()
+          | Some _ | None ->
+            if Float.is_finite horizon && horizon > e.now then e.now <- horizon
+      in
+      loop ())
 
-let peek_time e = Option.map fst (Heap.peek e.queue)
+let peek_time e = Option.map fst (q_peek e.queue)
 
 (* Bounded-horizon drain for the parallel runner: process events with
    time strictly below [before], but do not advance [now] to the bound
@@ -61,15 +147,16 @@ let peek_time e = Option.map fst (Heap.peek e.queue)
    owns the events at the bound. *)
 let run_before e ~before =
   e.stopped <- false;
-  let rec loop () =
-    if not e.stopped then
-      match Heap.peek e.queue with
-      | Some (time, _) when time < before -> if step e then loop ()
-      | Some _ | None -> ()
-  in
-  loop ()
+  in_window e (fun () ->
+      let rec loop () =
+        if not e.stopped then
+          match q_peek e.queue with
+          | Some (time, _) when time < before -> if step e then loop ()
+          | Some _ | None -> ()
+      in
+      loop ())
 
-let pending e = Heap.size e.queue
+let pending e = q_size e.queue
 
 let processed e = e.processed
 

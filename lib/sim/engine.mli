@@ -8,7 +8,16 @@
 
 type t
 
-val create : unit -> t
+type backend =
+  | Binary_heap  (** {!Heap}: the original scheduler, kept as oracle. *)
+  | Calendar  (** {!Calendar}: O(1) bucketed ring, the default. *)
+
+val create : ?backend:backend -> unit -> t
+(** [create ()] uses the {!Calendar} backend. Both backends implement
+    the same [(time, insertion)] total order, so a simulation's event
+    sequence — and every derived fingerprint — is identical under
+    either; [Binary_heap] exists as the reference oracle for tests and
+    for the seq-heap vs seq-calendar bench race. *)
 
 val now : t -> float
 (** Current simulation time, in seconds. *)
@@ -48,3 +57,21 @@ val processed : t -> int
 val stop : t -> unit
 (** Make the current {!run} return after the event in progress; pending
     events stay queued. *)
+
+(** {2 Batched telemetry}
+
+    Inside a {!run}/{!run_before} window the engine's [sim.events] and
+    [sim.scheduled] counters accumulate in plain fields and flush once
+    at window exit, so the per-event cost is an int bump instead of a
+    domain-local counter write. Outside a window, counter writes stay
+    immediate. Hot-path instrumentation elsewhere (e.g. the network's
+    per-packet counters) can join the same rhythm: check {!in_batch}
+    to defer, and register the flush with {!on_flush}. *)
+
+val in_batch : t -> bool
+(** [true] while the engine is inside a [run]/[run_before] window. *)
+
+val on_flush : t -> (unit -> unit) -> unit
+(** [on_flush e f] registers [f] to run at every batch-window exit
+    (including on exception escape), before the engine flushes its own
+    counters. Hooks run in reverse registration order. *)

@@ -22,13 +22,20 @@ module Summary = struct
 
   let mean s = if s.count = 0 then 0.0 else s.mean
 
-  let variance s = if s.count < 2 then 0.0 else s.m2 /. float_of_int s.count
+  (* Unbiased (n-1) sample variance — the estimator [merge]'s parallel
+     m2 combination preserves, so a merged summary and a single-stream
+     summary of the same data report the same value. *)
+  let variance s =
+    if s.count < 2 then 0.0 else s.m2 /. float_of_int (s.count - 1)
 
   let stddev s = sqrt (variance s)
 
-  let min s = s.min
+  (* Empty summaries report 0.0, like [mean] — the +/-infinity sentinels
+     used internally must not leak into reports or bench JSON, where a
+     non-finite value is unrepresentable. *)
+  let min s = if s.count = 0 then 0.0 else s.min
 
-  let max s = s.max
+  let max s = if s.count = 0 then 0.0 else s.max
 
   let merge a b =
     if a.count = 0 then { b with count = b.count }
@@ -50,7 +57,7 @@ module Summary = struct
 
   let pp ppf s =
     Format.fprintf ppf "n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g" s.count
-      (mean s) (stddev s) s.min s.max
+      (mean s) (stddev s) (min s) (max s)
 end
 
 module Samples = struct

@@ -17,14 +17,18 @@ module Summary : sig
   (** 0 when empty. *)
 
   val variance : t -> float
-  (** Population variance; 0 with fewer than two samples. *)
+  (** Unbiased sample variance (the n−1 estimator, matching what
+      {!merge}'s parallel combination preserves); 0 with fewer than two
+      samples. *)
 
   val stddev : t -> float
+  (** Square root of {!variance}. *)
+
   val min : t -> float
-  (** [infinity] when empty. *)
+  (** 0 when empty, like {!mean} — never a non-finite sentinel. *)
 
   val max : t -> float
-  (** [neg_infinity] when empty. *)
+  (** 0 when empty, like {!mean} — never a non-finite sentinel. *)
 
   val merge : t -> t -> t
   (** Combine two summaries as if all samples were added to one. *)

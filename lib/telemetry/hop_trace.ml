@@ -1,40 +1,62 @@
 (* Fixed-capacity ring of per-packet hop events keyed on the packet uid.
    Recording overwrites the oldest entry; reading scans the ring (it is
-   a debugging/forensics surface, not a hot path). *)
+   a debugging/forensics surface, not a hot path).
+
+   Storage is four parallel arrays rather than an array of event
+   records: recording happens for every instrumented hop of every
+   packet, and the unboxed layout makes it four stores with no
+   allocation (the float array is flat), where a record ring would
+   allocate and initialize a box per hop. The public [event] record is
+   reconstructed only on the cold read paths. *)
 
 type event = { uid : int; time : float; node : int; label : string }
 
-let dummy = { uid = -1; time = 0.0; node = -1; label = "" }
-
 type t = {
-  data : event array;
+  uids : int array;
+  times : float array;
+  nodes : int array;
+  labels : string array;
   mutable pos : int;  (* next slot to overwrite *)
   mutable recorded : int;  (* total ever recorded *)
 }
 
 let create ?(capacity = 4096) () =
   if capacity < 1 then invalid_arg "Hop_trace.create: capacity must be positive";
-  { data = Array.make capacity dummy; pos = 0; recorded = 0 }
+  { uids = Array.make capacity (-1);
+    times = Array.make capacity 0.0;
+    nodes = Array.make capacity (-1);
+    labels = Array.make capacity "";
+    pos = 0;
+    recorded = 0 }
 
-let capacity t = Array.length t.data
+let capacity t = Array.length t.uids
 
 let recorded t = t.recorded
 
 let record t ~uid ~time ~node label =
   if !Control.enabled then begin
-    t.data.(t.pos) <- { uid; time; node; label };
-    t.pos <- (t.pos + 1) mod Array.length t.data;
+    let p = t.pos in
+    t.uids.(p) <- uid;
+    t.times.(p) <- time;
+    t.nodes.(p) <- node;
+    t.labels.(p) <- label;
+    let p = p + 1 in
+    t.pos <- (if p = Array.length t.uids then 0 else p);
     t.recorded <- t.recorded + 1
   end
 
 (* Oldest-first fold over live entries. *)
 let fold f t init =
-  let cap = Array.length t.data in
+  let cap = Array.length t.uids in
   let live = min t.recorded cap in
   let start = (t.pos - live + cap) mod cap in
   let acc = ref init in
   for i = 0 to live - 1 do
-    acc := f !acc t.data.((start + i) mod cap)
+    let j = (start + i) mod cap in
+    acc :=
+      f !acc
+        { uid = t.uids.(j); time = t.times.(j); node = t.nodes.(j);
+          label = t.labels.(j) }
   done;
   !acc
 
@@ -48,7 +70,10 @@ let recent t n =
   else List.filteri (fun i _ -> i >= live - n) all
 
 let clear t =
-  Array.fill t.data 0 (Array.length t.data) dummy;
+  Array.fill t.uids 0 (Array.length t.uids) (-1);
+  Array.fill t.times 0 (Array.length t.times) 0.0;
+  Array.fill t.nodes 0 (Array.length t.nodes) (-1);
+  Array.fill t.labels 0 (Array.length t.labels) "";
   t.pos <- 0;
   t.recorded <- 0
 

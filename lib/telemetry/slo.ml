@@ -31,12 +31,21 @@ let spec ?latency_p99 ?loss_ratio ?availability target =
 let lat_buckets = 40
 let lat_lo = 1e-6
 
+(* floor(log2 (v / lat_lo)), clamped: the IEEE exponent field read via
+   [Int64.bits_of_float] (an unboxed external) — same result as the
+   [Float.frexp] formulation but without allocating its result pair on
+   every delivery. The [v < lat_lo] guard keeps the ratio normal. *)
 let lat_index v =
   if v < lat_lo then 0
-  else begin
-    let _, e = Float.frexp (v /. lat_lo) in
-    min (lat_buckets - 1) (max 0 (e - 1))
-  end
+  else
+    let e =
+      Int64.to_int
+        (Int64.logand
+           (Int64.shift_right_logical (Int64.bits_of_float (v /. lat_lo)) 52)
+           0x7FFL)
+      - 1023
+    in
+    min (lat_buckets - 1) (max 0 e)
 
 type bucket = {
   mutable total : int;
@@ -307,7 +316,8 @@ let observe_delivery t ~vpn ~band ~time ~latency =
   if !Control.enabled then
     observe_with t ~vpn ~band ~time (fun obj bk ->
         bk.total <- bk.total + 1;
-        bk.lat.(lat_index latency) <- bk.lat.(lat_index latency) + 1;
+        let li = lat_index latency in
+        bk.lat.(li) <- bk.lat.(li) + 1;
         if latency > bk.lat_max then bk.lat_max <- latency;
         obj.cum_total <- obj.cum_total + 1;
         let late =

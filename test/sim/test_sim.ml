@@ -165,6 +165,164 @@ let heap_sorts =
        let popped = drain [] in
        popped = List.sort Float.compare keys)
 
+(* --- Scheduler contract (Heap and Calendar through one harness) ------- *)
+
+(* Both event queues must implement the same total order: ascending key,
+   FIFO among equal keys. The property drives random interleaved
+   push/pop sequences (keys drawn from a small set so ties are common)
+   against a brute-force reference model; Heap is the original oracle,
+   Calendar must be indistinguishable from it. *)
+module Scheduler_contract (Q : sig
+    type 'a t
+
+    val create : unit -> 'a t
+    val push : 'a t -> float -> 'a -> unit
+    val pop : 'a t -> (float * 'a) option
+    val size : 'a t -> int
+  end) =
+struct
+  (* Reference pop: minimum (key, insertion id) over a plain list. *)
+  let ref_pop model =
+    match !model with
+    | [] -> None
+    | first :: rest ->
+      let ((_, bi) as best) =
+        List.fold_left
+          (fun ((bk, bi) as b) ((k, i) as c) ->
+             if k < bk || (k = bk && i < bi) then c else b)
+          first rest
+      in
+      model := List.filter (fun (_, i) -> i <> bi) !model;
+      Some best
+
+  (* An op is [None] (pop) or [Some key_choice] (push). *)
+  let agrees ops =
+    let q = Q.create () in
+    let model = ref [] in
+    let next_id = ref 0 in
+    let ok = ref true in
+    let check_pop () =
+      match (Q.pop q, ref_pop model) with
+      | Some (k, v), Some (rk, ri) -> if k <> rk || v <> ri then ok := false
+      | None, None -> ()
+      | _ -> ok := false
+    in
+    List.iter
+      (fun op ->
+         match op with
+         | None -> check_pop ()
+         | Some kc ->
+           let k = float_of_int (kc : int) *. 0.5 in
+           let id = !next_id in
+           incr next_id;
+           Q.push q k id;
+           model := (k, id) :: !model)
+      ops;
+    while Q.size q > 0 || !model <> [] do
+      check_pop ()
+    done;
+    !ok
+
+  let fifo_contract name =
+    QCheck.Test.make ~name ~count:150
+      QCheck.(list_of_size (QCheck.Gen.int_range 0 120)
+                (option (int_bound 7)))
+      agrees
+end
+
+module Heap_contract = Scheduler_contract (Heap)
+module Calendar_contract = Scheduler_contract (Calendar)
+
+let heap_fifo_contract =
+  Heap_contract.fifo_contract "heap matches the (key, seq) reference"
+
+let calendar_fifo_contract =
+  Calendar_contract.fifo_contract "calendar matches the (key, seq) reference"
+
+(* --- Calendar --------------------------------------------------------- *)
+
+let test_calendar_order () =
+  let c = Calendar.create () in
+  List.iter (fun (k, v) -> Calendar.push c k v)
+    [(3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z")];
+  let rec drain acc =
+    match Calendar.pop c with
+    | None -> List.rev acc
+    | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list string)) "sorted" ["z"; "a"; "b"; "c"] (drain [])
+
+let test_calendar_fifo_ties () =
+  let c = Calendar.create () in
+  List.iter (fun v -> Calendar.push c 1.0 v) ["first"; "second"; "third"];
+  let pops =
+    List.filter_map (fun _ -> Option.map snd (Calendar.pop c)) [(); (); ()]
+  in
+  Alcotest.(check (list string)) "insertion order"
+    ["first"; "second"; "third"] pops
+
+let test_calendar_empty () =
+  let c : int Calendar.t = Calendar.create () in
+  Alcotest.(check bool) "empty pop" true (Calendar.pop c = None);
+  Alcotest.(check bool) "empty peek" true (Calendar.peek c = None);
+  Alcotest.(check int) "size" 0 (Calendar.size c)
+
+let test_calendar_clear () =
+  let c = Calendar.create () in
+  Calendar.push c 1.0 "x";
+  Calendar.push c 2.0 "y";
+  Calendar.clear c;
+  Alcotest.(check int) "cleared" 0 (Calendar.size c);
+  Alcotest.(check bool) "pop after clear" true (Calendar.pop c = None);
+  Calendar.push c 5.0 "z";
+  Alcotest.(check bool) "usable after clear" true
+    (Calendar.pop c = Some (5.0, "z"))
+
+(* Population growth must widen the ring and re-derive the width, and
+   neither resize may perturb the pop order. *)
+let test_calendar_resize () =
+  let c = Calendar.create () in
+  let b0 = Calendar.bucket_count c in
+  for i = 0 to 999 do
+    Calendar.push c (float_of_int ((i * 7919) mod 1000) /. 100.0) i
+  done;
+  Alcotest.(check bool) "buckets grew" true (Calendar.bucket_count c > b0);
+  Alcotest.(check bool) "width positive" true (Calendar.width c > 0.0);
+  let rec drain last n =
+    match Calendar.pop c with
+    | None -> n
+    | Some (k, _) ->
+      Alcotest.(check bool) "non-decreasing" true (k >= last);
+      drain k (n + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0);
+  Alcotest.(check bool) "buckets shrank back" true
+    (Calendar.bucket_count c <= b0 * 2)
+
+(* A far-future outlier must not stall dequeue of the near cluster (the
+   direct-search fallback covers sparse years). *)
+let test_calendar_sparse_outlier () =
+  let c = Calendar.create () in
+  Calendar.push c 1e6 "far";
+  for i = 0 to 9 do
+    Calendar.push c (float_of_int i *. 1e-6) (Printf.sprintf "near%d" i)
+  done;
+  for i = 0 to 9 do
+    Alcotest.(check bool) "near first" true
+      (Calendar.pop c = Some (float_of_int i *. 1e-6, Printf.sprintf "near%d" i))
+  done;
+  Alcotest.(check bool) "outlier last" true (Calendar.pop c = Some (1e6, "far"));
+  Alcotest.(check bool) "drained" true (Calendar.pop c = None)
+
+let test_calendar_rejects_nonfinite () =
+  let c = Calendar.create () in
+  Alcotest.check_raises "nan key"
+    (Invalid_argument "Calendar.push: key not finite") (fun () ->
+        Calendar.push c Float.nan "x");
+  Alcotest.check_raises "inf key"
+    (Invalid_argument "Calendar.push: key not finite") (fun () ->
+        Calendar.push c infinity "x")
+
 (* --- Engine ----------------------------------------------------------- *)
 
 let test_engine_time_order () =
@@ -243,21 +401,74 @@ let test_engine_simultaneous_fifo () =
   Alcotest.(check (list int)) "fifo among ties" [1; 2; 3; 4; 5]
     (List.rev !log)
 
+(* Both backends must execute an identical, tie-heavy, self-scheduling
+   workload in exactly the same order — the property every cross-K
+   fingerprint rests on. *)
+let test_engine_backend_parity () =
+  let trace backend =
+    let e = Engine.create ~backend () in
+    let log = ref [] in
+    let rec spawn depth tag =
+      log := tag :: !log;
+      if depth < 3 then begin
+        (* Equal delays on purpose: ties across sibling events. *)
+        Engine.schedule e ~delay:0.25 (fun () -> spawn (depth + 1) (tag * 2));
+        Engine.schedule e ~delay:0.25 (fun () -> spawn (depth + 1) ((tag * 2) + 1))
+      end
+    in
+    for i = 1 to 4 do
+      Engine.schedule e ~delay:(float_of_int (i mod 2)) (fun () -> spawn 0 i)
+    done;
+    Engine.run e;
+    (List.rev !log, Engine.processed e, Engine.now e)
+  in
+  let lh, ph, nh = trace Engine.Binary_heap in
+  let lc, pc, nc = trace Engine.Calendar in
+  Alcotest.(check (list int)) "same execution order" lh lc;
+  Alcotest.(check int) "same processed count" ph pc;
+  Alcotest.(check (float 1e-12)) "same final clock" nh nc
+
 (* --- Stats ------------------------------------------------------------ *)
 
 let test_summary_moments () =
   let s = Stats.Summary.create () in
   List.iter (Stats.Summary.add s) [2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0];
+  (* m2 = 32 over 8 samples: sample variance 32/7, not 32/8. *)
   Alcotest.(check (float 1e-9)) "mean" 5.0 (Stats.Summary.mean s);
-  Alcotest.(check (float 1e-9)) "variance" 4.0 (Stats.Summary.variance s);
-  Alcotest.(check (float 1e-9)) "stddev" 2.0 (Stats.Summary.stddev s);
+  Alcotest.(check (float 1e-9)) "variance" (32.0 /. 7.0)
+    (Stats.Summary.variance s);
+  Alcotest.(check (float 1e-9)) "stddev"
+    (sqrt (32.0 /. 7.0))
+    (Stats.Summary.stddev s);
   Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.Summary.min s);
   Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.Summary.max s)
 
 let test_summary_empty () =
   let s = Stats.Summary.create () in
   Alcotest.(check (float 1e-9)) "mean" 0.0 (Stats.Summary.mean s);
-  Alcotest.(check (float 1e-9)) "variance" 0.0 (Stats.Summary.variance s)
+  Alcotest.(check (float 1e-9)) "variance" 0.0 (Stats.Summary.variance s);
+  (* The internal +/-infinity sentinels must not leak out of an empty
+     summary — they end up as invalid literals in bench JSON. *)
+  Alcotest.(check (float 1e-9)) "min" 0.0 (Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 0.0 (Stats.Summary.max s)
+
+(* Pin the n-1 estimator on a known dataset, and pin that a merged
+   summary agrees exactly with the single-stream one: merge's parallel
+   m2 combination is exact, so both report sum((x - 5.5)^2) / 9. *)
+let test_summary_sample_variance_merged () =
+  let xs = [1.0; 2.0; 3.0; 4.0; 5.0; 6.0; 7.0; 8.0; 9.0; 10.0] in
+  let single = Stats.Summary.create () in
+  List.iter (Stats.Summary.add single) xs;
+  let a = Stats.Summary.create () and b = Stats.Summary.create () in
+  List.iteri
+    (fun i x -> Stats.Summary.add (if i < 5 then a else b) x)
+    xs;
+  let merged = Stats.Summary.merge a b in
+  Alcotest.(check (float 1e-9)) "single variance" (82.5 /. 9.0)
+    (Stats.Summary.variance single);
+  Alcotest.(check (float 1e-9)) "merged variance" (82.5 /. 9.0)
+    (Stats.Summary.variance merged);
+  Alcotest.(check (float 1e-9)) "merged mean" 5.5 (Stats.Summary.mean merged)
 
 let test_summary_merge () =
   let a = Stats.Summary.create () and b = Stats.Summary.create () in
@@ -286,7 +497,7 @@ let summary_matches_naive =
        let mean = List.fold_left ( +. ) 0.0 xs /. n in
        let var =
          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
-         /. n
+         /. (n -. 1.0)
        in
        abs_float (Stats.Summary.mean s -. mean) < 1e-6
        && abs_float (Stats.Summary.variance s -. var) < 1e-4)
@@ -610,11 +821,23 @@ let () =
          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
          Alcotest.test_case "empty" `Quick test_heap_empty;
          Alcotest.test_case "clear" `Quick test_heap_clear;
+         qt heap_fifo_contract;
          Alcotest.test_case "pop releases payload" `Quick
            test_heap_pop_releases_payload;
          Alcotest.test_case "drain releases all" `Quick
            test_heap_drain_releases_all;
          qt heap_sorts ]);
+      ("calendar",
+       [ Alcotest.test_case "order" `Quick test_calendar_order;
+         Alcotest.test_case "fifo ties" `Quick test_calendar_fifo_ties;
+         Alcotest.test_case "empty" `Quick test_calendar_empty;
+         Alcotest.test_case "clear" `Quick test_calendar_clear;
+         Alcotest.test_case "resize" `Quick test_calendar_resize;
+         Alcotest.test_case "sparse outlier" `Quick
+           test_calendar_sparse_outlier;
+         Alcotest.test_case "rejects non-finite keys" `Quick
+           test_calendar_rejects_nonfinite;
+         qt calendar_fifo_contract ]);
       ("engine",
        [ Alcotest.test_case "time order" `Quick test_engine_time_order;
          Alcotest.test_case "cascading" `Quick test_engine_cascading;
@@ -623,6 +846,8 @@ let () =
            test_engine_until_inclusive;
          Alcotest.test_case "stop" `Quick test_engine_stop;
          Alcotest.test_case "invalid times" `Quick test_engine_invalid;
+         Alcotest.test_case "backend parity" `Quick
+           test_engine_backend_parity;
          Alcotest.test_case "simultaneous fifo" `Quick
            test_engine_simultaneous_fifo;
          Alcotest.test_case "processed counter" `Quick
@@ -635,6 +860,8 @@ let () =
        [ Alcotest.test_case "summary moments" `Quick test_summary_moments;
          Alcotest.test_case "summary empty" `Quick test_summary_empty;
          Alcotest.test_case "summary merge" `Quick test_summary_merge;
+         Alcotest.test_case "summary sample variance merged" `Quick
+           test_summary_sample_variance_merged;
          qt summary_matches_naive;
          Alcotest.test_case "percentiles" `Quick test_samples_percentiles;
          Alcotest.test_case "interleaved sorting" `Quick

@@ -93,16 +93,36 @@ for c in fib.cache.hit fib.cache.miss ftn.cache.hit ftn.cache.miss; do
   }
 done
 
+echo "== json_lint rejects non-finite numbers"
+for bad in '{"x":inf}' '{"x":-inf}' '{"x":nan}' '{"x":Infinity}'; do
+  if printf '%s' "$bad" | ./_build/default/tools/json_lint.exe 2>/dev/null
+  then
+    echo "json_lint accepted non-finite JSON: $bad" >&2
+    exit 1
+  fi
+done
+
 echo "== E16 bench smoke (parallel runner rates + speedups)"
 dune exec bench/main.exe -- --only E16 > /dev/null
 ./_build/default/tools/json_lint.exe < BENCH_telemetry.json
-for g in e16.rate.seq_pps e16.rate.k2_pps e16.rate.k4_pps \
+for g in e16.rate.seq_pps e16.rate.seq_heap_pps e16.rate.seq_calendar_pps \
+         e16.rate.k2_pps e16.rate.k4_pps \
          e16.rate.k8_pps e16.speedup.k2 e16.speedup.k4 e16.speedup.k8; do
   grep -q "\"$g\"" BENCH_telemetry.json || {
     echo "missing parallel-runner gauge $g in BENCH_telemetry.json" >&2
     exit 1
   }
 done
+
+echo "== calendar queue at least matches the heap (same-process race)"
+heap_pps=$(grep -o '"e16\.rate\.seq_heap_pps":[0-9.eE+-]*' \
+  BENCH_telemetry.json | cut -d: -f2)
+cal_pps=$(grep -o '"e16\.rate\.seq_calendar_pps":[0-9.eE+-]*' \
+  BENCH_telemetry.json | cut -d: -f2)
+awk -v h="$heap_pps" -v c="$cal_pps" 'BEGIN { exit !(c+0 >= h+0) }' || {
+  echo "calendar backend slower than heap: $cal_pps < $heap_pps pps" >&2
+  exit 1
+}
 
 echo "== mvpn par --json deterministic and well-formed"
 par_a=$(dune exec bin/mvpn.exe -- par --shards 4 --duration 2 --json)
