@@ -95,7 +95,7 @@ let packet_level ~use_te =
         | Some e ->
           Network.set_interceptor net ids.(0) (fun ~from packet ->
               match from with
-              | None when Mvpn_net.Packet.top_label packet = None ->
+              | None when not (Mvpn_net.Packet.labelled packet) ->
                 Mvpn_net.Packet.push_label packet ~label:e.Plane.push
                   ~exp:(Mvpn_net.Dscp.to_exp
                           (Mvpn_net.Packet.visible_dscp packet))
@@ -118,7 +118,7 @@ let packet_level ~use_te =
        | Some e ->
          Network.set_interceptor net ids.(5) (fun ~from packet ->
              match from with
-             | None when Mvpn_net.Packet.top_label packet = None ->
+             | None when not (Mvpn_net.Packet.labelled packet) ->
                Mvpn_net.Packet.push_label packet ~label:e.Plane.push
                  ~exp:(Mvpn_net.Dscp.to_exp
                          (Mvpn_net.Packet.visible_dscp packet))

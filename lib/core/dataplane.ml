@@ -175,9 +175,12 @@ let ftn_lookup t c node fec =
 let find_ftn t node fec = ftn_lookup t (state t node) node fec
 
 (* Plain IP forwarding at [node]: cached FIB lookup on the visible
-   destination, local delivery, optional FTN label push, or relay. *)
-let forward_ip t node packet =
-  let c = state t node in
+   destination, local delivery, optional FTN label push, or relay.
+   [forward_ip_c] takes the node's already-validated compiled state so
+   {!receive} pays the generation check once per packet, not twice;
+   the interceptor contract makes that safe — an interceptor that
+   declines ([Continue]) must not retarget the node's tables. *)
+let forward_ip_c t c node packet =
   let hdr = Packet.visible_header packet in
   match fib_lookup t c node hdr.Packet.dst with
   | None -> t.hooks.drop ~node packet "no-route"
@@ -202,17 +205,27 @@ let forward_ip t node packet =
         t.hooks.transmit ~from:node ~to_:route.Fib.next_hop packet
     end
 
+let forward_ip t node packet = forward_ip_c t (state t node) node packet
+
 let receive t node ~from packet =
   t.hooks.notify_receive ~node ~from packet;
   let c = state t node in
   if not (c.dispatch ~from packet) then begin
-    if Packet.top_label packet <> None then
-      match Lfib.step (Plane.lfib t.plane node) packet with
-      | Lfib.Forward nh -> t.hooks.transmit ~from:node ~to_:nh packet
-      | Lfib.Ip_continue nh ->
-        if nh = Lfib.local then forward_ip t node packet
+    if Packet.labelled packet then begin
+      (* Packed step verdict: an immediate int, no constructor block
+         per label hop (see {!Lfib.step_packed}). *)
+      let r = Lfib.step_packed (Plane.lfib t.plane node) packet in
+      let tag = Lfib.packed_tag r in
+      if tag = Lfib.tag_forward then
+        t.hooks.transmit ~from:node ~to_:(Lfib.packed_arg r) packet
+      else if tag = Lfib.tag_ip_continue then begin
+        let nh = Lfib.packed_arg r in
+        if nh = Lfib.local then forward_ip_c t c node packet
         else t.hooks.transmit ~from:node ~to_:nh packet
-      | Lfib.No_binding _ -> t.hooks.drop ~node packet "no-label-binding"
-      | Lfib.Ttl_expired -> t.hooks.drop ~node packet "label-ttl"
-    else forward_ip t node packet
+      end
+      else if tag = Lfib.tag_no_binding then
+        t.hooks.drop ~node packet "no-label-binding"
+      else t.hooks.drop ~node packet "label-ttl"
+    end
+    else forward_ip_c t c node packet
   end

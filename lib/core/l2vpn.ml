@@ -48,7 +48,7 @@ let pe_loopback t pe =
 
 let receive_side t pw ~toward_a packet =
   let side = if toward_a then pw.side_a else pw.side_b in
-  ignore (Packet.pop_label packet);
+  ignore (Packet.pop_packed packet);
   packet.Packet.size <- packet.Packet.size - control_word_bytes;
   (match Hashtbl.find_opt t.in_flight packet.Packet.uid with
    | Some seq ->
@@ -62,14 +62,14 @@ let receive_side t pw ~toward_a packet =
 let install_demux t pe =
   Dataplane.add_interceptor (Network.dataplane t.net) pe (fun ~from packet ->
       ignore from;
-      match Packet.top_label packet with
-      | Some shim ->
-        (match Hashtbl.find_opt t.demux (pe, shim.Packet.label) with
-         | Some (pw, toward_a) ->
-           receive_side t pw ~toward_a packet;
-           Dataplane.Consumed
-         | None -> Dataplane.Continue)
-      | None -> Dataplane.Continue)
+      let top = Packet.top_packed packet in
+      if top < 0 then Dataplane.Continue
+      else
+        match Hashtbl.find_opt t.demux (pe, Packet.Shim.label top) with
+        | Some (pw, toward_a) ->
+          receive_side t pw ~toward_a packet;
+          Dataplane.Consumed
+        | None -> Dataplane.Continue)
 
 let deploy ~net ~backbone =
   let topo = Network.topology net in

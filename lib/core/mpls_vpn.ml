@@ -34,8 +34,11 @@ type t = {
   vrf_table : (int * int, Vrf.t) Hashtbl.t;  (* (pe node, vpn) -> vrf *)
   ce_vrf : (int, Vrf.t) Hashtbl.t;  (* ce node -> its vrf *)
   site_state : (int, Site.t * int) Hashtbl.t;  (* site id -> site, label *)
-  pe_tunnels : (int * int, int) Hashtbl.t;  (* (src pe, dst pe) -> tunnel *)
-  pe_next_hop : (int * int, int) Hashtbl.t;
+  (* PE-pair tables consulted once per forwarded VPN packet: keyed by
+     the packed pair [pe_key] (node ids fit 20 bits) so the per-packet
+     lookup hashes an immediate int instead of allocating a tuple. *)
+  pe_tunnels : (int, int) Hashtbl.t;  (* pe_key (src, dst pe) -> tunnel *)
+  pe_next_hop : (int, int) Hashtbl.t;
   (* (pe, vpn label) pairs that re-export another carrier's prefixes:
      excluded from group replication (multicast is intra-provider). *)
   external_labels : (int * int, unit) Hashtbl.t;
@@ -48,9 +51,23 @@ type t = {
   mutable ip_fallback : bool;
   (* (ingress, egress) PE pairs currently degraded to IP: drives the
      once-per-episode engage/restore events and counters. *)
-  fallback_active : (int * int, unit) Hashtbl.t;
+  fallback_active : (int, unit) Hashtbl.t;  (* pe_key (ingress, egress) *)
+  (* Per-PE-pair transport-label memo (see {!outer_transport}): the
+     FTN answer is a pure function of the ingress node's FTN table and
+     the TE tunnel map, so it is cached under those two generation
+     stamps and recomputed only after LDP/RSVP-TE churn. *)
+  transport_memo : (int, transport_memo) Hashtbl.t;  (* pe_key *)
+  mutable tunnels_gen : int;  (* bumped on every pe_tunnels update *)
   mutable touches : int;
 }
+
+and transport_memo = {
+  mutable tm_ftn_gen : int;
+  mutable tm_tun_gen : int;
+  mutable tm_ans : Plane.ftn_entry option;
+}
+
+let pe_key a b = (a lsl 20) lor b
 
 let membership t = t.membership
 let set_ip_fallback t flag = t.ip_fallback <- flag
@@ -92,7 +109,7 @@ let refresh_pe_next_hops t =
        Array.iter
          (fun dst ->
             if dst <> src && tree.Spf.first_hop.(dst) >= 0 then
-              Hashtbl.replace t.pe_next_hop (src, dst)
+              Hashtbl.replace t.pe_next_hop (pe_key src dst)
                 tree.Spf.first_hop.(dst))
          pops)
     pops
@@ -172,14 +189,16 @@ let reimport_all t =
 
 (* --- data plane --------------------------------------------------------- *)
 
-(* Transport label selection goes through the dataplane's
-   generation-checked FTN cache: the FEC → FTN answer is memoized per
-   node and invalidated wholesale when LDP or RSVP-TE reinstall
-   bindings. *)
-let outer_transport t ~ingress_pe ~egress_pe =
+(* Transport label selection: TE tunnel FTN if one is pinned for the
+   pair, else the LDP FTN toward the egress loopback. The uncached
+   walk allocates (a FEC, a loopback prefix) and pays a structural
+   hash per call, so the verdict is memoized per PE pair under the
+   ingress node's FTN generation and the tunnel-map generation — the
+   only inputs the answer depends on. *)
+let outer_transport_slow t ~ingress_pe ~egress_pe =
   let dp = Network.dataplane t.net in
   let te_ftn =
-    match Hashtbl.find_opt t.pe_tunnels (ingress_pe, egress_pe) with
+    match Hashtbl.find_opt t.pe_tunnels (pe_key ingress_pe egress_pe) with
     | Some tunnel_id ->
       Dataplane.find_ftn dp ingress_pe (Fec.Tunnel_fec tunnel_id)
     | None -> None
@@ -193,25 +212,46 @@ let outer_transport t ~ingress_pe ~egress_pe =
          (Fec.Prefix_fec (Backbone.loopback t.backbone ~pop))
      | None -> None)
 
+let outer_transport t ~ingress_pe ~egress_pe =
+  let fgen = Plane.ftn_generation (Network.plane t.net) ingress_pe in
+  let k = pe_key ingress_pe egress_pe in
+  match Hashtbl.find t.transport_memo k with
+  | m when m.tm_ftn_gen = fgen && m.tm_tun_gen = t.tunnels_gen -> m.tm_ans
+  | m ->
+    let ans = outer_transport_slow t ~ingress_pe ~egress_pe in
+    m.tm_ftn_gen <- fgen;
+    m.tm_tun_gen <- t.tunnels_gen;
+    m.tm_ans <- ans;
+    ans
+  | exception Not_found ->
+    let ans = outer_transport_slow t ~ingress_pe ~egress_pe in
+    Hashtbl.add t.transport_memo k
+      { tm_ftn_gen = fgen; tm_tun_gen = t.tunnels_gen; tm_ans = ans };
+    ans
+
 (* A PE egress hop still delivers when its link is up — or when a
    fast-reroute bypass currently covers it (the transmit-time switch in
-   {!Network.transmit} will detour the packet). *)
+   {!Network.transmit} will detour the packet). Link state flips with
+   no generation to stamp, so this stays a live check — but through the
+   dense link-id matrix, not the option-returning [find_link]. *)
 let egress_usable t pe nh =
-  match Topology.find_link (Network.topology t.net) pe nh with
-  | None -> false
-  | Some l ->
-    l.Topology.up
-    || (match
-          Lfib.protection (Plane.lfib (Network.plane t.net) pe) ~next_hop:nh
-        with
-        | Some pr -> pr.Lfib.usable ()
-        | None -> false)
+  let topo = Network.topology t.net in
+  let id = Topology.find_link_id topo pe nh in
+  id >= 0
+  && (let l = Topology.link topo id in
+      l.Topology.up
+      || (match
+            Lfib.protection (Plane.lfib (Network.plane t.net) pe) ~next_hop:nh
+          with
+          | Some pr -> pr.Lfib.usable ()
+          | None -> false))
 
 (* The labelled transport works again for this PE pair: close any open
    degradation episode — the make-before-break return to the LSP. *)
 let note_transport_ok t ~ingress ~egress =
-  if Hashtbl.mem t.fallback_active (ingress, egress) then begin
-    Hashtbl.remove t.fallback_active (ingress, egress);
+  let k = pe_key ingress egress in
+  if Hashtbl.mem t.fallback_active k then begin
+    Hashtbl.remove t.fallback_active k;
     Mvpn_telemetry.Counter.incr m_fallback_restored;
     if !Mvpn_telemetry.Control.enabled then
       Mvpn_telemetry.Event_log.record
@@ -240,8 +280,9 @@ let send_fallback t ~ingress ~egress ~vpn_label packet =
     Packet.encapsulate packet ~src ~dst ~proto:Mvpn_net.Flow.Gre
       ~overhead:fallback_overhead ~copy_tos:false;
     (Packet.visible_header packet).Packet.src_port <- vpn_label;
-    if not (Hashtbl.mem t.fallback_active (ingress, egress)) then begin
-      Hashtbl.replace t.fallback_active (ingress, egress) ();
+    let k = pe_key ingress egress in
+    if not (Hashtbl.mem t.fallback_active k) then begin
+      Hashtbl.replace t.fallback_active k ();
       Mvpn_telemetry.Counter.incr m_fallback_engaged;
       if !Mvpn_telemetry.Control.enabled then
         Mvpn_telemetry.Event_log.record
@@ -288,7 +329,7 @@ let pe_forward_to t pe packet nh =
          Network.transmit t.net ~from:pe ~to_:e.Plane.next_hop packet
        | None ->
          (* Adjacent PHP egress: the inner label alone travels. *)
-         (match Hashtbl.find_opt t.pe_next_hop (pe, egress_pe) with
+         (match Hashtbl.find_opt t.pe_next_hop (pe_key pe egress_pe) with
           | Some nh -> Network.transmit t.net ~from:pe ~to_:nh packet
           | None -> assert false))
     in
@@ -300,7 +341,7 @@ let pe_forward_to t pe packet nh =
           egress PE is literally the next hop; a missing FTN toward a
           distant PE (an LDP session loss, say) is a transport outage,
           not an implicit-null. *)
-       (match Hashtbl.find_opt t.pe_next_hop (pe, egress_pe) with
+       (match Hashtbl.find_opt t.pe_next_hop (pe_key pe egress_pe) with
         | Some nh when nh = egress_pe && egress_usable t pe nh ->
           labelled_send None
         | Some _ | None ->
@@ -328,7 +369,9 @@ let pe_multicast t pe v ~from packet =
         | Vrf.Via_neighbor _ -> false
       in
       if replicate && not (Prefix.equal prefix multicast_range) then
-        pe_forward_to t pe (Packet.copy packet) nh)
+        pe_forward_to t pe (Packet.copy packet) nh);
+  (* Only the replicas travel; the original has served its purpose. *)
+  Packet.release packet
 
 let pe_ingress t pe v ~from packet =
   let hdr = Packet.visible_header packet in
@@ -346,17 +389,21 @@ let install_pe_interceptor t pe =
     | None -> None
   in
   Dataplane.set_interceptor (Network.dataplane t.net) pe (fun ~from packet ->
-      match packet.Packet.outer with
-      | Some o
-        when from <> None
-          && Packet.top_label packet = None
-          && o.Packet.proto = Mvpn_net.Flow.Gre
-          && (match own_loopback with
-              | Some lo -> Mvpn_net.Ipv4.equal o.Packet.dst lo
-              | None -> false) ->
+      if
+        Packet.has_outer packet
+        && from <> None
+        && not (Packet.labelled packet)
+        &&
+        let o = Packet.outer_header packet in
+        o.Packet.proto = Mvpn_net.Flow.Gre
+        && (match own_loopback with
+            | Some lo -> Mvpn_net.Ipv4.equal o.Packet.dst lo
+            | None -> false)
+      then begin
         (* Terminate a degraded-mode tunnel: strip the outer header,
            restore the VPN label from the GRE key and let the normal
            pipeline pop it toward the CE. *)
+        let o = Packet.outer_header packet in
         let vpn_label = o.Packet.src_port in
         let outer_ttl = o.Packet.ttl in
         Packet.decapsulate packet;
@@ -367,15 +414,16 @@ let install_pe_interceptor t pe =
              else 0)
           ~ttl:outer_ttl;
         Dataplane.Continue
-      | Some _ | None ->
-        (match from with
-         | Some prev when Packet.top_label packet = None ->
-           (match Hashtbl.find_opt t.ce_vrf prev with
-            | Some v when Vrf.pe v = pe ->
-              pe_ingress t pe v ~from packet;
-              Dataplane.Consumed
-            | Some _ | None -> Dataplane.Continue)
-         | Some _ | None -> Dataplane.Continue))
+      end
+      else
+        match from with
+        | Some prev when not (Packet.labelled packet) ->
+          (match Hashtbl.find_opt t.ce_vrf prev with
+           | Some v when Vrf.pe v = pe ->
+             pe_ingress t pe v ~from packet;
+             Dataplane.Consumed
+           | Some _ | None -> Dataplane.Continue)
+        | Some _ | None -> Dataplane.Continue)
 
 (* --- deployment --------------------------------------------------------- *)
 
@@ -392,11 +440,13 @@ let signal_te_mesh t =
          List.iter
            (fun dst ->
               if src <> dst
-              && not (Hashtbl.mem t.pe_tunnels (src, dst)) then
+              && not (Hashtbl.mem t.pe_tunnels (pe_key src dst)) then
                 match
                   Rsvp_te.signal te ~src ~dst ~bandwidth:t.te_bandwidth
                 with
-                | Ok tn -> Hashtbl.replace t.pe_tunnels (src, dst) tn.Rsvp_te.id
+                | Ok tn ->
+                  Hashtbl.replace t.pe_tunnels (pe_key src dst) tn.Rsvp_te.id;
+                  t.tunnels_gen <- t.tunnels_gen + 1
                 | Error _ -> ())
            pe_nodes)
       pe_nodes
@@ -433,6 +483,7 @@ let deploy ?(mechanism = Membership.Directory) ?(session_mode = Mpbgp.Full_mesh)
       pe_next_hop = Hashtbl.create 64;
       external_labels = Hashtbl.create 16; map_dscp_to_exp; domain;
       ip_fallback = false; fallback_active = Hashtbl.create 8;
+      transport_memo = Hashtbl.create 64; tunnels_gen = 0;
       touches = 0 }
   in
   refresh_fibs t;

@@ -118,6 +118,13 @@ let record_hop t ~node ?packet label =
         ~uid:p.Packet.uid ~time:(Engine.now t.engine) ~node label
     | None -> ()
 
+(* Non-optional twin of [record_hop] for the per-hop fast path: the
+   caller always has a packet, so no [Some] box rides along. *)
+let record_hop_p t ~node (p : Packet.t) label =
+  if !Telemetry.Control.enabled then
+    Telemetry.Hop_trace.record (trace_ring t)
+      ~uid:p.Packet.uid ~time:(Engine.now t.engine) ~node label
+
 (* Flush every coalesced counter. Accumulation only happens while
    telemetry is enabled, so the flush writes are forced on — the switch
    may have been toggled between accumulation and window exit, and
@@ -155,18 +162,14 @@ let set_span_sampler t sampler = t.span_sampler <- sampler
 let span_sampler t = t.span_sampler
 let set_fate_hook t hook = t.fate_hook <- hook
 
-(* SLO/span keying: the tenant and its inner-header class — the same
-   (vpn, band) view {!Accounting} invoices by. Un-tenanted traffic
-   books under vpn 0. *)
-let vpn_band (p : Packet.t) =
-  ( (match p.Packet.vpn with Some v -> v | None -> 0),
-    Qos_mapping.band_of_dscp p.Packet.inner.Packet.dscp )
-
 (* Feed the conformance engine a terminal packet fate. Call only with
    telemetry enabled, after the terminal hop event is recorded so a
-   sampled span sees it. *)
+   sampled span sees it. SLO/span keying: the tenant and its
+   inner-header class — the same (vpn, band) view {!Accounting}
+   invoices by; un-tenanted traffic books under vpn 0. *)
 let observe_fate t (p : Packet.t) ~dropped =
-  let vpn, band = vpn_band p in
+  let vpn = match p.Packet.vpn with Some v -> v | None -> 0 in
+  let band = Qos_mapping.band_of_dscp p.Packet.inner.Packet.dscp in
   (match t.fate_hook with
    | Some hook ->
      let time = Engine.now t.engine in
@@ -187,8 +190,39 @@ let observe_fate t (p : Packet.t) ~dropped =
       ~vpn ~band ~dropped
   | None -> ()
 
-let labels_of packet =
-  List.map (fun (s : Packet.shim) -> s.Packet.label) packet.Packet.labels
+let labels_of packet = Packet.label_values packet
+
+(* Specialized tracer emitters for the per-hop fast path: the generic
+   [emit] makes its caller build the action (and box the packet in
+   [Some]) before the [tracer = None] test, which is an allocation per
+   hop with tracing off. These variants test first and build only for
+   an attached tracer. *)
+let emit_transmit t ~node ~to_ (p : Packet.t) =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      { trace_time = Engine.now t.engine; trace_node = node;
+        trace_uid = p.Packet.uid; trace_labels = labels_of p;
+        trace_action = Trace_transmit to_ }
+
+let emit_deliver t ~node (p : Packet.t) =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      { trace_time = Engine.now t.engine; trace_node = node;
+        trace_uid = p.Packet.uid; trace_labels = labels_of p;
+        trace_action = Trace_deliver }
+
+let emit_receive t ~node ~from (p : Packet.t) =
+  match t.tracer with
+  | None -> ()
+  | Some f ->
+    f
+      { trace_time = Engine.now t.engine; trace_node = node;
+        trace_uid = p.Packet.uid; trace_labels = labels_of p;
+        trace_action = Trace_receive from }
 
 let emit t ~node ?packet action =
   match t.tracer with
@@ -231,10 +265,14 @@ let drop ?(node = -1) ?packet t reason =
     Telemetry.Counter.set m_drops t.total_drops
   end;
   record_hop t ~node ?packet ("drop:" ^ reason);
-  if !Telemetry.Control.enabled then
-    match packet with
-    | Some p -> observe_fate t p ~dropped:true
-    | None -> ()
+  (if !Telemetry.Control.enabled then
+     match packet with
+     | Some p -> observe_fate t p ~dropped:true
+     | None -> ());
+  (* Terminal fate: the packet is past every sample point, so its
+     storage can be recycled. Idempotent — the default no-sink sink
+     routes through here before [deliver] also releases. *)
+  match packet with Some p -> Packet.release p | None -> ()
 
 (* Port discards (queue refusal, link down mid-queue) stay out of the
    drop table by contract — read those from the port counters — but
@@ -245,7 +283,8 @@ let port_drop t ~node packet reason =
   if !Telemetry.Control.enabled then begin
     record_hop t ~node ~packet ("drop:" ^ reason);
     observe_fate t packet ~dropped:true
-  end
+  end;
+  Packet.release packet
 
 let engine t = t.engine
 let topology t = t.topo
@@ -290,9 +329,10 @@ let port t ~link_id =
    [resilience.frr.unprotected] and fall through to the port, whose
    link-down accounting names the loss. *)
 let transmit t ~from ~to_ packet =
-  match Topology.find_link t.topo from to_ with
-  | None -> drop ~node:from ~packet t "no-link"
-  | Some l ->
+  let lid = Topology.find_link_id t.topo from to_ in
+  if lid < 0 then drop ~node:from ~packet t "no-link"
+  else begin
+    let l = Topology.link t.topo lid in
     let l, to_ =
       if l.Topology.up then (l, to_)
       else
@@ -300,10 +340,10 @@ let transmit t ~from ~to_ packet =
         | Some pr when pr.Lfib.usable () ->
           (match Topology.find_link t.topo from pr.Lfib.via with
            | Some bypass ->
+             let top = Packet.top_packed packet in
              let exp, ttl =
-               match packet.Packet.labels with
-               | (s : Packet.shim) :: _ -> (s.Packet.exp, s.Packet.ttl)
-               | [] -> (0, (Packet.visible_header packet).Packet.ttl)
+               if top >= 0 then (Packet.Shim.exp top, Packet.Shim.ttl top)
+               else (0, (Packet.visible_header packet).Packet.ttl)
              in
              Packet.push_label packet ~label:pr.Lfib.push ~exp ~ttl;
              Telemetry.Counter.incr m_frr_switched;
@@ -315,7 +355,7 @@ let transmit t ~from ~to_ packet =
                    (Telemetry.Event_log.Frr_switchover
                       { src = from; dst = to_ })
              end;
-             record_hop t ~node:from ~packet "frr";
+             record_hop_p t ~node:from packet "frr";
              (bypass, pr.Lfib.via)
            | None -> (l, to_))
         | Some _ | None ->
@@ -324,7 +364,7 @@ let transmit t ~from ~to_ packet =
     in
     (match t.ports.(l.Topology.id) with
      | Some p ->
-       emit t ~node:from ~packet (Trace_transmit to_);
+       emit_transmit t ~node:from ~to_ packet;
        if !Telemetry.Control.enabled then begin
          let id = l.Topology.id in
          if Engine.in_batch t.engine then begin
@@ -336,10 +376,11 @@ let transmit t ~from ~to_ packet =
            t.pending_tx.(id) <- t.pending_tx.(id) + packet.Packet.size
          end
          else Telemetry.Counter.add t.link_tx_bytes.(id) packet.Packet.size;
-         record_hop t ~node:from ~packet "tx"
+         record_hop_p t ~node:from packet "tx"
        end;
        Port.send p packet
      | None -> drop ~node:from ~packet t "no-link")
+  end
 
 (* Per-network memo in front of the mutex-guarded global table: after
    the first delivery of a codepoint, the handle comes from a plain
@@ -356,18 +397,22 @@ let sojourn_for t dscp =
   else sojourn_hist dscp
 
 let deliver t node packet =
-  emit t ~node ~packet Trace_deliver;
+  emit_deliver t ~node packet;
   if !Telemetry.Control.enabled then begin
     if Engine.in_batch t.engine then
       t.pending_delivered <- t.pending_delivered + 1
     else Telemetry.Counter.incr m_delivered;
-    record_hop t ~node ~packet "deliver";
+    record_hop_p t ~node packet "deliver";
     Telemetry.Histogram.observe
       (sojourn_for t (Packet.visible_dscp packet))
       (Engine.now t.engine -. packet.Packet.created_at);
     observe_fate t packet ~dropped:false
   end;
-  t.sinks.(node) packet
+  t.sinks.(node) packet;
+  (* Past the sink (the last consumer: SLA bookkeeping reads scalars
+     and never retains the packet). Safe even when the sink was the
+     drop-counting default — release is idempotent. *)
+  Packet.release packet
 
 let forward_ip t node packet = Dataplane.forward_ip t.dp node packet
 
@@ -433,8 +478,8 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
       drop = (fun ~node p reason -> drop ~node ~packet:p net reason);
       notify_receive =
         (fun ~node ~from p ->
-           emit net ~node ~packet:p (Trace_receive from);
-           record_hop net ~node ~packet:p "rx") };
+           emit_receive net ~node ~from p;
+           record_hop_p net ~node p "rx") };
   (* Default sinks count unclaimed deliveries. *)
   for v = 0 to nodes - 1 do
     net.sinks.(v) <- (fun packet -> drop ~node:v ~packet net "no-sink")
@@ -449,11 +494,13 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
          Port.create engine ~link:l ~qdisc
            ~classify:(Qos_mapping.classify policy)
            ~on_txstart:(fun packet ->
-               record_hop net ~node:l.Topology.src ~packet "txstart")
+               record_hop_p net ~node:l.Topology.src packet "txstart")
            ~on_drop:(fun ~reason packet ->
                port_drop net ~node:l.Topology.src packet reason)
-           ~on_deliver:(fun packet ->
-               receive net l.Topology.dst ~from:(Some l.Topology.src) packet)
+           ~on_deliver:
+             (* [Some src] hoisted: one box per port, not per packet. *)
+             (let from = Some l.Topology.src in
+              fun packet -> receive net l.Topology.dst ~from packet)
        in
        net.ports.(l.Topology.id) <- Some p)
     links;

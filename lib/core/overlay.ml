@@ -63,30 +63,32 @@ let with_crypto t ce ~cost k =
 let ce_interceptor t (site : Site.t) ~from packet =
   ignore from;
   let me = loopback_addr site in
-  match packet.Packet.outer with
-  | Some outer when Ipv4.equal outer.Packet.dst me ->
-    (* Inbound tunnel endpoint. *)
-    (match
-       Hashtbl.find_opt t.rx_tunnels
-         (Ipv4.to_int outer.Packet.src, Ipv4.to_int outer.Packet.dst)
-     with
-     | None ->
-       Network.drop_packet t.net "unknown-tunnel";
-       Network.Consumed
-     | Some tunnel ->
-       (match Tunnel.decapsulate tunnel packet with
-        | Tunnel.Decapsulated cost ->
-          with_crypto t site.Site.ce_node ~cost (fun () ->
-              Network.forward_ip t.net site.Site.ce_node packet);
-          Network.Consumed
-        | Tunnel.Replayed ->
-          Network.drop_packet t.net "replay";
-          Network.Consumed
-        | Tunnel.Not_ours ->
-          Network.drop_packet t.net "unknown-tunnel";
-          Network.Consumed))
-  | Some _ -> Network.Continue
-  | None ->
+  if Packet.has_outer packet then begin
+    let outer = Packet.outer_header packet in
+    if Ipv4.equal outer.Packet.dst me then
+      (* Inbound tunnel endpoint. *)
+      match
+        Hashtbl.find_opt t.rx_tunnels
+          (Ipv4.to_int outer.Packet.src, Ipv4.to_int outer.Packet.dst)
+      with
+      | None ->
+        Network.drop_packet t.net "unknown-tunnel";
+        Network.Consumed
+      | Some tunnel ->
+        (match Tunnel.decapsulate tunnel packet with
+         | Tunnel.Decapsulated cost ->
+           with_crypto t site.Site.ce_node ~cost (fun () ->
+               Network.forward_ip t.net site.Site.ce_node packet);
+           Network.Consumed
+         | Tunnel.Replayed ->
+           Network.drop_packet t.net "replay";
+           Network.Consumed
+         | Tunnel.Not_ours ->
+           Network.drop_packet t.net "unknown-tunnel";
+           Network.Consumed)
+    else Network.Continue
+  end
+  else
     (* Outbound: does the destination live behind a tunnel? *)
     let dst = packet.Packet.inner.Packet.dst in
     if Prefix.mem dst site.Site.prefix then Network.Continue

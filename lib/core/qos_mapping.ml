@@ -17,9 +17,9 @@ let band_of_exp = function
 let band_of_dscp d = band_of_exp (Dscp.to_exp d)
 
 let band_of_packet p =
-  match Packet.top_exp p with
-  | Some exp -> band_of_exp exp
-  | None -> band_of_dscp (Packet.visible_dscp p)
+  let top = Packet.top_packed p in
+  if top >= 0 then band_of_exp (Packet.Shim.exp top)
+  else band_of_dscp (Packet.visible_dscp p)
 
 let band_name = function
   | 0 -> "EF"
@@ -72,6 +72,4 @@ let classify policy p =
   | Diffserv _ -> band_of_packet p
 
 let mark_exp_from_dscp p =
-  let exp = Dscp.to_exp p.Packet.inner.Packet.dscp in
-  List.iter (fun (shim : Packet.shim) -> shim.Packet.exp <- exp)
-    p.Packet.labels
+  Packet.set_exp_all p ~exp:(Dscp.to_exp p.Packet.inner.Packet.dscp)

@@ -18,9 +18,9 @@ let registry engine =
     label_order = [] }
 
 let sink r packet =
-  match Hashtbl.find_opt r.flows packet.Packet.flow with
-  | Some c -> Sla.on_receive c ~now:(Engine.now r.engine) packet
-  | None -> ()
+  match Hashtbl.find r.flows packet.Packet.flow with
+  | c -> Sla.on_receive c ~now:(Engine.now r.engine) packet
+  | exception Not_found -> ()
 
 let register_flow r flow c = Hashtbl.replace r.flows flow c
 
@@ -58,29 +58,32 @@ let sender r ~net ~src_node ~flow ~dscp ?vpn ?cbq ~collector:c () =
        | Cbq.Dropped _ -> ())
 
 let repeat_until engine ~stop f =
-  (* f returns the delay until its next firing, or None to end. *)
-  let rec arm delay =
-    Engine.schedule engine ~delay (fun () ->
-        if Engine.now engine <= stop then
-          match f () with
-          | Some next -> arm next
-          | None -> ())
+  (* f returns the delay until its next firing, or None to end. One
+     event closure serves every firing — re-arming passes the same
+     closure back to the engine instead of building a fresh one. *)
+  let rec fire () =
+    if Engine.now engine <= stop then
+      match f () with
+      | Some next -> Engine.schedule engine ~delay:next fire
+      | None -> ()
   in
-  arm
+  fun delay -> Engine.schedule engine ~delay fire
 
 let cbr engine ~start ~stop ~rate_bps ~packet_bytes emit =
   if rate_bps <= 0.0 then invalid_arg "Traffic.cbr: rate must be positive";
   let interval = float_of_int packet_bytes *. 8.0 /. rate_bps in
   (* Index-based departure times: no floating-point drift across long
-     runs, so packet counts are exactly rate × duration. *)
-  let rec arm i =
-    let time = start +. (float_of_int i *. interval) in
-    if time <= stop then
-      Engine.schedule_at engine ~time (fun () ->
-          emit packet_bytes;
-          arm (i + 1))
+     runs, so packet counts are exactly rate × duration. The index
+     advances through a mutable cell so a single closure serves the
+     whole flow — no per-packet closure allocation. *)
+  let i = ref 0 in
+  let rec fire () =
+    emit packet_bytes;
+    incr i;
+    let time = start +. (float_of_int !i *. interval) in
+    if time <= stop then Engine.schedule_at engine ~time fire
   in
-  arm 0
+  if start <= stop then Engine.schedule_at engine ~time:start fire
 
 let poisson engine rng ~start ~stop ~rate_pps ~packet_bytes emit =
   if rate_pps <= 0.0 then invalid_arg "Traffic.poisson: rate must be positive";

@@ -14,10 +14,29 @@ type t = {
   import_rts : Mpbgp.rt list;
   export_rts : Mpbgp.rt list;
   routes : next_hop Radix.t;
+  (* Direct-mapped dst → LPM-result cache in front of the radix walk,
+     same idiom as the dataplane's FIB cache: a slot holds the address
+     it answers for and the trie's own [option] box. The whole cache is
+     flushed (lazily, via the stored generation) whenever the trie
+     mutates, so a hit can never serve a route the trie no longer
+     holds. *)
+  ck : int array;  (* Ipv4.to_int keys; -1 = empty *)
+  cv : next_hop option array;
+  mutable cgen : int;
 }
 
+let cache_slots = 256
+
+let slot_of addr = (addr * 0x9E3779B1) lsr 16 land (cache_slots - 1)
+
+let m_cache_hit = Mvpn_telemetry.Registry.counter "vrf.cache.hit"
+let m_cache_miss = Mvpn_telemetry.Registry.counter "vrf.cache.miss"
+
 let create ~pe ~vpn ~rd ~import_rts ~export_rts =
-  { pe; vpn; rd; import_rts; export_rts; routes = Radix.create () }
+  { pe; vpn; rd; import_rts; export_rts; routes = Radix.create ();
+    ck = Array.make cache_slots (-1); cv = Array.make cache_slots None;
+    (* -1 never equals a real generation, so the first lookup flushes. *)
+    cgen = -1 }
 
 let pe t = t.pe
 let vpn t = t.vpn
@@ -35,7 +54,25 @@ let install_via t ~prefix ~neighbor =
 
 let remove t prefix = Radix.remove t.routes prefix
 
-let lookup t addr = Radix.lookup_value t.routes addr
+let lookup t addr =
+  let g = Radix.generation t.routes in
+  if g <> t.cgen then begin
+    Array.fill t.ck 0 cache_slots (-1);
+    t.cgen <- g
+  end;
+  let k = Mvpn_net.Ipv4.to_int addr in
+  let s = slot_of k in
+  if t.ck.(s) = k then begin
+    Mvpn_telemetry.Counter.incr m_cache_hit;
+    t.cv.(s)
+  end
+  else begin
+    Mvpn_telemetry.Counter.incr m_cache_miss;
+    let r = Radix.lookup_value t.routes addr in
+    t.ck.(s) <- k;
+    t.cv.(s) <- r;
+    r
+  end
 
 let route_count t = Radix.cardinal t.routes
 

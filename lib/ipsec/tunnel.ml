@@ -56,9 +56,9 @@ type decap_result =
   | Not_ours
 
 let decapsulate t packet =
-  match packet.Packet.outer with
-  | None -> Not_ours
-  | Some outer ->
+  if not (Packet.has_outer packet) then Not_ours
+  else
+    let outer = Packet.outer_header packet in
     if not (Ipv4.equal outer.Packet.dst t.remote) then Not_ours
     else begin
       let seq =

@@ -103,42 +103,69 @@ type step_result =
 (* RFC 3443 uniform model: the outermost shim carries the packet's real
    TTL, so a pop is still a hop — decrement the popped shim's TTL and
    copy it onto whatever the pop exposed (the next shim or the IP
-   header), never increasing an inner TTL. *)
-let pop_and_propagate_ttl packet (shim : Packet.shim) =
-  ignore (Packet.pop_label packet);
-  let ttl = shim.Packet.ttl - 1 in
-  match Packet.top_label packet with
-  | Some inner -> inner.Packet.ttl <- min inner.Packet.ttl ttl
-  | None ->
+   header), never increasing an inner TTL. Everything below works on
+   packed shims (immediate ints), so a step never allocates. *)
+let pop_and_propagate_ttl packet popped =
+  ignore (Packet.pop_packed packet);
+  let ttl = Packet.Shim.ttl popped - 1 in
+  let inner = Packet.top_packed packet in
+  if inner >= 0 then begin
+    if ttl < Packet.Shim.ttl inner then
+      Packet.set_top packet (Packet.Shim.with_ttl inner ttl)
+  end
+  else begin
     let hdr = Packet.visible_header packet in
     hdr.Packet.ttl <- min hdr.Packet.ttl ttl
+  end
+
+(* Packed step result: [(arg + 1) lsl 2 lor tag], tags below. The +1
+   keeps [local] (-1) encodable; labels and node ids are well inside
+   the remaining bits. An immediate int instead of a [step_result]
+   constructor, so the per-hop forwarding decision allocates nothing. *)
+let tag_forward = 0
+let tag_ip_continue = 1
+let tag_no_binding = 2
+let tag_ttl_expired = 3
+
+let packed_tag r = r land 3
+let packed_arg r = (r lsr 2) - 1
+
+let pack tag arg = ((arg + 1) lsl 2) lor tag
+
+let step_packed t packet =
+  let shim = Packet.top_packed packet in
+  if shim < 0 then invalid_arg "Lfib.step: unlabelled packet";
+  if Packet.Shim.ttl shim <= 1 then begin
+    Mvpn_telemetry.Counter.incr m_ttl_expired;
+    pack tag_ttl_expired 0
+  end
+  else begin
+    match lookup t (Packet.Shim.label shim) with
+    | None ->
+      Mvpn_telemetry.Counter.incr m_no_binding;
+      pack tag_no_binding (Packet.Shim.label shim)
+    | Some { op; next_hop } ->
+      match op with
+      | Swap out ->
+        Mvpn_telemetry.Counter.incr m_swap;
+        Packet.swap_label packet ~label:out;
+        pack tag_forward next_hop
+      | Pop ->
+        Mvpn_telemetry.Counter.incr m_pop;
+        pop_and_propagate_ttl packet shim;
+        if Packet.labelled packet then pack tag_forward next_hop
+        else pack tag_ip_continue next_hop
+      | Pop_and_ip ->
+        Mvpn_telemetry.Counter.incr m_pop_and_ip;
+        pop_and_propagate_ttl packet shim;
+        pack tag_ip_continue next_hop
+  end
 
 let step t packet =
-  match Packet.top_label packet with
-  | None -> invalid_arg "Lfib.step: unlabelled packet"
-  | Some shim ->
-    if shim.Packet.ttl <= 1 then begin
-      Mvpn_telemetry.Counter.incr m_ttl_expired;
-      Ttl_expired
-    end
-    else begin
-      match lookup t shim.Packet.label with
-      | None ->
-        Mvpn_telemetry.Counter.incr m_no_binding;
-        No_binding shim.Packet.label
-      | Some { op; next_hop } ->
-        match op with
-        | Swap out ->
-          Mvpn_telemetry.Counter.incr m_swap;
-          Packet.swap_label packet ~label:out;
-          Forward next_hop
-        | Pop ->
-          Mvpn_telemetry.Counter.incr m_pop;
-          pop_and_propagate_ttl packet shim;
-          if Packet.top_label packet <> None then Forward next_hop
-          else Ip_continue next_hop
-        | Pop_and_ip ->
-          Mvpn_telemetry.Counter.incr m_pop_and_ip;
-          pop_and_propagate_ttl packet shim;
-          Ip_continue next_hop
-    end
+  let r = step_packed t packet in
+  let arg = packed_arg r in
+  let tag = packed_tag r in
+  if tag = tag_forward then Forward arg
+  else if tag = tag_ip_continue then Ip_continue arg
+  else if tag = tag_no_binding then No_binding arg
+  else Ttl_expired

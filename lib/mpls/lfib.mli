@@ -88,6 +88,20 @@ type step_result =
   | No_binding of int  (** unknown incoming label — drop *)
   | Ttl_expired
 
+val step_packed : t -> Mvpn_net.Packet.t -> int
+(** Allocation-free {!step}: the result packed as
+    [((arg + 1) lsl 2) lor tag] — an immediate int, no constructor
+    block per hop. Decode with {!packed_tag} / {!packed_arg}; [arg] is
+    the next hop ({!tag_forward}, {!tag_ip_continue} — where it may be
+    {!local}) or the unknown label ({!tag_no_binding}). *)
+
+val tag_forward : int
+val tag_ip_continue : int
+val tag_no_binding : int
+val tag_ttl_expired : int
+val packed_tag : int -> int
+val packed_arg : int -> int
+
 val step : t -> Mvpn_net.Packet.t -> step_result
 (** Apply the ILM entry for the packet's top label, mutating the packet
     (swap/pop, TTL decrement). TTL follows the RFC 3443 uniform model:

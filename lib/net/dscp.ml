@@ -40,12 +40,12 @@ let ef = 46
 let af cls prec = of_phb (Af (cls, prec))
 let cs n = of_phb (Cs n)
 
-let to_exp d =
-  match to_phb d with
-  | Default -> 0
-  | Ef -> 5
-  | Af (cls, _) -> cls
-  | Cs n -> n
+(* [to_phb] materializes a PHB constructor per call; the two per-packet
+   projections below compute the same answers on raw bits instead. For
+   every codepoint except EF the EXP value is the class selector bits
+   (Default = CS0, AF's class = its top three bits, CS trivially), so
+   the whole table collapses to one test and a shift. *)
+let to_exp d = if d = 46 then 5 else d lsr 3
 
 let of_exp e =
   if e < 0 || e > 7 then
@@ -56,10 +56,14 @@ let of_exp e =
   | 1 | 2 | 3 | 4 -> af e 1
   | n -> cs n
 
+(* Only a well-formed AF codepoint carries a drop precedence; the bit
+   tests mirror [to_phb]'s AF validity check (EF's low bits fail the
+   even-and-in-range test, so it needs no special case). *)
 let drop_precedence d =
-  match to_phb d with
-  | Af (_, prec) -> prec
-  | Default | Ef | Cs _ -> 1
+  let cls = d lsr 3 and low = d land 0b111 in
+  if cls >= 1 && cls <= 4 && low land 1 = 0 && low >= 2 && low <= 6
+  then low lsr 1
+  else 1
 
 let pp ppf d =
   match to_phb d with

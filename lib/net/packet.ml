@@ -1,4 +1,34 @@
-type shim = { label : int; mutable exp : int; mutable ttl : int }
+type shim = { mutable label : int; mutable exp : int; mutable ttl : int }
+
+(* label (20 bits) | exp (3 bits) | ttl (8 bits), one immediate int.
+   [none] is -1 so every valid packed shim tests [>= 0]. *)
+module Shim = struct
+  type packed = int
+
+  let none = -1
+
+  let clamp_ttl ttl = if ttl < 0 then 0 else if ttl > 255 then 255 else ttl
+
+  let pack ~label ~exp ~ttl =
+    ((label land 0xFFFFF) lsl 11) lor ((exp land 0x7) lsl 8)
+    lor clamp_ttl ttl
+
+  let label packed = packed lsr 11
+  let exp packed = (packed lsr 8) land 0x7
+  let ttl packed = packed land 0xFF
+
+  let with_label packed label =
+    ((label land 0xFFFFF) lsl 11) lor (packed land 0x7FF)
+
+  let with_exp packed exp =
+    (packed land (lnot 0x700)) lor ((exp land 0x7) lsl 8)
+
+  let with_ttl packed ttl =
+    (packed land (lnot 0xFF)) lor clamp_ttl ttl
+
+  let to_shim packed =
+    { label = label packed; exp = exp packed; ttl = ttl packed }
+end
 
 type header = {
   mutable src : Ipv4.t;
@@ -11,26 +41,33 @@ type header = {
 }
 
 type t = {
-  uid : int;
-  flow : Flow.t;
-  vpn : int option;
-  seq : int;
-  created_at : float;
+  mutable uid : int;
+  mutable flow : Flow.t;
+  mutable vpn : int option;
+  mutable seq : int;
+  mutable created_at : float;
   mutable size : int;
   inner : header;
   mutable encrypted : bool;
-  mutable outer : header option;
-  mutable labels : shim list;
+  outer : header;
+  mutable has_outer : bool;
+  stack : int array;
+  mutable depth : int;
   mutable encap_bytes : int;
+  mutable in_pool : bool;
 }
 
 let default_ttl = 64
+
+let max_depth = 8
 
 (* Atomic so packet construction is safe from any domain. Uids stay
    unique process-wide but their allocation order across domains is not
    deterministic — nothing semantic may depend on uid values beyond
    uniqueness (per-packet fault verdicts key on uid, which is why
-   seeded chaos runs are single-domain). *)
+   seeded chaos runs are single-domain). Pool reuse mints a fresh uid
+   on every incarnation, so the uid sequence a run observes is the same
+   with pooling on or off. *)
 let uid_counter = Atomic.make 0
 
 let reset_uid_counter () = Atomic.set uid_counter 0
@@ -42,97 +79,228 @@ let header_of_flow ?(dscp = Dscp.best_effort) (flow : Flow.t) =
     src_port = flow.src_port; dst_port = flow.dst_port; dscp;
     ttl = default_ttl }
 
-let make ?vpn ?(seq = 0) ?(dscp = Dscp.best_effort) ?(size = 512) ~now flow =
-  { uid = next_uid (); flow; vpn; seq; created_at = now; size;
-    inner = header_of_flow ~dscp flow; encrypted = false; outer = None;
-    labels = []; encap_bytes = 0 }
+let blank_header () =
+  { src = Ipv4.any; dst = Ipv4.any; proto = Flow.Udp; src_port = 0;
+    dst_port = 0; dscp = Dscp.best_effort; ttl = default_ttl }
 
-let copy_header (h : header) =
-  { src = h.src; dst = h.dst; proto = h.proto; src_port = h.src_port;
-    dst_port = h.dst_port; dscp = h.dscp; ttl = h.ttl }
+let null =
+  let flow = Flow.make Ipv4.any Ipv4.any in
+  { uid = 0; flow; vpn = None; seq = 0; created_at = 0.; size = 0;
+    inner = header_of_flow flow; encrypted = false;
+    outer = blank_header (); has_outer = false;
+    stack = Array.make max_depth 0; depth = 0; encap_bytes = 0;
+    in_pool = false }
+
+(* One free list per domain (no locking, no cross-domain races): a
+   packet released on a domain is reincarnated by that same domain's
+   next [make]. The global flag is plain (not atomic) — the runners set
+   it once before spawning domains and never mid-run. *)
+type pool = { mutable slots : t array; mutable len : int }
+
+let pooling_flag = ref false
+
+let set_pooling on = pooling_flag := on
+let pooling () = !pooling_flag
+
+let pool_key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { slots = [||]; len = 0 })
+
+let pool_size () = (Domain.DLS.get pool_key).len
+
+let release p =
+  if !pooling_flag && not p.in_pool && p != null then begin
+    p.in_pool <- true;
+    let pool = Domain.DLS.get pool_key in
+    let cap = Array.length pool.slots in
+    if pool.len = cap then begin
+      let slots = Array.make (max 64 (2 * cap)) null in
+      Array.blit pool.slots 0 slots 0 cap;
+      pool.slots <- slots
+    end;
+    pool.slots.(pool.len) <- p;
+    pool.len <- pool.len + 1
+  end
+
+(* A retired packet if one is available, else a fresh allocation. The
+   caller must reinitialise every mutable field. *)
+let obtain () =
+  let pool = Domain.DLS.get pool_key in
+  if !pooling_flag && pool.len > 0 then begin
+    pool.len <- pool.len - 1;
+    let p = pool.slots.(pool.len) in
+    pool.slots.(pool.len) <- null;
+    p.in_pool <- false;
+    p
+  end
+  else
+    { uid = 0; flow = null.flow; vpn = None; seq = 0; created_at = 0.;
+      size = 0; inner = blank_header (); encrypted = false;
+      outer = blank_header (); has_outer = false;
+      stack = Array.make max_depth 0; depth = 0; encap_bytes = 0;
+      in_pool = false }
+
+let set_header (h : header) ~src ~dst ~proto ~src_port ~dst_port ~dscp ~ttl =
+  h.src <- src; h.dst <- dst; h.proto <- proto; h.src_port <- src_port;
+  h.dst_port <- dst_port; h.dscp <- dscp; h.ttl <- ttl
+
+let make ?vpn ?(seq = 0) ?(dscp = Dscp.best_effort) ?(size = 512) ~now
+    (flow : Flow.t) =
+  let p = obtain () in
+  p.uid <- next_uid ();
+  p.flow <- flow;
+  p.vpn <- vpn;
+  p.seq <- seq;
+  p.created_at <- now;
+  p.size <- size;
+  set_header p.inner ~src:flow.src ~dst:flow.dst ~proto:flow.proto
+    ~src_port:flow.src_port ~dst_port:flow.dst_port ~dscp
+    ~ttl:default_ttl;
+  p.encrypted <- false;
+  p.has_outer <- false;
+  p.depth <- 0;
+  p.encap_bytes <- 0;
+  p
+
+let assign_header (dst : header) (src : header) =
+  set_header dst ~src:src.src ~dst:src.dst ~proto:src.proto
+    ~src_port:src.src_port ~dst_port:src.dst_port ~dscp:src.dscp
+    ~ttl:src.ttl
 
 let copy p =
-  { uid = next_uid (); flow = p.flow; vpn = p.vpn; seq = p.seq;
-    created_at = p.created_at; size = p.size;
-    inner = copy_header p.inner; encrypted = p.encrypted;
-    outer = Option.map copy_header p.outer;
-    labels =
-      List.map (fun s -> { label = s.label; exp = s.exp; ttl = s.ttl })
-        p.labels;
-    encap_bytes = p.encap_bytes }
+  let q = obtain () in
+  q.uid <- next_uid ();
+  q.flow <- p.flow;
+  q.vpn <- p.vpn;
+  q.seq <- p.seq;
+  q.created_at <- p.created_at;
+  q.size <- p.size;
+  assign_header q.inner p.inner;
+  q.encrypted <- p.encrypted;
+  assign_header q.outer p.outer;
+  q.has_outer <- p.has_outer;
+  Array.blit p.stack 0 q.stack 0 p.depth;
+  q.depth <- p.depth;
+  q.encap_bytes <- p.encap_bytes;
+  q
 
-let visible_header p =
-  match p.outer with Some h -> h | None -> p.inner
+let visible_header p = if p.has_outer then p.outer else p.inner
 
 let visible_dscp p = (visible_header p).dscp
 
 let classifiable_flow p =
-  match p.outer with
-  | None ->
+  if not p.has_outer then
     Some
       { Flow.src = p.inner.src; dst = p.inner.dst; proto = p.inner.proto;
         src_port = p.inner.src_port; dst_port = p.inner.dst_port }
-  | Some h ->
-    if p.encrypted then None
-    else
-      Some
-        { Flow.src = h.src; dst = h.dst; proto = h.proto;
-          src_port = h.src_port; dst_port = h.dst_port }
+  else if p.encrypted then None
+  else
+    Some
+      { Flow.src = p.outer.src; dst = p.outer.dst; proto = p.outer.proto;
+        src_port = p.outer.src_port; dst_port = p.outer.dst_port }
+
+let has_outer p = p.has_outer
+
+let outer_header p =
+  if p.has_outer then p.outer
+  else invalid_arg "Packet.outer_header: no outer header"
+
+let labelled p = p.depth > 0
+
+let label_depth p = p.depth
+
+let top_packed p = if p.depth = 0 then Shim.none else p.stack.(p.depth - 1)
 
 let top_label p =
-  match p.labels with [] -> None | shim :: _ -> Some shim
+  if p.depth = 0 then None else Some (Shim.to_shim p.stack.(p.depth - 1))
 
 let top_exp p =
-  match p.labels with [] -> None | shim :: _ -> Some shim.exp
+  if p.depth = 0 then None else Some (Shim.exp p.stack.(p.depth - 1))
 
 let shim_bytes = 4
 
 let push_label p ~label ~exp ~ttl =
-  p.labels <- { label; exp; ttl } :: p.labels;
+  if p.depth = max_depth then
+    invalid_arg "Packet.push_label: label stack overflow";
+  p.stack.(p.depth) <- Shim.pack ~label ~exp ~ttl;
+  p.depth <- p.depth + 1;
   p.size <- p.size + shim_bytes
 
-let pop_label p =
-  match p.labels with
-  | [] -> None
-  | shim :: rest ->
-    p.labels <- rest;
+let pop_packed p =
+  if p.depth = 0 then Shim.none
+  else begin
+    p.depth <- p.depth - 1;
     p.size <- p.size - shim_bytes;
-    Some shim
+    p.stack.(p.depth)
+  end
+
+let pop_label p =
+  if p.depth = 0 then None
+  else begin
+    p.depth <- p.depth - 1;
+    p.size <- p.size - shim_bytes;
+    Some (Shim.to_shim p.stack.(p.depth))
+  end
+
+let set_top p packed =
+  if p.depth = 0 then invalid_arg "Packet.set_top: empty label stack";
+  p.stack.(p.depth - 1) <- packed
 
 let swap_label p ~label =
-  match p.labels with
-  | [] -> invalid_arg "Packet.swap_label: empty label stack"
-  | shim :: rest ->
-    p.labels <- { label; exp = shim.exp; ttl = shim.ttl - 1 } :: rest
+  if p.depth = 0 then invalid_arg "Packet.swap_label: empty label stack";
+  let i = p.depth - 1 in
+  let s = p.stack.(i) in
+  p.stack.(i) <- Shim.with_ttl (Shim.with_label s label) (Shim.ttl s - 1)
+
+let set_exp_all p ~exp =
+  for i = 0 to p.depth - 1 do
+    p.stack.(i) <- Shim.with_exp p.stack.(i) exp
+  done
+
+let label_stack p =
+  let rec loop i acc =
+    if i >= p.depth then acc
+    else loop (i + 1) (Shim.to_shim p.stack.(i) :: acc)
+  in
+  loop 0 []
+
+let label_values p =
+  let rec loop i acc =
+    if i >= p.depth then acc
+    else loop (i + 1) (Shim.label p.stack.(i) :: acc)
+  in
+  loop 0 []
 
 let encapsulate p ~src ~dst ~proto ~overhead ~copy_tos =
-  match p.outer with
-  | Some _ -> invalid_arg "Packet.encapsulate: already encapsulated"
-  | None ->
-    let dscp = if copy_tos then p.inner.dscp else Dscp.best_effort in
-    p.outer <-
-      Some
-        { src; dst; proto; src_port = 0; dst_port = 0; dscp;
-          ttl = default_ttl };
-    p.size <- p.size + overhead;
-    p.encap_bytes <- overhead
+  if p.has_outer then invalid_arg "Packet.encapsulate: already encapsulated";
+  let dscp = if copy_tos then p.inner.dscp else Dscp.best_effort in
+  set_header p.outer ~src ~dst ~proto ~src_port:0 ~dst_port:0 ~dscp
+    ~ttl:default_ttl;
+  p.has_outer <- true;
+  p.size <- p.size + overhead;
+  p.encap_bytes <- overhead
 
 let decapsulate p =
-  match p.outer with
-  | None -> invalid_arg "Packet.decapsulate: no outer header"
-  | Some _ ->
-    p.outer <- None;
-    p.encrypted <- false;
-    p.size <- p.size - p.encap_bytes;
-    p.encap_bytes <- 0
+  if not p.has_outer then invalid_arg "Packet.decapsulate: no outer header";
+  p.has_outer <- false;
+  p.encrypted <- false;
+  p.size <- p.size - p.encap_bytes;
+  p.encap_bytes <- 0
 
 let pp ppf p =
   let labels =
-    match p.labels with
-    | [] -> ""
-    | shims ->
-      let shim_str s = Printf.sprintf "%d(exp=%d)" s.label s.exp in
-      Printf.sprintf " [%s]" (String.concat ";" (List.map shim_str shims))
+    if p.depth = 0 then ""
+    else begin
+      let buf = Buffer.create 32 in
+      Buffer.add_string buf " [";
+      for i = p.depth - 1 downto 0 do
+        let s = p.stack.(i) in
+        Buffer.add_string buf
+          (Printf.sprintf "%d(exp=%d)" (Shim.label s) (Shim.exp s));
+        if i > 0 then Buffer.add_char buf ';'
+      done;
+      Buffer.add_char buf ']';
+      Buffer.contents buf
+    end
   in
   Format.fprintf ppf "#%d %a -> %a %a %dB%s%s" p.uid Ipv4.pp p.inner.src
     Ipv4.pp p.inner.dst Dscp.pp (visible_dscp p) p.size labels

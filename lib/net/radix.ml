@@ -141,46 +141,46 @@ let remove t p =
 let m_lookup_depth =
   Mvpn_telemetry.Registry.histogram ~lo:1.0 "fib.lookup_depth"
 
-(* The depth-counting walk is a separate function selected by one flag
-   check at entry, so the disabled path (the per-packet LPM that E0
-   races) is exactly the uninstrumented loop. *)
-let lookup t a =
-  let addr_bit i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0 in
-  if not !Mvpn_telemetry.Control.enabled then
-    let rec go node best =
-      let best =
-        match node.value with
-        | Some v -> Some (node.prefix, v)
-        | None -> best
-      in
-      if Prefix.length node.prefix >= 32 then best
-      else
-        match child node (addr_bit (Prefix.length node.prefix)) with
-        | Some c when Prefix.mem a c.prefix -> go c best
-        | Some _ | None -> best
-    in
-    go t.root None
-  else
-    let rec go node best depth =
-      let best =
-        match node.value with
-        | Some v -> Some (node.prefix, v)
-        | None -> best
-      in
-      if Prefix.length node.prefix >= 32 then begin
-        Mvpn_telemetry.Histogram.observe_int m_lookup_depth depth;
-        best
-      end
-      else
-        match child node (addr_bit (Prefix.length node.prefix)) with
-        | Some c when Prefix.mem a c.prefix -> go c best (depth + 1)
-        | Some _ | None ->
-          Mvpn_telemetry.Histogram.observe_int m_lookup_depth depth;
-          best
-    in
-    go t.root None 1
+(* The best-match walk remembers the deepest node that carries a value
+   and allocates nothing along the way — {!lookup_value} returns that
+   node's own [value] field. The depth-counting walk is a separate
+   function selected by one flag check at entry, so the disabled path
+   (the per-packet LPM that E0 races) is exactly the uninstrumented
+   loop. *)
+let addr_bit a i = Ipv4.to_int a land (1 lsl (31 - i)) <> 0
 
-let lookup_value t a = Option.map snd (lookup t a)
+let rec best_go a node best =
+  let best = match node.value with Some _ -> node | None -> best in
+  if Prefix.length node.prefix >= 32 then best
+  else
+    match child node (addr_bit a (Prefix.length node.prefix)) with
+    | Some c when Prefix.mem a c.prefix -> best_go a c best
+    | Some _ | None -> best
+
+let rec best_go_depth a node best depth =
+  let best = match node.value with Some _ -> node | None -> best in
+  if Prefix.length node.prefix >= 32 then begin
+    Mvpn_telemetry.Histogram.observe_int m_lookup_depth depth;
+    best
+  end
+  else
+    match child node (addr_bit a (Prefix.length node.prefix)) with
+    | Some c when Prefix.mem a c.prefix -> best_go_depth a c best (depth + 1)
+    | Some _ | None ->
+      Mvpn_telemetry.Histogram.observe_int m_lookup_depth depth;
+      best
+
+(* The root doubles as the "nothing yet" seed: its value is matched,
+   not assumed, so a valueless root contributes [None] naturally. *)
+let best_node t a =
+  if not !Mvpn_telemetry.Control.enabled then best_go a t.root t.root
+  else best_go_depth a t.root t.root 1
+
+let lookup t a =
+  let b = best_node t a in
+  match b.value with Some v -> Some (b.prefix, v) | None -> None
+
+let lookup_value t a = (best_node t a).value
 
 let fold f t init =
   let rec go node acc =

@@ -1,5 +1,6 @@
 module Engine = Mvpn_sim.Engine
 module Topology = Mvpn_sim.Topology
+module Packet = Mvpn_net.Packet
 module Registry = Mvpn_telemetry.Registry
 module Control = Mvpn_telemetry.Control
 module Slo = Mvpn_telemetry.Slo
@@ -60,12 +61,16 @@ let arm_workload cfg sc ~only =
   Scenario.add_mixed_workload ~load:cfg.load ~only sc
     ~pairs:(Scenario.default_pairs sc) ~duration:cfg.duration
 
-(* Replay the merged, time-sorted fate stream into a fresh conformance
-   engine with the stock per-(vpn, band) objectives — the same
-   declarations [Scenario.attach_slo] makes. A private event log keeps
-   violation events out of the global forensic ring (the registry JSON
-   was captured already; see below). *)
-let replay_slo ~scenario ~horizon fates =
+(* Replay a time-sorted fate stream into a fresh conformance engine
+   with the stock per-(vpn, band) objectives — the same declarations
+   [Scenario.attach_slo] makes. The stream arrives as an iteration
+   function so the two producers keep their natural storage: the
+   parallel runner a merged list of [Shard.fate] records, the
+   sequential runner a struct-of-arrays log (below) that never built
+   records in the first place. A private event log keeps violation
+   events out of the global forensic ring (the registry JSON was
+   captured already; see below). *)
+let replay_slo ~scenario ~horizon iter_fates =
   let log = Event_log.create () in
   let slo = Slo.create ~events:log () in
   let vpns =
@@ -82,17 +87,53 @@ let replay_slo ~scenario ~horizon fates =
        done)
     vpns;
   Control.with_enabled (fun () ->
-      List.iter
-        (fun (f : Shard.fate) ->
-           if f.Shard.f_dropped then
-             Slo.observe_drop slo ~vpn:f.Shard.f_vpn ~band:f.Shard.f_band
-               ~time:f.Shard.f_time
-           else
-             Slo.observe_delivery slo ~vpn:f.Shard.f_vpn ~band:f.Shard.f_band
-               ~time:f.Shard.f_time ~latency:f.Shard.f_latency)
-        fates;
+      iter_fates (fun ~time ~vpn ~band ~dropped ~latency ->
+          if dropped then Slo.observe_drop slo ~vpn ~band ~time
+          else Slo.observe_delivery slo ~vpn ~band ~time ~latency);
       Slo.advance slo ~time:horizon);
   slo
+
+(* Struct-of-arrays fate log for the sequential runner: the fate hook
+   fires in event-time order, so no sort is needed before replay, and
+   recording a fate is two unboxed float stores plus one packed int —
+   no record, no cons. Meta packing: bit 0 dropped, bits 1-21 band,
+   bits 22+ vpn. *)
+type fatelog = {
+  mutable fl_times : floatarray;
+  mutable fl_lats : floatarray;  (* latency; 0.0 for drops *)
+  mutable fl_meta : int array;
+  mutable fl_n : int;
+}
+
+let fatelog_create () =
+  { fl_times = Float.Array.create 1024; fl_lats = Float.Array.create 1024;
+    fl_meta = Array.make 1024 0; fl_n = 0 }
+
+let fatelog_add fl ~time ~vpn ~band ~dropped ~latency =
+  let n = fl.fl_n in
+  if n = Array.length fl.fl_meta then begin
+    let cap = 2 * n in
+    let t = Float.Array.create cap and l = Float.Array.create cap in
+    Float.Array.blit fl.fl_times 0 t 0 n;
+    Float.Array.blit fl.fl_lats 0 l 0 n;
+    let m = Array.make cap 0 in
+    Array.blit fl.fl_meta 0 m 0 n;
+    fl.fl_times <- t;
+    fl.fl_lats <- l;
+    fl.fl_meta <- m
+  end;
+  Float.Array.set fl.fl_times n time;
+  Float.Array.set fl.fl_lats n latency;
+  fl.fl_meta.(n) <- (vpn lsl 22) lor (band lsl 1) lor Bool.to_int dropped;
+  fl.fl_n <- n + 1
+
+let fatelog_iter fl f =
+  for i = 0 to fl.fl_n - 1 do
+    let meta = fl.fl_meta.(i) in
+    f ~time:(Float.Array.get fl.fl_times i) ~vpn:(meta lsr 22)
+      ~band:((meta lsr 1) land 0x1FFFFF) ~dropped:(meta land 1 = 1)
+      ~latency:(Float.Array.get fl.fl_lats i)
+  done
 
 let class_sums per_replica_reports =
   let tbl = Hashtbl.create 8 in
@@ -152,6 +193,13 @@ let drive sh clock =
 
 let run_parallel (cfg : config) =
   if cfg.shards < 1 then invalid_arg "Runner.run_parallel: shards < 1";
+  (* Long soaks recycle packet storage. Flag set before the shard
+     domains spawn (each recycles through its own domain-local pool);
+     delivered/dropped packets are not retained by any runner hook. *)
+  let prev_pooling = Packet.pooling () in
+  Packet.set_pooling true;
+  Fun.protect ~finally:(fun () -> Packet.set_pooling prev_pooling)
+  @@ fun () ->
   let horizon = horizon_of cfg in
   (* Throwaway build, telemetry off, just to cut the topology — every
      replica builds the same one, so the partition is exact. *)
@@ -229,7 +277,14 @@ let run_parallel (cfg : config) =
            | c -> c)
     |> List.map snd
   in
-  let slo = replay_slo ~scenario:cols.(0).Shard.r_scenario ~horizon fates in
+  let slo =
+    replay_slo ~scenario:cols.(0).Shard.r_scenario ~horizon (fun f ->
+        List.iter
+          (fun (x : Shard.fate) ->
+             f ~time:x.Shard.f_time ~vpn:x.Shard.f_vpn ~band:x.Shard.f_band
+               ~dropped:x.Shard.f_dropped ~latency:x.Shard.f_latency)
+          fates)
+  in
   { shards = k;
     sizes = Partition.sizes part;
     cut_links = List.length part.Partition.cut;
@@ -249,21 +304,17 @@ let run_parallel (cfg : config) =
     slo; registry_json; horizon }
 
 let run_sequential (cfg : config) =
+  let prev_pooling = Packet.pooling () in
+  Packet.set_pooling true;
+  Fun.protect ~finally:(fun () -> Packet.set_pooling prev_pooling)
+  @@ fun () ->
   let horizon = horizon_of cfg in
   let base = Registry.snapshot () in
   let sc = build_replica cfg () in
   let net = Scenario.network sc in
-  let fates = ref [] in
-  let fseq = ref 0 in
+  let fates = fatelog_create () in
   Network.set_fate_hook net
-    (Some
-       (fun ~time ~vpn ~band ~dropped ~latency ->
-          let f =
-            { Shard.f_time = time; f_vpn = vpn; f_band = band;
-              f_dropped = dropped; f_latency = latency; f_seq = !fseq }
-          in
-          incr fseq;
-          fates := f :: !fates));
+    (Some (fatelog_add fates));
   arm_workload cfg sc ~only:(fun _ _ -> true);
   Engine.run ~until:horizon (Scenario.engine sc);
   let finis = Registry.snapshot () in
@@ -272,7 +323,7 @@ let run_sequential (cfg : config) =
     - Registry.snapshot_counter base name
   in
   let registry_json = Registry.to_json ~trace_events:0 () in
-  let slo = replay_slo ~scenario:sc ~horizon (List.rev !fates) in
+  let slo = replay_slo ~scenario:sc ~horizon (fatelog_iter fates) in
   { shards = 1;
     sizes =
       [| Topology.node_count (Network.topology net) |];

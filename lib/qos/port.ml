@@ -4,6 +4,21 @@ module Packet = Mvpn_net.Packet
 
 type fault = { loss : float; corrupt : float; seed : int }
 
+(* A pooled propagation event: the closure [d_fire] is built once per
+   cell and captures the cell itself, so scheduling a delivery is a
+   packet-slot store plus an [Engine.schedule] — no per-packet closure.
+   Cells link through [d_next] into a per-port free list terminated by
+   the global [nil_dcell] sentinel; a port grows as many cells as its
+   delay line ever holds concurrently and then recycles them forever. *)
+type dcell = {
+  mutable d_pkt : Packet.t;
+  mutable d_next : dcell;
+  d_fire : unit -> unit;
+}
+
+let rec nil_dcell =
+  { d_pkt = Packet.null; d_next = nil_dcell; d_fire = (fun () -> ()) }
+
 type t = {
   engine : Engine.t;
   link : Topology.link;
@@ -21,7 +36,19 @@ type t = {
   mutable dropped_link_down : int;
   mutable dropped_fault : int;
   mutable bytes_delivered : int;
-  mutable busy_seconds : float;
+  (* busy-time accumulator and a copy of the link bandwidth live in
+     floatarray cells so the per-packet service-time update is unboxed
+     arithmetic plus an unboxed store, not a boxed-field chase and a
+     fresh float box. The expression itself stays size *. 8.0 /. bw —
+     bit-identical to the original — only the operand load changes. *)
+  acc : floatarray;
+  bw : floatarray;
+  (* The port serves one packet at a time, so a single pre-built
+     tx-complete closure and one in-flight packet slot cover the whole
+     serialization path. [tx_pkt] is [Packet.null] when idle. *)
+  mutable tx_pkt : Packet.t;
+  mutable tx_fire : unit -> unit;
+  mutable d_free : dcell;
 }
 
 type counters = {
@@ -36,13 +63,6 @@ type counters = {
 
 let nop_txstart (_ : Packet.t) = ()
 let nop_drop ~reason:(_ : string) (_ : Packet.t) = ()
-
-let create ?(on_txstart = nop_txstart) ?(on_drop = nop_drop) engine ~link
-    ~qdisc ~classify ~on_deliver =
-  { engine; link; qdisc; classify; on_deliver; on_txstart; on_drop;
-    busy = false; fault = None; handoff = None; offered = 0; delivered = 0;
-    dropped_queue = 0; dropped_link_down = 0; dropped_fault = 0;
-    bytes_delivered = 0; busy_seconds = 0.0 }
 
 let set_fault t ?(loss = 0.0) ?(corrupt = 0.0) ~seed () =
   if loss < 0.0 || loss > 1.0 || corrupt < 0.0 || corrupt > 1.0 then
@@ -90,38 +110,88 @@ let link t = t.link
 
 let qdisc t = t.qdisc
 
+(* Fire a pooled propagation event: take the packet out, park the cell
+   back on the free list (before delivery, so a re-entrant send on the
+   same port can reuse it), deliver. *)
+let fire_dcell t cell =
+  let packet = cell.d_pkt in
+  cell.d_pkt <- Packet.null;
+  cell.d_next <- t.d_free;
+  t.d_free <- cell;
+  t.on_deliver packet
+
+let make_dcell t =
+  let rec cell =
+    { d_pkt = Packet.null; d_next = nil_dcell;
+      d_fire = (fun () -> fire_dcell t cell) }
+  in
+  cell
+
+let schedule_delivery t packet =
+  let cell =
+    if t.d_free != nil_dcell then begin
+      let c = t.d_free in
+      t.d_free <- c.d_next;
+      c.d_next <- nil_dcell;
+      c
+    end
+    else make_dcell t
+  in
+  cell.d_pkt <- packet;
+  Engine.schedule t.engine ~delay:t.link.Topology.delay cell.d_fire
+
 (* Serve the head-of-line packet: serialize for size*8/bandwidth
-   seconds, then hand it to propagation and start on the next packet. *)
+   seconds, then hand it to propagation and start on the next packet.
+   The serialization event is the pre-built [tx_fire] closure; the
+   in-flight packet travels through the [tx_pkt] slot. *)
 let rec start_service (t : t) =
-  match Queue_disc.dequeue t.qdisc with
-  | None -> t.busy <- false
-  | Some packet ->
+  let packet = Queue_disc.dequeue_null t.qdisc in
+  if packet == Packet.null then t.busy <- false
+  else begin
     t.busy <- true;
     t.on_txstart packet;
     let tx =
-      float_of_int packet.Packet.size *. 8.0 /. t.link.Topology.bandwidth
+      float_of_int packet.Packet.size *. 8.0 /. Float.Array.get t.bw 0
     in
-    t.busy_seconds <- t.busy_seconds +. tx;
-    Engine.schedule t.engine ~delay:tx (fun () ->
-        if t.link.Topology.up then begin
-          t.delivered <- t.delivered + 1;
-          t.bytes_delivered <- t.bytes_delivered + packet.Packet.size;
-          match t.handoff with
-          | Some hand ->
-            (* Propagation is owned elsewhere (a cut link of a
-               partitioned run): hand over the packet stamped with its
-               arrival time instead of scheduling locally. *)
-            hand ~arrival:(Engine.now t.engine +. t.link.Topology.delay)
-              packet
-          | None ->
-            Engine.schedule t.engine ~delay:t.link.Topology.delay (fun () ->
-                t.on_deliver packet)
-        end
-        else begin
-          t.dropped_link_down <- t.dropped_link_down + 1;
-          t.on_drop ~reason:"link-down" packet
-        end;
-        start_service t)
+    Float.Array.set t.acc 0 (Float.Array.get t.acc 0 +. tx);
+    t.tx_pkt <- packet;
+    Engine.schedule t.engine ~delay:tx t.tx_fire
+  end
+
+and tx_complete (t : t) =
+  let packet = t.tx_pkt in
+  t.tx_pkt <- Packet.null;
+  (if t.link.Topology.up then begin
+     t.delivered <- t.delivered + 1;
+     t.bytes_delivered <- t.bytes_delivered + packet.Packet.size;
+     match t.handoff with
+     | Some hand ->
+       (* Propagation is owned elsewhere (a cut link of a partitioned
+          run): hand over the packet stamped with its arrival time
+          instead of scheduling locally. *)
+       hand ~arrival:(Engine.now t.engine +. t.link.Topology.delay) packet
+     | None -> schedule_delivery t packet
+   end
+   else begin
+     t.dropped_link_down <- t.dropped_link_down + 1;
+     t.on_drop ~reason:"link-down" packet
+   end);
+  start_service t
+
+let create ?(on_txstart = nop_txstart) ?(on_drop = nop_drop) engine ~link
+    ~qdisc ~classify ~on_deliver =
+  let t =
+    { engine; link; qdisc; classify; on_deliver; on_txstart; on_drop;
+      busy = false; fault = None; handoff = None; offered = 0;
+      delivered = 0; dropped_queue = 0; dropped_link_down = 0;
+      dropped_fault = 0; bytes_delivered = 0;
+      acc = Float.Array.make 1 0.0;
+      bw = Float.Array.make 1 link.Topology.bandwidth;
+      tx_pkt = Packet.null;
+      tx_fire = (fun () -> ()); d_free = nil_dcell }
+  in
+  t.tx_fire <- (fun () -> tx_complete t);
+  t
 
 let send (t : t) packet =
   t.offered <- t.offered + 1;
@@ -150,7 +220,8 @@ let counters (t : t) =
     dropped_queue = t.dropped_queue;
     dropped_link_down = t.dropped_link_down;
     dropped_fault = t.dropped_fault;
-    bytes_delivered = t.bytes_delivered; busy_seconds = t.busy_seconds }
+    bytes_delivered = t.bytes_delivered;
+    busy_seconds = Float.Array.get t.acc 0 }
 
 let utilization (t : t) ~now =
-  if now <= 0.0 then 0.0 else t.busy_seconds /. now
+  if now <= 0.0 then 0.0 else Float.Array.get t.acc 0 /. now

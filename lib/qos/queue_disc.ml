@@ -50,15 +50,35 @@ type band_stats = {
   bytes_sent : int;
 }
 
+(* Intrusive FIFO cell: the queued packet plus its WFQ finish tag,
+   linked through [c_next] and terminated by the [nil_qcell] sentinel.
+   Vacated cells park on the qdisc's free list with the packet slot
+   cleared, so a steady-state enqueue recycles storage instead of
+   allocating a tuple + Queue cell per packet. The tag lives in a
+   one-slot floatarray owned by the cell (allocated once, recycled
+   with it) so tag writes and the WFQ head-tag comparisons never box. *)
+type qcell = {
+  mutable c_pkt : Packet.t;
+  c_tag : floatarray;
+  mutable c_next : qcell;
+}
+
+let rec nil_qcell =
+  { c_pkt = Packet.null; c_tag = Float.Array.make 1 0.0; c_next = nil_qcell }
+
 type band = {
   cfg : band_cfg;
   idx : int;  (* position in the qdisc, for per-band telemetry *)
-  q : (Packet.t * float) Queue.t;  (* packet, WFQ finish tag *)
+  mutable q_head : qcell;  (* == nil_qcell when empty *)
+  mutable q_tail : qcell;
+  mutable q_len : int;
   mutable bytes : int;
-  mutable avg : float;  (* RED EWMA of backlog bytes *)
+  (* RED EWMA of backlog bytes ([0]) and the WFQ last-finish tag ([1])
+     in unboxed cells: both are written once per enqueue, and a boxed
+     mutable-float store costs an allocation plus a write barrier. *)
+  bf : floatarray;
   mutable red_count : int;  (* packets since the last RED drop *)
   mutable deficit : int;  (* DRR *)
-  mutable last_finish : float;  (* WFQ *)
   mutable s_enqueued : int;
   mutable s_dequeued : int;
   mutable s_tail_dropped : int;
@@ -70,9 +90,14 @@ type t = {
   sched : sched;
   bands : band array;
   rng : Rng.t;
-  mutable vtime : float;  (* WFQ virtual time *)
+  (* The WFQ weight array ([||] otherwise): the per-packet finish-tag
+     computation indexes it directly instead of re-matching the
+     scheduler constructor. *)
+  wts : float array;
+  vt : floatarray;  (* WFQ virtual time, unboxed (slot 0) *)
   mutable rr_pos : int;  (* WRR / DRR cursor *)
   mutable wrr_credit : int;  (* packets left for the current WRR band *)
+  mutable q_free : qcell;  (* parked cells, shared across bands *)
 }
 
 let check_weights name n arr pos =
@@ -111,13 +136,19 @@ let create ?rng ~sched cfgs =
     bands =
       Array.mapi
         (fun idx cfg ->
-           { cfg; idx; q = Queue.create (); bytes = 0; avg = 0.0;
-             red_count = 0; deficit = 0; last_finish = 0.0; s_enqueued = 0;
+           { cfg; idx; q_head = nil_qcell; q_tail = nil_qcell; q_len = 0;
+             bytes = 0; bf = Float.Array.make 2 0.0;
+             red_count = 0; deficit = 0; s_enqueued = 0;
              s_dequeued = 0; s_tail_dropped = 0; s_red_dropped = 0;
              s_bytes_sent = 0 })
         cfgs;
     rng = (match rng with Some r -> r | None -> Rng.create 0x52ED);
-    vtime = 0.0; rr_pos = 0; wrr_credit = 0 }
+    wts =
+      (match sched with
+       | Wfq w -> w
+       | Strict | Wrr _ | Drr _ -> [||]);
+    vt = Float.Array.make 1 0.0; rr_pos = 0; wrr_credit = 0;
+    q_free = nil_qcell }
 
 let fifo ~capacity_bytes =
   create ~sched:Strict [| plain_band capacity_bytes |]
@@ -129,22 +160,24 @@ let red_drops t band (p : Packet.t) =
   match band.cfg.red with
   | None -> false
   | Some red ->
-    band.avg <-
-      ((1.0 -. red.ewma_weight) *. band.avg)
-      +. (red.ewma_weight *. float_of_int band.bytes);
+    let avg =
+      ((1.0 -. red.ewma_weight) *. Float.Array.get band.bf 0)
+      +. (red.ewma_weight *. float_of_int band.bytes)
+    in
+    Float.Array.set band.bf 0 avg;
     let prec = Dscp.drop_precedence (Packet.visible_dscp p) in
     let idx = min (max (prec - 1) 0) (Array.length red.thresholds - 1) in
     let min_th, max_th, max_p = red.thresholds.(idx) in
-    if band.avg < min_th then begin
+    if avg < min_th then begin
       band.red_count <- 0;
       false
     end
-    else if band.avg >= max_th then begin
+    else if avg >= max_th then begin
       band.red_count <- 0;
       true
     end
     else begin
-      let pb = max_p *. ((band.avg -. min_th) /. (max_th -. min_th)) in
+      let pb = max_p *. ((avg -. min_th) /. (max_th -. min_th)) in
       (* Count-based spacing (RFC 2309 style): probability grows with
          packets accepted since the last drop. *)
       let pa =
@@ -159,11 +192,6 @@ let red_drops t band (p : Packet.t) =
         false
       end
     end
-
-let wfq_weight t cls =
-  match t.sched with
-  | Wfq w -> w.(cls)
-  | Strict | Wrr _ | Drr _ -> 1.0
 
 let enqueue t ~cls packet =
   let cls = min (max cls 0) (Array.length t.bands - 1) in
@@ -182,53 +210,77 @@ let enqueue t ~cls packet =
     let tag =
       match t.sched with
       | Wfq _ ->
-        let start = Float.max t.vtime band.last_finish in
+        let lf = Float.Array.get band.bf 1 in
+        let vtime = Float.Array.get t.vt 0 in
+        let start = if vtime > lf then vtime else lf in
         let finish =
-          start
-          +. (float_of_int packet.Packet.size /. wfq_weight t cls)
+          start +. (float_of_int packet.Packet.size /. t.wts.(cls))
         in
-        band.last_finish <- finish;
+        Float.Array.set band.bf 1 finish;
         finish
       | Strict | Wrr _ | Drr _ -> 0.0
     in
-    Queue.add (packet, tag) band.q;
+    let cell =
+      if t.q_free != nil_qcell then begin
+        let c = t.q_free in
+        t.q_free <- c.c_next;
+        c.c_next <- nil_qcell;
+        c
+      end
+      else
+        { c_pkt = Packet.null; c_tag = Float.Array.make 1 0.0;
+          c_next = nil_qcell }
+    in
+    cell.c_pkt <- packet;
+    Float.Array.set cell.c_tag 0 tag;
+    if band.q_head == nil_qcell then band.q_head <- cell
+    else band.q_tail.c_next <- cell;
+    band.q_tail <- cell;
+    band.q_len <- band.q_len + 1;
     band.bytes <- band.bytes + packet.Packet.size;
     band.s_enqueued <- band.s_enqueued + 1;
     Telemetry.Counter.incr m_enqueued.(tracked cls);
     Ok ()
   end
 
-let take_from band =
-  let packet, _tag = Queue.pop band.q in
+let take_from t band =
+  let cell = band.q_head in
+  band.q_head <- cell.c_next;
+  if band.q_head == nil_qcell then band.q_tail <- nil_qcell;
+  band.q_len <- band.q_len - 1;
+  let packet = cell.c_pkt in
+  cell.c_pkt <- Packet.null;
+  cell.c_next <- t.q_free;
+  t.q_free <- cell;
   band.bytes <- band.bytes - packet.Packet.size;
   band.s_dequeued <- band.s_dequeued + 1;
   band.s_bytes_sent <- band.s_bytes_sent + packet.Packet.size;
   Telemetry.Counter.incr m_dequeued.(tracked band.idx);
   packet
 
-let is_empty t = Array.for_all (fun b -> Queue.is_empty b.q) t.bands
+let is_empty t = Array.for_all (fun b -> b.q_head == nil_qcell) t.bands
 
 let dequeue_strict t =
   let n = Array.length t.bands in
   let rec go i =
-    if i >= n then None
-    else if Queue.is_empty t.bands.(i).q then go (i + 1)
-    else Some (take_from t.bands.(i))
+    if i >= n then Packet.null
+    else if t.bands.(i).q_head == nil_qcell then go (i + 1)
+    else take_from t t.bands.(i)
   in
   go 0
 
 let dequeue_wrr t weights =
-  if is_empty t then None
+  if is_empty t then Packet.null
   else begin
     let n = Array.length t.bands in
     (* Spend remaining credit on the current band, else rotate. *)
     let rec go guard =
-      if guard > 2 * n then None
+      if guard > 2 * n then Packet.null
       else begin
         let band = t.bands.(t.rr_pos) in
-        if t.wrr_credit > 0 && not (Queue.is_empty band.q) then begin
+        if t.wrr_credit > 0 && band.q_head != nil_qcell then begin
           t.wrr_credit <- t.wrr_credit - 1;
-          Some (take_from band)
+          take_from t band
         end else begin
           t.rr_pos <- (t.rr_pos + 1) mod n;
           t.wrr_credit <- weights.(t.rr_pos);
@@ -240,20 +292,20 @@ let dequeue_wrr t weights =
   end
 
 let dequeue_drr t quanta =
-  if is_empty t then None
+  if is_empty t then Packet.null
   else begin
     let n = Array.length t.bands in
     let rec go () =
       let band = t.bands.(t.rr_pos) in
-      if Queue.is_empty band.q then begin
+      if band.q_head == nil_qcell then begin
         band.deficit <- 0;
         t.rr_pos <- (t.rr_pos + 1) mod n;
         go ()
       end else begin
-        let head, _ = Queue.peek band.q in
+        let head = band.q_head.c_pkt in
         if band.deficit >= head.Packet.size then begin
           band.deficit <- band.deficit - head.Packet.size;
-          Some (take_from band)
+          take_from t band
         end else begin
           band.deficit <- band.deficit + quanta.(t.rr_pos);
           t.rr_pos <- (t.rr_pos + 1) mod n;
@@ -264,34 +316,46 @@ let dequeue_drr t quanta =
     go ()
   end
 
+(* Lowest finish tag wins; on ties the lowest band index (the scan
+   visits bands in order and replaces only on a strictly smaller
+   tag — the same tie-break the option-based scan implemented). *)
 let dequeue_wfq t =
-  let best = ref None in
-  Array.iter
-    (fun band ->
-       if not (Queue.is_empty band.q) then begin
-         let _, tag = Queue.peek band.q in
-         match !best with
-         | Some (_, best_tag) when best_tag <= tag -> ()
-         | Some _ | None -> best := Some (band, tag)
-       end)
-    t.bands;
-  match !best with
-  | None -> None
-  | Some (band, tag) ->
-    t.vtime <- Float.max t.vtime tag;
-    Some (take_from band)
+  let n = Array.length t.bands in
+  let best = ref (-1) in
+  for i = 0 to n - 1 do
+    let band = t.bands.(i) in
+    if band.q_head != nil_qcell
+    && (!best < 0
+        || Float.Array.get band.q_head.c_tag 0
+           < Float.Array.get t.bands.(!best).q_head.c_tag 0)
+    then best := i
+  done;
+  if !best < 0 then Packet.null
+  else begin
+    let band = t.bands.(!best) in
+    let tag = Float.Array.get band.q_head.c_tag 0 in
+    if tag > Float.Array.get t.vt 0 then Float.Array.set t.vt 0 tag;
+    take_from t band
+  end
 
-let dequeue t =
+(* Sentinel-returning fast path ({!Packet.null} when every band is
+   empty): the port's service loop runs once per transmitted packet
+   and skips the [option] box. *)
+let dequeue_null t =
   match t.sched with
   | Strict -> dequeue_strict t
   | Wrr w -> dequeue_wrr t w
   | Drr q -> dequeue_drr t q
   | Wfq _ -> dequeue_wfq t
 
+let dequeue t =
+  let p = dequeue_null t in
+  if p == Packet.null then None else Some p
+
 let backlog_bytes t = Array.fold_left (fun acc b -> acc + b.bytes) 0 t.bands
 
 let backlog_packets t =
-  Array.fold_left (fun acc b -> acc + Queue.length b.q) 0 t.bands
+  Array.fold_left (fun acc b -> acc + b.q_len) 0 t.bands
 
 let stats t =
   Array.map

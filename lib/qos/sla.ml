@@ -27,21 +27,24 @@ let transactional_spec =
 type collector = {
   delays : Stats.Samples.t;
   jitter_acc : Stats.Summary.t;
-  last_seq : (Mvpn_net.Flow.t, int) Hashtbl.t;
+  last_seq : (Mvpn_net.Flow.t, int ref) Hashtbl.t;
   mutable reordered : int;
   mutable sent : int;
   mutable received : int;
   mutable bytes_received : int;
   mutable first_send : float;
   mutable last_receive : float;
-  mutable last_delay : float option;
+  (* Previous delay for the jitter accumulator, in a floatarray cell
+     (nan = no packet yet) so the per-packet update is an unboxed
+     store, not a [Some] box. *)
+  last_delay : floatarray;
 }
 
 let collector () =
   { delays = Stats.Samples.create (); jitter_acc = Stats.Summary.create ();
     last_seq = Hashtbl.create 8; reordered = 0;
     sent = 0; received = 0; bytes_received = 0; first_send = infinity;
-    last_receive = neg_infinity; last_delay = None }
+    last_receive = neg_infinity; last_delay = Float.Array.make 1 Float.nan }
 
 let on_send c ~now ~bytes =
   ignore bytes;
@@ -51,20 +54,22 @@ let on_send c ~now ~bytes =
 let on_receive c ~now packet =
   let delay = now -. packet.Packet.created_at in
   (* Per-flow sequence tracking: an arrival below the high-water mark
-     was overtaken in flight. *)
-  (match Hashtbl.find_opt c.last_seq packet.Packet.flow with
-   | Some high when packet.Packet.seq < high ->
-     c.reordered <- c.reordered + 1
-   | Some _ | None ->
-     Hashtbl.replace c.last_seq packet.Packet.flow packet.Packet.seq);
+     was overtaken in flight. Exception-style lookup keeps the [Some]
+     box out of the per-delivery path. *)
+  (match Hashtbl.find c.last_seq packet.Packet.flow with
+   | high ->
+     if packet.Packet.seq < !high then c.reordered <- c.reordered + 1
+     else high := packet.Packet.seq
+   | exception Not_found ->
+     Hashtbl.add c.last_seq packet.Packet.flow (ref packet.Packet.seq));
   c.received <- c.received + 1;
   c.bytes_received <- c.bytes_received + packet.Packet.size;
   if now > c.last_receive then c.last_receive <- now;
   Stats.Samples.add c.delays delay;
-  (match c.last_delay with
-   | Some prev -> Stats.Summary.add c.jitter_acc (Float.abs (delay -. prev))
-   | None -> ());
-  c.last_delay <- Some delay
+  let prev = Float.Array.get c.last_delay 0 in
+  if not (Float.is_nan prev) then
+    Stats.Summary.add c.jitter_acc (Float.abs (delay -. prev));
+  Float.Array.set c.last_delay 0 delay
 
 type report = {
   sent : int;

@@ -24,9 +24,21 @@
    for — the "density shift" rule that keeps both skewed bursts and
    long-idle phases O(1). *)
 
+(* Cells are fully mutable so the queue can recycle them through a
+   free list ([pop_due] clears the value and parks the cell; [push]
+   reuses it) and so [rebuild] can relink live cells into the new
+   bucket array without copying. The key lives in a one-slot floatarray
+   owned by the cell: a mutable float field in a mixed record stores a
+   boxed pointer, so recycling a cell would still box a float per push —
+   the unboxed slot makes a steady-state push allocation-free. *)
 type 'a cell =
   | Nil
-  | Cell of { key : float; seq : int; value : 'a; mutable next : 'a cell }
+  | Cell of {
+      k : floatarray;
+      mutable seq : int;
+      mutable value : 'a;
+      mutable next : 'a cell;
+    }
 
 type 'a t = {
   mutable buckets : 'a cell array;
@@ -37,8 +49,8 @@ type 'a t = {
   mutable next_seq : int;
   (* Density tracking between rebuilds: mean gap between successive
      pops, compared against the gap the current width was sized for. *)
-  mutable last_pop_key : float;
-  mutable gap_sum : float;
+  gaps : floatarray;  (* [0] last pop key; [1] gap sum — unboxed cells
+                         so the per-pop accumulation never boxes *)
   mutable gap_n : int;
   (* Most recent measured mean pop gap; 0.0 until the first
      measurement. Preferred over the live key span when deriving the
@@ -46,6 +58,13 @@ type 'a t = {
      orders of magnitude (the classic calendar-queue skew pathology),
      while the pop gap tracks where the dequeue action actually is. *)
   mutable gap_hint : float;
+  (* Retired cells, linked by [next], ready for reuse by [push]. Only
+     [pop_due] feeds it — that path clears the stored value first, so
+     a parked cell retains nothing (the [Heap] Empty-slot rule). *)
+  mutable free : 'a cell;
+  (* One-slot staging cell for the boxed-key [push] entry point; the
+     engine's hot path hands keys over through {!push_at} instead. *)
+  scratch : floatarray;
 }
 
 let min_buckets = 32
@@ -54,10 +73,19 @@ let max_buckets = 1 lsl 20
 (* Re-examine width after this many pops (power of two, cheap mask). *)
 let rewidth_period = 8192
 
+(* Expected events per bucket the width targets. Purely a performance
+   knob: pops always take the global (key, seq) minimum, so bucket
+   geometry never changes the pop order. Lower → shorter insert walks,
+   more empty buckets to skip on dequeue. *)
+let width_factor = 12.0
+
 let create () =
   { buckets = Array.make min_buckets Nil; mask = min_buckets - 1; w = 1.0;
     cur_vb = 0; size = 0; next_seq = 0;
-    last_pop_key = neg_infinity; gap_sum = 0.0; gap_n = 0; gap_hint = 0.0 }
+    gaps = (let g = Float.Array.make 2 0.0 in
+            Float.Array.set g 0 neg_infinity; g);
+    gap_n = 0; gap_hint = 0.0;
+    free = Nil; scratch = Float.Array.make 1 0.0 }
 
 let size q = q.size
 
@@ -70,30 +98,69 @@ let is_empty q = q.size = 0
 let vb_of w key =
   let p = key /. w in
   if p >= 4.0e18 then max_int / 2
+  else if p >= 0.0 then
+    (* Truncation is floor for non-negative quotients — the common case
+       (simulated time), minus [Float.floor]'s C call. *)
+    int_of_float p
   else if p <= -4.0e18 then min_int / 2
   else int_of_float (Float.floor p)
 
-(* Insert sorted by (key, seq). [seq] grows monotonically, so walking
-   while [strictly less than the new cell] appends equal keys in
-   insertion order. Top-level recursion (not an inner closure) so a
-   push performs exactly one allocation: the new cell. *)
-let rec ins_walk prev key seq value =
+(* Link an existing cell into bucket [idx], sorted by (key, seq).
+   [seq] grows monotonically, so walking while [strictly less than the
+   new cell] appends equal keys in insertion order. Top-level recursion
+   (not an inner closure) so insertion allocates nothing; keys travel
+   as floatarray loads, never as float arguments (which would box). *)
+let rec ins_walk prev cell ck seq =
   match prev with
   | Nil -> assert false
   | Cell p ->
     (match p.next with
-     | Cell n when n.key < key || (n.key = key && n.seq < seq) ->
-       ins_walk p.next key seq value
-     | next -> p.next <- Cell { key; seq; value; next })
+     | Cell n
+       when (let nk = Float.Array.unsafe_get n.k 0
+             and key = Float.Array.unsafe_get ck 0 in
+             nk < key || (nk = key && n.seq < seq)) ->
+       ins_walk p.next cell ck seq
+     | next ->
+       (match cell with
+        | Cell c -> c.next <- next
+        | Nil -> assert false);
+       p.next <- cell)
 
-let insert_sorted q idx key seq value =
+let link_sorted q idx cell seq =
+  let ck = match cell with Cell c -> c.k | Nil -> assert false in
   match q.buckets.(idx) with
-  | Cell h when h.key < key || (h.key = key && h.seq < seq) ->
-    ins_walk q.buckets.(idx) key seq value
-  | head -> q.buckets.(idx) <- Cell { key; seq; value; next = head }
+  | Cell h
+    when (let hk = Float.Array.unsafe_get h.k 0
+          and key = Float.Array.unsafe_get ck 0 in
+          hk < key || (hk = key && h.seq < seq)) ->
+    ins_walk q.buckets.(idx) cell ck seq
+  | head ->
+    (match cell with
+     | Cell c -> c.next <- head
+     | Nil -> assert false);
+    q.buckets.(idx) <- cell
+
+(* A cell carrying (key, seq, value): recycled from the free list when
+   one is parked there, freshly allocated otherwise. The key arrives
+   through the caller's staging cell and is copied slot-to-slot. *)
+let alloc_cell q kcell seq value =
+  match q.free with
+  | Cell f as cell ->
+    q.free <- f.next;
+    Float.Array.unsafe_set f.k 0 (Float.Array.unsafe_get kcell 0);
+    f.seq <- seq;
+    f.value <- value;
+    f.next <- Nil;
+    cell
+  | Nil ->
+    Cell { k = Float.Array.make 1 (Float.Array.get kcell 0);
+           seq; value; next = Nil }
+
+let insert_sorted q idx kcell seq value =
+  link_sorted q idx (alloc_cell q kcell seq value) seq
 
 (* Rebuild with [nbuckets] buckets, width derived from the live key
-   span (targeting ~3 events per bucket so dequeue scans stay short).
+   span (targeting ~[width_factor] events per bucket so dequeue scans stay short).
    O(size); called on threshold crossings and density drift, both
    amortized. *)
 let rebuild q nbuckets =
@@ -106,8 +173,9 @@ let rebuild q nbuckets =
        let rec go = function
          | Nil -> ()
          | Cell c ->
-           if c.key < !kmin then kmin := c.key;
-           if c.key > !kmax then kmax := c.key;
+           let ck = Float.Array.get c.k 0 in
+           if ck < !kmin then kmin := ck;
+           if ck > !kmax then kmax := ck;
            go c.next
        in
        go head)
@@ -116,13 +184,13 @@ let rebuild q nbuckets =
   let w =
     if q.size = 0 then q.w
     else begin
-      (* ~3 expected events per bucket: from the measured pop gap when
+      (* ~[width_factor] expected events per bucket: from the measured pop gap when
          one exists, else from the live span (start-up, before any
          pops). Span can be wildly skewed by far-future outliers; the
          gap cannot. *)
       let ideal =
-        if q.gap_hint > 0.0 then 3.0 *. q.gap_hint
-        else if span > 0.0 then 3.0 *. span /. float_of_int q.size
+        if q.gap_hint > 0.0 then width_factor *. q.gap_hint
+        else if span > 0.0 then width_factor *. span /. float_of_int q.size
         else q.w
       in
       (* Keep floor (key / w) far inside int range. *)
@@ -135,30 +203,51 @@ let rebuild q nbuckets =
   q.w <- w;
   Array.iter
     (fun head ->
-       let rec go = function
+       let rec go cell =
+         match cell with
          | Nil -> ()
          | Cell c ->
            let next = c.next in
-           insert_sorted q (vb_of w c.key land q.mask) c.key c.seq c.value;
+           c.next <- Nil;
+           link_sorted q (vb_of w (Float.Array.get c.k 0) land q.mask) cell
+             c.seq;
            go next
        in
        go head)
     old;
   (* Re-seat the cursor at the earliest live bucket. *)
   if q.size > 0 then q.cur_vb <- vb_of w !kmin;
-  q.gap_sum <- 0.0;
+  Float.Array.set q.gaps 1 0.0;
   q.gap_n <- 0
 
-let push q key value =
-  if not (Float.is_finite key) then invalid_arg "Calendar.push: key not finite";
+(* Push with the key handed over through a one-slot floatarray: the
+   engine's schedule path writes its cell and calls this, so the key
+   never crosses a call boundary as a float argument (each of which
+   would allocate a box). [vb_of] is open-coded for the same reason. *)
+let push_at q kcell value =
+  let key = Float.Array.get kcell 0 in
+  (* key -. key = 0.0 <=> finite; keeps Float.is_finite's call (and
+     its argument box) out of the per-event path. *)
+  if not (key -. key = 0.0) then
+    invalid_arg "Calendar.push: key not finite";
   let seq = q.next_seq in
   q.next_seq <- seq + 1;
-  let vb = vb_of q.w key in
+  let p = key /. q.w in
+  let vb =
+    if p >= 4.0e18 then max_int / 2
+    else if p >= 0.0 then int_of_float p
+    else if p <= -4.0e18 then min_int / 2
+    else int_of_float (Float.floor p)
+  in
   if q.size = 0 || vb < q.cur_vb then q.cur_vb <- vb;
-  insert_sorted q (vb land q.mask) key seq value;
+  insert_sorted q (vb land q.mask) kcell seq value;
   q.size <- q.size + 1;
   if q.size > 2 * (q.mask + 1) && q.mask + 1 < max_buckets then
     rebuild q (2 * (q.mask + 1))
+
+let push q key value =
+  Float.Array.set q.scratch 0 key;
+  push_at q q.scratch value
 
 (* Fallback when a whole year's scan found nothing due: the population
    is sparse relative to the width, so take the global minimum across
@@ -171,12 +260,13 @@ let direct_min q =
        match head, !best with
        | Nil, _ -> ()
        | Cell c, Cell b ->
-         if c.key < b.key || (c.key = b.key && c.seq < b.seq) then
-           best := head
+         let ck = Float.Array.unsafe_get c.k 0
+         and bk = Float.Array.unsafe_get b.k 0 in
+         if ck < bk || (ck = bk && c.seq < b.seq) then best := head
        | Cell _, Nil -> best := head)
     q.buckets;
   (match !best with
-   | Cell b -> q.cur_vb <- vb_of q.w b.key
+   | Cell b -> q.cur_vb <- vb_of q.w (Float.Array.get b.k 0)
    | Nil -> assert false);
   !best
 
@@ -189,7 +279,8 @@ let rec scan_min q vb remaining =
   if remaining = 0 then direct_min q
   else
     match q.buckets.(vb land q.mask) with
-    | Cell c when c.key < float_of_int (vb + 1) *. q.w ->
+    | Cell c
+      when Float.Array.unsafe_get c.k 0 < float_of_int (vb + 1) *. q.w ->
       q.cur_vb <- vb;
       q.buckets.(vb land q.mask)
     | _ -> scan_min q (vb + 1) (remaining - 1)
@@ -200,12 +291,13 @@ let find_min q =
 let peek q =
   match find_min q with
   | Nil -> None
-  | Cell c -> Some (c.key, c.value)
+  | Cell c -> Some (Float.Array.get c.k 0, c.value)
 
 let pop q =
   match find_min q with
   | Nil -> None
   | Cell c ->
+    let ckey = Float.Array.get c.k 0 in
     (* find_min re-seated the cursor, so the minimum is the head of the
        cursor's physical bucket. *)
     let idx = q.cur_vb land q.mask in
@@ -214,27 +306,75 @@ let pop q =
      | Nil -> assert false);
     q.size <- q.size - 1;
     (* Density drift check: compare the mean inter-pop gap against the
-       ~w/3 gap the current width was derived for; rebuild on >8x
+       ~w/width_factor gap the current width was derived for; rebuild on >8x
        drift in either direction. *)
-    if q.last_pop_key > neg_infinity then begin
-      q.gap_sum <- q.gap_sum +. (c.key -. q.last_pop_key);
+    let last = Float.Array.get q.gaps 0 in
+    if last > neg_infinity then begin
+      Float.Array.set q.gaps 1 (Float.Array.get q.gaps 1 +. (ckey -. last));
       q.gap_n <- q.gap_n + 1;
-      if q.gap_n land (rewidth_period - 1) = 0 && q.gap_sum > 0.0 then begin
-        let mean_gap = q.gap_sum /. float_of_int q.gap_n in
+      if q.gap_n land (rewidth_period - 1) = 0
+         && Float.Array.get q.gaps 1 > 0.0 then begin
+        let mean_gap = Float.Array.get q.gaps 1 /. float_of_int q.gap_n in
         q.gap_hint <- mean_gap;
-        let built_for = q.w /. 3.0 in
+        let built_for = q.w /. width_factor in
         if mean_gap > 8.0 *. built_for || mean_gap < built_for /. 8.0 then
           rebuild q (q.mask + 1)
         else begin
-          q.gap_sum <- 0.0;
+          Float.Array.set q.gaps 1 0.0;
           q.gap_n <- 0
         end
       end
     end;
-    q.last_pop_key <- c.key;
+    Float.Array.set q.gaps 0 ckey;
     if q.size < (q.mask + 1) / 2 && q.mask + 1 > min_buckets then
       rebuild q ((q.mask + 1) / 2);
-    Some (c.key, c.value)
+    Some (ckey, c.value)
+
+(* Allocation-free pop for the engine's run loop (see {!Heap.pop_due}):
+   sentinel return instead of an option, key through a floatarray cell,
+   and the vacated cell parked on the free list with its value cleared
+   to [default] so nothing is retained. *)
+let pop_due q ~bound ~strict ~default ~key_out =
+  match find_min q with
+  | Nil -> default
+  | Cell c ->
+    let ckey = Float.Array.unsafe_get c.k 0 in
+    if if strict then ckey < bound else ckey <= bound then begin
+      (* find_min re-seated the cursor, so the minimum is the head of
+         the cursor's physical bucket — the very cell [c]. *)
+      let idx = q.cur_vb land q.mask in
+      let cell = q.buckets.(idx) in
+      q.buckets.(idx) <- c.next;
+      q.size <- q.size - 1;
+      Float.Array.set key_out 0 ckey;
+      let value = c.value in
+      c.value <- default;
+      c.next <- q.free;
+      q.free <- cell;
+      (* Density drift check, as in [pop]. *)
+      let last = Float.Array.get q.gaps 0 in
+      if last > neg_infinity then begin
+        Float.Array.set q.gaps 1 (Float.Array.get q.gaps 1 +. (ckey -. last));
+        q.gap_n <- q.gap_n + 1;
+        if q.gap_n land (rewidth_period - 1) = 0
+           && Float.Array.get q.gaps 1 > 0.0 then begin
+          let mean_gap = Float.Array.get q.gaps 1 /. float_of_int q.gap_n in
+          q.gap_hint <- mean_gap;
+          let built_for = q.w /. width_factor in
+          if mean_gap > 8.0 *. built_for || mean_gap < built_for /. 8.0 then
+            rebuild q (q.mask + 1)
+          else begin
+            Float.Array.set q.gaps 1 0.0;
+            q.gap_n <- 0
+          end
+        end
+      end;
+      Float.Array.set q.gaps 0 ckey;
+      if q.size < (q.mask + 1) / 2 && q.mask + 1 > min_buckets then
+        rebuild q ((q.mask + 1) / 2);
+      value
+    end
+    else default
 
 let clear q =
   q.buckets <- Array.make min_buckets Nil;
@@ -243,9 +383,10 @@ let clear q =
   q.cur_vb <- 0;
   q.size <- 0;
   q.next_seq <- 0;
-  q.last_pop_key <- neg_infinity;
-  q.gap_sum <- 0.0;
-  q.gap_n <- 0
+  Float.Array.set q.gaps 0 neg_infinity;
+  Float.Array.set q.gaps 1 0.0;
+  q.gap_n <- 0;
+  q.free <- Nil
 
 let bucket_count q = q.mask + 1
 

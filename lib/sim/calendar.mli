@@ -26,9 +26,24 @@ val is_empty : 'a t -> bool
 val push : 'a t -> float -> 'a -> unit
 (** [push q k v] inserts [v] with priority [k]. Keys must be finite. *)
 
+val push_at : 'a t -> floatarray -> 'a -> unit
+(** {!push} with the key read from slot 0 of the caller's one-slot
+    staging cell: the key crosses the call unboxed, so a steady-state
+    push (cells recycled) allocates nothing. The cell is copied from,
+    never retained. *)
+
 val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element; among equal
     priorities, the earliest pushed. *)
+
+val pop_due :
+  'a t -> bound:float -> strict:bool -> default:'a -> key_out:floatarray -> 'a
+(** Allocation-free pop for hot loops. Removes and returns the
+    minimum-priority element if it is due — key [<= bound], or
+    [< bound] when [strict] — writing its key into [key_out.{0}];
+    otherwise returns [default] (compare physically) and touches
+    nothing. Never allocates, unlike the option/tuple of
+    [peek]+[pop]. *)
 
 val peek : 'a t -> (float * 'a) option
 

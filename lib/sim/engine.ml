@@ -9,10 +9,15 @@ type queue =
   | Q_heap of (unit -> unit) Heap.t
   | Q_cal of (unit -> unit) Calendar.t
 
-let q_push q k v =
+(* Key handed over through a floatarray cell: on the calendar backend
+   (the default) the key never crosses a call boundary as a float
+   argument, so a schedule in steady state boxes nothing. The heap
+   backend re-reads the cell into an argument — one box, same as
+   before. *)
+let q_push_at q kcell v =
   match q with
-  | Q_heap h -> Heap.push h k v
-  | Q_cal c -> Calendar.push c k v
+  | Q_heap h -> Heap.push h (Float.Array.get kcell 0) v
+  | Q_cal c -> Calendar.push_at c kcell v
 
 let q_pop q =
   match q with
@@ -29,6 +34,16 @@ let q_size q =
   | Q_heap h -> Heap.size h
   | Q_cal c -> Calendar.size c
 
+(* Physical-identity sentinel for [pop_due]: a static closure no user
+   event can alias (every runtime-constructed closure is a distinct
+   block). *)
+let null_event : unit -> unit = fun () -> ()
+
+let q_pop_due q ~bound ~strict ~key_out =
+  match q with
+  | Q_heap h -> Heap.pop_due h ~bound ~strict ~default:null_event ~key_out
+  | Q_cal c -> Calendar.pop_due c ~bound ~strict ~default:null_event ~key_out
+
 type t = {
   queue : queue;
   mutable now : float;
@@ -43,6 +58,13 @@ type t = {
   mutable batch_events : int;
   mutable batch_scheduled : int;
   mutable flush_hooks : (unit -> unit) list;
+  (* Out-parameter cell for [pop_due]: popped keys cross the queue
+     call unboxed, so the run loop allocates nothing per event. *)
+  key_cell : floatarray;
+  (* In-parameter cell for [q_push_at] — separate from [key_cell],
+     which holds the in-flight event's key while its closure (and any
+     schedule it performs) runs. *)
+  push_cell : floatarray;
 }
 
 let create ?(backend = Calendar) () =
@@ -53,7 +75,8 @@ let create ?(backend = Calendar) () =
   in
   { queue; now = 0.0; processed = 0; stopped = false;
     in_batch = false; batch_events = 0; batch_scheduled = 0;
-    flush_hooks = [] }
+    flush_hooks = []; key_cell = Float.Array.create 1;
+    push_cell = Float.Array.create 1 }
 
 let now e = e.now
 
@@ -85,17 +108,22 @@ let check_finite what v =
   if not (Float.is_finite v) then
     invalid_arg (Printf.sprintf "Engine.%s: time not finite" what)
 
+(* [x -. x = 0.0] is [Float.is_finite] unfolded (nan and the two
+   infinities fail it) — the cross-module call, and the argument box
+   it forces, stay off the per-event path. *)
 let schedule e ~delay f =
-  check_finite "schedule" delay;
+  if not (delay -. delay = 0.0) then check_finite "schedule" delay;
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   note_scheduled e;
-  q_push e.queue (e.now +. delay) f
+  Float.Array.set e.push_cell 0 (e.now +. delay);
+  q_push_at e.queue e.push_cell f
 
 let schedule_at e ~time f =
-  check_finite "schedule_at" time;
+  if not (time -. time = 0.0) then check_finite "schedule_at" time;
   if time < e.now then invalid_arg "Engine.schedule_at: time in the past";
   note_scheduled e;
-  q_push e.queue time f
+  Float.Array.set e.push_cell 0 time;
+  q_push_at e.queue e.push_cell f
 
 let step e =
   match q_pop e.queue with
@@ -125,16 +153,32 @@ let in_window e body =
       body
   end
 
+(* The run loops below bypass [step]'s peek/pop option churn: one
+   [pop_due] per event returns the closure or the [null_event]
+   sentinel, with the key through [key_cell] — zero allocation per
+   event. [in_batch] is known true inside the window, so the batched
+   counter branch is inlined. *)
 let run ?until e =
   e.stopped <- false;
   let horizon = match until with Some t -> t | None -> infinity in
   in_window e (fun () ->
       let rec loop () =
-        if not e.stopped then
-          match q_peek e.queue with
-          | Some (time, _) when time <= horizon -> if step e then loop ()
-          | Some _ | None ->
-            if Float.is_finite horizon && horizon > e.now then e.now <- horizon
+        if not e.stopped then begin
+          let f =
+            q_pop_due e.queue ~bound:horizon ~strict:false
+              ~key_out:e.key_cell
+          in
+          if f != null_event then begin
+            e.now <- Float.Array.get e.key_cell 0;
+            e.processed <- e.processed + 1;
+            if !Mvpn_telemetry.Control.enabled then
+              e.batch_events <- e.batch_events + 1;
+            f ();
+            loop ()
+          end
+          else if Float.is_finite horizon && horizon > e.now then
+            e.now <- horizon
+        end
       in
       loop ())
 
@@ -149,10 +193,20 @@ let run_before e ~before =
   e.stopped <- false;
   in_window e (fun () ->
       let rec loop () =
-        if not e.stopped then
-          match q_peek e.queue with
-          | Some (time, _) when time < before -> if step e then loop ()
-          | Some _ | None -> ()
+        if not e.stopped then begin
+          let f =
+            q_pop_due e.queue ~bound:before ~strict:true
+              ~key_out:e.key_cell
+          in
+          if f != null_event then begin
+            e.now <- Float.Array.get e.key_cell 0;
+            e.processed <- e.processed + 1;
+            if !Mvpn_telemetry.Control.enabled then
+              e.batch_events <- e.batch_events + 1;
+            f ();
+            loop ()
+          end
+        end
       in
       loop ())
 

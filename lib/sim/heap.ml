@@ -82,6 +82,28 @@ let peek h =
     | Empty -> assert false
     | Slot top -> Some (top.key, top.value)
 
+(* Allocation-free pop for the engine's run loop: the option/tuple of
+   [peek]+[pop] is replaced by a sentinel compare ([default], returned
+   physically when nothing is due) and an out-parameter for the key
+   (a floatarray cell, so the key crosses the call unboxed). *)
+let pop_due h ~bound ~strict ~default ~key_out =
+  if h.size = 0 then default
+  else
+    match h.data.(0) with
+    | Empty -> assert false
+    | Slot top ->
+      if (if strict then top.key < bound else top.key <= bound) then begin
+        h.size <- h.size - 1;
+        if h.size > 0 then begin
+          h.data.(0) <- h.data.(h.size);
+          sift_down h 0
+        end;
+        h.data.(h.size) <- Empty;
+        Float.Array.set key_out 0 top.key;
+        top.value
+      end
+      else default
+
 let clear h =
   h.data <- [||];
   h.size <- 0;

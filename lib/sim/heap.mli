@@ -19,6 +19,15 @@ val pop : 'a t -> (float * 'a) option
 (** Remove and return the minimum-priority element; among equal
     priorities, the earliest pushed. *)
 
+val pop_due :
+  'a t -> bound:float -> strict:bool -> default:'a -> key_out:floatarray -> 'a
+(** Allocation-free pop for hot loops. Removes and returns the
+    minimum-priority element if it is due — key [<= bound], or
+    [< bound] when [strict] — writing its key into [key_out.{0}];
+    otherwise returns [default] (compare physically) and touches
+    nothing. Never allocates, unlike the option/tuple of
+    [peek]+[pop]. *)
+
 val peek : 'a t -> (float * 'a) option
 
 val clear : 'a t -> unit

@@ -17,11 +17,20 @@ type t = {
   mutable adj : (int * int) list array;  (* node -> (neighbor, link id) *)
   mutable generation : int;
   mutable duplex_hooks : (a:int -> b:int -> up:bool -> unit) list;
+  (* Dense (src, dst) -> link-id matrix backing {!find_link_id}: built
+     lazily on the first lookup (for topologies up to [mat_threshold]
+     nodes), patched in place when a link is added at the same node
+     count, and rebuilt when the node count moved. [mat_nodes] is the
+     node count the matrix was built for; a mismatch marks it stale. *)
+  mutable mat : int array;
+  mutable mat_nodes : int;
 }
+
+let mat_threshold = 1024
 
 let create () =
   { names = [||]; nodes = 0; link_arr = [||]; link_n = 0; adj = [||];
-    generation = 0; duplex_hooks = [] }
+    generation = 0; duplex_hooks = []; mat = [||]; mat_nodes = -1 }
 
 let generation t = t.generation
 
@@ -71,18 +80,41 @@ let link t id =
     invalid_arg (Printf.sprintf "Topology.link: unknown link %d" id);
   t.link_arr.(id)
 
+(* Adjacency-list walk: the fallback for huge topologies and the
+   mutation path (no matrix rebuild on every duplicate check). *)
+let scan_link_id t a b =
+  let rec go = function
+    | [] -> -1
+    | (nbr, lid) :: rest -> if nbr = b then lid else go rest
+  in
+  go t.adj.(a)
+
+let build_mat t =
+  let n = t.nodes in
+  let m = Array.make (n * n) (-1) in
+  for a = 0 to n - 1 do
+    List.iter (fun (b, lid) -> m.(a * n + b) <- lid) t.adj.(a)
+  done;
+  t.mat <- m;
+  t.mat_nodes <- n
+
+let find_link_id t a b =
+  if a < 0 || a >= t.nodes || b < 0 || b >= t.nodes then -1
+  else if t.nodes <= mat_threshold then begin
+    if t.mat_nodes <> t.nodes then build_mat t;
+    t.mat.(a * t.mat_nodes + b)
+  end
+  else scan_link_id t a b
+
 let find_link t a b =
-  if a < 0 || a >= t.nodes then None
-  else
-    List.find_map
-      (fun (nbr, lid) -> if nbr = b then Some t.link_arr.(lid) else None)
-      t.adj.(a)
+  let id = find_link_id t a b in
+  if id < 0 then None else Some t.link_arr.(id)
 
 let add_oneway ?(cost = 1) t a b ~bandwidth ~delay =
   check_node t a;
   check_node t b;
   if a = b then invalid_arg "Topology.connect: self-loop";
-  if find_link t a b <> None then
+  if scan_link_id t a b >= 0 then
     invalid_arg (Printf.sprintf "Topology.connect: duplicate link %d->%d" a b);
   let l =
     { id = t.link_n; src = a; dst = b; bandwidth; delay; cost; up = true;
@@ -92,6 +124,7 @@ let add_oneway ?(cost = 1) t a b ~bandwidth ~delay =
   t.link_arr.(t.link_n) <- l;
   t.link_n <- t.link_n + 1;
   t.adj.(a) <- (b, l.id) :: t.adj.(a);
+  if t.mat_nodes = t.nodes then t.mat.(a * t.mat_nodes + b) <- l.id;
   t.generation <- t.generation + 1;
   l
 

@@ -52,6 +52,12 @@ val link : t -> int -> link
 val find_link : t -> int -> int -> link option
 (** The a→b link, if present (regardless of its up/down state). *)
 
+val find_link_id : t -> int -> int -> int
+(** Allocation-free [find_link]: the directed link's id, or -1 when
+    none exists. Backed by a lazily built dense matrix for topologies
+    up to 1024 nodes, so the data-plane's per-hop lookup is one array
+    read. Resolve the id with {!link}. *)
+
 val neighbors : t -> int -> (int * link) list
 (** [neighbors t v] is the (neighbor, outgoing link) pairs of [v],
     including links that are down. *)

@@ -10,20 +10,40 @@
    record into private cells. Per-domain partials are combined with
    [snapshot] (in the owning domain) + [absorb]. *)
 
+(* [fl] packs the float accumulators ([0] sum, [1] min, [2] max) in a
+   flat array so a hot observe is three unboxed stores, not three
+   fresh boxes. *)
 type state = {
   counts : int array;
   mutable total : int;
-  mutable sum : float;
-  mutable vmin : float;
-  mutable vmax : float;
+  fl : floatarray;
 }
+
+let f_sum = 0
+and f_min = 1
+and f_max = 2
+
+let fresh_fl () =
+  let a = Float.Array.make 3 0.0 in
+  Float.Array.set a f_min infinity;
+  Float.Array.set a f_max neg_infinity;
+  a
+
+(* Last resolved (domain id, state) pair — same single-mutable-field
+   memo as {!Counter.cell}, for the same reason: [Domain.DLS.get] per
+   observation is measurable in the per-hop instrumentation. *)
+type cache = { did : int; st : state }
 
 type t = {
   name : string;
   lo : float;  (* lower bound of bucket 0; values below land in it *)
   buckets : int;
   cells : state Domain.DLS.key;
+  mutable last : cache;
 }
+
+let empty_cache =
+  { did = -1; st = { counts = [||]; total = 0; fl = fresh_fl () } }
 
 let default_buckets = 96
 
@@ -33,12 +53,20 @@ let make ?(lo = 1e-9) ?(buckets = default_buckets) name =
   { name; lo; buckets;
     cells =
       Domain.DLS.new_key (fun () ->
-          { counts = Array.make buckets 0; total = 0; sum = 0.0;
-            vmin = infinity; vmax = neg_infinity }) }
+          { counts = Array.make buckets 0; total = 0; fl = fresh_fl () });
+    last = empty_cache }
 
 let name t = t.name
 
-let state t = Domain.DLS.get t.cells
+let state t =
+  let did = (Domain.self () :> int) in
+  let l = t.last in
+  if l.did = did then l.st
+  else begin
+    let st = Domain.DLS.get t.cells in
+    t.last <- { did; st };
+    st
+  end
 
 let bucket_index t v =
   if v < t.lo then 0
@@ -53,9 +81,9 @@ let observe_unchecked t v =
   let i = bucket_index t v in
   s.counts.(i) <- s.counts.(i) + 1;
   s.total <- s.total + 1;
-  s.sum <- s.sum +. v;
-  if v < s.vmin then s.vmin <- v;
-  if v > s.vmax then s.vmax <- v
+  Float.Array.set s.fl f_sum (Float.Array.get s.fl f_sum +. v);
+  if v < Float.Array.get s.fl f_min then Float.Array.set s.fl f_min v;
+  if v > Float.Array.get s.fl f_max then Float.Array.set s.fl f_max v
 
 let observe t v = if !Control.enabled then observe_unchecked t v
 
@@ -63,19 +91,20 @@ let observe_int t n = if !Control.enabled then observe_unchecked t (float_of_int
 
 let count t = (state t).total
 
-let sum t = (state t).sum
+let sum t = Float.Array.get (state t).fl f_sum
 
 let mean t =
   let s = state t in
-  if s.total = 0 then 0.0 else s.sum /. float_of_int s.total
+  if s.total = 0 then 0.0
+  else Float.Array.get s.fl f_sum /. float_of_int s.total
 
 let min_value t =
   let s = state t in
-  if s.total = 0 then 0.0 else s.vmin
+  if s.total = 0 then 0.0 else Float.Array.get s.fl f_min
 
 let max_value t =
   let s = state t in
-  if s.total = 0 then 0.0 else s.vmax
+  if s.total = 0 then 0.0 else Float.Array.get s.fl f_max
 
 let quantile t q =
   if q < 0.0 || q > 1.0 then
@@ -86,7 +115,7 @@ let quantile t q =
     let target = Float.max 1.0 (Float.round (q *. float_of_int s.total)) in
     let n = t.buckets in
     let rec walk i cum =
-      if i >= n then s.vmax
+      if i >= n then Float.Array.get s.fl f_max
       else begin
         let cum' = cum + s.counts.(i) in
         if float_of_int cum' >= target && s.counts.(i) > 0 then begin
@@ -96,7 +125,8 @@ let quantile t q =
             (target -. float_of_int cum) /. float_of_int s.counts.(i)
           in
           let est = lower +. (frac *. (upper -. lower)) in
-          Float.min s.vmax (Float.max s.vmin est)
+          Float.min (Float.Array.get s.fl f_max)
+            (Float.max (Float.Array.get s.fl f_min) est)
         end
         else walk (i + 1) cum'
       end
@@ -112,9 +142,9 @@ let reset t =
   let s = state t in
   Array.fill s.counts 0 t.buckets 0;
   s.total <- 0;
-  s.sum <- 0.0;
-  s.vmin <- infinity;
-  s.vmax <- neg_infinity
+  Float.Array.set s.fl f_sum 0.0;
+  Float.Array.set s.fl f_min infinity;
+  Float.Array.set s.fl f_max neg_infinity
 
 (* Snapshots restore unconditionally, like [reset] — they are harness
    operations, not instrumentation. *)
@@ -128,8 +158,10 @@ type snapshot = {
 
 let snapshot t =
   let s = state t in
-  { s_counts = Array.copy s.counts; s_total = s.total; s_sum = s.sum;
-    s_vmin = s.vmin; s_vmax = s.vmax }
+  { s_counts = Array.copy s.counts; s_total = s.total;
+    s_sum = Float.Array.get s.fl f_sum;
+    s_vmin = Float.Array.get s.fl f_min;
+    s_vmax = Float.Array.get s.fl f_max }
 
 let restore t snap =
   let s = state t in
@@ -137,9 +169,9 @@ let restore t snap =
   Array.fill s.counts 0 t.buckets 0;
   Array.blit snap.s_counts 0 s.counts 0 n;
   s.total <- snap.s_total;
-  s.sum <- snap.s_sum;
-  s.vmin <- snap.s_vmin;
-  s.vmax <- snap.s_vmax
+  Float.Array.set s.fl f_sum snap.s_sum;
+  Float.Array.set s.fl f_min snap.s_vmin;
+  Float.Array.set s.fl f_max snap.s_vmax
 
 let absorb t snap =
   let s = state t in
@@ -148,9 +180,11 @@ let absorb t snap =
     s.counts.(i) <- s.counts.(i) + snap.s_counts.(i)
   done;
   s.total <- s.total + snap.s_total;
-  s.sum <- s.sum +. snap.s_sum;
-  if snap.s_vmin < s.vmin then s.vmin <- snap.s_vmin;
-  if snap.s_vmax > s.vmax then s.vmax <- snap.s_vmax
+  Float.Array.set s.fl f_sum (Float.Array.get s.fl f_sum +. snap.s_sum);
+  if snap.s_vmin < Float.Array.get s.fl f_min then
+    Float.Array.set s.fl f_min snap.s_vmin;
+  if snap.s_vmax > Float.Array.get s.fl f_max then
+    Float.Array.set s.fl f_max snap.s_vmax
 
 let pp ppf t =
   Format.fprintf ppf

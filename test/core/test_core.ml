@@ -113,7 +113,7 @@ let test_qos_mark_exp () =
   Qos_mapping.mark_exp_from_dscp p;
   List.iter
     (fun (s : Packet.shim) -> Alcotest.(check int) "exp set" 3 s.Packet.exp)
-    p.Packet.labels
+    (Packet.label_stack p)
 
 let test_qos_encrypted_tunnel_lands_in_be () =
   let p =
@@ -578,7 +578,7 @@ let test_overlay_end_to_end () =
   (match !delivered with
    | [d] ->
      Alcotest.(check int) "delivered" p.Packet.uid d.Packet.uid;
-     Alcotest.(check bool) "decapsulated" true (d.Packet.outer = None);
+     Alcotest.(check bool) "decapsulated" true (not (Packet.has_outer d));
      Alcotest.(check bool) "decrypted" false d.Packet.encrypted
    | _ -> Alcotest.failf "expected 1 delivery (drops: %d)" (Network.drops e.onet))
 

@@ -266,6 +266,157 @@ let test_packet_uids_unique () =
   let a = fresh_packet () and b = fresh_packet () in
   Alcotest.(check bool) "distinct" true (a.Packet.uid <> b.Packet.uid)
 
+let test_packet_swap_in_place () =
+  let p = fresh_packet () in
+  Packet.push_label p ~label:100 ~exp:5 ~ttl:64;
+  Packet.push_label p ~label:200 ~exp:3 ~ttl:4;
+  let size0 = p.Packet.size and depth0 = Packet.label_depth p in
+  (* A swap is one integer store into the packed stack: steady-state
+     swaps must allocate nothing. [Gc.minor_words] samples the counter
+     before boxing its result, so the delta of the loop alone is exact. *)
+  Packet.swap_label p ~label:300;
+  let w0 = Gc.minor_words () in
+  for i = 0 to 999 do
+    Packet.swap_label p ~label:(301 + (i land 7))
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check (float 0.0)) "zero alloc across 1000 swaps" 0.0 dw;
+  Alcotest.(check int) "size unchanged" size0 p.Packet.size;
+  Alcotest.(check int) "depth unchanged" depth0 (Packet.label_depth p);
+  (match Packet.top_label p with
+   | Some s ->
+     Alcotest.(check int) "last swap visible" (301 + (999 land 7))
+       s.Packet.label;
+     Alcotest.(check int) "exp preserved" 3 s.Packet.exp;
+     (* uniform TTL model: one decrement per swap, clamped at 0 *)
+     Alcotest.(check int) "ttl clamped at 0" 0 s.Packet.ttl
+   | None -> Alcotest.fail "no label");
+  (match Packet.label_stack p with
+   | [ _; bottom ] ->
+     Alcotest.(check int) "bottom entry untouched" 100 bottom.Packet.label
+   | _ -> Alcotest.fail "depth changed")
+
+let test_packet_pool_recycle () =
+  Packet.set_pooling true;
+  Fun.protect ~finally:(fun () -> Packet.set_pooling false) @@ fun () ->
+  let p = fresh_packet () in
+  Packet.push_label p ~label:77 ~exp:2 ~ttl:9;
+  Packet.encapsulate p ~src:(ip "1.1.1.1") ~dst:(ip "2.2.2.2")
+    ~proto:Flow.Gre ~overhead:24 ~copy_tos:true;
+  let uid0 = p.Packet.uid in
+  Packet.release p;
+  let parked = Packet.pool_size () in
+  Alcotest.(check bool) "parked" true (parked >= 1);
+  Packet.release p;
+  Alcotest.(check int) "release idempotent" parked (Packet.pool_size ());
+  let q = fresh_packet () in
+  Alcotest.(check bool) "storage recycled" true (p == q);
+  Alcotest.(check bool) "uid fresh" true (q.Packet.uid <> uid0);
+  Alcotest.(check bool) "stack cleared" false (Packet.labelled q);
+  Alcotest.(check bool) "outer disarmed" false (Packet.has_outer q);
+  Alcotest.(check int) "pool drained" (parked - 1) (Packet.pool_size ())
+
+let test_packet_pool_off_noop () =
+  Alcotest.(check bool) "pooling off by default" false (Packet.pooling ());
+  let p = fresh_packet () in
+  let before = Packet.pool_size () in
+  Packet.release p;
+  Alcotest.(check int) "release is a no-op" before (Packet.pool_size ());
+  let q = fresh_packet () in
+  Alcotest.(check bool) "make allocates fresh" true (p != q)
+
+(* --- Packet vs boxed reference model ---------------------------------- *)
+
+(* A deliberately naive boxed model of the label stack: a list of
+   (label, exp, ttl) tuples, top at the head, with the packed
+   representation's clamping rules (label masked to 20 bits, exp to
+   3 bits, ttl clamped into [0, 255]; swap decrements TTL clamping at
+   0). Random op sequences run against a real packet and the model;
+   every observable decode must agree after every op. *)
+type stack_model = { mutable stk : (int * int * int) list; mutable msz : int }
+
+let model_agrees p m =
+  let flat =
+    List.map
+      (fun (s : Packet.shim) -> (s.Packet.label, s.Packet.exp, s.Packet.ttl))
+      (Packet.label_stack p)
+  in
+  flat = m.stk
+  && p.Packet.size = m.msz
+  && Packet.label_depth p = List.length m.stk
+  && Packet.labelled p = (m.stk <> [])
+  && (match m.stk with
+      | [] -> Packet.top_packed p = Packet.Shim.none
+      | (l, e, t) :: _ ->
+        let pk = Packet.top_packed p in
+        Packet.Shim.label pk = l && Packet.Shim.exp pk = e
+        && Packet.Shim.ttl pk = t
+        && Packet.top_exp p = Some e)
+
+let stack_op_gen =
+  QCheck.Gen.(
+    frequency
+      [ (4,
+         map3
+           (fun l e t -> `Push (l, e, t))
+           (int_bound 0x3F_FFFF) (int_bound 7) (int_bound 300));
+        (3, return `Pop);
+        (3, map (fun l -> `Swap l) (int_bound 0x3F_FFFF));
+        (1, map (fun e -> `Set_exp_all e) (int_bound 7)) ])
+
+let pp_stack_op op =
+  match op with
+  | `Push (l, e, t) -> Printf.sprintf "push(%d,%d,%d)" l e t
+  | `Pop -> "pop"
+  | `Swap l -> Printf.sprintf "swap(%d)" l
+  | `Set_exp_all e -> Printf.sprintf "set_exp_all(%d)" e
+
+let packet_matches_model =
+  QCheck.Test.make ~name:"flat label stack = boxed reference model"
+    ~count:300
+    (QCheck.make
+       ~print:(fun ops -> String.concat ";" (List.map pp_stack_op ops))
+       QCheck.Gen.(list_size (int_bound 40) stack_op_gen))
+    (fun ops ->
+      let p = fresh_packet () in
+      let m = { stk = []; msz = p.Packet.size } in
+      List.for_all
+        (fun op ->
+           (match op with
+            | `Push (label, exp, ttl) ->
+              if List.length m.stk < Packet.max_depth then begin
+                Packet.push_label p ~label ~exp ~ttl;
+                m.stk <-
+                  (label land 0xF_FFFF, exp land 7, max 0 (min 255 ttl))
+                  :: m.stk;
+                m.msz <- m.msz + 4
+              end
+            | `Pop ->
+              let got = Packet.pop_label p in
+              (match m.stk with
+               | [] -> assert (got = None)
+               | (l, e, t) :: rest ->
+                 (match got with
+                  | Some s ->
+                    assert
+                      (s.Packet.label = l && s.Packet.exp = e
+                       && s.Packet.ttl = t)
+                  | None -> assert false);
+                 m.stk <- rest;
+                 m.msz <- m.msz - 4)
+            | `Swap label ->
+              (match m.stk with
+               | [] -> ()  (* raising path covered by swap-on-empty test *)
+               | (_, e, t) :: rest ->
+                 Packet.swap_label p ~label;
+                 m.stk <- (label land 0xF_FFFF, e, max 0 (t - 1)) :: rest)
+            | `Set_exp_all exp ->
+              Packet.set_exp_all p ~exp;
+              m.stk <-
+                List.map (fun (l, _, t) -> (l, exp land 7, t)) m.stk);
+           model_agrees p m)
+        ops)
+
 (* --- Radix ------------------------------------------------------------ *)
 
 let route_testable = Alcotest.(option (pair string int))
@@ -642,7 +793,12 @@ let () =
            test_packet_encap_no_tos_copy;
          Alcotest.test_case "double encap" `Quick test_packet_double_encap;
          Alcotest.test_case "pp renders" `Quick test_packet_pp_renders;
-         Alcotest.test_case "uids unique" `Quick test_packet_uids_unique ]);
+         Alcotest.test_case "uids unique" `Quick test_packet_uids_unique;
+         Alcotest.test_case "swap in place" `Quick test_packet_swap_in_place;
+         Alcotest.test_case "pool recycle" `Quick test_packet_pool_recycle;
+         Alcotest.test_case "pool off no-op" `Quick
+           test_packet_pool_off_noop;
+         qt packet_matches_model ]);
       ("radix",
        [ Alcotest.test_case "basic lpm" `Quick test_radix_basic;
          Alcotest.test_case "default route" `Quick test_radix_default_route;
