@@ -125,6 +125,40 @@ let run () =
   T.Gauge.set
     (T.Registry.gauge "sim.gc.minor_words_per_event")
     (seq.minor_w /. float_of_int (max 1 seq.outcome.Runner.events));
+  (* Observability overhead: the identical sequential calendar run with
+     the default-interval timeline sampler armed, back to back with the
+     unsampled baseline (before the parallel rows churn the heap) so
+     the ratio is a same-process race, not a drift measurement. Sampler
+     ticks are engine events, so the full fingerprint is not comparable
+     — but the traffic totals must not move, and check.sh gates the
+     rate at >= 0.95x the unsampled run. *)
+  let seq_tl =
+    timed "seq-tl"
+      { (cfg 1) with
+        Runner.sample_interval = Some Mvpn_core.Sampler.default_interval }
+      Runner.run_sequential
+  in
+  if
+    seq_tl.outcome.Runner.delivered <> seq.outcome.Runner.delivered
+    || seq_tl.outcome.Runner.dropped <> seq.outcome.Runner.dropped
+  then failwith "E16: arming the timeline sampler changed traffic totals";
+  report seq_tl;
+  T.Gauge.set (T.Registry.gauge "e16.rate.seq_sampler_pps") (rate seq_tl);
+  T.Gauge.set (T.Registry.gauge "e16.overhead.sampler")
+    (rate seq_tl /. seq_rate);
+  (* Dispatch-cost ledger: the same run again with the engine profiler
+     on. Publishes the sim.profile.* gauges — the pop / handler / flush
+     wall-time split and per-kind dispatch counts check.sh asserts on.
+     Profiling never touches the schedule, so the full fingerprint must
+     hold. *)
+  let seq_prof =
+    timed "seq-prof" { (cfg 1) with Runner.profile = true }
+      Runner.run_sequential
+  in
+  check_fingerprint ~baseline:seq seq_prof;
+  report seq_prof;
+  T.Gauge.set (T.Registry.gauge "e16.rate.seq_profiled_pps")
+    (rate seq_prof);
   List.iter
     (fun k ->
        let s = timed_par k in
@@ -155,4 +189,8 @@ let run () =
      executed event) allocated by the run's own domain — the flat\n\
      packet representation keeps the per-event figure in single\n\
      digits; parallel rows show '-' because shard domains allocate\n\
-     outside the main domain's GC counters."
+     outside the main domain's GC counters. seq-tl re-runs the\n\
+     sequential baseline with the 1 Hz timeline sampler armed (same\n\
+     traffic totals, bounded-ring series, gated at >= 0.95x the\n\
+     unsampled rate) and seq-prof with the dispatch-cost ledger on\n\
+     (identical fingerprint; publishes the sim.profile.* split)."

@@ -13,6 +13,10 @@
                                                SLOs; report conformance,
                                                budgets and events; exit
                                                non-zero when out of budget
+     mvpn timeline [--json|--csv] [--interval S] [--shards K]
+                                               run with the timeline sampler
+                                               armed and export the recorded
+                                               time series
      mvpn fail     [--pops N] ...              fail a core link mid-run and
                                                report reconvergence *)
 
@@ -205,7 +209,7 @@ let run_cmd =
 
 let stats_cmd =
   let run pops vpns sites_per_vpn policy load duration use_te seed json
-      trace_events =
+      trace_events event_entries =
     Telemetry.Registry.reset ();
     Telemetry.Control.enable ();
     let sc =
@@ -216,7 +220,9 @@ let stats_cmd =
       ~duration;
     Scenario.run sc ~duration:(duration +. 5.0);
     Telemetry.Control.disable ();
-    if json then print_string (Telemetry.Registry.to_json ~trace_events ())
+    if json then
+      print_string
+        (Telemetry.Registry.to_json ~trace_events ~event_entries ())
     else begin
       print_reports sc;
       Printf.printf "\n";
@@ -230,8 +236,12 @@ let stats_cmd =
                  of text.")
   in
   let trace_arg =
-    Arg.(value & opt int 16 & info ["trace-events"] ~docv:"N"
+    Arg.(value & opt int 16 & info ["trace"; "trace-events"] ~docv:"N"
            ~doc:"Hop-trace tail length to include in the dump.")
+  in
+  let events_arg =
+    Arg.(value & opt int 256 & info ["events"] ~docv:"N"
+           ~doc:"Event-log tail length to include in the JSON dump.")
   in
   Cmd.v
     (Cmd.info "stats"
@@ -239,7 +249,7 @@ let stats_cmd =
              counter, gauge, histogram and the hop-trace tail.")
     Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
           $ load_arg $ duration_arg $ te_arg $ seed_arg $ json_arg
-          $ trace_arg)
+          $ trace_arg $ events_arg)
 
 (* --- slo ---------------------------------------------------------------- *)
 
@@ -296,8 +306,9 @@ let slo_cmd =
         | None -> "[]"
       in
       Printf.printf
-        "{\"now\":%.9g,\"in_budget\":%b,\"objectives\":%s,\"events\":%s,\
-         \"spans\":%s}"
+        "{\"schema\":%d,\"now\":%.9g,\"in_budget\":%b,\"objectives\":%s,\
+         \"events\":%s,\"spans\":%s}"
+        Telemetry.Registry.schema_version
         (Engine.now engine) ok (Telemetry.Slo.to_json slo)
         (Telemetry.Event_log.json_entries events)
         spans
@@ -406,7 +417,8 @@ let par_cmd =
     let cfg =
       { Mvpn_par.Runner.shards; pops; vpns; sites_per_vpn; policy; use_te;
         load; duration; seed; core_delay;
-        backend = Mvpn_sim.Engine.Calendar }
+        backend = Mvpn_sim.Engine.Calendar;
+        sample_interval = None; profile = false }
     in
     let o =
       if seq then Mvpn_par.Runner.run_sequential cfg
@@ -417,8 +429,9 @@ let par_cmd =
     if json then begin
       let b = Buffer.create 8192 in
       Printf.bprintf b
-        "{\"shards\":%d,\"sizes\":[%s],\"cut_links\":%d,\"lookahead\":%b,"
-        o.shards
+        "{\"schema\":%d,\"shards\":%d,\"sizes\":[%s],\"cut_links\":%d,\
+         \"lookahead\":%b,"
+        Telemetry.Registry.schema_version o.shards
         (String.concat ","
            (Array.to_list (Array.map string_of_int o.sizes)))
         o.cut_links o.lookahead;
@@ -502,6 +515,165 @@ let par_cmd =
     Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
           $ load_arg $ duration_arg $ te_arg $ seed_arg $ shards_arg
           $ core_delay_arg $ seq_arg $ json_arg)
+
+(* --- timeline ----------------------------------------------------------- *)
+
+let timeline_cmd =
+  let jf v =
+    if Float.is_finite v then Printf.sprintf "%.9g" v else "0"
+  in
+  let run pops vpns sites_per_vpn policy load duration use_te seed shards
+      interval json csv =
+    Telemetry.Registry.reset ();
+    Telemetry.Control.enable ();
+    let cfg =
+      { Mvpn_par.Runner.default_config with
+        shards = (if shards < 1 then 1 else shards);
+        pops; vpns; sites_per_vpn; policy; use_te; load; duration; seed;
+        sample_interval = Some interval }
+    in
+    let o =
+      if shards <= 1 then Mvpn_par.Runner.run_sequential cfg
+      else Mvpn_par.Runner.run_parallel cfg
+    in
+    Telemetry.Control.disable ();
+    (* Sim-scope series only. Host-scope rings (GC churn) are real but
+       machine-dependent, so they stay out of the export — which is what
+       keeps the bytes identical for every shard count. *)
+    let sim_series =
+      List.filter_map
+        (fun name ->
+           match Telemetry.Registry.find_series name with
+           | Some s when Telemetry.Timeseries.scope s = Telemetry.Timeseries.Sim
+             ->
+             Some (name, Telemetry.Timeseries.level s,
+                   Telemetry.Timeseries.samples s)
+           | _ -> None)
+        (Telemetry.Registry.names ())
+    in
+    (* Burn-rate series derived from the merged good/bad tallies: the
+       ratio itself is not summable across shards, so it is computed
+       here, after the merge, from sums that are. *)
+    let burn_of vpn band good bad =
+      let target = Sampler.slo_target ~band in
+      let budget = 1.0 -. target in
+      let n = min (Array.length good) (Array.length bad) in
+      let out = Array.make n (0.0, 0.0) in
+      for i = 0 to n - 1 do
+        let tg, g = good.(i) and _, b = bad.(i) in
+        let total = g +. b in
+        let burn =
+          if total > 0.0 && budget > 0.0 then b /. total /. budget else 0.0
+        in
+        out.(i) <- (tg, burn)
+      done;
+      (Printf.sprintf "ts.slo.v%d.b%d.burn" vpn band, 0, out)
+    in
+    let derived =
+      List.filter_map
+        (fun (name, _, good) ->
+           match Scanf.sscanf_opt name "ts.slo.v%d.b%d.good"
+                   (fun v b -> (v, b)) with
+           | Some (vpn, band) ->
+             (match Telemetry.Registry.find_series
+                      (Printf.sprintf "ts.slo.v%d.b%d.bad" vpn band) with
+              | Some s ->
+                Some (burn_of vpn band good (Telemetry.Timeseries.samples s))
+              | None -> None)
+           | None -> None)
+        sim_series
+    in
+    let all =
+      List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+        (sim_series @ derived)
+    in
+    if json then begin
+      let b = Buffer.create 65536 in
+      Printf.bprintf b "{\"schema\":%d,\"interval\":%s,\"horizon\":%s,\
+                        \"seed\":%d,\"series\":{"
+        Telemetry.Registry.schema_version (jf interval) (jf o.Mvpn_par.Runner.horizon)
+        seed;
+      List.iteri
+        (fun i (name, level, samples) ->
+           if i > 0 then Buffer.add_char b ',';
+           Printf.bprintf b "\"%s\":{\"level\":%d,\"samples\":[" name level;
+           Array.iteri
+             (fun j (t, v) ->
+                if j > 0 then Buffer.add_char b ',';
+                Printf.bprintf b "[%s,%s]" (jf t) (jf v))
+             samples;
+           Buffer.add_string b "]}")
+        all;
+      Buffer.add_string b "}}";
+      print_string (Buffer.contents b)
+    end
+    else if csv then begin
+      print_string "time,series,value\n";
+      List.iter
+        (fun (name, _, samples) ->
+           Array.iter
+             (fun (t, v) -> Printf.printf "%s,%s,%s\n" (jf t) name (jf v))
+             samples)
+        all
+    end
+    else begin
+      Printf.printf
+        "timeline: %d series, interval %.3gs, horizon %.3gs \
+         (delivered %d, dropped %d)\n\n"
+        (List.length all) interval o.Mvpn_par.Runner.horizon
+        o.Mvpn_par.Runner.delivered o.Mvpn_par.Runner.dropped;
+      Printf.printf "  %-26s %6s %5s %12s %12s %12s\n"
+        "series" "n" "lvl" "min" "mean" "max";
+      List.iter
+        (fun (name, level, samples) ->
+           let n = Array.length samples in
+           if n = 0 then
+             Printf.printf "  %-26s %6d %5d %12s %12s %12s\n"
+               name 0 level "-" "-" "-"
+           else begin
+             let mn = ref infinity and mx = ref neg_infinity
+             and sum = ref 0.0 in
+             Array.iter
+               (fun (_, v) ->
+                  if v < !mn then mn := v;
+                  if v > !mx then mx := v;
+                  sum := !sum +. v)
+               samples;
+             Printf.printf "  %-26s %6d %5d %12.4g %12.4g %12.4g\n"
+               name n level !mn (!sum /. float_of_int n) !mx
+           end)
+        all
+    end
+  in
+  let shards_arg =
+    Arg.(value & opt int 1 & info ["shards"] ~docv:"K"
+           ~doc:"Shard (domain) count; 1 runs the sequential replica. The \
+                 exported series are byte-identical at every K.")
+  in
+  let interval_arg =
+    Arg.(value & opt float Sampler.default_interval
+         & info ["interval"] ~docv:"SEC"
+           ~doc:"Sampling interval in simulated seconds.")
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit every sim-scope time series as one JSON object. \
+                 Byte-identical for equal seeds at every shard count.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info ["csv"]
+           ~doc:"Emit the series in long form: time,series,value.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Run the mixed workload with the timeline sampler armed and \
+             export the recorded time series — per-link utilization, \
+             per-band queue depth and drops, per-(vpn, band) SLO burn \
+             material — as a table, JSON or CSV. Series ride fixed-size \
+             decimating rings, so memory stays bounded at any horizon.")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ policy_arg
+          $ load_arg $ duration_arg $ te_arg $ seed_arg $ shards_arg
+          $ interval_arg $ json_arg $ csv_arg)
 
 (* --- fail --------------------------------------------------------------- *)
 
@@ -609,4 +781,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; chaos_cmd;
-           par_cmd; fail_cmd; plan_cmd]))
+           par_cmd; timeline_cmd; fail_cmd; plan_cmd]))

@@ -242,6 +242,8 @@ let class_reports t =
   List.map (fun label -> (label, Traffic.report t.registry label))
     (Traffic.labels t.registry)
 
+let core_link_ids t = t.core_link_ids
+
 let core_links t =
   let is_pop v = Backbone.pop_of_node t.backbone v <> None in
   List.sort_uniq compare

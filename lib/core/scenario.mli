@@ -100,6 +100,10 @@ val class_report : t -> string -> Mvpn_qos.Sla.report
 val class_reports : t -> (string * Mvpn_qos.Sla.report) list
 (** One report per class that generated traffic, in class order. *)
 
+val core_link_ids : t -> int list
+(** Directed link ids of the backbone's core (POP–POP) links, in
+    topology order — the sampling points for {!Sampler}. *)
+
 val core_links : t -> (int * int) list
 (** The backbone's core (POP–POP) duplex links as sorted (src, dst)
     node pairs with src < dst — the fault targets chaos scenarios flap

@@ -6,6 +6,9 @@ module Dscp = Mvpn_net.Dscp
 module Sla = Mvpn_qos.Sla
 module Cbq = Mvpn_qos.Cbq
 
+(* Dispatch-ledger kind for every source-generator firing. *)
+let k_src = Mvpn_sim.Profile.register_kind "traffic.src"
+
 type registry = {
   engine : Engine.t;
   flows : (Flow.t, Sla.collector) Hashtbl.t;
@@ -64,10 +67,10 @@ let repeat_until engine ~stop f =
   let rec fire () =
     if Engine.now engine <= stop then
       match f () with
-      | Some next -> Engine.schedule engine ~delay:next fire
+      | Some next -> Engine.schedule_kind engine ~kind:k_src ~delay:next fire
       | None -> ()
   in
-  fun delay -> Engine.schedule engine ~delay fire
+  fun delay -> Engine.schedule_kind engine ~kind:k_src ~delay fire
 
 let cbr engine ~start ~stop ~rate_bps ~packet_bytes emit =
   if rate_bps <= 0.0 then invalid_arg "Traffic.cbr: rate must be positive";
@@ -81,9 +84,9 @@ let cbr engine ~start ~stop ~rate_bps ~packet_bytes emit =
     emit packet_bytes;
     incr i;
     let time = start +. (float_of_int !i *. interval) in
-    if time <= stop then Engine.schedule_at engine ~time fire
+    if time <= stop then Engine.schedule_kind_at engine ~kind:k_src ~time fire
   in
-  if start <= stop then Engine.schedule_at engine ~time:start fire
+  if start <= stop then Engine.schedule_kind_at engine ~kind:k_src ~time:start fire
 
 let poisson engine rng ~start ~stop ~rate_pps ~packet_bytes emit =
   if rate_pps <= 0.0 then invalid_arg "Traffic.poisson: rate must be positive";
@@ -108,9 +111,9 @@ let onoff engine rng ~start ~stop ~on_mean ~off_mean ~rate_bps ~packet_bytes
         if Engine.now engine <= stop then begin
           emit packet_bytes;
           if Engine.now engine +. interval <= burst_end then
-            Engine.schedule engine ~delay:interval tick
+            Engine.schedule_kind engine ~kind:k_src ~delay:interval tick
           else
-            Engine.schedule engine
+            Engine.schedule_kind engine ~kind:k_src
               ~delay:(Rng.exponential rng ~rate:(1.0 /. off_mean))
               start_burst
         end
@@ -118,7 +121,8 @@ let onoff engine rng ~start ~stop ~on_mean ~off_mean ~rate_bps ~packet_bytes
       tick ()
     end
   in
-  Engine.schedule engine ~delay:(Float.max 0.0 start) start_burst
+  Engine.schedule_kind engine ~kind:k_src ~delay:(Float.max 0.0 start)
+    start_burst
 
 let pareto_bursts engine rng ~start ~stop ~burst_rate ~mean_burst_bytes
     ?(shape = 1.5) ?(mtu = 1500) emit =

@@ -9,6 +9,7 @@ module Scenario = Mvpn_core.Scenario
 module Network = Mvpn_core.Network
 module Site = Mvpn_core.Site
 module Qos_mapping = Mvpn_core.Qos_mapping
+module Sampler = Mvpn_core.Sampler
 module Sla = Mvpn_qos.Sla
 
 type config = {
@@ -23,13 +24,16 @@ type config = {
   seed : int;
   core_delay : float option;
   backend : Engine.backend;
+  sample_interval : float option;
+  profile : bool;
 }
 
 let default_config =
   { shards = 4; pops = 12; vpns = 2; sites_per_vpn = 4;
     policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
     use_te = false; load = 0.9; duration = 30.0; seed = 11;
-    core_delay = None; backend = Engine.Calendar }
+    core_delay = None; backend = Engine.Calendar;
+    sample_interval = None; profile = false }
 
 type outcome = {
   shards : int;
@@ -232,7 +236,14 @@ let run_parallel (cfg : config) =
         Domain.spawn (fun () ->
             let sh =
               Shard.create ~id:i ~part ~exchange:ex
-                ~build:(build_replica cfg) ~arm:(arm_workload cfg)
+                ~build:(build_replica cfg)
+                ~prepare:(fun sc ->
+                    Option.map
+                      (fun dt ->
+                         Sampler.observe_fate
+                           (Sampler.start ~interval:dt ~until:horizon sc))
+                      cfg.sample_interval)
+                ~arm:(arm_workload cfg) ()
             in
             drive sh clock;
             Shard.collect sh))
@@ -312,11 +323,26 @@ let run_sequential (cfg : config) =
   let base = Registry.snapshot () in
   let sc = build_replica cfg () in
   let net = Scenario.network sc in
+  let sampler =
+    Option.map
+      (fun dt -> Sampler.start ~interval:dt ~until:horizon sc)
+      cfg.sample_interval
+  in
+  if cfg.profile then
+    Mvpn_sim.Profile.enable (Engine.profiler (Scenario.engine sc));
   let fates = fatelog_create () in
   Network.set_fate_hook net
-    (Some (fatelog_add fates));
+    (Some
+       (match sampler with
+        | None -> fatelog_add fates
+        | Some sm ->
+          fun ~time ~vpn ~band ~dropped ~latency ->
+            Sampler.observe_fate sm ~time ~vpn ~band ~dropped ~latency;
+            fatelog_add fates ~time ~vpn ~band ~dropped ~latency));
   arm_workload cfg sc ~only:(fun _ _ -> true);
   Engine.run ~until:horizon (Scenario.engine sc);
+  if cfg.profile then
+    Mvpn_sim.Profile.publish (Engine.profiler (Scenario.engine sc));
   let finis = Registry.snapshot () in
   let diff name =
     Registry.snapshot_counter finis name

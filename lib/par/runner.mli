@@ -35,6 +35,16 @@ type config = {
       (** event-queue backend for every replica engine (default
           {!Mvpn_sim.Engine.Calendar}); results are backend-invariant,
           wall-clock is not *)
+  sample_interval : float option;
+      (** when set, arm a {!Mvpn_core.Sampler} timeline sampler at this
+          sim-second interval — on the sequential replica, and on every
+          shard replica of a parallel run, whose sim-scope series merge
+          to the sequential series byte-for-byte (default [None]) *)
+  profile : bool;
+      (** enable the engine's dispatch-cost ledger and publish
+          [sim.profile.*] gauges after the run; {!run_sequential} only
+          — shard wall times are not meaningfully mergeable (default
+          [false]) *)
 }
 
 val default_config : config

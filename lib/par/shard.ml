@@ -49,13 +49,17 @@ let msg_order (a : Exchange.msg) (b : Exchange.msg) =
      | c -> c)
   | c -> c
 
-let create ~id ~part ~exchange ~build ~arm =
+let create ~id ~part ~exchange ~build ?prepare ~arm () =
   let sc = build () in
   (* Every replica's build bumps this domain's metric cells; only the
      canonical replica keeps them, so deploy-time counters appear
      exactly once in the merged snapshot. [Registry.reset] only zeroes
      the calling domain's cells — concurrent builds are unaffected. *)
   if id > 0 then Registry.reset ();
+  (* After the reset, so whatever [prepare] arms (e.g. the timeline
+     sampler's tick events) is accounted in every shard's kept cells,
+     exactly as the sequential runner accounts its own. *)
+  let tap = match prepare with None -> None | Some p -> p sc in
   let net = Scenario.network sc in
   let eng = Scenario.engine sc in
   let t =
@@ -65,6 +69,9 @@ let create ~id ~part ~exchange ~build ~arm =
   Network.set_fate_hook net
     (Some
        (fun ~time ~vpn ~band ~dropped ~latency ->
+          (match tap with
+           | Some f -> f ~time ~vpn ~band ~dropped ~latency
+           | None -> ());
           let f =
             { f_time = time; f_vpn = vpn; f_band = band;
               f_dropped = dropped; f_latency = latency; f_seq = t.fseq }

@@ -44,17 +44,28 @@ val create :
   part:Partition.t ->
   exchange:Exchange.t ->
   build:(unit -> Mvpn_core.Scenario.t) ->
+  ?prepare:
+    (Mvpn_core.Scenario.t ->
+     (time:float -> vpn:int -> band:int -> dropped:bool ->
+      latency:float -> unit)
+     option) ->
   arm:
     (Mvpn_core.Scenario.t ->
      only:(Mvpn_core.Site.t -> Mvpn_core.Site.t -> bool) ->
      unit) ->
+  unit ->
   t
 (** Builds the replica, zeroes this domain's metric cells for every
     shard but 0 (so build-time counters — label allocations, FIB
     installs — are counted exactly once across the merge), arms the
     workload for owned source sites only, installs the cut-port
     handoffs and the packet-fate hook. Shard 0 is the canonical replica
-    whose build telemetry survives. *)
+    whose build telemetry survives.
+
+    [prepare] runs on the replica after the reset and before arming —
+    the hook point where the runner starts a per-replica timeline
+    sampler. Its optional return value is a fate tap, chained in front
+    of the shard's own fate recording. *)
 
 val id : t -> int
 

@@ -2,6 +2,12 @@ module Engine = Mvpn_sim.Engine
 module Topology = Mvpn_sim.Topology
 module Packet = Mvpn_net.Packet
 
+(* Dispatch-ledger kinds for the two wire-path events — the pair
+   ROADMAP's tx->propagate fusion lever would collapse. *)
+let k_tx = Mvpn_sim.Profile.register_kind "port.tx"
+
+let k_propagate = Mvpn_sim.Profile.register_kind "port.propagate"
+
 type fault = { loss : float; corrupt : float; seed : int }
 
 (* A pooled propagation event: the closure [d_fire] is built once per
@@ -138,7 +144,8 @@ let schedule_delivery t packet =
     else make_dcell t
   in
   cell.d_pkt <- packet;
-  Engine.schedule t.engine ~delay:t.link.Topology.delay cell.d_fire
+  Engine.schedule_kind t.engine ~kind:k_propagate
+    ~delay:t.link.Topology.delay cell.d_fire
 
 (* Serve the head-of-line packet: serialize for size*8/bandwidth
    seconds, then hand it to propagation and start on the next packet.
@@ -155,7 +162,7 @@ let rec start_service (t : t) =
     in
     Float.Array.set t.acc 0 (Float.Array.get t.acc 0 +. tx);
     t.tx_pkt <- packet;
-    Engine.schedule t.engine ~delay:tx t.tx_fire
+    Engine.schedule_kind t.engine ~kind:k_tx ~delay:tx t.tx_fire
   end
 
 and tx_complete (t : t) =

@@ -142,7 +142,8 @@ let summary_json t =
   let b = Buffer.create 4096 in
   let net = Scenario.network t.sc in
   Buffer.add_string b
-    (Printf.sprintf "{\"seed\":%d,\"duration\":%.6f,\"frr\":%b," t.seed
+    (Printf.sprintf "{\"schema\":%d,\"seed\":%d,\"duration\":%.6f,\"frr\":%b,"
+       Telemetry.Registry.schema_version t.seed
        t.duration (t.frr <> None));
   Buffer.add_string b
     (Printf.sprintf "\"fallback\":%b," (Mpls_vpn.ip_fallback t.vpn));

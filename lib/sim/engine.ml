@@ -65,6 +65,10 @@ type t = {
      which holds the in-flight event's key while its closure (and any
      schedule it performs) runs. *)
   push_cell : floatarray;
+  (* Dispatch-cost ledger (see profile.ml). Disabled by default; the
+     run loops pick a profiled or plain drain once per window, so the
+     per-event path is untouched until [Profile.enable]. *)
+  prof : Profile.t;
 }
 
 let create ?(backend = Calendar) () =
@@ -76,9 +80,11 @@ let create ?(backend = Calendar) () =
   { queue; now = 0.0; processed = 0; stopped = false;
     in_batch = false; batch_events = 0; batch_scheduled = 0;
     flush_hooks = []; key_cell = Float.Array.create 1;
-    push_cell = Float.Array.create 1 }
+    push_cell = Float.Array.create 1; prof = Profile.create () }
 
 let now e = e.now
+
+let profiler e = e.prof
 
 let in_batch e = e.in_batch
 
@@ -88,7 +94,7 @@ let on_flush e f = e.flush_hooks <- f :: e.flush_hooks
    observable semantics as an immediate Counter.incr); the flush write
    itself is forced on, since the switch may have been toggled between
    accumulation and window exit. *)
-let flush_batch e =
+let flush_body e =
   List.iter (fun f -> f ()) e.flush_hooks;
   if e.batch_events <> 0 || e.batch_scheduled <> 0 then
     Mvpn_telemetry.Control.with_enabled (fun () ->
@@ -96,6 +102,16 @@ let flush_batch e =
         Mvpn_telemetry.Counter.add m_scheduled e.batch_scheduled);
   e.batch_events <- 0;
   e.batch_scheduled <- 0
+
+(* The flush is already amortized once per batch window, so timing it
+   costs two clock reads per window, not per event. *)
+let flush_batch e =
+  if Profile.enabled e.prof then begin
+    let t0 = Profile.now_ns () in
+    flush_body e;
+    Profile.note_flush e.prof (Profile.now_ns () - t0)
+  end
+  else flush_body e
 
 let note_scheduled e =
   if e.in_batch then begin
@@ -125,6 +141,17 @@ let schedule_at e ~time f =
   Float.Array.set e.push_cell 0 time;
   q_push_at e.queue e.push_cell f
 
+(* [schedule] plus a per-kind count in the dispatch ledger. The kind
+   is only consulted when profiling is on, so tagged call sites cost
+   one predictable branch otherwise. *)
+let schedule_kind e ~kind ~delay f =
+  if Profile.enabled e.prof then Profile.note_kind e.prof kind;
+  schedule e ~delay f
+
+let schedule_kind_at e ~kind ~time f =
+  if Profile.enabled e.prof then Profile.note_kind e.prof kind;
+  schedule_at e ~time f
+
 let step e =
   match q_pop e.queue with
   | None -> false
@@ -153,34 +180,64 @@ let in_window e body =
       body
   end
 
-(* The run loops below bypass [step]'s peek/pop option churn: one
+(* The drains below bypass [step]'s peek/pop option churn: one
    [pop_due] per event returns the closure or the [null_event]
    sentinel, with the key through [key_cell] — zero allocation per
    event. [in_batch] is known true inside the window, so the batched
-   counter branch is inlined. *)
+   counter branch is inlined. The profiled twin adds three monotonic
+   clock reads per event (pop and handler deltas); a window picks its
+   drain once, so the plain loop never tests the profiler. *)
+let plain_drain e ~bound ~strict =
+  let rec loop () =
+    if not e.stopped then begin
+      let f = q_pop_due e.queue ~bound ~strict ~key_out:e.key_cell in
+      if f != null_event then begin
+        e.now <- Float.Array.get e.key_cell 0;
+        e.processed <- e.processed + 1;
+        if !Mvpn_telemetry.Control.enabled then
+          e.batch_events <- e.batch_events + 1;
+        f ();
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let profiled_drain e ~bound ~strict =
+  let p = e.prof in
+  let rec loop () =
+    if not e.stopped then begin
+      let t0 = Profile.now_ns () in
+      let f = q_pop_due e.queue ~bound ~strict ~key_out:e.key_cell in
+      if f != null_event then begin
+        e.now <- Float.Array.get e.key_cell 0;
+        e.processed <- e.processed + 1;
+        if !Mvpn_telemetry.Control.enabled then
+          e.batch_events <- e.batch_events + 1;
+        let t1 = Profile.now_ns () in
+        f ();
+        let t2 = Profile.now_ns () in
+        Profile.note_event p ~pop_ns:(t1 - t0) ~handler_ns:(t2 - t1);
+        loop ()
+      end
+      else
+        (* The unproductive final pop still cost a queue walk. *)
+        Profile.note_pop p (Profile.now_ns () - t0)
+    end
+  in
+  loop ()
+
+let drain e ~bound ~strict =
+  if Profile.enabled e.prof then profiled_drain e ~bound ~strict
+  else plain_drain e ~bound ~strict
+
 let run ?until e =
   e.stopped <- false;
   let horizon = match until with Some t -> t | None -> infinity in
   in_window e (fun () ->
-      let rec loop () =
-        if not e.stopped then begin
-          let f =
-            q_pop_due e.queue ~bound:horizon ~strict:false
-              ~key_out:e.key_cell
-          in
-          if f != null_event then begin
-            e.now <- Float.Array.get e.key_cell 0;
-            e.processed <- e.processed + 1;
-            if !Mvpn_telemetry.Control.enabled then
-              e.batch_events <- e.batch_events + 1;
-            f ();
-            loop ()
-          end
-          else if Float.is_finite horizon && horizon > e.now then
-            e.now <- horizon
-        end
-      in
-      loop ())
+      drain e ~bound:horizon ~strict:false;
+      if (not e.stopped) && Float.is_finite horizon && horizon > e.now then
+        e.now <- horizon)
 
 let peek_time e = Option.map fst (q_peek e.queue)
 
@@ -191,24 +248,7 @@ let peek_time e = Option.map fst (q_peek e.queue)
    owns the events at the bound. *)
 let run_before e ~before =
   e.stopped <- false;
-  in_window e (fun () ->
-      let rec loop () =
-        if not e.stopped then begin
-          let f =
-            q_pop_due e.queue ~bound:before ~strict:true
-              ~key_out:e.key_cell
-          in
-          if f != null_event then begin
-            e.now <- Float.Array.get e.key_cell 0;
-            e.processed <- e.processed + 1;
-            if !Mvpn_telemetry.Control.enabled then
-              e.batch_events <- e.batch_events + 1;
-            f ();
-            loop ()
-          end
-        end
-      in
-      loop ())
+  in_window e (fun () -> drain e ~bound:before ~strict:true)
 
 let pending e = q_size e.queue
 

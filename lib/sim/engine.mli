@@ -30,6 +30,22 @@ val schedule_at : t -> time:float -> (unit -> unit) -> unit
 (** [schedule_at e ~time f] runs [f] at absolute [time].
     @raise Invalid_argument if [time] is in the past or not finite. *)
 
+val schedule_kind :
+  t -> kind:Profile.kind -> delay:float -> (unit -> unit) -> unit
+(** {!schedule}, tagged for the dispatch-cost ledger: while the
+    engine's profiler is enabled, the per-kind scheduled count is
+    bumped. One predictable branch otherwise. *)
+
+val schedule_kind_at :
+  t -> kind:Profile.kind -> time:float -> (unit -> unit) -> unit
+(** {!schedule_at}, tagged like {!schedule_kind}. *)
+
+val profiler : t -> Profile.t
+(** The engine's dispatch-cost ledger (see {!Profile}). Disabled at
+    {!create}; enabling takes effect at the next run-window entry,
+    which swaps the run loop for a profiled twin — the plain loop
+    never tests the profiler. *)
+
 val run : ?until:float -> t -> unit
 (** Drain the event queue. With [until], stop once the next event would
     be strictly after [until] and advance the clock to [until]. Events

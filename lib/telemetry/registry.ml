@@ -2,6 +2,14 @@ type metric =
   | Counter of Counter.t
   | Gauge of Gauge.t
   | Histogram of Histogram.t
+  | Series of Timeseries.t
+
+(* Version of the JSON export layout: bumped whenever the shape of
+   [to_json] (or the CLI envelopes built around it) changes
+   incompatibly. Exported at the top level of every JSON object so
+   downstream consumers can detect format drift; tools/json_lint
+   enforces its presence. *)
+let schema_version = 1
 
 (* One process-wide registry: instrumented modules create their metrics
    at load time and hold direct references, so the table only ever
@@ -35,6 +43,7 @@ let kind_name = function
   | Counter _ -> "counter"
   | Gauge _ -> "gauge"
   | Histogram _ -> "histogram"
+  | Series _ -> "series"
 
 let register name wrap make select =
   locked (fun () ->
@@ -54,18 +63,28 @@ let register name wrap make select =
 let counter name =
   register name (fun c -> Counter c) Counter.make (function
     | Counter c -> Some c
-    | Gauge _ | Histogram _ -> None)
+    | Gauge _ | Histogram _ | Series _ -> None)
 
 let gauge name =
   register name (fun g -> Gauge g) Gauge.make (function
     | Gauge g -> Some g
-    | Counter _ | Histogram _ -> None)
+    | Counter _ | Histogram _ | Series _ -> None)
 
 let histogram ?lo ?buckets name =
   register name
     (fun h -> Histogram h)
     (fun name -> Histogram.make ?lo ?buckets name)
-    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+    (function
+      | Histogram h -> Some h
+      | Counter _ | Gauge _ | Series _ -> None)
+
+let series ?capacity ?scope name =
+  register name
+    (fun s -> Series s)
+    (fun name -> Timeseries.make ?capacity ?scope name)
+    (function
+      | Series s -> Some s
+      | Counter _ | Gauge _ | Histogram _ -> None)
 
 let find name = locked (fun () -> Hashtbl.find_opt table name)
 
@@ -77,6 +96,9 @@ let find_gauge name =
 
 let find_histogram name =
   match find name with Some (Histogram h) -> Some h | Some _ | None -> None
+
+let find_series name =
+  match find name with Some (Series s) -> Some s | Some _ | None -> None
 
 let counter_value name =
   match find_counter name with Some c -> Counter.value c | None -> 0
@@ -94,7 +116,8 @@ let reset () =
         (fun _ -> function
            | Counter c -> Counter.reset c
            | Gauge g -> Gauge.reset g
-           | Histogram h -> Histogram.reset h)
+           | Histogram h -> Histogram.reset h
+           | Series s -> Timeseries.reset s)
         table);
   Hop_trace.clear (trace ());
   Event_log.clear (events ())
@@ -109,6 +132,7 @@ type saved =
   | Saved_counter of int
   | Saved_gauge of float
   | Saved_histogram of Histogram.snapshot
+  | Saved_series of Timeseries.snapshot
 
 type snapshot = (string * saved) list
 
@@ -121,6 +145,7 @@ let snapshot () =
              | Counter c -> Saved_counter (Counter.value c)
              | Gauge g -> Saved_gauge (Gauge.value g)
              | Histogram h -> Saved_histogram (Histogram.snapshot h)
+             | Series s -> Saved_series (Timeseries.snapshot s)
            in
            (name, v) :: acc)
         table [])
@@ -133,6 +158,7 @@ let restore snap =
            | Some (Counter c), Saved_counter n -> Counter.set c n
            | Some (Gauge g), Saved_gauge x -> Gauge.set g x
            | Some (Histogram h), Saved_histogram s -> Histogram.restore h s
+           | Some (Series ts), Saved_series s -> Timeseries.restore ts s
            | _ -> ())
         snap)
 
@@ -150,13 +176,14 @@ let absorb snap =
            | Some (Counter c), Saved_counter n -> Counter.add c n
            | Some (Gauge g), Saved_gauge x -> Gauge.set g (Gauge.value g +. x)
            | Some (Histogram h), Saved_histogram s -> Histogram.absorb h s
+           | Some (Series ts), Saved_series s -> Timeseries.absorb ts s
            | _ -> ())
         snap)
 
 let snapshot_counter snap name =
   match List.assoc_opt name snap with
   | Some (Saved_counter n) -> n
-  | Some (Saved_gauge _ | Saved_histogram _) | None -> 0
+  | Some (Saved_gauge _ | Saved_histogram _ | Saved_series _) | None -> 0
 
 (* --- export ------------------------------------------------------------ *)
 
@@ -190,9 +217,24 @@ let buf_object b entries render =
     entries;
   Buffer.add_char b '}'
 
+let buf_series b s =
+  Buffer.add_string b
+    (Printf.sprintf "{\"scope\":\"%s\",\"level\":%d,\"samples\":["
+       (match Timeseries.scope s with
+        | Timeseries.Sim -> "sim"
+        | Timeseries.Host -> "host")
+       (Timeseries.level s));
+  let first = ref true in
+  Timeseries.iter s (fun time v ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "[%s,%s]" (json_float time) (json_float v)));
+  Buffer.add_string b "]}"
+
 let to_json ?(trace_events = 64) ?(event_entries = 256) () =
   let b = Buffer.create 4096 in
-  Buffer.add_string b "{\"counters\":";
+  Buffer.add_string b
+    (Printf.sprintf "{\"schema\":%d,\"counters\":" schema_version);
   buf_object b
     (sorted_metrics find_counter)
     (fun b c -> Buffer.add_string b (string_of_int (Counter.value c)));
@@ -214,6 +256,8 @@ let to_json ?(trace_events = 64) ?(event_entries = 256) () =
             (json_float (Histogram.p90 h))
             (json_float (Histogram.p99 h))
             (json_float (Histogram.max_value h))));
+  Buffer.add_string b ",\"series\":";
+  buf_object b (sorted_metrics find_series) buf_series;
   Buffer.add_string b ",\"trace\":[";
   List.iteri
     (fun i (e : Hop_trace.event) ->
@@ -267,6 +311,16 @@ let pp ?(trace_events = 0) ppf () =
            width n (Histogram.count h) (Histogram.mean h) (Histogram.p50 h)
            (Histogram.p90 h) (Histogram.p99 h) (Histogram.max_value h))
       histograms
+  end;
+  let ser =
+    List.filter (fun (_, s) -> Timeseries.length s > 0)
+      (sorted_metrics find_series)
+  in
+  if ser <> [] then begin
+    Format.fprintf ppf "series:@.";
+    List.iter
+      (fun (n, s) -> Format.fprintf ppf "  %-*s %a@." width n Timeseries.pp s)
+      ser
   end;
   if trace_events > 0 then begin
     Format.fprintf ppf "trace (last %d events):@." trace_events;

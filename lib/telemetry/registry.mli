@@ -17,6 +17,13 @@ type metric =
   | Counter of Counter.t
   | Gauge of Gauge.t
   | Histogram of Histogram.t
+  | Series of Timeseries.t
+
+val schema_version : int
+(** Version of the JSON export layout, emitted as a top-level
+    ["schema"] member by {!to_json} (and by the CLI JSON envelopes
+    built around it). Bumped on incompatible shape changes so
+    downstream consumers can detect format drift. *)
 
 val counter : string -> Counter.t
 (** Get or create. @raise Invalid_argument if the name is registered
@@ -26,6 +33,11 @@ val gauge : string -> Gauge.t
 
 val histogram : ?lo:float -> ?buckets:int -> string -> Histogram.t
 (** [lo]/[buckets] apply only on first creation. *)
+
+val series :
+  ?capacity:int -> ?scope:Timeseries.scope -> string -> Timeseries.t
+(** Bounded time series (see {!Timeseries}); [capacity]/[scope] apply
+    only on first creation. *)
 
 val trace : unit -> Hop_trace.t
 (** The calling domain's hop-trace ring buffer. *)
@@ -41,6 +53,8 @@ val find_counter : string -> Counter.t option
 val find_gauge : string -> Gauge.t option
 
 val find_histogram : string -> Histogram.t option
+
+val find_series : string -> Timeseries.t option
 
 val counter_value : string -> int
 (** 0 when absent — convenient for report code. *)
@@ -77,10 +91,12 @@ val snapshot_counter : snapshot -> string -> int
 (** The counter value captured in the snapshot; 0 when absent. *)
 
 val to_json : ?trace_events:int -> ?event_entries:int -> unit -> string
-(** One JSON object: [{"counters":{...},"gauges":{...},
-    "histograms":{...},"trace":[...],"events":[...]}]. [trace_events]
-    bounds the trace tail (default 64); [event_entries] bounds the
-    event tail (default 256). *)
+(** One JSON object: [{"schema":1,"counters":{...},"gauges":{...},
+    "histograms":{...},"series":{...},"trace":[...],"events":[...]}].
+    Each series renders as [{"scope":"sim"|"host","level":L,
+    "samples":[[time,value],...]}]. [trace_events] bounds the trace
+    tail (default 64); [event_entries] bounds the event tail
+    (default 256). *)
 
 val pp : ?trace_events:int -> Format.formatter -> unit -> unit
 (** Pretty-printed dump; [trace_events] > 0 appends the trace tail. *)

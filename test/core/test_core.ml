@@ -1653,6 +1653,41 @@ let test_slo_sees_failure_and_repair () =
   Alcotest.(check int) "link_up logged" 1
     (T.Event_log.count_kind events "link_up")
 
+(* Bounded residency: a million-event run with every observability
+   channel armed — spans, hop trace, SLO windows and the timeline
+   sampler's decimating rings — must leave the live heap bounded by the
+   ring capacities, not the event count. An O(events) buffer anywhere
+   in the telemetry path (the pre-ring Stats.Timeseries sampler had
+   exactly that shape) blows the margin by an order of magnitude. *)
+let test_bounded_residency () =
+  T.Control.enable ();
+  let sc =
+    Scenario.build ~pops:16 ~vpns:4 ~sites_per_vpn:8 ~seed:11
+      (Scenario.Mpls_deployment
+         { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+           use_te = false })
+  in
+  ignore (Scenario.attach_slo sc);
+  let _sampler = Sampler.start ~interval:1.0 ~until:45.0 sc in
+  Scenario.add_mixed_workload ~load:0.9 sc ~pairs:(Scenario.default_pairs sc)
+    ~duration:40.0;
+  Gc.full_major ();
+  let live0 = (Gc.stat ()).Gc.live_words in
+  Scenario.run sc ~duration:45.0;
+  let events = T.Registry.counter_value "sim.events" in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least a million events (%d)" events)
+    true
+    (events >= 1_000_000);
+  Gc.full_major ();
+  let live1 = (Gc.stat ()).Gc.live_words in
+  let delta = live1 - live0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "live-heap growth bounded (%d words for %d events)"
+       delta events)
+    true
+    (delta < 2_000_000)
+
 let () =
   Alcotest.run "core"
     [ ("membership",
@@ -1786,4 +1821,6 @@ let () =
            test_scenario_overlay_deployment_runs;
          Alcotest.test_case "bitwise determinism" `Quick
            test_simulation_determinism;
+         Alcotest.test_case "bounded residency" `Slow
+           (wrap_telemetry test_bounded_residency);
          QCheck_alcotest.to_alcotest failure_churn_property ]) ]

@@ -636,6 +636,40 @@ let test_engine_run_before () =
     (List.rev !fired);
   Alcotest.(check (option (float 0.0))) "empty" None (Engine.peek_time e)
 
+let test_engine_profiler () =
+  (* The dispatch-cost ledger: off by default (the plain drain loop
+     never touches the clock), and when enabled it buckets every
+     executed event's wall time into pop + handler and counts
+     dispatches per registered kind. *)
+  let e = Engine.create () in
+  let p = Engine.profiler e in
+  Alcotest.(check bool) "off by default" false (Profile.enabled p);
+  let k = Profile.register_kind "test.tick" in
+  Profile.enable p;
+  let fired = ref 0 in
+  let rec tick n =
+    if n > 0 then
+      Engine.schedule_kind e ~kind:k ~delay:1.0 (fun () ->
+          incr fired;
+          tick (n - 1))
+  in
+  tick 50;
+  Engine.run e;
+  Alcotest.(check int) "all fired" 50 !fired;
+  Alcotest.(check int) "every event bucketed" 50 (Profile.events p);
+  Alcotest.(check int) "kind dispatches counted" 50 (Profile.kind_count p k);
+  Alcotest.(check bool) "pop bucket non-negative" true
+    (Profile.pop_seconds p >= 0.0);
+  Alcotest.(check bool) "handler bucket non-negative" true
+    (Profile.handler_seconds p >= 0.0);
+  Profile.disable p;
+  Profile.reset p;
+  Alcotest.(check int) "reset clears the ledger" 0 (Profile.events p);
+  (* Off again: further events leave the ledger untouched. *)
+  Engine.schedule e ~delay:1.0 ignore;
+  Engine.run e;
+  Alcotest.(check int) "plain drain does not record" 0 (Profile.events p)
+
 let test_summary_single_sample () =
   let s = Stats.Summary.create () in
   Stats.Summary.add s 5.0;
@@ -855,7 +889,9 @@ let () =
          Alcotest.test_case "schedule_at now" `Quick
            test_engine_schedule_at_now;
          Alcotest.test_case "run_before strict" `Quick
-           test_engine_run_before ]);
+           test_engine_run_before;
+         Alcotest.test_case "profiler ledger" `Quick
+           test_engine_profiler ]);
       ("stats",
        [ Alcotest.test_case "summary moments" `Quick test_summary_moments;
          Alcotest.test_case "summary empty" `Quick test_summary_empty;

@@ -550,6 +550,100 @@ let test_counter_two_domains () =
   Registry.absorb s2;
   Alcotest.(check int) "no lost increments" (3 * bumps) (Counter.value c)
 
+(* --- Timeseries --------------------------------------------------------- *)
+
+let test_series_gated () =
+  let s = Timeseries.make ~capacity:8 "ts.gated" in
+  Timeseries.add s ~time:0.0 1.0;
+  Alcotest.(check int) "no-op while disabled" 0 (Timeseries.length s);
+  Control.with_enabled (fun () -> Timeseries.add s ~time:1.0 2.0);
+  Alcotest.(check int) "records while enabled" 1 (Timeseries.length s);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "the sample" (1.0, 2.0)
+    (Timeseries.get s 0)
+
+let test_series_decimation () =
+  (* 100 arrivals through a ring of 8: the ring decimates by powers of
+     two, and what survives is exactly the arrivals at multiples of the
+     final stride — a pure function of the arrival sequence, never a
+     function of when the overflows happened. *)
+  let cap = 8 in
+  let s = Timeseries.make ~capacity:cap "ts.decim" in
+  Control.with_enabled (fun () ->
+      for i = 0 to 99 do
+        Timeseries.add s ~time:(float_of_int i)
+          (float_of_int (i * i))
+      done);
+  Alcotest.(check bool) "bounded by capacity" true
+    (Timeseries.length s <= cap && Timeseries.length s > 0);
+  let stride = 1 lsl Timeseries.level s in
+  Alcotest.(check bool) "decimated at least once" true (stride > 1);
+  let prev = ref neg_infinity in
+  Timeseries.iter s (fun t v ->
+      let i = int_of_float t in
+      Alcotest.(check int) "kept arrival is a stride multiple" 0
+        (i mod stride);
+      Alcotest.(check (float 1e-9)) "value untouched by decimation"
+        (float_of_int (i * i)) v;
+      Alcotest.(check bool) "times strictly increasing" true (t > !prev);
+      prev := t);
+  Alcotest.(check (float 1e-9)) "origin survives" 0.0
+    (fst (Timeseries.get s 0))
+
+let test_series_snapshot_restore () =
+  let s = Timeseries.make ~capacity:8 "ts.snap" in
+  Control.with_enabled (fun () ->
+      for i = 0 to 4 do
+        Timeseries.add s ~time:(float_of_int i) 1.0
+      done);
+  let saved = Timeseries.snapshot s in
+  Control.with_enabled (fun () -> Timeseries.add s ~time:9.0 9.0);
+  Alcotest.(check int) "grew past the snapshot" 6 (Timeseries.length s);
+  Timeseries.restore s saved;
+  Alcotest.(check int) "restored" 5 (Timeseries.length s);
+  Alcotest.(check (pair (float 1e-9) (float 1e-9))) "restored tail"
+    (4.0, 1.0)
+    (Timeseries.get s (Timeseries.length s - 1))
+
+(* Satellite of the shard-merge contract: two domains record
+   interleaved schedules into the same series handle (each lands in its
+   own domain-local ring); absorbing the snapshots in either order
+   yields the identical merged series, with values summed at equal
+   sample times. *)
+let test_series_absorb_two_domains () =
+  let s = Registry.series ~capacity:64 "ts.par" in
+  Control.enable ();
+  (* offset 0 samples even seconds, offset 1 odd seconds; both sample
+     the shared times 100..104 with different values. *)
+  let worker offset () =
+    for i = 0 to 9 do
+      Timeseries.add s ~time:(float_of_int ((2 * i) + offset)) 1.0
+    done;
+    for i = 0 to 4 do
+      Timeseries.add s ~time:(float_of_int (100 + i))
+        (float_of_int (offset + 1))
+    done;
+    Registry.snapshot ()
+  in
+  let d1 = Domain.spawn (worker 0) and d2 = Domain.spawn (worker 1) in
+  let s1 = Domain.join d1 and s2 = Domain.join d2 in
+  Registry.absorb s1;
+  Registry.absorb s2;
+  let ab = Timeseries.samples s in
+  Timeseries.reset s;
+  Registry.absorb s2;
+  Registry.absorb s1;
+  let ba = Timeseries.samples s in
+  Alcotest.(check bool) "absorb order is irrelevant" true (ab = ba);
+  Alcotest.(check int) "union of distinct times plus shared times" 25
+    (Array.length ab);
+  let at time =
+    match Array.find_opt (fun (t, _) -> t = time) ab with
+    | Some (_, v) -> v
+    | None -> Alcotest.failf "no sample at %g" time
+  in
+  Alcotest.(check (float 1e-9)) "disjoint time kept as-is" 1.0 (at 7.0);
+  Alcotest.(check (float 1e-9)) "equal times merge by sum" 3.0 (at 102.0)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick (wrap f) in
   Alcotest.run "telemetry"
@@ -579,6 +673,11 @@ let () =
          tc "reset keeps registrations" test_registry_reset_keeps_registrations;
          tc "json export" test_registry_json;
          tc "snapshot restore" test_registry_snapshot_restore ]);
+      ("timeseries",
+       [ tc "gated by control" test_series_gated;
+         tc "decimation invariant" test_series_decimation;
+         tc "snapshot restore" test_series_snapshot_restore;
+         tc "two-domain absorb orders" test_series_absorb_two_domains ]);
       ("event-log",
        [ tc "gated and wraps" test_event_log_gated_and_wraps;
          tc "kinds and clock" test_event_log_kinds_and_clock ]);

@@ -14,7 +14,7 @@ dune runtest
 
 echo "== E0 bench smoke (forwarding race + telemetry dump)"
 dune exec bench/main.exe -- --only E0 > /dev/null
-./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+./_build/default/tools/json_lint.exe --require-schema < BENCH_telemetry.json
 for g in e0.rate.cached_pps e0.rate.uncached_pps; do
   grep -q "\"$g\"" BENCH_telemetry.json || {
     echo "missing gauge $g in BENCH_telemetry.json" >&2
@@ -24,7 +24,7 @@ done
 
 echo "== E6 bench smoke (SLA conformance + event log)"
 dune exec bench/main.exe -- --only E6 > /dev/null
-./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+./_build/default/tools/json_lint.exe --require-schema < BENCH_telemetry.json
 grep -q '"e6c\.slo\.vpn' BENCH_telemetry.json || {
   echo "no per-(vpn, band) conformance gauges after the E6 smoke" >&2
   exit 1
@@ -45,7 +45,7 @@ slo_json=$(dune exec bin/mvpn.exe -- slo --json --duration 5) || {
   echo "mvpn slo reports out of budget on a healthy run" >&2
   exit 1
 }
-printf '%s' "$slo_json" | ./_build/default/tools/json_lint.exe
+printf '%s' "$slo_json" | ./_build/default/tools/json_lint.exe --require-schema
 printf '%s' "$slo_json" | grep -q '"objectives":\[{"vpn":' || {
   echo "no slo records in mvpn slo --json" >&2
   exit 1
@@ -57,7 +57,7 @@ printf '%s' "$slo_json" | grep -q '"events":\[{"seq":' || {
 
 echo "== E15 bench smoke (chaos: FRR on vs off, resilience gauges)"
 dune exec bench/main.exe -- --only E15 > /dev/null
-./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+./_build/default/tools/json_lint.exe --require-schema < BENCH_telemetry.json
 for g in e15.frr.lost e15.nofrr.lost e15.frr_gain_packets \
          e15.frr.resilience.frr.switched resilience.chaos.faults; do
   grep -q "\"$g\"" BENCH_telemetry.json || {
@@ -69,7 +69,7 @@ done
 echo "== mvpn chaos --json deterministic and well-formed"
 chaos_a=$(dune exec bin/mvpn.exe -- chaos --seed 42 --duration 10 --json)
 chaos_b=$(dune exec bin/mvpn.exe -- chaos --seed 42 --duration 10 --json)
-printf '%s' "$chaos_a" | ./_build/default/tools/json_lint.exe
+printf '%s' "$chaos_a" | ./_build/default/tools/json_lint.exe --require-schema
 [ "$chaos_a" = "$chaos_b" ] || {
   echo "mvpn chaos --seed 42 --json differs between two runs" >&2
   exit 1
@@ -85,7 +85,7 @@ printf '%s' "$chaos_a" | grep -q '"resilience.chaos.faults":12' || {
 
 echo "== mvpn stats --json well-formed"
 stats_json=$(dune exec bin/mvpn.exe -- stats --json --duration 2)
-printf '%s' "$stats_json" | ./_build/default/tools/json_lint.exe
+printf '%s' "$stats_json" | ./_build/default/tools/json_lint.exe --require-schema
 for c in fib.cache.hit fib.cache.miss ftn.cache.hit ftn.cache.miss; do
   printf '%s' "$stats_json" | grep -q "\"$c\"" || {
     echo "missing counter $c in mvpn stats --json" >&2
@@ -102,9 +102,19 @@ for bad in '{"x":inf}' '{"x":-inf}' '{"x":nan}' '{"x":Infinity}'; do
   fi
 done
 
+echo "== json_lint --require-schema rejects unversioned dumps"
+for bad in '{"x":1}' '[1,2]' '{"schema":"1"}'; do
+  if printf '%s' "$bad" \
+     | ./_build/default/tools/json_lint.exe --require-schema 2>/dev/null
+  then
+    echo "json_lint --require-schema accepted: $bad" >&2
+    exit 1
+  fi
+done
+
 echo "== E16 bench smoke (parallel runner rates + speedups)"
 dune exec bench/main.exe -- --only E16 > /dev/null
-./_build/default/tools/json_lint.exe < BENCH_telemetry.json
+./_build/default/tools/json_lint.exe --require-schema < BENCH_telemetry.json
 for g in e16.rate.seq_pps e16.rate.seq_heap_pps e16.rate.seq_calendar_pps \
          e16.rate.k2_pps e16.rate.k4_pps \
          e16.rate.k8_pps e16.speedup.k2 e16.speedup.k4 e16.speedup.k8; do
@@ -152,10 +162,57 @@ awk -v h="$heap_pps" -v c="$cal_pps" 'BEGIN { exit !(c+0 >= h+0) }' || {
   exit 1
 }
 
+echo "== sampler overhead gate (seq_sampler_pps >= 0.95x seq_pps)"
+sam_pps=$(grep -o '"e16\.rate\.seq_sampler_pps":[0-9.eE+-]*' \
+  BENCH_telemetry.json | cut -d: -f2)
+awk -v s="$seq_pps" -v t="$sam_pps" 'BEGIN { exit !(t+0 >= 0.95 * s) }' || {
+  echo "timeline sampler overhead out of budget:" \
+       "$sam_pps < 0.95 x $seq_pps pps" >&2
+  exit 1
+}
+
+echo "== dispatch-cost ledger published (sim.profile.* gauges)"
+for g in sim.profile.pop_s sim.profile.handler_s sim.profile.flush_s \
+         sim.profile.events sim.profile.kind.port.tx \
+         sim.profile.kind.port.propagate sim.profile.kind.traffic.src; do
+  grep -q "\"$g\"" BENCH_telemetry.json || {
+    echo "missing profiler gauge $g in BENCH_telemetry.json" >&2
+    exit 1
+  }
+done
+prof_ev=$(grep -o '"sim\.profile\.events":[0-9.eE+-]*' \
+  BENCH_telemetry.json | cut -d: -f2)
+awk -v e="$prof_ev" 'BEGIN { exit !(e+0 > 0) }' || {
+  echo "sim.profile.events is zero — the profiled drain never ran" >&2
+  exit 1
+}
+
+echo "== mvpn timeline --json deterministic, shard-invariant, well-formed"
+tl_a=$(dune exec bin/mvpn.exe -- timeline --duration 5 --json)
+tl_b=$(dune exec bin/mvpn.exe -- timeline --duration 5 --json)
+tl_k4=$(dune exec bin/mvpn.exe -- timeline --duration 5 --shards 4 --json)
+printf '%s' "$tl_a" | ./_build/default/tools/json_lint.exe --require-schema
+[ "$tl_a" = "$tl_b" ] || {
+  echo "mvpn timeline --json differs between two runs" >&2
+  exit 1
+}
+[ "$tl_a" = "$tl_k4" ] || {
+  echo "mvpn timeline --json differs between --shards 1 and --shards 4" >&2
+  exit 1
+}
+printf '%s' "$tl_a" | grep -q '"ts\.link\.0\.util"' || {
+  echo "no link-utilization series in mvpn timeline --json" >&2
+  exit 1
+}
+printf '%s' "$tl_a" | grep -q '"ts\.slo\.v1\.b0\.burn"' || {
+  echo "no derived burn series in mvpn timeline --json" >&2
+  exit 1
+}
+
 echo "== mvpn par --json deterministic and well-formed"
 par_a=$(dune exec bin/mvpn.exe -- par --shards 4 --duration 2 --json)
 par_b=$(dune exec bin/mvpn.exe -- par --shards 4 --duration 2 --json)
-printf '%s' "$par_a" | ./_build/default/tools/json_lint.exe
+printf '%s' "$par_a" | ./_build/default/tools/json_lint.exe --require-schema
 [ "$par_a" = "$par_b" ] || {
   echo "mvpn par --shards 4 --json differs between two runs" >&2
   exit 1

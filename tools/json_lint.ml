@@ -2,9 +2,17 @@
    exits 0 if the input is exactly one valid JSON value (plus trailing
    whitespace), exits 1 with a position-tagged message otherwise.
 
-   Used by tools/check.sh on `mvpn stats --json` output and on
+   With --require-schema the input must additionally be an object whose
+   first member is a numeric "schema" version — the contract every
+   machine-readable mvpn dump (stats/slo/chaos/par/timeline, and the
+   registry snapshots inside them) now carries, so downstream consumers
+   can dispatch on format before parsing the rest.
+
+   Used by tools/check.sh on `mvpn * --json` output and on
    BENCH_telemetry.json — a malformed dump should fail the gate, not
    whatever downstream tool reads the file next. *)
+
+let require_schema = Array.exists (( = ) "--require-schema") Sys.argv
 
 let buf =
   let b = Buffer.create 65536 in
@@ -166,4 +174,23 @@ and parse_array () =
 let () =
   parse_value ();
   skip_ws ();
-  if !pos <> String.length buf then fail "trailing garbage after JSON value"
+  if !pos <> String.length buf then fail "trailing garbage after JSON value";
+  if require_schema then begin
+    (* Every versioned dump leads with its schema member, so a prefix
+       check is exact, not heuristic. *)
+    pos := 0;
+    skip_ws ();
+    (match peek () with
+     | Some '{' -> advance ()
+     | _ -> fail "--require-schema: top-level value is not an object");
+    skip_ws ();
+    if
+      !pos + 9 > String.length buf
+      || String.sub buf !pos 9 <> "\"schema\":"
+    then fail "--require-schema: first member is not \"schema\"";
+    pos := !pos + 9;
+    skip_ws ();
+    (match peek () with
+     | Some '0' .. '9' -> ()
+     | _ -> fail "--require-schema: \"schema\" is not a number")
+  end
