@@ -40,6 +40,8 @@ let experiments =
      E15_chaos.run);
     ("E16", "partitioned parallel runner: seq vs K=2/4/8 shards",
      E16_parallel.run);
+    ("E18", "audited soak: invariant auditor under diurnal chaos",
+     E18_soak.run);
     ("ABL", "ablations: scheduler, WRED, PHP, shared-vs-per-pair LSPs",
      Ablations.run) ]
 

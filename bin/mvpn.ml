@@ -17,6 +17,10 @@
                                                run with the timeline sampler
                                                armed and export the recorded
                                                time series
+     mvpn soak     [--hours H] [--chaos SEED] [--shards K] [--json]
+                                               long-horizon diurnal soak with
+                                               the invariant auditor armed;
+                                               exit 1 on any violation
      mvpn fail     [--pops N] ...              fail a core link mid-run and
                                                report reconvergence *)
 
@@ -418,7 +422,8 @@ let par_cmd =
       { Mvpn_par.Runner.shards; pops; vpns; sites_per_vpn; policy; use_te;
         load; duration; seed; core_delay;
         backend = Mvpn_sim.Engine.Calendar;
-        sample_interval = None; profile = false }
+        sample_interval = None; profile = false; prepare_replica = None;
+        diurnal = None }
     in
     let o =
       if seq then Mvpn_par.Runner.run_sequential cfg
@@ -675,6 +680,240 @@ let timeline_cmd =
           $ load_arg $ duration_arg $ te_arg $ seed_arg $ shards_arg
           $ interval_arg $ json_arg $ csv_arg)
 
+(* --- soak --------------------------------------------------------------- *)
+
+(* Strictly positive finite float, rejected at parse time so misuse
+   surfaces as cmdliner's usage-error exit (124), never as a crash or a
+   silently degenerate run. *)
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v && v > 0.0 -> Ok v
+    | Some _ -> Error (`Msg "must be a finite positive number")
+    | None -> Error (`Msg (Printf.sprintf "invalid number %S" s))
+  in
+  Arg.conv ~docv:"NUM" (parse, Format.pp_print_float)
+
+let soak_cmd =
+  let jf v = if Float.is_finite v then Printf.sprintf "%.9g" v else "0" in
+  let run pops vpns sites_per_vpn load seed shards hours chaos
+      audit_interval snapshot_interval segments fail_fast json =
+    Telemetry.Registry.reset ();
+    let duration = hours *. 3600.0 in
+    let horizon = duration +. 5.0 in
+    let deployment =
+      Scenario.Mpls_deployment
+        { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+          use_te = false }
+    in
+    (* The fault plan is drawn once, here, and closed over by every
+       replica: topology-only faults (no uid-hash verdicts), so the
+       same storm is valid at any shard count. A throwaway build
+       supplies the node/link universe without touching telemetry. *)
+    let chaos_plan =
+      Option.map
+        (fun cseed ->
+           Telemetry.Control.with_disabled (fun () ->
+               let sc =
+                 Scenario.build ~pops ~vpns ~sites_per_vpn ~seed deployment
+               in
+               let nodes =
+                 Array.to_list (Backbone.pops (Scenario.backbone sc))
+               in
+               Mvpn_resilience.Chaos.random_topology_plan ~nodes
+                 ~rng:(Mvpn_sim.Rng.create cseed)
+                 ~links:(Scenario.core_links sc) ~duration ()))
+        chaos
+    in
+    (* Runs on every replica — sequential, or each shard — after the
+       timeline sampler and before the workload, in this exact order,
+       so event FIFO ranks match at every shard count. *)
+    let prepare sc =
+      let frr =
+        match (chaos, chaos_plan) with
+        | Some cseed, Some plan ->
+          let h =
+            Mvpn_resilience.Harness.arm ~plan ~frr:true ~fallback:true
+              ~seed:cseed ~duration sc
+          in
+          Mvpn_resilience.Harness.frr h
+        | _ -> None
+      in
+      (* Live per-replica conformance engine for the auditor's
+         budget-monotonicity check; violation events stay in a private
+         log. The reported SLO verdict still comes from the merged
+         fate replay, as everywhere else. *)
+      ignore
+        (Scenario.attach_slo
+           ~slo:(Telemetry.Slo.create
+                   ~events:(Telemetry.Event_log.create ()) ())
+           sc);
+      (* The span sampler attach_slo arms re-walks the trace ring per
+         sampled delivery — real money over an hours-long soak, and
+         nothing here reads the spans. *)
+      Mvpn_core.Network.set_span_sampler (Scenario.network sc) None;
+      ignore
+        (Mvpn_resilience.Audit.start ~interval:audit_interval
+           ~until:horizon ~fail_fast ?frr sc)
+    in
+    Telemetry.Control.enable ();
+    let cfg =
+      { Mvpn_par.Runner.default_config with
+        shards = (if shards < 1 then 1 else shards);
+        pops; vpns; sites_per_vpn; load; duration; seed;
+        sample_interval = Some snapshot_interval;
+        prepare_replica = Some prepare;
+        diurnal = Some segments }
+    in
+    let o =
+      if shards <= 1 then Mvpn_par.Runner.run_sequential cfg
+      else Mvpn_par.Runner.run_parallel cfg
+    in
+    Telemetry.Control.disable ();
+    let replicas = max 1 o.Mvpn_par.Runner.shards in
+    let audit_ticks =
+      Telemetry.Registry.counter_value "audit.ticks" / replicas
+    in
+    let audit_violations =
+      Telemetry.Registry.counter_value "audit.violations"
+    in
+    (* Streamed snapshot count: the longest sim-scope series the
+       timeline sampler recorded (decimating rings bound it). *)
+    let snapshots =
+      List.fold_left
+        (fun acc name ->
+           match Telemetry.Registry.find_series name with
+           | Some s
+             when Telemetry.Timeseries.scope s = Telemetry.Timeseries.Sim ->
+             max acc (Array.length (Telemetry.Timeseries.samples s))
+           | _ -> acc)
+        0
+        (Telemetry.Registry.names ())
+    in
+    let open Mvpn_par.Runner in
+    if json then begin
+      (* Only shard-invariant material: equal seeds must give these
+         exact bytes at every --shards K. *)
+      let b = Buffer.create 8192 in
+      Printf.bprintf b
+        "{\"schema\":%d,\"hours\":%s,\"duration\":%s,\"seed\":%d,\
+         \"load\":%s,\"segments\":%d,"
+        Telemetry.Registry.schema_version (jf hours) (jf duration) seed
+        (jf load) segments;
+      (match (chaos, chaos_plan) with
+       | Some cseed, Some plan ->
+         Printf.bprintf b "\"chaos\":{\"seed\":%d,\"plan\":%s},"
+           cseed (Mvpn_resilience.Chaos.plan_json plan)
+       | _ -> Buffer.add_string b "\"chaos\":null,");
+      Printf.bprintf b "\"delivered\":%d,\"dropped\":%d," o.delivered
+        o.dropped;
+      Printf.bprintf b "\"classes\":{%s},"
+        (String.concat ","
+           (List.map
+              (fun (l, s, r) ->
+                 Printf.sprintf "\"%s\":{\"sent\":%d,\"received\":%d}" l s
+                   r)
+              o.classes));
+      Printf.bprintf b
+        "\"slo\":{\"in_budget\":%b,\"violations\":%d},"
+        (Telemetry.Slo.in_budget o.slo)
+        (Telemetry.Slo.violation_count o.slo);
+      Printf.bprintf b
+        "\"audit\":{\"interval\":%s,\"ticks\":%d,\"violations\":%d},"
+        (jf audit_interval) audit_ticks audit_violations;
+      Printf.bprintf b "\"snapshots\":%d}" snapshots;
+      print_string (Buffer.contents b)
+    end
+    else begin
+      Printf.printf
+        "soak: %.3g h simulated (%.6gs), seed %d, %d replica(s)\n" hours
+        duration seed replicas;
+      (match (chaos, chaos_plan) with
+       | Some cseed, Some plan ->
+         Printf.printf "  chaos seed %d: %d topology faults\n" cseed
+           (List.length plan)
+       | _ -> Printf.printf "  chaos: off\n");
+      Printf.printf "  delivered         %d\n  dropped           %d\n"
+        o.delivered o.dropped;
+      Printf.printf "  audit ticks       %d (interval %.3gs)\n" audit_ticks
+        audit_interval;
+      Printf.printf "  audit violations  %d\n" audit_violations;
+      List.iter
+        (fun name ->
+           let prefix = "audit.violation." in
+           if String.length name > String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix then
+             Printf.printf "    %-24s %d\n" name
+               (Telemetry.Registry.counter_value name))
+        (Telemetry.Registry.names ());
+      Printf.printf "  snapshots         %d (interval %.3gs)\n" snapshots
+        snapshot_interval;
+      Printf.printf "\nSLA conformance (merged fate replay):\n";
+      Telemetry.Slo.pp Format.std_formatter o.slo;
+      Format.pp_print_flush Format.std_formatter ();
+      Printf.printf "overall: %s\n"
+        (if audit_violations = 0 then "all invariants held"
+         else "INVARIANT VIOLATIONS")
+    end;
+    if audit_violations <> 0 then exit 1
+  in
+  let hours_arg =
+    Arg.(value & opt pos_float_conv 0.1 & info ["hours"] ~docv:"H"
+           ~doc:"Simulated soak length in hours (finite, positive).")
+  in
+  let chaos_arg =
+    Arg.(value & opt (some int) None & info ["chaos"] ~docv:"SEED"
+           ~doc:"Arm fast reroute, IP fallback, backoff recovery and a \
+                 seeded topology-only fault storm (link flaps, node \
+                 outages, session drops) for the whole soak.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 1 & info ["shards"] ~docv:"K"
+           ~doc:"Shard (domain) count; 1 runs the sequential replica. \
+                 The JSON envelope is byte-identical at every K.")
+  in
+  let audit_interval_arg =
+    Arg.(value
+         & opt pos_float_conv Mvpn_resilience.Audit.default_interval
+         & info ["audit-interval"] ~docv:"SEC"
+           ~doc:"Invariant audit interval in simulated seconds (finite, \
+                 positive).")
+  in
+  let snapshot_interval_arg =
+    Arg.(value & opt pos_float_conv Sampler.default_interval
+         & info ["snapshot-interval"] ~docv:"SEC"
+           ~doc:"Streaming telemetry snapshot interval in simulated \
+                 seconds (finite, positive).")
+  in
+  let segments_arg =
+    Arg.(value & opt int 8 & info ["segments"] ~docv:"N"
+           ~doc:"Diurnal load-envelope segments over the soak.")
+  in
+  let fail_fast_arg =
+    Arg.(value & flag & info ["fail-fast"]
+           ~doc:"Abort on the first invariant violation instead of \
+                 counting them to the end.")
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit the soak envelope — inputs, chaos plan, traffic \
+                 totals, SLO verdict, audit tallies — as one JSON \
+                 object. Byte-identical for equal seeds at every shard \
+                 count.")
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:"Long-horizon soak: hours of simulated mixed traffic under a \
+             diurnal load envelope, optionally under a seeded chaos \
+             storm, with the streaming invariant auditor and timeline \
+             sampler armed on every replica. Exit status is the \
+             contract: 0 when every audited invariant held, 1 on any \
+             violation (124 on command-line errors, per cmdliner).")
+    Term.(const run $ pops_arg $ vpns_arg $ sites_arg $ load_arg
+          $ seed_arg $ shards_arg $ hours_arg $ chaos_arg
+          $ audit_interval_arg $ snapshot_interval_arg $ segments_arg
+          $ fail_fast_arg $ json_arg)
+
 (* --- fail --------------------------------------------------------------- *)
 
 let fail_cmd =
@@ -781,4 +1020,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; chaos_cmd;
-           par_cmd; timeline_cmd; fail_cmd; plan_cmd]))
+           par_cmd; timeline_cmd; soak_cmd; fail_cmd; plan_cmd]))

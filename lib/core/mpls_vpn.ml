@@ -368,9 +368,12 @@ let pe_multicast t pe v ~from packet =
            here. *)
         | Vrf.Via_neighbor _ -> false
       in
-      if replicate && not (Prefix.equal prefix multicast_range) then
-        pe_forward_to t pe (Packet.copy packet) nh);
+      if replicate && not (Prefix.equal prefix multicast_range) then begin
+        Network.note_fork t.net;
+        pe_forward_to t pe (Packet.copy packet) nh
+      end);
   (* Only the replicas travel; the original has served its purpose. *)
+  Network.note_consume t.net packet;
   Packet.release packet
 
 let pe_ingress t pe v ~from packet =

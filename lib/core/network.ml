@@ -59,6 +59,28 @@ type trace_event = {
    drift from the table when the global switch toggles mid-run. *)
 type drop_entry = { mutable n : int; metric : Telemetry.Counter.t }
 
+(* Conservation ledger (always on, plain int stores): every packet the
+   network has ever been handed is injected, imported from another
+   shard, or forked (multicast replication); every packet it no longer
+   holds was delivered, dropped (table or port), exported to another
+   shard, or consumed (a replicated original absorbed at the PE). The
+   difference is [live] — packets in queues, in flight on links, or
+   waiting in scheduled events. The invariant auditor checks the books
+   balance every tick; [live] is maintained independently of the fate
+   counters through the per-packet [fated] flag, so a miscounted fate
+   genuinely unbalances the equation instead of cancelling out. *)
+type flow_totals = {
+  injected : int;
+  imported : int;
+  exported : int;
+  forked : int;
+  consumed : int;
+  delivered : int;
+  table_drops : int;
+  unattributed : int;
+  live : int;
+}
+
 type t = {
   engine : Engine.t;
   topo : Topology.t;
@@ -74,6 +96,18 @@ type t = {
      packet; entries clear when the protected link comes back up. *)
   frr_engaged : (int * int, unit) Hashtbl.t;
   mutable total_drops : int;
+  mutable injected_n : int;
+  mutable imported_n : int;
+  mutable exported_n : int;
+  mutable forked_n : int;
+  mutable consumed_n : int;
+  mutable delivered_n : int;
+  mutable unattributed_n : int;
+  mutable live_n : int;
+  (* Test-only sabotage: while positive, [drop] skips the authoritative
+     table increment (but still releases the packet and retires it from
+     [live]) — the injected conservation bug the auditor must catch. *)
+  mutable drop_leak : int;
   link_tx_bytes : Telemetry.Counter.t array;  (* indexed by link id *)
   (* Hot-path telemetry coalescing: while the engine is inside a batch
      window (Engine.in_batch), per-packet counter writes accumulate in
@@ -241,28 +275,47 @@ let emit t ~node ?packet action =
    authority; the [net.drop.<reason>] and [net.drops] telemetry
    counters are set from it (never independently incremented), so they
    agree with {!drop_counts} whenever telemetry is on. *)
+(* Retire a packet from the live count, exactly once per incarnation:
+   [fated] guards against terminal paths that compose (the default
+   no-sink sink routes a delivery back through [drop]). *)
+let account_terminal t (p : Packet.t) =
+  if not p.Packet.fated then begin
+    p.Packet.fated <- true;
+    t.live_n <- t.live_n - 1
+  end
+
 let drop ?(node = -1) ?packet t reason =
   emit t ~node ?packet (Trace_drop reason);
-  let e =
-    match Hashtbl.find_opt t.drop_table reason with
-    | Some e -> e
-    | None ->
-      let e =
-        { n = 0; metric = Telemetry.Registry.counter ("net.drop." ^ reason) }
-      in
-      Hashtbl.add t.drop_table reason e;
-      e
-  in
-  e.n <- e.n + 1;
-  t.total_drops <- t.total_drops + 1;
-  (* The authoritative table row just advanced; mirror it into the
-     registry now, or (inside a batch window) once at the flush. *)
-  if Engine.in_batch t.engine then begin
-    if !Telemetry.Control.enabled then t.drops_dirty <- true
-  end
+  (match packet with
+   | Some p -> account_terminal t p
+   | None ->
+     (* The caller abandoned a packet it never handed over; the ledger
+        retires one live packet against the table row below. *)
+     t.unattributed_n <- t.unattributed_n + 1;
+     t.live_n <- t.live_n - 1);
+  if t.drop_leak > 0 then t.drop_leak <- t.drop_leak - 1
   else begin
-    Telemetry.Counter.set e.metric e.n;
-    Telemetry.Counter.set m_drops t.total_drops
+    let e =
+      match Hashtbl.find_opt t.drop_table reason with
+      | Some e -> e
+      | None ->
+        let e =
+          { n = 0; metric = Telemetry.Registry.counter ("net.drop." ^ reason) }
+        in
+        Hashtbl.add t.drop_table reason e;
+        e
+    in
+    e.n <- e.n + 1;
+    t.total_drops <- t.total_drops + 1;
+    (* The authoritative table row just advanced; mirror it into the
+       registry now, or (inside a batch window) once at the flush. *)
+    if Engine.in_batch t.engine then begin
+      if !Telemetry.Control.enabled then t.drops_dirty <- true
+    end
+    else begin
+      Telemetry.Counter.set e.metric e.n;
+      Telemetry.Counter.set m_drops t.total_drops
+    end
   end;
   record_hop t ~node ?packet ("drop:" ^ reason);
   (if !Telemetry.Control.enabled then
@@ -280,6 +333,7 @@ let drop ?(node = -1) ?packet t reason =
    them against the tenant's SLO. *)
 let port_drop t ~node packet reason =
   emit t ~node ~packet (Trace_drop reason);
+  account_terminal t packet;
   if !Telemetry.Control.enabled then begin
     record_hop t ~node ~packet ("drop:" ^ reason);
     observe_fate t packet ~dropped:true
@@ -398,6 +452,15 @@ let sojourn_for t dscp =
 
 let deliver t node packet =
   emit_deliver t ~node packet;
+  (* Book the delivery before the sink runs: if the sink is the
+     drop-counting default, the drop path sees the packet already fated
+     and only the table row moves (which the auditor then flags — a
+     delivery nobody claimed is an accounting anomaly). *)
+  if not packet.Packet.fated then begin
+    packet.Packet.fated <- true;
+    t.live_n <- t.live_n - 1;
+    t.delivered_n <- t.delivered_n + 1
+  end;
   if !Telemetry.Control.enabled then begin
     if Engine.in_batch t.engine then
       t.pending_delivered <- t.pending_delivered + 1
@@ -418,7 +481,58 @@ let forward_ip t node packet = Dataplane.forward_ip t.dp node packet
 
 let receive t node ~from packet = Dataplane.receive t.dp node ~from packet
 
-let inject t node packet = receive t node ~from:None packet
+let inject t node packet =
+  t.injected_n <- t.injected_n + 1;
+  t.live_n <- t.live_n + 1;
+  receive t node ~from:None packet
+
+(* Shard-boundary and replication hand-offs: the runner's exchange and
+   the PE multicast path move packets into and out of a network without
+   going through [inject]/[deliver]; these keep the ledger balanced. *)
+let note_import t =
+  t.imported_n <- t.imported_n + 1;
+  t.live_n <- t.live_n + 1
+
+let note_export t =
+  t.exported_n <- t.exported_n + 1;
+  t.live_n <- t.live_n - 1
+
+let note_fork t =
+  t.forked_n <- t.forked_n + 1;
+  t.live_n <- t.live_n + 1
+
+let note_consume t (p : Packet.t) =
+  if not p.Packet.fated then begin
+    p.Packet.fated <- true;
+    t.live_n <- t.live_n - 1;
+    t.consumed_n <- t.consumed_n + 1
+  end
+
+let flow_totals t =
+  { injected = t.injected_n; imported = t.imported_n;
+    exported = t.exported_n; forked = t.forked_n; consumed = t.consumed_n;
+    delivered = t.delivered_n; table_drops = t.total_drops;
+    unattributed = t.unattributed_n; live = t.live_n }
+
+let port_drop_total t =
+  Array.fold_left
+    (fun acc slot ->
+       match slot with
+       | None -> acc
+       | Some p ->
+         let c = Port.counters p in
+         acc + c.Port.dropped_queue + c.Port.dropped_link_down
+         + c.Port.dropped_fault)
+    0 t.ports
+
+let iter_ports t f =
+  Array.iteri
+    (fun link_id slot -> match slot with Some p -> f ~link_id p | None -> ())
+    t.ports
+
+let set_drop_leak t n =
+  if n < 0 then invalid_arg "Network.set_drop_leak: negative count";
+  t.drop_leak <- n
 
 let inject_after t ~delay node packet =
   Engine.schedule t.engine ~delay (fun () -> inject t node packet)
@@ -442,6 +556,9 @@ let create ?(policy = Qos_mapping.Best_effort) ?buffer_bytes ?wred
       drop_table = Hashtbl.create 16;
       frr_engaged = Hashtbl.create 8;
       total_drops = 0;
+      injected_n = 0; imported_n = 0; exported_n = 0; forked_n = 0;
+      consumed_n = 0; delivered_n = 0; unattributed_n = 0; live_n = 0;
+      drop_leak = 0;
       link_tx_bytes =
         Array.init (max 1 n_links) (fun i ->
             Telemetry.Registry.counter

@@ -175,3 +175,62 @@ val drop_counts : t -> (string * int) list
 val drops : t -> int
 (** Total drops across all reasons (not counting port queue drops —
     read those from the port counters). *)
+
+(** {2 Conservation ledger}
+
+    Always-on packet accounting the runtime invariant auditor
+    ({!Mvpn_resilience.Audit}) balances every tick:
+
+    {[ injected + imported + forked
+       = delivered + table_drops + port_drops + exported + consumed
+         + live ]}
+
+    where [port_drops] is {!port_drop_total}. [live] is maintained
+    independently of the fate counters through the packet's [fated]
+    flag, so a lost or double-counted fate unbalances the equation
+    instead of cancelling. The books cover unicast and PE-replicated
+    traffic; packets a test abandons without handing them to the
+    network (unattributed {!drop_packet} calls) retire one live packet
+    against the drop table. *)
+
+type flow_totals = {
+  injected : int;  (** packets handed in via {!inject} *)
+  imported : int;  (** packets received from another shard *)
+  exported : int;  (** packets handed off to another shard *)
+  forked : int;  (** replication copies spawned (PE multicast) *)
+  consumed : int;  (** replicated originals absorbed at the PE *)
+  delivered : int;  (** packets handed to a sink *)
+  table_drops : int;  (** same total as {!drops} *)
+  unattributed : int;  (** packet-less {!drop_packet} calls *)
+  live : int;  (** packets currently held (queues, links, events) *)
+}
+
+val flow_totals : t -> flow_totals
+
+val port_drop_total : t -> int
+(** Port discards summed over every link's port: queue refusals,
+    link-down and fault losses (the drops {!drops} excludes). *)
+
+val iter_ports : t -> (link_id:int -> Mvpn_qos.Port.t -> unit) -> unit
+(** Visit every armed port (queue-depth audits, depth telemetry). *)
+
+val note_import : t -> unit
+val note_export : t -> unit
+(** Ledger entries for shard-boundary hand-offs: the parallel runner's
+    exchange moves packets between replicas without [inject]/[deliver];
+    export retires the packet from this network's live count, import
+    adds it to the receiver's. *)
+
+val note_fork : t -> unit
+(** A replication copy entered circulation (PE multicast ingress). *)
+
+val note_consume : t -> Mvpn_net.Packet.t -> unit
+(** A replicated original was absorbed without a terminal delivery or
+    drop (the PE released it after fanning copies out). Idempotent per
+    incarnation. *)
+
+val set_drop_leak : t -> int -> unit
+(** Test-only sabotage: make the next [n] table drops skip the
+    authoritative count (the packet is still released and retired from
+    [live]) — a deliberately injected conservation bug the auditor must
+    catch. Never call outside tests. *)

@@ -151,12 +151,19 @@ let sample t =
 let stop t = t.stopped <- true
 
 let start ?(interval = default_interval) ?until sc =
-  if interval <= 0.0 then
-    invalid_arg "Sampler.start: interval must be positive";
+  (* A non-finite or non-positive interval is a silent runaway: the
+     self-reschedule would loop at one instant (0, nan) or never fire
+     again (infinity). Reject at config time with a clear error. *)
+  if not (Float.is_finite interval && interval > 0.0) then
+    invalid_arg
+      (Printf.sprintf
+         "Sampler.start: interval must be finite and positive, got %g"
+         interval);
   let engine = Scenario.engine sc in
   let horizon =
     match until with
-    | Some h when h < 0.0 -> invalid_arg "Sampler.start: negative until"
+    | Some h when Float.is_nan h || h < 0.0 ->
+      invalid_arg "Sampler.start: until must be >= 0"
     | Some h -> h
     | None -> infinity
   in

@@ -24,7 +24,8 @@ val start : ?interval:float -> ?until:float -> Scenario.t -> t
 (** Register the series (idempotent) and schedule the first tick at
     [interval]; each tick re-schedules the next until [until] (default
     unbounded) or {!stop}. Arm before the run starts.
-    @raise Invalid_argument on a non-positive interval or negative
+    @raise Invalid_argument on a non-finite or non-positive interval
+    (a silent runaway self-reschedule otherwise) or a negative/NaN
     [until]. *)
 
 val observe_fate :

@@ -177,6 +177,37 @@ let add_mixed_workload ?(load = 0.9) ?(start = 0.0) ?rng_seed ?only t ~pairs
          a b)
     pairs
 
+(* Diurnal envelope for long soaks: [segments] equal windows across the
+   duration, each a mixed workload whose load follows a raised-cosine
+   day curve — trough at the edges, peak mid-run. One shared rng forked
+   exactly once per segment regardless of the ownership filter, so a
+   partitioned soak draws the identical stream per replica. *)
+let add_diurnal_workload ?(peak_load = 0.9) ?(floor_load = 0.3)
+    ?(segments = 8) ?only t ~pairs ~duration =
+  if segments < 1 then
+    invalid_arg "Scenario.add_diurnal_workload: segments must be >= 1";
+  if not (Float.is_finite duration && duration > 0.0) then
+    invalid_arg
+      "Scenario.add_diurnal_workload: duration must be finite and positive";
+  let rng = Rng.fork t.rng in
+  let seg = duration /. float_of_int segments in
+  for i = 0 to segments - 1 do
+    let phase =
+      2.0 *. Float.pi *. (float_of_int i +. 0.5) /. float_of_int segments
+    in
+    let load =
+      floor_load
+      +. (peak_load -. floor_load) *. 0.5 *. (1.0 -. Float.cos phase)
+    in
+    let start = float_of_int i *. seg in
+    List.iter
+      (fun (a, b) ->
+         let armed = match only with None -> true | Some f -> f a b in
+         add_pair_workload t ~armed ~load ~start ~stop:(start +. seg) rng a
+           b)
+      pairs
+  done
+
 let default_pairs t =
   let pairs = ref [] in
   Array.iteri

@@ -71,6 +71,21 @@ val add_mixed_workload :
     byte-identical to an unfiltered run — how a partitioned run arms
     each pair in exactly one shard without perturbing the others. *)
 
+val add_diurnal_workload :
+  ?peak_load:float ->
+  ?floor_load:float ->
+  ?segments:int ->
+  ?only:(Site.t -> Site.t -> bool) ->
+  t -> pairs:(Site.t * Site.t) list -> duration:float -> unit
+(** The soak workload: [segments] (default 8) equal windows over
+    [duration], each a {!add_mixed_workload} whose load follows a
+    raised-cosine diurnal curve from [floor_load] (default 0.3) at the
+    edges to [peak_load] (default 0.9) mid-run. [only] filters exactly
+    as in {!add_mixed_workload} — every RNG draw happens regardless, so
+    partitioned soaks stay byte-identical to sequential.
+    @raise Invalid_argument on [segments < 1] or a non-finite or
+    non-positive [duration]. *)
+
 val default_pairs : t -> (Site.t * Site.t) list
 (** The demo workload pairing used by [mvpn]: consecutive sites
     (0→1, 2→3, …) in build order. Exposed so the sequential and

@@ -55,6 +55,7 @@ type t = {
   mutable depth : int;
   mutable encap_bytes : int;
   mutable in_pool : bool;
+  mutable fated : bool;
 }
 
 let default_ttl = 64
@@ -74,6 +75,13 @@ let reset_uid_counter () = Atomic.set uid_counter 0
 
 let next_uid () = 1 + Atomic.fetch_and_add uid_counter 1
 
+(* Fresh record allocations (pool reuse excluded), process-wide. The
+   invariant auditor uses [allocated - live - pool_size] as a leak
+   witness: with pooling on it must stay constant between audit ticks. *)
+let alloc_counter = Atomic.make 0
+
+let allocated () = Atomic.get alloc_counter
+
 let header_of_flow ?(dscp = Dscp.best_effort) (flow : Flow.t) =
   { src = flow.src; dst = flow.dst; proto = flow.proto;
     src_port = flow.src_port; dst_port = flow.dst_port; dscp;
@@ -89,7 +97,7 @@ let null =
     inner = header_of_flow flow; encrypted = false;
     outer = blank_header (); has_outer = false;
     stack = Array.make max_depth 0; depth = 0; encap_bytes = 0;
-    in_pool = false }
+    in_pool = false; fated = false }
 
 (* One free list per domain (no locking, no cross-domain races): a
    packet released on a domain is reincarnated by that same domain's
@@ -132,12 +140,14 @@ let obtain () =
     p.in_pool <- false;
     p
   end
-  else
+  else begin
+    Atomic.incr alloc_counter;
     { uid = 0; flow = null.flow; vpn = None; seq = 0; created_at = 0.;
       size = 0; inner = blank_header (); encrypted = false;
       outer = blank_header (); has_outer = false;
       stack = Array.make max_depth 0; depth = 0; encap_bytes = 0;
-      in_pool = false }
+      in_pool = false; fated = false }
+  end
 
 let set_header (h : header) ~src ~dst ~proto ~src_port ~dst_port ~dscp ~ttl =
   h.src <- src; h.dst <- dst; h.proto <- proto; h.src_port <- src_port;
@@ -159,6 +169,7 @@ let make ?vpn ?(seq = 0) ?(dscp = Dscp.best_effort) ?(size = 512) ~now
   p.has_outer <- false;
   p.depth <- 0;
   p.encap_bytes <- 0;
+  p.fated <- false;
   p
 
 let assign_header (dst : header) (src : header) =
@@ -181,6 +192,7 @@ let copy p =
   Array.blit p.stack 0 q.stack 0 p.depth;
   q.depth <- p.depth;
   q.encap_bytes <- p.encap_bytes;
+  q.fated <- false;
   q
 
 let visible_header p = if p.has_outer then p.outer else p.inner

@@ -99,6 +99,11 @@ type t = {
   mutable depth : int;  (** live entries in [stack] *)
   mutable encap_bytes : int;  (** wire overhead of the current tunnel *)
   mutable in_pool : bool;  (** [true] between {!release} and {!make} *)
+  mutable fated : bool;
+      (** [true] once the packet has met a terminal fate (delivery or
+          drop) this incarnation. Owned by {!Mvpn_core.Network}'s
+          conservation accounting — services must not touch it. Reset by
+          {!make} and left [false] on {!copy} results. *)
 }
 
 val default_ttl : int
@@ -149,6 +154,11 @@ val release : t -> unit
 
 val pool_size : unit -> int
 (** Retired packets available in the calling domain's pool (tests). *)
+
+val allocated : unit -> int
+(** Fresh packet-record allocations so far, process-wide (pool reuse is
+    not counted). With pooling on, [allocated () - live - pool_size ()]
+    is a leak witness the invariant auditor holds constant. *)
 
 (** {2 Headers} *)
 

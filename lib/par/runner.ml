@@ -26,6 +26,8 @@ type config = {
   backend : Engine.backend;
   sample_interval : float option;
   profile : bool;
+  prepare_replica : (Scenario.t -> unit) option;
+  diurnal : int option;
 }
 
 let default_config =
@@ -33,7 +35,8 @@ let default_config =
     policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
     use_te = false; load = 0.9; duration = 30.0; seed = 11;
     core_delay = None; backend = Engine.Calendar;
-    sample_interval = None; profile = false }
+    sample_interval = None; profile = false; prepare_replica = None;
+    diurnal = None }
 
 type outcome = {
   shards : int;
@@ -62,8 +65,13 @@ let build_replica cfg () =
     (Scenario.Mpls_deployment { policy = cfg.policy; use_te = cfg.use_te })
 
 let arm_workload cfg sc ~only =
-  Scenario.add_mixed_workload ~load:cfg.load ~only sc
-    ~pairs:(Scenario.default_pairs sc) ~duration:cfg.duration
+  match cfg.diurnal with
+  | None ->
+    Scenario.add_mixed_workload ~load:cfg.load ~only sc
+      ~pairs:(Scenario.default_pairs sc) ~duration:cfg.duration
+  | Some segments ->
+    Scenario.add_diurnal_workload ~peak_load:cfg.load ~segments ~only sc
+      ~pairs:(Scenario.default_pairs sc) ~duration:cfg.duration
 
 (* Replay a time-sorted fate stream into a fresh conformance engine
    with the stock per-(vpn, band) objectives — the same declarations
@@ -238,11 +246,21 @@ let run_parallel (cfg : config) =
               Shard.create ~id:i ~part ~exchange:ex
                 ~build:(build_replica cfg)
                 ~prepare:(fun sc ->
-                    Option.map
-                      (fun dt ->
-                         Sampler.observe_fate
-                           (Sampler.start ~interval:dt ~until:horizon sc))
-                      cfg.sample_interval)
+                    let tap =
+                      Option.map
+                        (fun dt ->
+                           Sampler.observe_fate
+                             (Sampler.start ~interval:dt ~until:horizon sc))
+                        cfg.sample_interval
+                    in
+                    (* Same schedule-call order as run_sequential:
+                       sampler ticks, then whatever the caller arms
+                       (chaos storms, the invariant auditor) — FIFO
+                       tie-break at equal times depends on it. *)
+                    (match cfg.prepare_replica with
+                     | Some f -> f sc
+                     | None -> ());
+                    tap)
                 ~arm:(arm_workload cfg) ()
             in
             drive sh clock;
@@ -328,6 +346,10 @@ let run_sequential (cfg : config) =
       (fun dt -> Sampler.start ~interval:dt ~until:horizon sc)
       cfg.sample_interval
   in
+  (* After the sampler, before the workload — the same schedule-call
+     order the shard replicas use, so events landing at equal times
+     keep the same FIFO rank at every shard count. *)
+  (match cfg.prepare_replica with Some f -> f sc | None -> ());
   if cfg.profile then
     Mvpn_sim.Profile.enable (Engine.profiler (Scenario.engine sc));
   let fates = fatelog_create () in

@@ -45,6 +45,20 @@ type config = {
           [sim.profile.*] gauges after the run; {!run_sequential} only
           — shard wall times are not meaningfully mergeable (default
           [false]) *)
+  prepare_replica : (Mvpn_core.Scenario.t -> unit) option;
+      (** run on every replica — the sequential scenario, and each
+          shard's — after the timeline sampler is armed and before the
+          workload: the soak driver's hook for arming chaos storms and
+          the invariant auditor identically everywhere. Must schedule
+          the same events in the same order on every replica (e.g.
+          {!Mvpn_resilience.Chaos.random_topology_plan}-based storms,
+          never uid-dependent faults), or determinism across shard
+          counts is forfeit (default [None]) *)
+  diurnal : int option;
+      (** [Some segments] replaces the flat mixed workload with
+          {!Mvpn_core.Scenario.add_diurnal_workload}: a raised-cosine
+          day/night load envelope peaking at [load], in [segments]
+          windows over [duration] (default [None]) *)
 }
 
 val default_config : config

@@ -91,6 +91,7 @@ let create ~id ~part ~exchange ~build ?prepare ~arm () =
            (Some
               (fun ~arrival packet ->
                  t.sent <- t.sent + 1;
+                 Network.note_export net;
                  Exchange.send exchange ~src:id ~dst:dst_shard ~arrival
                    ~sent:(Engine.now eng) ~src_node ~dst_node packet))
        end)
@@ -120,6 +121,7 @@ let ingest t ~bound ~inclusive =
       let dst = m.Exchange.dst_node and src = m.Exchange.src_node in
       let packet = m.Exchange.packet in
       Engine.schedule_at t.eng ~time:arrival (fun () ->
+          Network.note_import t.net;
           Network.receive t.net dst ~from:(Some src) packet);
       take rest
     | rest -> t.pending <- rest

@@ -54,7 +54,13 @@ let fault_json f =
         (List.map (fun (k, v) -> Printf.sprintf "%S:%s" k v) fields)
     ^ "}"
   in
-  let fl x = Printf.sprintf "%.6f" x in
+  (* Lossless float rendering: shortest decimal that parses back to
+     the same double, so plan -> JSON -> plan is the identity and a
+     parsed plan replays byte-identically. *)
+  let fl x =
+    let s = Printf.sprintf "%.12g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+  in
   match f with
   | Link_flap { a; b; at; hold } ->
     obj
@@ -112,6 +118,188 @@ let random_plan ?(events = 12) ?(nodes = []) ~rng ~links ~duration () =
             duration = sample_hold rng ~duration;
             corrupt = 0.05 +. 0.25 *. Rng.uniform rng }
       else if roll < 90 then
+        let node = List.nth nodes (Rng.int rng (List.length nodes)) in
+        Session_drop { node; at }
+      else
+        let node = List.nth nodes (Rng.int rng (List.length nodes)) in
+        Node_down { node; at; hold = sample_hold rng ~duration }
+    in
+    faults := f :: !faults
+  done;
+  List.stable_sort
+    (fun f g -> compare (fault_time f, f) (fault_time g, g))
+    !faults
+
+let plan_json plan =
+  "[" ^ String.concat "," (List.map fault_json plan) ^ "]"
+
+(* A minimal parser for exactly the shape [plan_json] emits — an array
+   of flat objects whose values are numbers or strings. Floats are
+   printed losslessly above, so [plan_of_json (plan_json p) = p] and a
+   parsed plan replays byte-identically. *)
+let plan_of_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg =
+    failwith (Printf.sprintf "Chaos.plan_of_json: %s at offset %d" msg !pos)
+  in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let peek () =
+    skip_ws ();
+    if !pos < n then Some s.[!pos] else None
+  in
+  let expect c =
+    if peek () = Some c then incr pos
+    else error (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then error "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then error "truncated escape";
+          (match s.[!pos] with
+           | '"' -> Buffer.add_char b '"'
+           | '\\' -> Buffer.add_char b '\\'
+           | 'n' -> Buffer.add_char b '\n'
+           | c -> error (Printf.sprintf "unsupported escape '\\%c'" c));
+          incr pos;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_scalar () =
+    match peek () with
+    | Some '"' -> `S (parse_string ())
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        incr pos
+      done;
+      if !pos = start then error "expected a value";
+      `N (String.sub s start (!pos - start))
+  in
+  let parse_obj () =
+    expect '{';
+    let fields = ref [] in
+    (match peek () with
+     | Some '}' -> incr pos
+     | _ ->
+       let rec go () =
+         let k = parse_string () in
+         expect ':';
+         fields := (k, parse_scalar ()) :: !fields;
+         match peek () with
+         | Some ',' ->
+           incr pos;
+           go ()
+         | Some '}' -> incr pos
+         | _ -> error "expected ',' or '}'"
+       in
+       go ());
+    List.rev !fields
+  in
+  let str fields k =
+    match List.assoc_opt k fields with
+    | Some (`S v) -> v
+    | _ -> error (Printf.sprintf "missing string field %S" k)
+  in
+  let num fields k =
+    match List.assoc_opt k fields with
+    | Some (`N v) ->
+      (try float_of_string v
+       with Failure _ -> error (Printf.sprintf "bad number in %S" k))
+    | _ -> error (Printf.sprintf "missing numeric field %S" k)
+  in
+  let int_field fields k =
+    match List.assoc_opt k fields with
+    | Some (`N v) ->
+      (try int_of_string v
+       with Failure _ -> error (Printf.sprintf "bad integer in %S" k))
+    | _ -> error (Printf.sprintf "missing integer field %S" k)
+  in
+  let fault_of fields =
+    match str fields "kind" with
+    | "link_flap" ->
+      Link_flap
+        { a = int_field fields "a"; b = int_field fields "b";
+          at = num fields "at"; hold = num fields "hold" }
+    | "node_down" ->
+      Node_down
+        { node = int_field fields "node"; at = num fields "at";
+          hold = num fields "hold" }
+    | "loss_burst" ->
+      Loss_burst
+        { a = int_field fields "a"; b = int_field fields "b";
+          at = num fields "at"; duration = num fields "duration";
+          loss = num fields "loss" }
+    | "corrupt_burst" ->
+      Corrupt_burst
+        { a = int_field fields "a"; b = int_field fields "b";
+          at = num fields "at"; duration = num fields "duration";
+          corrupt = num fields "corrupt" }
+    | "session_drop" ->
+      Session_drop { node = int_field fields "node"; at = num fields "at" }
+    | k -> error (Printf.sprintf "unknown fault kind %S" k)
+  in
+  expect '[';
+  let faults = ref [] in
+  (match peek () with
+   | Some ']' -> incr pos
+   | _ ->
+     let rec go () =
+       faults := fault_of (parse_obj ()) :: !faults;
+       match peek () with
+       | Some ',' ->
+         incr pos;
+         go ()
+       | Some ']' -> incr pos
+       | _ -> error "expected ',' or ']'"
+     in
+     go ());
+  skip_ws ();
+  if !pos <> n then error "trailing input";
+  List.rev !faults
+
+(* Topology-only storms for sharded soaks: link flaps, session drops
+   and node outages replicate byte-identically across shard replicas,
+   while per-packet loss/corrupt bursts key their verdicts on packet
+   uids — whose allocation order is nondeterministic across domains —
+   and so stay sequential-only (see Packet.uid_counter). *)
+let random_topology_plan ?(events = 12) ~nodes ~rng ~links ~duration () =
+  if links = [] then invalid_arg "Chaos.random_topology_plan: no links";
+  if nodes = [] then invalid_arg "Chaos.random_topology_plan: no nodes";
+  let faults = ref [] in
+  for _ = 1 to events do
+    let at = Rng.float rng duration in
+    let roll = Rng.int rng 100 in
+    let f =
+      if roll < 60 then
+        let a, b = List.nth links (Rng.int rng (List.length links)) in
+        Link_flap { a; b; at; hold = sample_hold rng ~duration }
+      else if roll < 85 then
         let node = List.nth nodes (Rng.int rng (List.length nodes)) in
         Session_drop { node; at }
       else

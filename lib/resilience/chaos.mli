@@ -58,6 +58,22 @@ val random_plan :
     equal seeds give equal plans.
     @raise Invalid_argument when [links] is empty. *)
 
+val random_topology_plan :
+  ?events:int ->
+  nodes:int list ->
+  rng:Mvpn_sim.Rng.t ->
+  links:(int * int) list ->
+  duration:float ->
+  unit ->
+  plan
+(** Like {!random_plan} but drawing only topology faults — link flaps,
+    session drops, node outages — never per-packet loss/corrupt bursts.
+    Those key their verdicts on packet uids, whose allocation order is
+    nondeterministic across domains, so topology-only plans are the
+    storms a sharded soak can replay byte-identically at every shard
+    count.
+    @raise Invalid_argument when [links] or [nodes] is empty. *)
+
 val schedule : Mvpn_core.Network.t -> plan -> unit
 (** Arm every fault (and its recovery) on the network's engine. *)
 
@@ -66,5 +82,15 @@ val fault_time : fault -> float
 val pp_fault : Format.formatter -> fault -> unit
 
 val fault_json : fault -> string
-(** One JSON object per fault, stable field order — the replayable
+(** One JSON object per fault, stable field order, floats rendered
+    losslessly (shortest round-tripping decimal) — the replayable
     scenario record [mvpn chaos --json] prints. *)
+
+val plan_json : plan -> string
+(** The whole plan as a JSON array of {!fault_json} objects. *)
+
+val plan_of_json : string -> plan
+(** Parse exactly the shape {!plan_json} emits, structurally inverse:
+    [plan_of_json (plan_json p) = p], so a plan exported by one run can
+    be replayed byte-identically by another.
+    @raise Failure on malformed input. *)

@@ -37,8 +37,8 @@ let down_duplex net =
    whole control plane, then re-plumb bypasses against the surviving
    graph. [restored] is the number of duplex links that came back
    since the previous burst; [still_down] drives the backoff. *)
-let arm ?(events = 12) ?recovery_config ~frr:frr_on ~fallback ~seed ~duration
-    sc =
+let arm ?(events = 12) ?plan:plan_override ?recovery_config ~frr:frr_on
+    ~fallback ~seed ~duration sc =
   let net = Scenario.network sc in
   let vpn =
     match Scenario.mpls sc with
@@ -61,9 +61,14 @@ let arm ?(events = 12) ?recovery_config ~frr:frr_on ~fallback ~seed ~duration
   let recovery =
     Recovery.arm ?config:recovery_config ~seed:((seed * 7) + 1) net ~repair
   in
-  let rng = Rng.create seed in
-  let nodes = Array.to_list (Backbone.pops (Scenario.backbone sc)) in
-  let plan = Chaos.random_plan ~events ~nodes ~rng ~links:core ~duration () in
+  let plan =
+    match plan_override with
+    | Some p -> p
+    | None ->
+      let rng = Rng.create seed in
+      let nodes = Array.to_list (Backbone.pops (Scenario.backbone sc)) in
+      Chaos.random_plan ~events ~nodes ~rng ~links:core ~duration ()
+  in
   Chaos.schedule net plan;
   (* A session drop flips no link, so the duplex hook never sees it:
      arm the LDP refresh explicitly. Scheduled after the wipe (same

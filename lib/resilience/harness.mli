@@ -12,6 +12,7 @@ type t
 
 val arm :
   ?events:int ->
+  ?plan:Chaos.plan ->
   ?recovery_config:Recovery.config ->
   frr:bool ->
   fallback:bool ->
@@ -22,8 +23,11 @@ val arm :
 (** Arm IP fallback, facility-backup FRR over every core link (when
     [frr]), backoff-driven recovery whose repair burst reconverges the
     control plane and re-plumbs bypasses, and a seeded {!Chaos.plan}
-    of [events] faults (default 12) over [0, duration). Does not add
-    workload and does not run.
+    of [events] faults (default 12) over [0, duration). An explicit
+    [plan] (e.g. one parsed back from {!Chaos.plan_of_json}, or a
+    sharding-safe {!Chaos.random_topology_plan}) replaces the seeded
+    draw; session-drop refreshes are still scheduled over it. Does not
+    add workload and does not run.
     @raise Invalid_argument if the scenario has no MPLS deployment. *)
 
 val build :

@@ -33,6 +33,7 @@ type event =
   | Flap_damped of { src : int; dst : int; flaps : int }
   | Flap_released of { src : int; dst : int }
   | Resignal of { attempt : int; restored : int; still_down : int }
+  | Invariant_violated of { invariant : string; detail : string }
   | Note of string
 
 type entry = { seq : int; time : float; event : event }
@@ -99,6 +100,7 @@ let kind = function
   | Flap_damped _ -> "flap_damped"
   | Flap_released _ -> "flap_released"
   | Resignal _ -> "resignal"
+  | Invariant_violated _ -> "invariant_violated"
   | Note _ -> "note"
 
 let count_kind t k =
@@ -158,6 +160,9 @@ let entry_to_json e =
     | Resignal { attempt; restored; still_down } ->
       Printf.sprintf "\"attempt\":%d,\"restored\":%d,\"still_down\":%d"
         attempt restored still_down
+    | Invariant_violated { invariant; detail } ->
+      Printf.sprintf "\"invariant\":\"%s\",\"detail\":\"%s\""
+        (json_escape invariant) (json_escape detail)
     | Note text -> Printf.sprintf "\"text\":\"%s\"" (json_escape text)
   in
   Printf.sprintf "{\"seq\":%d,\"time\":%s,\"kind\":\"%s\",%s}" e.seq
@@ -198,6 +203,8 @@ let pp_event ppf = function
   | Resignal { attempt; restored; still_down } ->
     Format.fprintf ppf "resignal attempt=%d restored=%d still_down=%d"
       attempt restored still_down
+  | Invariant_violated { invariant; detail } ->
+    Format.fprintf ppf "invariant_violated %s: %s" invariant detail
   | Note text -> Format.fprintf ppf "note %s" text
 
 let pp_entry ppf e =

@@ -51,6 +51,10 @@ type event =
   | Resignal of { attempt : int; restored : int; still_down : int }
       (** one control-plane recovery burst (backoff attempt number,
           tunnels restored, tunnels still down) *)
+  | Invariant_violated of { invariant : string; detail : string }
+      (** the runtime auditor caught a broken invariant ([invariant]
+          names the check, e.g. ["conservation"]; [detail] carries the
+          numbers that disagreed) *)
   | Note of string
 
 type entry = { seq : int; time : float; event : event }

@@ -1688,6 +1688,95 @@ let test_bounded_residency () =
     true
     (delta < 2_000_000)
 
+(* Misconfigured observability must fail at config time, not silently
+   schedule a tick at t = nan that never fires (nan <= 0.0 is false, so
+   the old guard let it through). *)
+let test_sampler_interval_validation () =
+  let sc =
+    Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:2 ~seed:1
+      (Scenario.Mpls_deployment
+         { policy = Qos_mapping.Best_effort; use_te = false })
+  in
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  List.iter
+    (fun (name, bad) ->
+       expect_invalid name (fun () ->
+           ignore (Sampler.start ~interval:bad sc)))
+    [ ("nan interval", Float.nan); ("zero interval", 0.0);
+      ("negative interval", -0.5); ("infinite interval", infinity) ];
+  expect_invalid "nan until" (fun () ->
+      ignore (Sampler.start ~interval:1.0 ~until:Float.nan sc));
+  expect_invalid "negative until" (fun () ->
+      ignore (Sampler.start ~interval:1.0 ~until:(-3.0) sc));
+  (* the boundary cases that must keep working *)
+  ignore (Sampler.start ~interval:0.25 ~until:0.0 sc)
+
+let test_diurnal_workload_validation () =
+  let sc =
+    Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:2 ~seed:1
+      (Scenario.Mpls_deployment
+         { policy = Qos_mapping.Best_effort; use_te = false })
+  in
+  let pairs = Scenario.default_pairs sc in
+  let expect_invalid name f =
+    match f () with
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+    | exception Invalid_argument _ -> ()
+  in
+  expect_invalid "zero segments" (fun () ->
+      Scenario.add_diurnal_workload ~segments:0 sc ~pairs ~duration:10.0);
+  expect_invalid "nan duration" (fun () ->
+      Scenario.add_diurnal_workload sc ~pairs ~duration:Float.nan);
+  expect_invalid "zero duration" (fun () ->
+      Scenario.add_diurnal_workload sc ~pairs ~duration:0.0)
+
+(* The diurnal envelope really modulates offered load: the off-peak
+   half of the day must carry measurably less traffic than the peak
+   half. *)
+let test_diurnal_workload_modulates () =
+  T.Control.enable ();
+  Fun.protect ~finally:T.Control.disable @@ fun () ->
+  T.Registry.reset ();
+  let sc =
+    Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:2 ~seed:7
+      (Scenario.Mpls_deployment
+         { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+           use_te = false })
+  in
+  let sampler = Sampler.start ~interval:1.0 ~until:41.0 sc in
+  ignore sampler;
+  Scenario.add_diurnal_workload ~peak_load:0.9 ~floor_load:0.2 ~segments:4
+    sc ~pairs:(Scenario.default_pairs sc) ~duration:40.0;
+  Scenario.run sc ~duration:45.0;
+  (* The raised cosine peaks mid-run (segments 1-2) and bottoms out at
+     the edges (segments 0 and 3): total sampled link utilization in
+     the peak half must clearly outweigh the off-peak half. *)
+  let sum lo hi =
+    List.fold_left
+      (fun acc name ->
+         if String.length name > 8 && String.sub name 0 8 = "ts.link." then
+           match T.Registry.find_series name with
+           | Some s ->
+             Array.fold_left
+               (fun acc (t, v) ->
+                  if t >= lo && t < hi then acc +. v else acc)
+               acc (T.Timeseries.samples s)
+           | None -> acc
+         else acc)
+      0.0
+      (T.Registry.names ())
+  in
+  let edges = sum 0.0 10.0 +. sum 30.0 40.0 in
+  let core = sum 10.0 30.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "peak half outpaces off-peak (%.2f vs %.2f)" core edges)
+    true
+    (core > edges *. 1.5)
+
 let () =
   Alcotest.run "core"
     [ ("membership",
@@ -1823,4 +1912,10 @@ let () =
            test_simulation_determinism;
          Alcotest.test_case "bounded residency" `Slow
            (wrap_telemetry test_bounded_residency);
+         Alcotest.test_case "sampler validates intervals" `Quick
+           test_sampler_interval_validation;
+         Alcotest.test_case "diurnal workload validates" `Quick
+           test_diurnal_workload_validation;
+         Alcotest.test_case "diurnal envelope modulates load" `Quick
+           test_diurnal_workload_modulates;
          QCheck_alcotest.to_alcotest failure_churn_property ]) ]

@@ -324,6 +324,159 @@ let superset_property =
            frr_acct frr_sent;
        true)
 
+(* --- chaos plan JSON round-trip ---------------------------------------- *)
+
+(* Mantissa-rich floats (quotients of awkward integers) so the property
+   actually exercises the lossless %.17g fallback, not just short
+   decimals. *)
+let fault_gen =
+  let open QCheck.Gen in
+  let t =
+    map2
+      (fun a b -> float_of_int a /. (1.0 +. float_of_int b))
+      (int_range 0 100000) (int_range 0 997)
+  in
+  let frac = map (fun n -> float_of_int n /. 977.0) (int_range 0 977) in
+  let node = int_range 0 31 in
+  oneof
+    [ map3
+        (fun (a, b) at hold -> Chaos.Link_flap { a; b; at; hold })
+        (pair node node) t t;
+      map3 (fun node at hold -> Chaos.Node_down { node; at; hold }) node t t;
+      map3
+        (fun (a, b) at (duration, loss) ->
+           Chaos.Loss_burst { a; b; at; duration; loss })
+        (pair node node) t (pair t frac);
+      map3
+        (fun (a, b) at (duration, corrupt) ->
+           Chaos.Corrupt_burst { a; b; at; duration; corrupt })
+        (pair node node) t (pair t frac);
+      map2 (fun node at -> Chaos.Session_drop { node; at }) node t ]
+
+let plan_roundtrip_property =
+  QCheck.Test.make ~count:200 ~name:"chaos: plan -> json -> plan is identity"
+    (QCheck.make ~print:Chaos.plan_json
+       QCheck.Gen.(list_size (int_range 0 10) fault_gen))
+    (fun plan -> Chaos.plan_of_json (Chaos.plan_json plan) = plan)
+
+(* A plan that went through JSON drives the exact same storm: arm the
+   harness on identical scenarios with the original and the re-parsed
+   plan and require byte-identical summaries, fate for fate. *)
+let test_plan_replay_identity () =
+  let deployment =
+    Scenario.Mpls_deployment
+      { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+        use_te = false }
+  in
+  let run plan_override =
+    T.Registry.reset ();
+    Packet.reset_uid_counter ();
+    let sc = Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:2 ~seed:5
+        deployment
+    in
+    let h =
+      Harness.arm ?plan:plan_override ~frr:true ~fallback:true ~seed:9
+        ~duration:8.0 sc
+    in
+    Scenario.add_mixed_workload ~load:0.5 sc
+      ~pairs:(Scenario.default_pairs sc) ~duration:8.0;
+    Harness.run h;
+    (Harness.plan h, Harness.summary_json h)
+  in
+  let plan, s1 = run None in
+  let parsed = Chaos.plan_of_json (Chaos.plan_json plan) in
+  Alcotest.(check bool) "parsed plan equals the drawn plan" true
+    (parsed = plan);
+  let _, s2 = run (Some parsed) in
+  Alcotest.(check string) "replay of the parsed plan is byte-identical" s1 s2
+
+(* --- invariant auditor -------------------------------------------------- *)
+
+module Audit = Mvpn_resilience.Audit
+
+let audit_scenario () =
+  Packet.reset_uid_counter ();
+  Scenario.build ~pops:6 ~vpns:1 ~sites_per_vpn:2 ~seed:3
+    (Scenario.Mpls_deployment
+       { policy = Qos_mapping.Diffserv Qos_mapping.default_diffserv_sched;
+         use_te = false })
+
+(* The acceptance bug: a drop table that silently loses increments.
+   [set_drop_leak] swallows the next N table bookings while the packet
+   is still retired from the live count, so the conservation equation
+   genuinely unbalances — and the auditor must say so. The control run
+   takes the identical path with the leak disarmed and must stay
+   silent. *)
+let test_audit_catches_drop_leak () =
+  let run ~leak =
+    T.Registry.reset ();
+    let sc = audit_scenario () in
+    let net = Scenario.network sc in
+    let eng = Scenario.engine sc in
+    if leak then Network.set_drop_leak net 1;
+    let a = Audit.start ~interval:1.0 ~until:6.0 sc in
+    Scenario.add_mixed_workload ~load:0.4 sc
+      ~pairs:(Scenario.default_pairs sc) ~duration:5.0;
+    Engine.schedule eng ~delay:0.5 (fun () ->
+        let site = Scenario.site sc ~vpn:1 ~idx:0 in
+        let p =
+          Packet.make ~vpn:1 ~now:(Engine.now eng)
+            (Flow.make (Site.host site 1) (Site.host site 2))
+        in
+        Network.drop_packet ~packet:p net "test-intercept");
+    Scenario.run sc ~duration:6.0;
+    Audit.stop a;
+    (Audit.violations a, Audit.recent_violations a)
+  in
+  let clean, _ = run ~leak:false in
+  Alcotest.(check int) "clean run audits clean" 0 clean;
+  let bad, recent = run ~leak:true in
+  if bad = 0 then Alcotest.fail "leaked drop booking went unnoticed";
+  Alcotest.(check bool) "violation names conservation" true
+    (List.exists (fun (inv, _) -> inv = "conservation") recent)
+
+(* Audited run under a seeded storm: every invariant holds end to end,
+   and the audit publishes its tick/check counters. *)
+let test_audit_clean_under_storm () =
+  T.Registry.reset ();
+  let sc = audit_scenario () in
+  let h = Harness.arm ~frr:true ~fallback:true ~seed:21 ~duration:8.0 sc in
+  let a =
+    Audit.start ~interval:0.5 ~until:13.0 ?frr:(Harness.frr h) sc
+  in
+  Scenario.add_mixed_workload ~load:0.6 sc
+    ~pairs:(Scenario.default_pairs sc) ~duration:8.0;
+  Harness.run h;
+  Alcotest.(check int) "no violations under the storm" 0
+    (Audit.violations a);
+  Alcotest.(check bool) "auditor actually ticked" true (Audit.ticks a > 10);
+  Alcotest.(check int) "counter mirrors ticks" (Audit.ticks a)
+    (cv "audit.ticks");
+  Alcotest.(check int) "conservation checked every tick" (Audit.ticks a)
+    (cv "audit.check.conservation")
+
+let expect_invalid name f =
+  match f () with
+  | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  | exception Invalid_argument _ -> ()
+
+let test_audit_start_validation () =
+  let sc = audit_scenario () in
+  List.iter
+    (fun (name, bad) ->
+       expect_invalid name (fun () ->
+           ignore (Audit.start ~interval:bad sc)))
+    [ ("nan interval", Float.nan); ("zero interval", 0.0);
+      ("negative interval", -1.0); ("infinite interval", infinity) ];
+  expect_invalid "nan until" (fun () ->
+      ignore (Audit.start ~until:Float.nan sc));
+  expect_invalid "negative until" (fun () ->
+      ignore (Audit.start ~until:(-1.0) sc));
+  expect_invalid "max_hops < 1" (fun () ->
+      ignore (Audit.start ~max_hops:0 sc));
+  expect_invalid "heap_slack < 1" (fun () ->
+      ignore (Audit.start ~heap_slack:0.5 sc))
+
 let qt t = QCheck_alcotest.to_alcotest t
 
 let () =
@@ -344,4 +497,15 @@ let () =
       ("chaos",
        [ Alcotest.test_case "seeded runs deterministic" `Quick
            (with_telemetry test_chaos_deterministic);
-         qt superset_property ]) ]
+         qt superset_property ]);
+      ("plan-json",
+       [ qt plan_roundtrip_property;
+         Alcotest.test_case "parsed plan replays byte-identically" `Quick
+           (with_telemetry test_plan_replay_identity) ]);
+      ("audit",
+       [ Alcotest.test_case "clean under a seeded storm" `Quick
+           (with_telemetry test_audit_clean_under_storm);
+         Alcotest.test_case "catches a leaky drop table" `Quick
+           (with_telemetry test_audit_catches_drop_leak);
+         Alcotest.test_case "start validates its knobs" `Quick
+           test_audit_start_validation ]) ]

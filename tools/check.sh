@@ -228,4 +228,109 @@ stats_counters=$(printf '%s' "$stats_json" \
   exit 1
 }
 
+echo "== E18 bench smoke (audited soak gauges)"
+dune exec bench/main.exe -- --only E18 > /dev/null
+./_build/default/tools/json_lint.exe --require-schema < BENCH_telemetry.json
+for g in e18.events e18.rate.base_pps e18.rate.audit_pps e18.rate.chaos_pps \
+         e18.overhead.audit e18.audit.ticks e18.audit.violations \
+         audit.ticks audit.check.conservation audit.check.loops \
+         audit.check.frr audit.check.slo audit.check.queues \
+         audit.check.heap audit.check.pool; do
+  grep -q "\"$g\"" BENCH_telemetry.json || {
+    echo "missing audited-soak metric $g in BENCH_telemetry.json" >&2
+    exit 1
+  }
+done
+
+echo "== audited soak is big enough (e18.events >= 1e6)"
+e18_ev=$(grep -o '"e18\.events":[0-9.eE+-]*' BENCH_telemetry.json \
+  | cut -d: -f2)
+awk -v e="$e18_ev" 'BEGIN { exit !(e+0 >= 1000000) }' || {
+  echo "audited soak too small: $e18_ev events < 1e6" >&2
+  exit 1
+}
+
+echo "== audit soundness gate (e18.audit.violations == 0)"
+e18_viol=$(grep -o '"e18\.audit\.violations":[0-9.eE+-]*' \
+  BENCH_telemetry.json | cut -d: -f2)
+awk -v v="$e18_viol" 'BEGIN { exit !(v+0 == 0) }' || {
+  echo "invariant violations in the audited soak: $e18_viol" >&2
+  exit 1
+}
+
+echo "== audit overhead gate (e18.overhead.audit >= 0.95)"
+# CPU-seconds ratio of the unaudited vs audited sequential soak, best
+# of two interleaved runs each — per-tick checks cost ~150us, so the
+# true ratio sits around 0.98.
+e18_oh=$(grep -o '"e18\.overhead\.audit":[0-9.eE+-]*' BENCH_telemetry.json \
+  | cut -d: -f2)
+awk -v o="$e18_oh" 'BEGIN { exit !(o+0 >= 0.95) }' || {
+  echo "invariant auditor overhead out of budget: $e18_oh < 0.95" >&2
+  exit 1
+}
+
+echo "== mvpn soak --json deterministic, shard-invariant, well-formed"
+soak_a=$(dune exec bin/mvpn.exe -- soak --hours 0.002 --chaos 7 --json) || {
+  echo "mvpn soak reported invariant violations on a healthy run" >&2
+  exit 1
+}
+soak_b=$(dune exec bin/mvpn.exe -- soak --hours 0.002 --chaos 7 --json)
+soak_k4=$(dune exec bin/mvpn.exe -- soak --hours 0.002 --chaos 7 \
+  --shards 4 --json) || {
+  echo "mvpn soak --shards 4 reported invariant violations" >&2
+  exit 1
+}
+printf '%s' "$soak_a" | ./_build/default/tools/json_lint.exe --require-schema
+[ "$soak_a" = "$soak_b" ] || {
+  echo "mvpn soak --json differs between two runs" >&2
+  exit 1
+}
+[ "$soak_a" = "$soak_k4" ] || {
+  echo "mvpn soak --json differs between --shards 1 and --shards 4" >&2
+  exit 1
+}
+printf '%s' "$soak_a" | grep -q '"chaos":{"seed":7,"plan":\[{"kind":' || {
+  echo "no replayable chaos plan in mvpn soak --json" >&2
+  exit 1
+}
+printf '%s' "$soak_a" \
+  | grep -q '"audit":{"interval":[0-9.eE+-]*,"ticks":[1-9]' || {
+  echo "auditor never ticked in mvpn soak --json" >&2
+  exit 1
+}
+printf '%s' "$soak_a" \
+  | grep -q '"audit":{"interval":[0-9.eE+-]*,"ticks":[0-9]*,"violations":0}' \
+  || {
+  echo "audit violations in mvpn soak --json" >&2
+  exit 1
+}
+
+echo "== exit-code contract: slo/soak report through status codes"
+# 0 = clean, 1 = out of budget / invariants violated, 124 = usage error
+# (cmdliner). Pinned here so scripts and CI can rely on them.
+if dune exec bin/mvpn.exe -- slo --chaos 2 --duration 20 \
+   > /dev/null 2>&1; then
+  echo "mvpn slo --chaos 2 should exit 1 (out of budget) but exited 0" >&2
+  exit 1
+else
+  rc=$?
+  [ "$rc" -eq 1 ] || {
+    echo "mvpn slo --chaos 2 exited $rc, want 1" >&2
+    exit 1
+  }
+fi
+for bad_cmd in "slo --bogus-flag" "soak --hours -1" "soak --hours nan" \
+               "soak --hours 0.001 --audit-interval 0"; do
+  if dune exec bin/mvpn.exe -- $bad_cmd > /dev/null 2>&1; then
+    echo "mvpn $bad_cmd should fail with a usage error but exited 0" >&2
+    exit 1
+  else
+    rc=$?
+    [ "$rc" -eq 124 ] || {
+      echo "mvpn $bad_cmd exited $rc, want 124 (cmdliner usage error)" >&2
+      exit 1
+    }
+  fi
+done
+
 echo "ok"
