@@ -42,6 +42,8 @@ let experiments =
      E16_parallel.run);
     ("E18", "audited soak: invariant auditor under diurnal chaos",
      E18_soak.run);
+    ("E19", "provisioning at scale: C1 measured at 10k VPNs",
+     E19_provision.run);
     ("ABL", "ablations: scheduler, WRED, PHP, shared-vs-per-pair LSPs",
      Ablations.run) ]
 

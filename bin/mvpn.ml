@@ -22,7 +22,12 @@
                                                the invariant auditor armed;
                                                exit 1 on any violation
      mvpn fail     [--pops N] ...              fail a core link mid-run and
-                                               report reconvergence *)
+                                               report reconvergence
+     mvpn provision [--customers N] [--sites-dist D] [--churn K] [--json]
+                                               compile a customer portfolio
+                                               to VPN state; churn it
+                                               incrementally against the
+                                               from-scratch oracle *)
 
 open Cmdliner
 open Mvpn_core
@@ -959,6 +964,173 @@ let fail_cmd =
        ~doc:"Fail a core link and show loss, reconvergence and recovery.")
     Term.(const run $ pops_arg $ seed_arg)
 
+(* --- provision ----------------------------------------------------------- *)
+
+let provision_cmd =
+  let module P = Mvpn_provision in
+  (* All numeric inputs are validated at parse time so misuse is always
+     cmdliner's usage-error exit (124), never an exception trace. *)
+  let int_conv ~what ~lo ?hi () =
+    let parse s =
+      match int_of_string_opt s with
+      | None -> Error (`Msg (Printf.sprintf "invalid integer %S" s))
+      | Some v when v < lo || (match hi with Some h -> v > h | None -> false)
+        ->
+        Error
+          (`Msg
+             (match hi with
+              | Some h -> Printf.sprintf "%s must be in [%d, %d]" what lo h
+              | None -> Printf.sprintf "%s must be >= %d" what lo))
+      | Some v -> Ok v
+    in
+    Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+  in
+  let customers_arg =
+    Arg.(value
+         & opt (int_conv ~what:"--customers" ~lo:1 ~hi:0x3fff ()) 1000
+         & info ["customers"] ~docv:"N" ~doc:"Number of customer VPNs.")
+  in
+  let dist_arg =
+    Arg.(value
+         & opt (enum [("pareto", P.Portfolio.Pareto);
+                      ("uniform", P.Portfolio.Uniform)])
+             P.Portfolio.Pareto
+         & info ["sites-dist"] ~docv:"DIST"
+           ~doc:"Site-count distribution: pareto (heavy tail) or uniform.")
+  in
+  let churn_arg =
+    Arg.(value & opt (int_conv ~what:"--churn" ~lo:0 ()) 0
+         & info ["churn"] ~docv:"K"
+           ~doc:"Apply K random site add/remove/SLA-change deltas \
+                 incrementally and validate against a from-scratch \
+                 compile of the final portfolio.")
+  in
+  let pops_arg =
+    Arg.(value & opt (int_conv ~what:"--pops" ~lo:1 ~hi:64 ()) 12
+         & info ["pops"] ~docv:"N" ~doc:"Number of PE POPs (1-64).")
+  in
+  let rr_arg =
+    Arg.(value & flag & info ["rr"]
+           ~doc:"Distribute VPNv4 routes through a route reflector at \
+                 PE 0 instead of a full iBGP mesh.")
+  in
+  let json_arg =
+    Arg.(value & flag & info ["json"]
+           ~doc:"Emit the provisioning report as one JSON object — \
+                 portfolio shape, compiled-state metrics, per-PE \
+                 linearity table, churn verdict, canonical fingerprint. \
+                 Deterministic: equal flags give identical bytes.")
+  in
+  let run customers dist churn pops seed rr json =
+    Telemetry.Registry.reset ();
+    let mode =
+      if rr then Mvpn_routing.Mpbgp.Route_reflector 0
+      else Mvpn_routing.Mpbgp.Full_mesh
+    in
+    let p = P.Portfolio.generate ~dist ~pe_count:pops ~seed ~customers () in
+    let t = P.Compile.compile ~mode p in
+    let churn_result =
+      if churn = 0 then None
+      else begin
+        let ops = P.Portfolio.churn p ~seed:(seed + 1) ~ops:churn in
+        let st = P.Delta.apply_all t ops in
+        let oracle = P.Delta.oracle ~mode p ops in
+        Some (st, P.Delta.validate t oracle)
+      end
+    in
+    let m = P.Compile.metrics t in
+    let per_pe = P.Compile.per_pe t in
+    let fp = P.Compile.fingerprint t in
+    if json then begin
+      let b = Buffer.create 4096 in
+      Printf.bprintf b
+        "{\"schema\":%d,\"seed\":%d,\"pe_count\":%d,\"mode\":\"%s\",\
+         \"dist\":\"%s\","
+        Telemetry.Registry.schema_version seed pops
+        (if rr then "route-reflector" else "full-mesh")
+        (P.Portfolio.dist_name dist);
+      Printf.bprintf b
+        "\"portfolio\":{\"customers\":%d,\"sites\":%d,\
+         \"overlay_circuits\":%d},"
+        customers (P.Portfolio.site_count p) (P.Portfolio.overlay_circuits p);
+      Printf.bprintf b
+        "\"state\":{\"customers\":%d,\"sites\":%d,\"vrfs\":%d,\
+         \"groups\":%d,\"routes\":%d,\"table_entries\":%d,\
+         \"shared_entries\":%d,\"lsps\":%d,\"control_messages\":%d,\
+         \"rds\":%d,\"rts\":%d,\"bands\":[%s]},"
+        m.P.Compile.customers m.P.Compile.sites m.P.Compile.vrfs
+        m.P.Compile.groups m.P.Compile.routes m.P.Compile.table_entries
+        m.P.Compile.shared_entries m.P.Compile.lsps
+        m.P.Compile.control_messages m.P.Compile.rds m.P.Compile.rts
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int m.P.Compile.bands)));
+      Printf.bprintf b "\"per_pe\":[%s],"
+        (String.concat ","
+           (Array.to_list
+              (Array.mapi
+                 (fun pe (sites, entries) ->
+                    Printf.sprintf
+                      "{\"pe\":%d,\"sites\":%d,\"entries\":%d}" pe sites
+                      entries)
+                 per_pe)));
+      (match churn_result with
+       | None -> Buffer.add_string b "\"churn\":null,"
+       | Some (st, ok) ->
+         Printf.bprintf b
+           "\"churn\":{\"ops\":%d,\"touched_vrfs\":%d,\"messages\":%d,\
+            \"oracle_match\":%b},"
+           st.P.Delta.ops st.P.Delta.touched_vrfs st.P.Delta.messages ok);
+      Printf.bprintf b "\"fingerprint\":\"%s\"}" fp;
+      print_string (Buffer.contents b)
+    end
+    else begin
+      Printf.printf
+        "provisioned %d customers (%d sites, %s site distribution) on %d \
+         PEs [%s]\n"
+        customers m.P.Compile.sites (P.Portfolio.dist_name dist) pops
+        (if rr then "route reflector" else "full mesh");
+      Printf.printf
+        "  peer-model state : %d VRFs, %d routes, %d shared tables, %d \
+         LSPs\n"
+        m.P.Compile.vrfs m.P.Compile.routes m.P.Compile.groups
+        m.P.Compile.lsps;
+      Printf.printf
+        "  table entries    : %d logical, %d stored (%.1fx dedup)\n"
+        m.P.Compile.table_entries m.P.Compile.shared_entries
+        (float_of_int m.P.Compile.table_entries
+         /. float_of_int (max 1 m.P.Compile.shared_entries));
+      Printf.printf "  identifiers      : %d RDs, %d RTs, bands [%s]\n"
+        m.P.Compile.rds m.P.Compile.rts
+        (String.concat "; "
+           (Array.to_list (Array.map string_of_int m.P.Compile.bands)));
+      Printf.printf
+        "  overlay contrast : %d point-to-point circuits avoided (C1)\n"
+        (P.Portfolio.overlay_circuits p);
+      Printf.printf "  control messages : %d\n" m.P.Compile.control_messages;
+      (match churn_result with
+       | None -> ()
+       | Some (st, ok) ->
+         Printf.printf
+           "  churn            : %d deltas touched %d VRFs (%d \
+            messages), oracle %s\n"
+           st.P.Delta.ops st.P.Delta.touched_vrfs st.P.Delta.messages
+           (if ok then "MATCH" else "MISMATCH"));
+      Printf.printf "  fingerprint      : %s\n" fp
+    end;
+    match churn_result with
+    | Some (_, false) -> exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "provision"
+       ~doc:"Generate a customer portfolio, compile it to VPN state \
+             (VRFs, RTs, QoS bands, LSPs), optionally churn it \
+             incrementally, and report the compiled state. Exit 1 if \
+             the incremental state diverges from the from-scratch \
+             oracle; 124 on command-line errors, per cmdliner.")
+    Term.(const run $ customers_arg $ dist_arg $ churn_arg $ pops_arg
+          $ seed_arg $ rr_arg $ json_arg)
+
 (* --- plan --------------------------------------------------------------- *)
 
 let plan_cmd =
@@ -1020,4 +1192,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [topo_cmd; deploy_cmd; run_cmd; stats_cmd; slo_cmd; chaos_cmd;
-           par_cmd; timeline_cmd; soak_cmd; fail_cmd; plan_cmd]))
+           par_cmd; timeline_cmd; soak_cmd; fail_cmd; provision_cmd;
+           plan_cmd]))

@@ -21,6 +21,15 @@ val create : ?mechanism:mechanism -> pe_count:int -> unit -> t
 val join : t -> Site.t -> unit
 (** @raise Invalid_argument if the site id is already a member. *)
 
+val join_all : t -> Site.t list -> unit
+(** Bulk join for mass provisioning, in list order. The notification
+    bill is identical to joining one at a time ([messages] grows by
+    exactly the per-join sum — pinned by a regression test), but the
+    batch is validated up front and rejected atomically: on any
+    duplicate — against existing members or within the batch — no site
+    has joined.
+    @raise Invalid_argument on the first duplicate site id. *)
+
 val leave : t -> site_id:int -> bool
 (** [false] if the site was not a member. *)
 

@@ -29,27 +29,50 @@ let key_of (r : vpnv4_route) : key =
     Prefix.length r.prefix,
     r.next_hop_pe )
 
+(* One route record lives once, in the interned store; every table that
+   holds it — the owner's exports, every remote PE's Adj-RIB-In, any
+   VRF route group built on top — keeps only its integer id. At 100k+
+   routes times a dozen importing PEs this is the difference between a
+   dozen copies of every announcement and one. *)
+
 type pe_state = {
   pe : int;
-  exported : (key, vpnv4_route) Hashtbl.t;
-  received : (key, vpnv4_route) Hashtbl.t;
+  exported : (key, int) Hashtbl.t;  (* logical announcement -> route id *)
+  received : (int, unit) Hashtbl.t;  (* interned ids, store shared *)
 }
+
+(* What a dirty route needs at the next {!run}: [New] has never been
+   propagated (deliver everywhere, count per table that gains it),
+   [Update] changed content in place (everyone already has the id, count
+   one UPDATE per session the mode implies), [Retract] must leave every
+   Adj-RIB-In it reached (count per removal). *)
+type pending = New | Update | Retract
 
 type t = {
   mode : session_mode;
   mutable pes : pe_state list;  (* insertion order preserved via append *)
+  by_pe : (int, pe_state) Hashtbl.t;
   mutable messages : int;
+  mutable store : vpnv4_route option array;  (* id -> interned route *)
+  mutable next_id : int;
+  pending : (int, pending) Hashtbl.t;  (* dirty journal since last run *)
+  mutable fresh : int list;  (* PEs added since last run, to back-fill *)
 }
 
-let create ?(mode = Full_mesh) () = { mode; pes = []; messages = 0 }
+let create ?(mode = Full_mesh) () =
+  { mode; pes = []; by_pe = Hashtbl.create 16; messages = 0;
+    store = Array.make 64 None; next_id = 0;
+    pending = Hashtbl.create 64; fresh = [] }
 
-let find_pe t pe = List.find_opt (fun s -> s.pe = pe) t.pes
+let find_pe t pe = Hashtbl.find_opt t.by_pe pe
 
 let add_pe t pe =
   if find_pe t pe <> None then
     invalid_arg (Printf.sprintf "Mpbgp.add_pe: duplicate PE %d" pe);
-  t.pes <-
-    t.pes @ [{ pe; exported = Hashtbl.create 32; received = Hashtbl.create 64 }]
+  let s = { pe; exported = Hashtbl.create 32; received = Hashtbl.create 64 } in
+  t.pes <- t.pes @ [s];
+  Hashtbl.replace t.by_pe pe s;
+  t.fresh <- pe :: t.fresh
 
 let pe_count t = List.length t.pes
 
@@ -64,90 +87,156 @@ let get_pe t pe =
   | Some s -> s
   | None -> invalid_arg (Printf.sprintf "Mpbgp: unknown PE %d" pe)
 
-let export_route t route =
+let alloc t r =
+  if t.next_id = Array.length t.store then begin
+    let bigger = Array.make (2 * Array.length t.store) None in
+    Array.blit t.store 0 bigger 0 t.next_id;
+    t.store <- bigger
+  end;
+  let id = t.next_id in
+  t.store.(id) <- Some r;
+  t.next_id <- id + 1;
+  id
+
+let export t route =
   let s = get_pe t route.next_hop_pe in
-  Hashtbl.replace s.exported (key_of route) route
+  let k = key_of route in
+  match Hashtbl.find_opt s.exported k with
+  | Some id ->
+    (match t.store.(id) with
+     | Some old when old = route -> id
+     | old ->
+       (* Same announcement, new content: patch the shared record in
+          place. Only label/RT changes are UPDATE-worthy on the wire;
+          diagnostic fields ride along silently. *)
+       let noisy =
+         match old with
+         | Some o ->
+           o.vpn_label <> route.vpn_label || o.export_rts <> route.export_rts
+         | None -> true
+       in
+       t.store.(id) <- Some route;
+       if noisy && not (Hashtbl.mem t.pending id) then
+         Hashtbl.replace t.pending id Update;
+       id)
+  | None ->
+    let id = alloc t route in
+    Hashtbl.replace s.exported k id;
+    Hashtbl.replace t.pending id New;
+    id
+
+let export_route t route = ignore (export t route)
 
 let withdraw_site t ~pe ~site =
   let s = get_pe t pe in
   let victims =
     Hashtbl.fold
-      (fun k r acc -> if r.site = site then k :: acc else acc)
+      (fun k id acc ->
+         match t.store.(id) with
+         | Some r when r.site = site -> (k, id) :: acc
+         | _ -> acc)
       s.exported []
   in
-  List.iter (Hashtbl.remove s.exported) victims;
+  List.iter
+    (fun (k, id) ->
+       Hashtbl.remove s.exported k;
+       match Hashtbl.find_opt t.pending id with
+       | Some New ->
+         (* Announced and retracted between runs: nobody ever saw it. *)
+         Hashtbl.remove t.pending id;
+         t.store.(id) <- None
+       | _ -> Hashtbl.replace t.pending id Retract)
+    victims;
   List.length victims
+
+(* Who receives an announcement from [src] under the session mode:
+   full mesh sends to every other PE; with a route reflector, clients
+   send one copy to the RR which reflects to the remaining clients. *)
+let targets t src f =
+  match t.mode with
+  | Full_mesh -> List.iter (fun d -> if d.pe <> src then f d) t.pes
+  | Route_reflector rr ->
+    if src = rr then List.iter (fun d -> if d.pe <> rr then f d) t.pes
+    else begin
+      f (get_pe t rr);
+      List.iter (fun d -> if d.pe <> src && d.pe <> rr then f d) t.pes
+    end
 
 let run t =
   let sent = ref 0 in
-  let deliver dst route =
-    let k = key_of route in
-    match Hashtbl.find_opt dst.received k with
-    | Some have when have.vpn_label = route.vpn_label
-                  && have.export_rts = route.export_rts -> ()
-    | Some _ | None ->
-      Hashtbl.replace dst.received k route;
+  let deliver ~changed dst id =
+    if Hashtbl.mem dst.received id then begin
+      if changed then incr sent
+    end else begin
+      Hashtbl.replace dst.received id ();
       incr sent
+    end
   in
-  let withdraw_stale dst all_keys =
-    (* Remove received routes no longer exported by anyone. *)
-    let stale =
-      Hashtbl.fold
-        (fun k _ acc -> if Hashtbl.mem all_keys k then acc else k :: acc)
-        dst.received []
-    in
-    List.iter
-      (fun k ->
-         Hashtbl.remove dst.received k;
-         incr sent)
-      stale
-  in
-  let all_keys : (key, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* Late-joining PEs first: back-fill the full current table, one
+     UPDATE per route the newcomer gains. Routes already in the journal
+     are skipped — the journal pass below reaches the newcomer too. *)
   List.iter
-    (fun src ->
-       Hashtbl.iter (fun k _ -> Hashtbl.replace all_keys k ()) src.exported)
-    t.pes;
-  (match t.mode with
-   | Full_mesh ->
-     List.iter
-       (fun src ->
-          Hashtbl.iter
-            (fun _ route ->
-               List.iter
-                 (fun dst -> if dst.pe <> src.pe then deliver dst route)
-                 t.pes)
-            src.exported)
-       t.pes
-   | Route_reflector rr ->
-     let rr_state = get_pe t rr in
-     (* Clients send to the RR; the RR reflects to every other client.
-        Message count: one to the RR plus one per reflected copy. *)
-     List.iter
-       (fun src ->
-          Hashtbl.iter
-            (fun _ route ->
-               if src.pe <> rr then begin
-                 deliver rr_state route;
-                 List.iter
-                   (fun dst ->
-                      if dst.pe <> src.pe && dst.pe <> rr then
-                        deliver dst route)
-                   t.pes
-               end else
-                 List.iter
-                   (fun dst -> if dst.pe <> rr then deliver dst route)
-                   t.pes)
-            src.exported)
-       t.pes);
-  List.iter (fun dst -> withdraw_stale dst all_keys) t.pes;
+    (fun pe ->
+       List.iter
+         (fun src ->
+            if src.pe <> pe then
+              Hashtbl.iter
+                (fun _ id ->
+                   if not (Hashtbl.mem t.pending id) then
+                     targets t src.pe (fun d ->
+                         if d.pe = pe then deliver ~changed:false d id))
+                src.exported)
+         t.pes)
+    t.fresh;
+  t.fresh <- [];
+  let entries = Hashtbl.fold (fun id p acc -> (id, p) :: acc) t.pending [] in
+  Hashtbl.reset t.pending;
+  List.iter
+    (fun (id, p) ->
+       match p with
+       | Retract ->
+         List.iter
+           (fun d ->
+              if Hashtbl.mem d.received id then begin
+                Hashtbl.remove d.received id;
+                incr sent
+              end)
+           t.pes;
+         t.store.(id) <- None
+       | New | Update ->
+         (match t.store.(id) with
+          | None -> ()
+          | Some r ->
+            targets t r.next_hop_pe (fun d ->
+                deliver ~changed:(p = Update) d id)))
+    entries;
   t.messages <- t.messages + !sent;
   !sent
 
+let find_route t id =
+  if id < 0 || id >= t.next_id then None else t.store.(id)
+
+let iter_exported t f =
+  List.iter
+    (fun s ->
+       Hashtbl.iter
+         (fun _ id ->
+            match t.store.(id) with Some r -> f id r | None -> ())
+         s.exported)
+    t.pes
+
 let routes_at t pe =
   let s = get_pe t pe in
-  let own = Hashtbl.fold (fun _ r acc -> r :: acc) s.exported [] in
-  let received = Hashtbl.fold (fun _ r acc -> r :: acc) s.received [] in
-  own @ received
+  let own =
+    Hashtbl.fold
+      (fun _ id acc ->
+         match t.store.(id) with Some r -> r :: acc | None -> acc)
+      s.exported []
+  in
+  Hashtbl.fold
+    (fun id () acc ->
+       match t.store.(id) with Some r -> r :: acc | None -> acc)
+    s.received own
 
 let rts_intersect a b =
   List.exists (fun x -> List.exists (rt_equal x) b) a
@@ -155,11 +244,24 @@ let rts_intersect a b =
 let import t ~pe ~import_rts =
   let s = get_pe t pe in
   Hashtbl.fold
-    (fun _ r acc ->
-       if rts_intersect r.export_rts import_rts then r :: acc else acc)
+    (fun id () acc ->
+       match t.store.(id) with
+       | Some r when rts_intersect r.export_rts import_rts -> r :: acc
+       | _ -> acc)
+    s.received []
+
+let import_ids t ~pe ~import_rts =
+  let s = get_pe t pe in
+  Hashtbl.fold
+    (fun id () acc ->
+       match t.store.(id) with
+       | Some r when rts_intersect r.export_rts import_rts -> id :: acc
+       | _ -> acc)
     s.received []
 
 let total_routes t =
   List.fold_left (fun acc s -> acc + Hashtbl.length s.exported) 0 t.pes
+
+let store_size t = t.next_id
 
 let messages_sent t = t.messages

@@ -10,7 +10,16 @@
     spaces overlap.
 
     Sessions are either a full iBGP mesh among the PEs or a route
-    reflector — the state-growth knob of experiment E1/E3. *)
+    reflector — the state-growth knob of experiment E1/E3.
+
+    Internally every route record is interned once in a shared store
+    and all tables (the owner's exports, each remote PE's Adj-RIB-In,
+    any VRF groups built on top by {!Mvpn_provision}) hold only integer
+    ids — at provisioning scale (E19: 10k VPNs, 100k+ routes) this is
+    what keeps per-PE memory a constant factor of the route count.
+    Propagation is incremental: exports and withdrawals land in a dirty
+    journal and {!run} touches only journaled routes (plus any PE added
+    since the last run, which is back-filled), never the full table. *)
 
 type rd = { rd_asn : int; rd_assigned : int }
 (** Route distinguisher [asn:assigned]. *)
@@ -52,6 +61,21 @@ val export_route : t -> vpnv4_route -> unit
 (** The egress PE announces a customer route. Replaces any previous
     announcement with the same (RD, prefix, PE). *)
 
+val export : t -> vpnv4_route -> int
+(** Like {!export_route} but returns the interned route id — stable for
+    the announcement's lifetime, reusable as a compact handle in
+    share-by-reference tables ({!find_route} resolves it back).
+    Re-exporting the same (RD, prefix, PE) with new content patches the
+    shared record in place and returns the same id. *)
+
+val find_route : t -> int -> vpnv4_route option
+(** Resolve an interned id; [None] once the announcement has been
+    withdrawn and flushed by {!run} (or if the id was never issued). *)
+
+val iter_exported : t -> (int -> vpnv4_route -> unit) -> unit
+(** Every live announcement in the system with its interned id, in no
+    particular order. *)
+
 val withdraw_site : t -> pe:int -> site:int -> int
 (** Withdraw every route a PE exported for a site (a site leaving the
     VPN); returns how many were withdrawn. *)
@@ -59,7 +83,9 @@ val withdraw_site : t -> pe:int -> site:int -> int
 val run : t -> int
 (** Propagate announcements/withdrawals to every PE; returns the number
     of UPDATE messages sent (full mesh: one per route per remote PE;
-    route reflector: to the RR then reflected). *)
+    route reflector: to the RR then reflected). Incremental: only
+    routes dirtied since the last call are touched, so a no-op call
+    returns 0 and a single-site change costs O(PEs), not O(routes). *)
 
 val routes_at : t -> int -> vpnv4_route list
 (** All VPNv4 routes a PE has received (plus its own exports). *)
@@ -70,8 +96,15 @@ val import : t -> pe:int -> import_rts:rt list -> vpnv4_route list
     PE itself exported are excluded (a VRF already holds its local
     routes). *)
 
+val import_ids : t -> pe:int -> import_rts:rt list -> int list
+(** {!import}, but as interned ids — what a compact VRF table stores. *)
+
 val total_routes : t -> int
 (** Distinct (RD, prefix, PE) announcements in the system. *)
+
+val store_size : t -> int
+(** Interned-store slots ever allocated (live + tombstoned) — a
+    diagnostic for the churn bound of the share-by-id scheme. *)
 
 val messages_sent : t -> int
 (** Cumulative UPDATEs across {!run} calls. *)

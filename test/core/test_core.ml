@@ -56,6 +56,35 @@ let test_membership_mechanism_costs () =
   Alcotest.(check int) "directory" 15 directory;
   Alcotest.(check int) "flooded" 50 flooded
 
+let test_membership_join_all_message_parity () =
+  let sites pe_count =
+    List.init 8 (fun i ->
+        mk_site ~id:(i + 1) ~vpn:(1 + (i mod 3)) ~prefix:"10.0.0.0/16"
+          ~ce:(20 + i) ~pe:(i mod pe_count))
+  in
+  List.iter
+    (fun mechanism ->
+       let one = Membership.create ~mechanism ~pe_count:6 () in
+       List.iter (Membership.join one) (sites 6);
+       let bulk = Membership.create ~mechanism ~pe_count:6 () in
+       Membership.join_all bulk (sites 6);
+       Alcotest.(check int) "messages equal the per-join sum"
+         (Membership.messages one) (Membership.messages bulk);
+       Alcotest.(check int) "same members" (Membership.site_count one)
+         (Membership.site_count bulk))
+    [ Membership.Directory; Membership.Flooded ];
+  (* A bad batch — here a duplicate inside the batch itself — is
+     rejected atomically, before any join lands or any message is
+     billed. *)
+  let m = Membership.create ~pe_count:4 () in
+  let dup = mk_site ~id:7 ~vpn:1 ~prefix:"10.0.0.0/16" ~ce:1 ~pe:0 in
+  Alcotest.check_raises "duplicate within batch"
+    (Invalid_argument "Membership.join: site 7 already a member") (fun () ->
+      Membership.join_all m
+        [ mk_site ~id:6 ~vpn:1 ~prefix:"10.0.0.0/16" ~ce:0 ~pe:0; dup; dup ]);
+  Alcotest.(check int) "nothing joined" 0 (Membership.site_count m);
+  Alcotest.(check int) "nothing billed" 0 (Membership.messages m)
+
 (* --- Vrf ------------------------------------------------------------------ *)
 
 let test_vrf_overlapping_isolation () =
@@ -1783,7 +1812,9 @@ let () =
        [ Alcotest.test_case "isolation" `Quick test_membership_isolation;
          Alcotest.test_case "join/leave" `Quick test_membership_join_leave;
          Alcotest.test_case "mechanism costs" `Quick
-           test_membership_mechanism_costs ]);
+           test_membership_mechanism_costs;
+         Alcotest.test_case "join_all message parity" `Quick
+           test_membership_join_all_message_parity ]);
       ("vrf",
        [ Alcotest.test_case "overlapping isolation" `Quick
            test_vrf_overlapping_isolation ]);

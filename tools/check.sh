@@ -305,6 +305,59 @@ printf '%s' "$soak_a" \
   exit 1
 }
 
+echo "== mvpn provision --json deterministic, oracle-validated, well-formed"
+prov_a=$(dune exec bin/mvpn.exe -- provision --customers 300 --churn 50 \
+  --json) || {
+  echo "mvpn provision churn diverged from the from-scratch oracle" >&2
+  exit 1
+}
+prov_b=$(dune exec bin/mvpn.exe -- provision --customers 300 --churn 50 \
+  --json)
+printf '%s' "$prov_a" | ./_build/default/tools/json_lint.exe --require-schema
+[ "$prov_a" = "$prov_b" ] || {
+  echo "mvpn provision --json differs between two runs" >&2
+  exit 1
+}
+printf '%s' "$prov_a" | grep -q '"oracle_match":true' || {
+  echo "incremental provisioning does not match the oracle" >&2
+  exit 1
+}
+printf '%s' "$prov_a" | grep -q '"per_pe":\[{"pe":0,' || {
+  echo "no per-PE state table in mvpn provision --json" >&2
+  exit 1
+}
+
+echo "== E19 bench smoke (provisioning at scale: 10k VPNs, C1)"
+dune exec bench/main.exe -- --only E19 > /dev/null
+./_build/default/tools/json_lint.exe --require-schema < BENCH_telemetry.json
+for g in e19.sites e19.routes e19.vrfs e19.state.routes_per_pe \
+         e19.state.growth e19.mem.bytes_per_route e19.converge.p99_ms \
+         e19.converge.full_ms e19.converge.speedup; do
+  grep -q "\"$g\"" BENCH_telemetry.json || {
+    echo "missing provisioning gauge $g in BENCH_telemetry.json" >&2
+    exit 1
+  }
+done
+
+echo "== E19 scale gate (e19.routes >= 1e5)"
+e19_routes=$(grep -o '"e19\.routes":[0-9.eE+-]*' BENCH_telemetry.json \
+  | cut -d: -f2)
+awk -v r="$e19_routes" 'BEGIN { exit !(r+0 >= 100000) }' || {
+  echo "E19 too small: $e19_routes routes < 1e5" >&2
+  exit 1
+}
+
+echo "== incremental convergence gate (e19.converge.speedup >= 10)"
+# A single delta at 10k VPNs must converge at least 10x faster (p99)
+# than a from-scratch recompile of the same portfolio; measured
+# headroom is ~50x, gated at 10x to absorb scheduling noise.
+e19_speedup=$(grep -o '"e19\.converge\.speedup":[0-9.eE+-]*' \
+  BENCH_telemetry.json | cut -d: -f2)
+awk -v s="$e19_speedup" 'BEGIN { exit !(s+0 >= 10) }' || {
+  echo "incremental convergence too slow: ${e19_speedup}x < 10x" >&2
+  exit 1
+}
+
 echo "== exit-code contract: slo/soak report through status codes"
 # 0 = clean, 1 = out of budget / invariants violated, 124 = usage error
 # (cmdliner). Pinned here so scripts and CI can rely on them.
@@ -320,7 +373,9 @@ else
   }
 fi
 for bad_cmd in "slo --bogus-flag" "soak --hours -1" "soak --hours nan" \
-               "soak --hours 0.001 --audit-interval 0"; do
+               "soak --hours 0.001 --audit-interval 0" \
+               "provision --customers 0" "provision --bogus-flag" \
+               "provision --pops 99" "provision --churn -1"; do
   if dune exec bin/mvpn.exe -- $bad_cmd > /dev/null 2>&1; then
     echo "mvpn $bad_cmd should fail with a usage error but exited 0" >&2
     exit 1
